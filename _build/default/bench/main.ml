@@ -1,0 +1,176 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation section (see DESIGN.md's per-experiment index)
+   and, additionally, bechamel microbenchmarks of the compiler passes
+   themselves.
+
+   Usage: main.exe [fig7|fig9|fig10|fig11|fig12|table1|table2|offsets|
+                    ablations|micro|all]   (default: all)        *)
+
+open Safara_suites
+
+let run_fig7 () =
+  print_string
+    (Experiments.render_speedups
+       ~title:"Figure 7: SPEC ACCEL speedup with SAFARA alone (vs OpenUH base)"
+       (Experiments.fig7 ()))
+
+let run_fig9 () =
+  print_string
+    (Experiments.render_speedups
+       ~title:
+         "Figure 9: SPEC ACCEL speedup, cumulative small / small+dim / small+dim+SAFARA"
+       (Experiments.fig9 ()))
+
+let run_fig10 () =
+  print_string
+    (Experiments.render_speedups
+       ~title:"Figure 10: NAS speedup, cumulative small / small+dim / small+dim+SAFARA"
+       (Experiments.fig10 ()))
+
+let run_fig11 () =
+  print_string
+    (Experiments.render_norms
+       ~title:
+         "Figure 11: SPEC normalized execution time, OpenUH vs PGI-like (lower is better)"
+       (Experiments.fig11 ()))
+
+let run_fig12 () =
+  print_string
+    (Experiments.render_norms
+       ~title:
+         "Figure 12: NAS normalized execution time, OpenUH vs PGI-like (lower is better)"
+       (Experiments.fig12 ()))
+
+let run_table1 () =
+  print_string
+    (Experiments.render_regs
+       ~title:"Table I: 355.seismic register usage via small and dim clauses"
+       (Experiments.table1 ()))
+
+let run_table2 () =
+  print_string
+    (Experiments.render_regs
+       ~title:"Table II: 356.sp register usage via small and dim clauses"
+       (Experiments.table2 ()))
+
+let run_offsets () = print_string (Experiments.render_offsets (Experiments.offsets ()))
+
+let run_ablations () =
+  print_string (Experiments.render_ablations (Experiments.ablations ()))
+
+let run_crossarch () =
+  print_string (Experiments.render_crossarch (Experiments.crossarch ()))
+
+let run_unroll () =
+  print_string (Experiments.render_unroll (Experiments.unroll_study ()))
+
+(* --- bechamel microbenchmarks of the compiler passes ---------------- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let arch = Safara_gpu.Arch.kepler_k20xm in
+  let latency = Safara_gpu.Latency.kepler in
+  let src = (Registry.find "355.seismic").Workload.source in
+  let ast = Safara_lang.Parser.parse src in
+  let prog = Safara_lang.Frontend.compile src in
+  let resolved = Safara_analysis.Schedule.resolve_program prog in
+  let region = List.hd resolved.Safara_ir.Program.regions in
+  let kernel = Safara_vir.Codegen.compile_region ~arch resolved region in
+  [
+    Test.make ~name:"front-end: parse seismic"
+      (Staged.stage (fun () -> ignore (Safara_lang.Parser.parse src)));
+    Test.make ~name:"front-end: typecheck"
+      (Staged.stage (fun () -> ignore (Safara_lang.Typecheck.check ast)));
+    Test.make ~name:"analysis: dependences (hot1)"
+      (Staged.stage (fun () ->
+           ignore (Safara_analysis.Dependence.region_deps region.Safara_ir.Region.body)));
+    Test.make ~name:"analysis: reuse candidates (hot1)"
+      (Staged.stage (fun () ->
+           ignore
+             (Safara_analysis.Reuse.candidates ~arch ~latency resolved region)));
+    Test.make ~name:"codegen: hot1 -> VIR"
+      (Staged.stage (fun () ->
+           ignore (Safara_vir.Codegen.compile_region ~arch resolved region)));
+    Test.make ~name:"ptxas: allocate hot1"
+      (Staged.stage (fun () ->
+           ignore (Safara_ptxas.Assemble.assemble ~arch kernel)));
+    Test.make ~name:"SAFARA: optimize hot1 (full feedback loop)"
+      (Staged.stage (fun () ->
+           ignore
+             (Safara_transform.Safara.optimize_region ~arch ~latency resolved region)));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~stabilize:false ()
+  in
+  print_endline "Compiler-pass microbenchmarks (bechamel, monotonic clock)";
+  print_endline "----------------------------------------------------------";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name raw ->
+          let est = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
+          match Analyze.OLS.estimates est with
+          | Some [ t ] -> Printf.printf "%-44s %12.1f ns/run\n%!" name t
+          | _ -> Printf.printf "%-44s (no estimate)\n%!" name)
+        results)
+    (micro_tests ())
+
+let all () =
+  Printf.printf
+    "SAFARA reproduction evaluation — %s, latency table 'kepler'\n\
+     profiles: base / SAFARA / small / small+dim / full(small+dim+SAFARA) / PGI-like\n\
+     deterministic: fixed workload seeds, no simulator randomness\n\n"
+    Safara_gpu.Arch.kepler_k20xm.Safara_gpu.Arch.name;
+  run_table1 ();
+  print_newline ();
+  run_table2 ();
+  print_newline ();
+  run_offsets ();
+  print_newline ();
+  run_fig7 ();
+  print_newline ();
+  run_fig9 ();
+  print_newline ();
+  run_fig10 ();
+  print_newline ();
+  run_fig11 ();
+  print_newline ();
+  run_fig12 ();
+  print_newline ();
+  run_ablations ();
+  print_newline ();
+  run_crossarch ();
+  print_newline ();
+  run_unroll ();
+  print_newline ();
+  run_micro ()
+
+let () =
+  let cmd = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match cmd with
+  | "fig7" -> run_fig7 ()
+  | "fig9" -> run_fig9 ()
+  | "fig10" -> run_fig10 ()
+  | "fig11" -> run_fig11 ()
+  | "fig12" -> run_fig12 ()
+  | "table1" -> run_table1 ()
+  | "table2" -> run_table2 ()
+  | "offsets" -> run_offsets ()
+  | "ablations" -> run_ablations ()
+  | "crossarch" -> run_crossarch ()
+  | "unroll" -> run_unroll ()
+  | "micro" -> run_micro ()
+  | "all" -> all ()
+  | other ->
+      Printf.eprintf
+        "unknown experiment %S; expected fig7|fig9|fig10|fig11|fig12|table1|table2|offsets|ablations|crossarch|unroll|micro|all\n"
+        other;
+      exit 2

@@ -1,0 +1,1 @@
+bin/logs_fmt_lite.ml: Format Logs

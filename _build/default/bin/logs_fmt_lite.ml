@@ -1,0 +1,18 @@
+(* Minimal Logs reporter (the logs.fmt sub-library is not vendored in
+   this environment; this prints "[src] level: message" to stderr). *)
+
+let reporter () =
+  let report src level ~over k msgf =
+    let k _ =
+      over ();
+      k ()
+    in
+    msgf (fun ?header ?tags fmt ->
+        ignore header;
+        ignore tags;
+        Format.kfprintf k Format.err_formatter
+          ("[%s] %s: " ^^ fmt ^^ "@.")
+          (Logs.Src.name src)
+          (Logs.level_to_string (Some level)))
+  in
+  { Logs.report }

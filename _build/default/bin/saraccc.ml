@@ -1,0 +1,385 @@
+(* saraccc — the SAFARA OpenACC compiler driver.
+
+   Subcommands:
+     check    parse + type-check + validate a MiniACC file
+     ir       print the (schedule-resolved) IR
+     analyze  print dependences, parallelism verdicts, coalescing
+              classes and reuse candidates per region
+     compile  compile to the PTX-like virtual ISA and print it with
+              the ptxas register report
+     safara   run the SAFARA feedback loop and show each round
+     occupancy  occupancy table for a kernel's register counts
+     run      functionally execute the program and print checksums
+     time     cycle-level timing estimate per kernel *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt_lite.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let arch_of = function
+  | "kepler" -> Safara_gpu.Arch.kepler_k20xm
+  | "fermi" -> Safara_gpu.Arch.fermi_like
+  | other -> failwith ("unknown architecture " ^ other ^ " (kepler|fermi)")
+
+let profile_of = function
+  | "base" -> Safara_core.Compiler.Base
+  | "safara" -> Safara_core.Compiler.Safara_only
+  | "small" -> Safara_core.Compiler.Small_only
+  | "clauses" -> Safara_core.Compiler.Clauses_only
+  | "full" -> Safara_core.Compiler.Full
+  | "pgi" -> Safara_core.Compiler.Pgi_like
+  | other ->
+      failwith
+        ("unknown profile " ^ other ^ " (base|safara|small|clauses|full|pgi)")
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load path = Safara_lang.Frontend.compile ~name:(Filename.basename path) (read_file path)
+
+(* --- common arguments ------------------------------------------------ *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniACC source file")
+
+let arch_arg =
+  Arg.(value & opt string "kepler" & info [ "arch" ] ~docv:"ARCH" ~doc:"GPU model: kepler or fermi")
+
+let profile_arg =
+  Arg.(
+    value
+    & opt string "full"
+    & info [ "p"; "profile" ] ~docv:"PROFILE"
+        ~doc:"compiler profile: base, safara, small, clauses, full, pgi")
+
+let scalars_arg =
+  Arg.(
+    value
+    & opt_all (pair ~sep:'=' string string) []
+    & info [ "D"; "define" ] ~docv:"NAME=VALUE" ~doc:"bind a scalar program parameter")
+
+let parse_scalars prog defs =
+  List.map
+    (fun (name, value) ->
+      let v =
+        match
+          List.find_opt
+            (fun (p : Safara_ir.Expr.var) -> p.Safara_ir.Expr.vname = name)
+            prog.Safara_ir.Program.params
+        with
+        | Some p when Safara_ir.Types.is_float p.Safara_ir.Expr.vtype ->
+            Safara_sim.Value.F (float_of_string value)
+        | _ -> Safara_sim.Value.I (int_of_string value)
+      in
+      (name, v))
+    defs
+
+let wrap f =
+  try `Ok (f ()) with
+  | Safara_lang.Lexer.Error (pos, msg) ->
+      `Error (false, Format.asprintf "lexical error at %a: %s" Safara_lang.Token.pp_pos pos msg)
+  | Safara_lang.Parser.Error (pos, msg) ->
+      `Error (false, Format.asprintf "syntax error at %a: %s" Safara_lang.Token.pp_pos pos msg)
+  | Failure msg | Invalid_argument msg -> `Error (false, msg)
+
+(* --- check ----------------------------------------------------------- *)
+
+let check_cmd =
+  let run file =
+    wrap (fun () ->
+        let prog = load file in
+        Printf.printf "%s: OK (%d params, %d arrays, %d offload regions)\n"
+          file
+          (List.length prog.Safara_ir.Program.params)
+          (List.length prog.Safara_ir.Program.arrays)
+          (List.length prog.Safara_ir.Program.regions))
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Parse, type-check and validate a MiniACC file")
+    Term.(ret (const run $ file_arg))
+
+(* --- ir -------------------------------------------------------------- *)
+
+let ir_cmd =
+  let run file resolve =
+    wrap (fun () ->
+        let prog = load file in
+        let prog =
+          if resolve then Safara_analysis.Schedule.resolve_program prog else prog
+        in
+        Format.printf "%a@." Safara_ir.Program.pp prog)
+  in
+  let resolve_arg =
+    Arg.(value & flag & info [ "resolve" ] ~doc:"resolve auto loop schedules first")
+  in
+  Cmd.v (Cmd.info "ir" ~doc:"Print the IR of a MiniACC program")
+    Term.(ret (const run $ file_arg $ resolve_arg))
+
+(* --- analyze --------------------------------------------------------- *)
+
+let analyze_cmd =
+  let run file arch_name =
+    wrap (fun () ->
+        let arch = arch_of arch_name in
+        let latency = Safara_gpu.Latency.kepler in
+        let prog = Safara_analysis.Schedule.resolve_program (load file) in
+        List.iter
+          (fun (r : Safara_ir.Region.t) ->
+            Format.printf "=== region %s ===@." r.Safara_ir.Region.rname;
+            Format.printf "--- parallelism:@.";
+            List.iter
+              (fun (idx, v) ->
+                Format.printf "  loop %s: %a@." idx Safara_analysis.Parallelism.pp_verdict v)
+              (Safara_analysis.Parallelism.analyze_body r.Safara_ir.Region.body);
+            Format.printf "--- thread mapping: %a@." Safara_analysis.Mapping.pp
+              (Safara_analysis.Mapping.of_region r);
+            Format.printf "--- dependences:@.";
+            List.iter
+              (fun d -> Format.printf "  %a@." Safara_analysis.Dependence.pp_dep d)
+              (Safara_analysis.Dependence.region_deps r.Safara_ir.Region.body);
+            Format.printf "--- coalescing:@.";
+            List.iter
+              (fun ((a, subs), access) ->
+                Format.printf "  %s%a: %a@." a
+                  (fun ppf -> List.iter (Format.fprintf ppf "[%a]" Safara_ir.Expr.pp))
+                  subs Safara_gpu.Memspace.pp_access access)
+              (Safara_analysis.Coalescing.classify_in_region ~arch
+                 ~elem:(Safara_ir.Program.elem_type prog) r);
+            Format.printf "--- reuse candidates (by SAFARA cost):@.";
+            List.iter
+              (fun c -> Format.printf "  %a@." Safara_analysis.Reuse.pp_candidate c)
+              (Safara_analysis.Reuse.candidates ~arch ~latency prog r))
+          prog.Safara_ir.Program.regions)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Print dependences, parallelism, coalescing and reuse candidates")
+    Term.(ret (const run $ file_arg $ arch_arg))
+
+(* --- compile --------------------------------------------------------- *)
+
+let compile_cmd =
+  let run file arch_name profile_name quiet maxrreg pressure =
+    wrap (fun () ->
+        let arch = arch_of arch_name in
+        let profile = profile_of profile_name in
+        let c = Safara_core.Compiler.compile ~arch profile (load file) in
+        List.iter
+          (fun (k, report) ->
+            let k, report =
+              match maxrreg with
+              | None -> (k, report)
+              | Some cap -> Safara_ptxas.Assemble.assemble ~max_regs:cap ~arch k
+            in
+            if pressure then Format.printf "%a@." Safara_ptxas.Pressure.pp_listing k
+            else if not quiet then Format.printf "%a@." Safara_vir.Kernel.pp k;
+            Format.printf "%a@.@." Safara_ptxas.Assemble.pp_report report)
+          c.Safara_core.Compiler.c_kernels)
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"only print the ptxas reports")
+  in
+  let maxrreg_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "maxrregcount" ] ~docv:"N"
+          ~doc:"re-assemble with this register cap (forces spilling, like nvcc)")
+  in
+  let pressure_arg =
+    Arg.(value & flag & info [ "pressure" ] ~doc:"annotate the listing with live register counts")
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile to the PTX-like virtual ISA with register reports")
+    Term.(
+      ret (const run $ file_arg $ arch_arg $ profile_arg $ quiet_arg $ maxrreg_arg
+           $ pressure_arg))
+
+(* --- emit ------------------------------------------------------------ *)
+
+let emit_cmd =
+  let run file profile_name =
+    wrap (fun () ->
+        let profile = profile_of profile_name in
+        let c = Safara_core.Compiler.compile profile (load file) in
+        print_string (Safara_lang.Emit.program c.Safara_core.Compiler.c_prog))
+  in
+  Cmd.v
+    (Cmd.info "emit"
+       ~doc:
+         "Print the transformed program back as compilable MiniACC source \
+          (shows what scalar replacement did)")
+    Term.(ret (const run $ file_arg $ profile_arg))
+
+(* --- safara ---------------------------------------------------------- *)
+
+let safara_cmd =
+  let run file arch_name cap verbose =
+    wrap (fun () ->
+        setup_logs verbose;
+        let arch = arch_of arch_name in
+        let latency = Safara_gpu.Latency.kepler in
+        let config =
+          let d = Safara_transform.Safara.default_config ~arch in
+          match cap with
+          | None -> d
+          | Some c -> { d with Safara_transform.Safara.reg_cap = c }
+        in
+        let prog = load file in
+        let _, logs =
+          Safara_transform.Safara.optimize_program ~config ~arch ~latency prog
+        in
+        List.iter
+          (fun (region, rounds) ->
+            Format.printf "region %s:@." region;
+            if rounds = [] then Format.printf "  (nothing to replace)@.";
+            List.iter
+              (fun r -> Format.printf "  %a@." Safara_transform.Safara.pp_round r)
+              rounds)
+          logs)
+  in
+  let cap_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "reg-cap" ] ~docv:"N" ~doc:"register budget (default: hardware cap)")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"enable debug tracing")
+  in
+  Cmd.v (Cmd.info "safara" ~doc:"Show the SAFARA feedback rounds for each region")
+    Term.(ret (const run $ file_arg $ arch_arg $ cap_arg $ verbose_arg))
+
+(* --- occupancy ------------------------------------------------------- *)
+
+let occupancy_cmd =
+  let run arch_name threads =
+    wrap (fun () ->
+        let arch = arch_of arch_name in
+        Printf.printf "%s, %d threads/block\n%6s %8s %8s %12s %s\n"
+          arch.Safara_gpu.Arch.name threads "regs" "blocks" "warps" "occupancy" "limiter";
+        let rec steps r =
+          if r <= arch.Safara_gpu.Arch.max_registers_per_thread then begin
+            let o =
+              Safara_gpu.Occupancy.calculate arch
+                {
+                  Safara_gpu.Occupancy.threads_per_block = threads;
+                  regs_per_thread = r;
+                  shared_bytes_per_block = 0;
+                }
+            in
+            Format.printf "%6d %8d %8d %11.0f%% %a@." r
+              o.Safara_gpu.Occupancy.blocks_per_sm o.Safara_gpu.Occupancy.active_warps
+              (100. *. o.Safara_gpu.Occupancy.occupancy)
+              Safara_gpu.Occupancy.pp_limiter o.Safara_gpu.Occupancy.limiter;
+            steps (r + 8)
+          end
+        in
+        steps 16)
+  in
+  let threads_arg =
+    Arg.(value & opt int 128 & info [ "threads" ] ~docv:"N" ~doc:"threads per block")
+  in
+  Cmd.v (Cmd.info "occupancy" ~doc:"Print the occupancy table of an architecture")
+    Term.(ret (const run $ arch_arg $ threads_arg))
+
+(* --- run ------------------------------------------------------------- *)
+
+let run_cmd =
+  let run file profile_name defs =
+    wrap (fun () ->
+        let profile = profile_of profile_name in
+        let prog = load file in
+        let c = Safara_core.Compiler.compile profile prog in
+        let scalars = parse_scalars prog defs in
+        let env = Safara_core.Compiler.make_env c ~scalars in
+        Safara_core.Compiler.run_functional c env;
+        List.iter
+          (fun (a : Safara_ir.Array_info.t) ->
+            Printf.printf "%-16s checksum % .10e\n" a.Safara_ir.Array_info.name
+              (Safara_sim.Memory.checksum env.Safara_sim.Interp.mem
+                 a.Safara_ir.Array_info.name))
+          prog.Safara_ir.Program.arrays)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Execute the program on the functional simulator and print checksums")
+    Term.(ret (const run $ file_arg $ profile_arg $ scalars_arg))
+
+(* --- bench ------------------------------------------------------------ *)
+
+let bench_cmd =
+  let run id =
+    wrap (fun () ->
+        let w =
+          try Safara_suites.Registry.find id
+          with Not_found ->
+            failwith
+              ("unknown benchmark " ^ id ^ "; known: "
+              ^ String.concat ", "
+                  (List.map
+                     (fun (w : Safara_suites.Workload.t) -> w.Safara_suites.Workload.id)
+                     Safara_suites.Registry.all))
+        in
+        Printf.printf "%s — %s\n%s\n\n" w.Safara_suites.Workload.id
+          w.Safara_suites.Workload.title w.Safara_suites.Workload.description;
+        let base = ref 0.0 in
+        List.iter
+          (fun p ->
+            let t, c = Safara_suites.Workload.time_under p w in
+            let total = t.Safara_sim.Launch.total_ms in
+            if p = Safara_core.Compiler.Base then base := total;
+            Printf.printf "%-24s %9.4f ms  %5.2fx\n"
+              (Safara_core.Compiler.profile_name p)
+              total (!base /. total);
+            List.iter
+              (fun kt ->
+                Format.printf "    %a@." Safara_sim.Launch.pp_kernel_time kt)
+              t.Safara_sim.Launch.ptk;
+            ignore c)
+          Safara_core.Compiler.all_profiles)
+  in
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK"
+           ~doc:"benchmark id, e.g. 355.seismic or SP")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Run one of the paper's benchmarks under every compiler profile")
+    Term.(ret (const run $ id_arg))
+
+(* --- time ------------------------------------------------------------ *)
+
+let time_cmd =
+  let run file arch_name profile_name defs =
+    wrap (fun () ->
+        let arch = arch_of arch_name in
+        let profile = profile_of profile_name in
+        let prog = load file in
+        let c = Safara_core.Compiler.compile ~arch profile prog in
+        let scalars = parse_scalars prog defs in
+        let env = Safara_core.Compiler.make_env c ~scalars in
+        let t = Safara_core.Compiler.time c env in
+        List.iter
+          (fun kt -> Format.printf "%a@." Safara_sim.Launch.pp_kernel_time kt)
+          t.Safara_sim.Launch.ptk;
+        Printf.printf "total: %.4f ms\n" t.Safara_sim.Launch.total_ms)
+  in
+  Cmd.v (Cmd.info "time" ~doc:"Cycle-level timing estimate per kernel")
+    Term.(ret (const run $ file_arg $ arch_arg $ profile_arg $ scalars_arg))
+
+let main =
+  Cmd.group
+    (Cmd.info "saraccc" ~version:"1.0.0"
+       ~doc:
+         "SAFARA OpenACC compiler: scalar replacement with static register \
+          feedback, dim/small clauses, and a Kepler GPU simulator")
+    [ check_cmd; ir_cmd; analyze_cmd; compile_cmd; emit_cmd; safara_cmd;
+      occupancy_cmd; run_cmd; time_cmd; bench_cmd ]
+
+let () = exit (Cmd.eval main)

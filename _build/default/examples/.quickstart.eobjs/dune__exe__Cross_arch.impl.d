@@ -1,0 +1,1 @@
+examples/cross_arch.ml: Format List Printf Safara_analysis Safara_core Safara_gpu Safara_ir Safara_lang Safara_ptxas

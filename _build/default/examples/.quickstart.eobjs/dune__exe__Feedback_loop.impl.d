@@ -1,0 +1,1 @@
+examples/feedback_loop.ml: Format List Printf Safara_analysis Safara_gpu Safara_ir Safara_lang Safara_transform

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Printf Safara_core Safara_ptxas Safara_sim Safara_transform

@@ -1,0 +1,1 @@
+examples/register_pressure.ml: Array List Printf Safara_core Safara_gpu Safara_ptxas Safara_vir String

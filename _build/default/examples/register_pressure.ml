@@ -1,0 +1,92 @@
+(* Register-pressure study on the paper's Fig-8 seismic kernel: how the
+   dim and small clauses shrink the dope-vector/offset footprint, and
+   what that does to occupancy (the Table I / §IV story).
+
+   Run with: dune exec examples/register_pressure.exe *)
+
+let fig8 ~small ~dim =
+  Printf.sprintf
+    {|
+param int nx;
+param int ny;
+param int nz;
+param double h;
+double vz_1[nz][ny][nx];
+double vz_2[nz][ny][nx];
+double vz_3[nz][ny][nx];
+out double value_dz[nz][ny][nx];
+#pragma acc kernels name(hot) %s %s
+{
+  #pragma acc loop gang vector(2)
+  for (j = 2; j <= ny - 1; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 1; i < nx; i++) {
+      #pragma acc loop seq
+      for (k = 2; k <= nz - 1; k++) {
+        value_dz[k][j][i] = (vz_1[k][j][i] - vz_1[k-1][j][i]) / h
+                          + (vz_2[k][j][i] - vz_2[k-1][j][i]) / h
+                          + (vz_3[k][j][i] - vz_3[k-1][j][i]) / h;
+      }
+    }
+  }
+}
+|}
+    (if dim then "dim([nz][ny][nx](vz_1, vz_2, vz_3, value_dz))" else "")
+    (if small then "small(vz_1, vz_2, vz_3, value_dz)" else "")
+
+let arch = Safara_gpu.Arch.kepler_k20xm
+
+let () =
+  print_endline "register pressure on the Fig-8 kernel (paper §IV, Table I)";
+  print_endline "------------------------------------------------------------";
+  Printf.printf "%-24s %6s %8s %8s %10s\n" "configuration" "regs" "instrs" "blocks" "occupancy";
+  List.iter
+    (fun (label, small, dim) ->
+      let c =
+        Safara_core.Compiler.compile_src Safara_core.Compiler.Clauses_only
+          (fig8 ~small ~dim)
+      in
+      let k, report = List.hd c.Safara_core.Compiler.c_kernels in
+      let occ =
+        Safara_gpu.Occupancy.calculate arch
+          {
+            Safara_gpu.Occupancy.threads_per_block =
+              Safara_vir.Kernel.threads_per_block k;
+            regs_per_thread = report.Safara_ptxas.Assemble.regs_used;
+            shared_bytes_per_block = 0;
+          }
+      in
+      Printf.printf "%-24s %6d %8d %8d %9.0f%%\n" label
+        report.Safara_ptxas.Assemble.regs_used
+        report.Safara_ptxas.Assemble.instructions occ.Safara_gpu.Occupancy.blocks_per_sm
+        (100. *. occ.Safara_gpu.Occupancy.occupancy))
+    [
+      ("base", false, false);
+      ("+small", true, false);
+      ("+dim", false, true);
+      ("+small +dim", true, true);
+    ];
+  print_endline "";
+  print_endline "the generated address code, with both clauses (note the single";
+  print_endline "shared offset chain and the 32-bit arithmetic):";
+  print_endline "";
+  let c =
+    Safara_core.Compiler.compile_src Safara_core.Compiler.Clauses_only
+      (fig8 ~small:true ~dim:true)
+  in
+  let k, _ = List.hd c.Safara_core.Compiler.c_kernels in
+  (* print only the sequential-loop body: instructions between the loop
+     label and the back edge *)
+  let code = k.Safara_vir.Kernel.code in
+  let in_body = ref false in
+  Array.iter
+    (fun instr ->
+      (match instr with
+      | Safara_vir.Instr.Label l when String.length l > 7 && String.sub l 0 7 = "$L_loop" ->
+          in_body := true
+      | Safara_vir.Instr.Label l
+        when String.length l > 10 && String.sub l 0 10 = "$L_endloop" ->
+          in_body := false
+      | _ -> ());
+      if !in_body then print_endline (Safara_vir.Instr.to_string instr))
+    code

@@ -1,0 +1,1 @@
+lib/analysis/affine.ml: Format List Option Printf Safara_ir String

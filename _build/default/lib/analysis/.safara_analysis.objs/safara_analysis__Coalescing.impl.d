@@ -1,0 +1,1 @@
+lib/analysis/coalescing.ml: Affine Dependence Hashtbl List Mapping Option Safara_gpu Safara_ir

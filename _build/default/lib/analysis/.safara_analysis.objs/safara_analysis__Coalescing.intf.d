@@ -1,0 +1,1 @@
+lib/analysis/coalescing.mli: Mapping Safara_gpu Safara_ir

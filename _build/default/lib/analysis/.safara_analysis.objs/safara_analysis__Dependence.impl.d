@@ -1,0 +1,1 @@
+lib/analysis/dependence.ml: Affine Format Hashtbl List Option Safara_ir String

@@ -1,0 +1,1 @@
+lib/analysis/mapping.mli: Format Safara_ir

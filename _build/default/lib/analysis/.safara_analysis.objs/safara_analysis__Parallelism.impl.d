@@ -1,0 +1,1 @@
+lib/analysis/parallelism.ml: Dependence Format List Option Printf Safara_ir String

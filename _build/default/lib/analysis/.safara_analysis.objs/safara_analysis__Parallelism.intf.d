@@ -1,0 +1,1 @@
+lib/analysis/parallelism.mli: Format Safara_ir

@@ -1,0 +1,1 @@
+lib/analysis/reuse.ml: Affine Coalescing Dependence Format Hashtbl List Mapping Option Printf Safara_gpu Safara_ir Spaces String

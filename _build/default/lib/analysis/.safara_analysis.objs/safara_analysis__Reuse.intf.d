@@ -1,0 +1,1 @@
+lib/analysis/reuse.mli: Dependence Format Safara_gpu Safara_ir

@@ -1,0 +1,1 @@
+lib/analysis/schedule.ml: List Parallelism Safara_ir

@@ -1,0 +1,1 @@
+lib/analysis/schedule.mli: Safara_ir

@@ -1,0 +1,1 @@
+lib/analysis/spaces.ml: List Safara_gpu Safara_ir

@@ -1,0 +1,1 @@
+lib/analysis/spaces.mli: Safara_gpu Safara_ir

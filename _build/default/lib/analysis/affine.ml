@@ -1,0 +1,146 @@
+module E = Safara_ir.Expr
+
+type t = {
+  coeffs : (string * int) list;
+  const : int;
+  rest : E.t option;
+}
+
+(* internal working form: index coefficients, constant, and a list of
+   (loop-invariant atom, coefficient) additive terms *)
+type work = { w_coeffs : (string * int) list; w_const : int; w_terms : (E.t * int) list }
+
+let w_zero = { w_coeffs = []; w_const = 0; w_terms = [] }
+
+let add_assoc key v alist =
+  let rec go = function
+    | [] -> [ (key, v) ]
+    | (k, x) :: rest when k = key -> (k, x + v) :: rest
+    | kv :: rest -> kv :: go rest
+  in
+  go alist
+
+let w_add a b =
+  {
+    w_coeffs = List.fold_left (fun acc (k, v) -> add_assoc k v acc) a.w_coeffs b.w_coeffs;
+    w_const = a.w_const + b.w_const;
+    w_terms =
+      List.fold_left (fun acc (t, v) ->
+        let rec go = function
+          | [] -> [ (t, v) ]
+          | (t', x) :: rest when E.equal t' t -> (t', x + v) :: rest
+          | tv :: rest -> tv :: go rest
+        in
+        go acc) a.w_terms b.w_terms;
+  }
+
+let w_scale s a =
+  {
+    w_coeffs = List.map (fun (k, v) -> (k, v * s)) a.w_coeffs;
+    w_const = a.w_const * s;
+    w_terms = List.map (fun (t, v) -> (t, v * s)) a.w_terms;
+  }
+
+let is_const w = w.w_coeffs = [] && w.w_terms = []
+let has_index w = List.exists (fun (_, v) -> v <> 0) w.w_coeffs
+
+(* an expression mentions none of the indices *)
+let index_free ~indices e =
+  not (E.fold_vars (fun v acc -> acc || List.mem v indices) e false)
+
+(* loads and calls may vary between iterations even if index-free, so
+   they disqualify the whole subscript *)
+let rec pure = function
+  | E.Int_lit _ | E.Float_lit _ | E.Var _ -> true
+  | E.Load _ -> false
+  | E.Call _ -> false
+  | E.Binop (_, a, b) -> pure a && pure b
+  | E.Unop (_, a) | E.Cast (_, a) -> pure a
+
+exception Not_affine
+
+let rec analyze_work ~indices (e : E.t) : work =
+  match e with
+  | E.Int_lit (n, _) -> { w_zero with w_const = n }
+  | E.Float_lit _ -> raise Not_affine
+  | E.Var { E.vname; _ } ->
+      if List.mem vname indices then { w_zero with w_coeffs = [ (vname, 1) ] }
+      else { w_zero with w_terms = [ (e, 1) ] }
+  | E.Binop (E.Add, a, b) ->
+      w_add (analyze_work ~indices a) (analyze_work ~indices b)
+  | E.Binop (E.Sub, a, b) ->
+      w_add (analyze_work ~indices a) (w_scale (-1) (analyze_work ~indices b))
+  | E.Binop (E.Mul, a, b) -> (
+      let wa = analyze_work ~indices a and wb = analyze_work ~indices b in
+      match (is_const wa, is_const wb) with
+      | true, _ -> w_scale wa.w_const wb
+      | _, true -> w_scale wb.w_const wa
+      | false, false ->
+          if (not (has_index wa)) && not (has_index wb) && pure e then
+            { w_zero with w_terms = [ (e, 1) ] }
+          else raise Not_affine)
+  | E.Binop ((E.Div | E.Mod | E.Min | E.Max), _, _) ->
+      if index_free ~indices e && pure e then { w_zero with w_terms = [ (e, 1) ] }
+      else raise Not_affine
+  | E.Binop ((E.Eq | E.Ne | E.Lt | E.Le | E.Gt | E.Ge | E.And | E.Or), _, _) ->
+      raise Not_affine
+  | E.Unop (E.Neg, a) -> w_scale (-1) (analyze_work ~indices a)
+  | E.Unop (E.Not, _) -> raise Not_affine
+  | E.Cast (ty, a) when Safara_ir.Types.is_integer ty -> analyze_work ~indices a
+  | E.Cast _ -> raise Not_affine
+  | E.Load _ | E.Call _ -> raise Not_affine
+
+let canonical_rest terms =
+  let terms = List.filter (fun (_, v) -> v <> 0) terms in
+  let terms =
+    List.sort (fun (a, _) (b, _) -> compare (E.to_string a) (E.to_string b)) terms
+  in
+  match terms with
+  | [] -> None
+  | _ ->
+      let term (e, v) =
+        if v = 1 then e
+        else if v = -1 then E.Unop (E.Neg, e)
+        else E.Binop (E.Mul, E.int v, e)
+      in
+      let rec build = function
+        | [] -> assert false
+        | [ t ] -> term t
+        | t :: rest -> E.Binop (E.Add, term t, build rest)
+      in
+      Some (build terms)
+
+let analyze ~indices e =
+  match analyze_work ~indices e with
+  | exception Not_affine -> None
+  | w ->
+      let coeffs =
+        List.filter (fun (_, v) -> v <> 0) w.w_coeffs
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      Some { coeffs; const = w.w_const; rest = canonical_rest w.w_terms }
+
+let coeff t name = Option.value (List.assoc_opt name t.coeffs) ~default:0
+let depends_on t name = coeff t name <> 0
+
+let comparable a b =
+  a.coeffs = b.coeffs
+  &&
+  match (a.rest, b.rest) with
+  | None, None -> true
+  | Some x, Some y -> E.equal x y
+  | None, Some _ | Some _, None -> false
+
+let distance a b = if comparable a b then Some (b.const - a.const) else None
+
+let equal a b = comparable a b && a.const = b.const
+
+let pp ppf t =
+  let parts =
+    List.map (fun (k, v) -> Printf.sprintf "%d*%s" v k) t.coeffs
+    @ (match t.rest with None -> [] | Some e -> [ E.to_string e ])
+    @ (if t.const <> 0 || (t.coeffs = [] && t.rest = None) then
+         [ string_of_int t.const ]
+       else [])
+  in
+  Format.pp_print_string ppf (String.concat " + " parts)

@@ -1,0 +1,37 @@
+(** Affine-form analysis of subscript expressions.
+
+    A subscript is decomposed, relative to a set of loop-index
+    variables, into [Σ coeff·index + const + rest] where [rest] is an
+    additive loop-invariant expression (symbolic parameters, scalar
+    locals). Two subscripts are "comparable" when their index
+    coefficients and [rest] coincide; their constant difference is then
+    a dependence/reuse distance. This is the subscript form required
+    by the ZIV/SIV dependence tests and by the Jang-style coalescing
+    model (paper §III.B.1). *)
+
+type t = {
+  coeffs : (string * int) list;
+      (** loop-index name → integer coefficient; absent = 0; sorted by
+          name, entries with zero coefficient removed *)
+  const : int;
+  rest : Safara_ir.Expr.t option;
+      (** additive non-index part, normalized; [None] = 0 *)
+}
+
+val analyze : indices:string list -> Safara_ir.Expr.t -> t option
+(** [None] when the expression is not affine in the given indices
+    (e.g. [i*j], [a\[i\]] as a subscript, division by an index). *)
+
+val coeff : t -> string -> int
+(** Coefficient of an index (0 when absent). *)
+
+val depends_on : t -> string -> bool
+
+val comparable : t -> t -> bool
+(** Same coefficients and same [rest]. *)
+
+val distance : t -> t -> int option
+(** [distance a b = Some (b.const - a.const)] when comparable. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

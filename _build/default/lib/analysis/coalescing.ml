@@ -1,0 +1,81 @@
+module E = Safara_ir.Expr
+module M = Safara_gpu.Memspace
+
+let cdiv a b = (a + b - 1) / b
+
+let classify ~mapping ~warp_size ~segment_bytes ~elem_bytes subs =
+  match Mapping.x_index mapping with
+  | None ->
+      (* fully sequential kernel body: a single thread, every access is
+         a single transaction *)
+      M.Invariant
+  | Some x ->
+      let vx = Option.value (Mapping.vector_of mapping x) ~default:warp_size in
+      (* lanes of one warp cover [lanes_x = min vx warp] consecutive x
+         iterations; remaining lane variation spills into the y loop *)
+      let lanes_x = max 1 (min vx warp_size) in
+      let forms = List.map (Affine.analyze ~indices:[ x ]) subs in
+      let rec last_and_init = function
+        | [] -> (None, [])
+        | [ l ] -> (Some l, [])
+        | h :: t ->
+            let l, init = last_and_init t in
+            (l, h :: init)
+      in
+      let last, outer = last_and_init forms in
+      let outer_depends =
+        List.exists
+          (function Some f -> Affine.depends_on f x | None -> true)
+          outer
+      in
+      if outer_depends then
+        (* each lane lands on a different row: fully scattered *)
+        M.Uncoalesced warp_size
+      else
+        let stride =
+          match last with
+          | Some (Some f) -> Some (Affine.coeff f x)
+          | Some None -> None
+          | None -> Some 0
+        in
+        let row_groups = max 1 (warp_size / lanes_x) in
+        (match stride with
+        | None -> M.Uncoalesced warp_size
+        | Some 0 ->
+            if row_groups = 1 then M.Invariant
+            else if
+              (* x-invariant but the warp spans several y rows: one
+                 transaction per row group *)
+              row_groups >= warp_size
+            then M.Invariant
+            else M.Uncoalesced row_groups
+        | Some stride ->
+            let stride = abs stride in
+            let bytes_per_group = lanes_x * stride * elem_bytes in
+            let txn_per_group =
+              if stride = 1 then cdiv (lanes_x * elem_bytes) segment_bytes
+              else min lanes_x (cdiv bytes_per_group segment_bytes)
+            in
+            let total = row_groups * max 1 txn_per_group in
+            if stride = 1 && row_groups = 1 then M.Coalesced
+            else if total <= 1 then M.Coalesced
+            else M.Uncoalesced (min warp_size total))
+
+let classify_in_region ~arch ~elem (r : Safara_ir.Region.t) =
+  let mapping = Mapping.of_region r in
+  let refs = Dependence.collect_refs r.Safara_ir.Region.body in
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun (a : Dependence.aref) ->
+      let key = (a.Dependence.array, a.Dependence.subs) in
+      if Hashtbl.mem seen key then None
+      else (
+        Hashtbl.add seen key ();
+        let elem_bytes = Safara_ir.Types.size_bytes (elem a.Dependence.array) in
+        let access =
+          classify ~mapping ~warp_size:arch.Safara_gpu.Arch.warp_size
+            ~segment_bytes:arch.Safara_gpu.Arch.mem_segment_bytes ~elem_bytes
+            a.Dependence.subs
+        in
+        Some (key, access)))
+    refs

@@ -1,0 +1,30 @@
+(** Warp-level memory-access pattern classification, after the
+    mathematical model of Jang et al. (IEEE TPDS 2011) cited by the
+    paper (§III.B.1).
+
+    Given the thread mapping of a region, each array reference is
+    classified by how the 32 lanes of one warp spread over memory:
+    - the innermost (x) loop index appears with coefficient 1 in the
+      fastest-varying subscript and nowhere else → {e coalesced};
+    - it appears with a larger stride, or lanes span multiple rows →
+      {e uncoalesced}, with an estimated transaction count;
+    - no subscript depends on it → {e invariant} (broadcast). *)
+
+val classify :
+  mapping:Mapping.t ->
+  warp_size:int ->
+  segment_bytes:int ->
+  elem_bytes:int ->
+  Safara_ir.Expr.t list ->
+  Safara_gpu.Memspace.access
+(** [classify ~mapping ~warp_size ~segment_bytes ~elem_bytes subs]
+    classifies a reference with subscripts [subs] (outermost dimension
+    first, row-major). *)
+
+val classify_in_region :
+  arch:Safara_gpu.Arch.t ->
+  elem:(string -> Safara_ir.Types.dtype) ->
+  Safara_ir.Region.t ->
+  ((string * Safara_ir.Expr.t list) * Safara_gpu.Memspace.access) list
+(** Classification of every distinct (array, subscript) reference of a
+    schedule-resolved region. *)

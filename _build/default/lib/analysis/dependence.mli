@@ -1,0 +1,63 @@
+(** Dependence-distance analysis over loop nests (Allen–Kennedy
+    style), the engine behind both the legality rules and the reuse
+    detection of scalar replacement (paper §III.A).
+
+    References are collected with their enclosing loop context; pairs
+    of references to the same array are subjected to per-dimension
+    subscript tests (ZIV / strong SIV, with agreement checks when an
+    index appears in several dimensions). The result is a distance
+    vector over the common loop nest, with [Star] standing for an
+    unknown/any distance (conservative). *)
+
+type ref_kind = Read | Write
+
+(** An array reference in context. *)
+type aref = {
+  array : string;
+  subs : Safara_ir.Expr.t list;
+  kind : ref_kind;
+  id : int;  (** program-order position within the region *)
+  nest : (string * Safara_ir.Stmt.sched) list;
+      (** enclosing loops, outermost first: index name and schedule *)
+  guard : int list;
+      (** identifies the chain of enclosing [If] branches; two refs
+          with different guards may not execute together *)
+}
+
+type distance = D of int | Star
+
+type dep_kind = Flow | Anti | Output | Input
+
+type dep = {
+  d_src : aref;
+  d_dst : aref;
+  d_kind : dep_kind;
+  d_dist : distance list;
+      (** one entry per common enclosing loop, outermost first *)
+}
+
+val collect_refs : Safara_ir.Stmt.t list -> aref list
+(** All array references in a region body, in program order.
+    Subscript loads are visited before the enclosing reference. *)
+
+val test_pair : aref -> aref -> distance list option
+(** Dependence test between two references to the same array given
+    [a.id < b.id]. [None] = provably independent. [Some dists] =
+    (possible) dependence with the given distance vector over the
+    common nest. *)
+
+val region_deps : ?include_input:bool -> Safara_ir.Stmt.t list -> dep list
+(** All pairwise dependences in a region body. Input (read-read)
+    dependences are included only when [include_input] (default
+    [false]); they drive reuse, not legality. *)
+
+val carried_at : dep -> int -> bool
+(** [carried_at d level] is true when the dependence is carried by the
+    loop at [level] of the common nest: all outer distances are zero
+    and the distance at [level] is non-zero or unknown. *)
+
+val carried_anywhere : dep -> bool
+
+val pp_dep : Format.formatter -> dep -> unit
+val pp_distance : Format.formatter -> distance -> unit
+val ref_to_string : aref -> string

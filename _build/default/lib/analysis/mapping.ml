@@ -1,0 +1,87 @@
+module S = Safara_ir.Stmt
+module R = Safara_ir.Region
+
+type axis = X | Y | Z
+
+type mapped_loop = {
+  m_index : string;
+  m_axis : axis;
+  m_vector : int;
+  m_gang : int option;
+}
+
+type t = { loops : mapped_loop list; block : int * int * int }
+
+let default_vector_x = 128
+
+(* default widths for outer parallel dims when unstated: keep blocks
+   flat so the x dimension dominates intra-warp variation *)
+let default_vector_outer = 1
+
+let of_region (r : R.t) =
+  (* collect parallel loops outermost-first along the (single) nest *)
+  let rec collect acc stmts =
+    match stmts with
+    | [] -> acc
+    | s :: rest -> (
+        match s with
+        | S.For l ->
+            let acc' =
+              if S.is_parallel_sched l.S.sched then
+                (l.S.index.Safara_ir.Expr.vname, l.S.sched) :: acc
+              else acc
+            in
+            collect (collect acc' l.S.body) rest
+        | S.If (_, t, e) -> collect (collect (collect acc t) e) rest
+        | S.Assign _ | S.Local _ -> collect acc rest)
+  in
+  let parallel = List.rev (collect [] r.body) in
+  (* innermost last in [parallel]; reverse so innermost is first *)
+  let innermost_first = List.rev parallel in
+  if List.length innermost_first > 3 then
+    invalid_arg
+      (Printf.sprintf "region %s: more than three nested parallel loops"
+         r.rname);
+  let axis_of_pos = function 0 -> X | 1 -> Y | _ -> Z in
+  let loops =
+    List.mapi
+      (fun pos (idx, sched) ->
+        let gang, vector =
+          match sched with
+          | S.Gang g -> (g, Some default_vector_outer)
+          | S.Vector v -> (None, v)
+          | S.Gang_vector (g, v) -> (g, v)
+          | S.Seq | S.Auto -> (None, None)
+        in
+        let vector =
+          match vector with
+          | Some v -> v
+          | None -> if pos = 0 then default_vector_x else default_vector_outer
+        in
+        { m_index = idx; m_axis = axis_of_pos pos; m_vector = vector; m_gang = gang })
+      innermost_first
+  in
+  let dim axis =
+    match List.find_opt (fun m -> m.m_axis = axis) loops with
+    | Some m -> m.m_vector
+    | None -> 1
+  in
+  { loops; block = (dim X, dim Y, dim Z) }
+
+let x_index t =
+  List.find_opt (fun m -> m.m_axis = X) t.loops |> Option.map (fun m -> m.m_index)
+
+let vector_of t idx =
+  List.find_opt (fun m -> String.equal m.m_index idx) t.loops
+  |> Option.map (fun m -> m.m_vector)
+
+let axis_to_string = function X -> "x" | Y -> "y" | Z -> "z"
+
+let pp ppf t =
+  let x, y, z = t.block in
+  Format.fprintf ppf "block(%d,%d,%d):" x y z;
+  List.iter
+    (fun m ->
+      Format.fprintf ppf " %s->%s(v=%d)" m.m_index (axis_to_string m.m_axis)
+        m.m_vector)
+    t.loops

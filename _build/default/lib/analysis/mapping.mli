@@ -1,0 +1,39 @@
+(** Thread-topology mapping of an offload region's loop nest.
+
+    Follows the OpenUH convention visible in the paper's Fig 8: the
+    {e innermost} parallel loop is distributed across the x dimension
+    of the grid (so consecutive [threadIdx.x] values take consecutive
+    iterations), the next enclosing parallel loop across y, then z.
+    Unscheduled ([Auto]) loops must have been resolved by
+    {!Schedule.resolve} before mapping. *)
+
+type axis = X | Y | Z
+
+type mapped_loop = {
+  m_index : string;  (** loop index name *)
+  m_axis : axis;
+  m_vector : int;  (** block-dimension extent along this axis *)
+  m_gang : int option;  (** grid-dimension extent if stated in the clause *)
+}
+
+type t = {
+  loops : mapped_loop list;  (** innermost (X) first *)
+  block : int * int * int;  (** block dimensions (x, y, z) *)
+}
+
+val default_vector_x : int
+(** Default vector length for the innermost parallel loop when the
+    directive gives none (128, the OpenUH default). *)
+
+val of_region : Safara_ir.Region.t -> t
+(** @raise Invalid_argument if more than three parallel loops are
+    nested (the hardware has three grid dimensions). *)
+
+val x_index : t -> string option
+(** Index name of the loop mapped to the x axis: the one whose
+    variation is the within-warp lane variation, which drives
+    coalescing. *)
+
+val vector_of : t -> string -> int option
+val axis_to_string : axis -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,135 @@
+module S = Safara_ir.Stmt
+module E = Safara_ir.Expr
+
+type verdict = Parallel | Serial of string
+
+(* scalar recurrence: a scalar that is read before being (re)defined in
+   the body and is also written in the body — unless it is a declared
+   reduction or a local declared inside the body (private) *)
+let scalar_recurrences (l : S.loop) =
+  let reductions = List.map (fun (_, v) -> v.E.vname) l.S.reductions in
+  let written = ref [] and read_before_write = ref [] and defined = ref [] in
+  let note_read v =
+    if
+      (not (List.mem v !defined))
+      && (not (List.mem v reductions))
+      && not (String.equal v l.S.index.E.vname)
+      && not (List.mem v !read_before_write)
+    then read_before_write := v :: !read_before_write
+  in
+  let expr_reads e = E.fold_vars (fun v () -> note_read v) e () in
+  let rec stmt s =
+    match s with
+    | S.Assign (S.Lvar v, e) ->
+        expr_reads e;
+        defined := v.E.vname :: !defined;
+        written := v.E.vname :: !written
+    | S.Assign (S.Larray (_, subs), e) ->
+        List.iter expr_reads subs;
+        expr_reads e
+    | S.Local (v, init) ->
+        Option.iter expr_reads init;
+        defined := v.E.vname :: !defined
+    | S.For inner ->
+        expr_reads inner.S.lo;
+        expr_reads inner.S.hi;
+        (* conservatively: anything read in an inner loop body before
+           its own definition counts *)
+        List.iter stmt inner.S.body
+    | S.If (c, t, e) ->
+        expr_reads c;
+        (* writes under a branch do not count as definitions for the
+           fall-through path *)
+        let saved = !defined in
+        List.iter stmt t;
+        defined := saved;
+        List.iter stmt e;
+        defined := saved
+  in
+  List.iter stmt l.S.body;
+  List.filter (fun v -> List.mem v !written) !read_before_write
+
+let analyze_body body =
+  let deps = Dependence.region_deps body in
+  let results = ref [] in
+  let rec walk stmts =
+    List.iter
+      (fun s ->
+        match s with
+        | S.For l ->
+            let idx = l.S.index.E.vname in
+            let carried =
+              List.filter
+                (fun (d : Dependence.dep) ->
+                  (* position of idx in the dep's common nest *)
+                  let common =
+                    let rec go xs ys =
+                      match (xs, ys) with
+                      | (x, _) :: xs', (y, _) :: ys' when String.equal x y ->
+                          x :: go xs' ys'
+                      | _ -> []
+                    in
+                    go d.Dependence.d_src.Dependence.nest
+                      d.Dependence.d_dst.Dependence.nest
+                  in
+                  match
+                    List.find_index (fun x -> String.equal x idx) common
+                  with
+                  | Some level -> Dependence.carried_at d level
+                  | None -> false)
+                deps
+            in
+            let verdict =
+              match carried with
+              | d :: _ ->
+                  Serial
+                    (Format.asprintf "loop-carried dependence: %a"
+                       Dependence.pp_dep d)
+              | [] -> (
+                  match scalar_recurrences l with
+                  | [] -> Parallel
+                  | v :: _ -> Serial (Printf.sprintf "scalar recurrence on %s" v))
+            in
+            results := (idx, verdict) :: !results;
+            walk l.S.body
+        | S.If (_, t, e) ->
+            walk t;
+            walk e
+        | S.Assign _ | S.Local _ -> ())
+      stmts
+  in
+  walk body;
+  List.rev !results
+
+let loop_parallelizable body idx =
+  match List.assoc_opt idx (analyze_body body) with
+  | Some Parallel -> true
+  | Some (Serial _) | None -> false
+
+let effective_parallel body =
+  let verdicts = analyze_body body in
+  let results = ref [] in
+  let rec walk stmts =
+    List.iter
+      (fun s ->
+        match s with
+        | S.For l ->
+            let idx = l.S.index.E.vname in
+            (if S.is_parallel_sched l.S.sched then results := idx :: !results
+             else if l.S.sched = S.Auto then
+               match List.assoc_opt idx verdicts with
+               | Some Parallel -> results := idx :: !results
+               | Some (Serial _) | None -> ());
+            walk l.S.body
+        | S.If (_, t, e) ->
+            walk t;
+            walk e
+        | S.Assign _ | S.Local _ -> ())
+      stmts
+  in
+  walk body;
+  List.rev !results
+
+let pp_verdict ppf = function
+  | Parallel -> Format.pp_print_string ppf "parallel"
+  | Serial reason -> Format.fprintf ppf "serial (%s)" reason

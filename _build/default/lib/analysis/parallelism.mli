@@ -1,0 +1,30 @@
+(** Loop parallelizability analysis.
+
+    A loop may be distributed across GPU threads when it carries no
+    array dependence (flow/anti/output with non-zero or unknown
+    distance at its level) and no scalar recurrence other than its
+    declared reductions. Explicitly scheduled loops ([gang]/[vector])
+    are taken as asserted-parallel by the programmer, as OpenACC
+    specifies; [seq] loops are serial by definition; the analysis
+    decides for [Auto] loops — and it is also used to detect when
+    classical inter-iteration scalar replacement would sequentialize
+    a parallelizable loop (paper Fig 3/4). *)
+
+type verdict = Parallel | Serial of string  (** reason it must stay serial *)
+
+val analyze_body : Safara_ir.Stmt.t list -> (string * verdict) list
+(** Verdict for every loop in a region body, keyed by index name
+    (unique within a validated region), based purely on dependence
+    and scalar-recurrence analysis — directives are ignored, so this
+    answers "could this loop be parallelized?". *)
+
+val loop_parallelizable : Safara_ir.Stmt.t list -> string -> bool
+(** [loop_parallelizable body index] — convenience lookup; false for
+    unknown indices. *)
+
+val effective_parallel : Safara_ir.Stmt.t list -> string list
+(** Index names of loops that will actually run distributed: loops
+    with an explicit parallel schedule, plus [Auto] loops the analysis
+    proves parallel (the [kernels]-construct compiler freedom). *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

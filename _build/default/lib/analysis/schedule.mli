@@ -1,0 +1,15 @@
+(** Resolution of [Auto] loop schedules.
+
+    Models the OpenACC construct semantics: under [kernels] the
+    compiler decides — the outermost chain of [Auto] loops that the
+    dependence analysis proves parallelizable is promoted to
+    [Gang_vector]; under [parallel] an undirected loop is
+    user-asserted independent and promoted without proof. Every other
+    [Auto] loop becomes [Seq]. Explicit schedules are left untouched.
+    After resolution every loop is either parallel or [Seq], which is
+    the precondition of {!Mapping.of_region} and of code
+    generation. *)
+
+val resolve : Safara_ir.Region.t -> Safara_ir.Region.t
+
+val resolve_program : Safara_ir.Program.t -> Safara_ir.Program.t

@@ -1,0 +1,17 @@
+module M = Safara_gpu.Memspace
+
+let space_of_array ~arch (r : Safara_ir.Region.t) (a : Safara_ir.Array_info.t) =
+  let read_only_here =
+    List.mem a.Safara_ir.Array_info.name (Safara_ir.Region.read_only_arrays r)
+  in
+  if
+    arch.Safara_gpu.Arch.has_read_only_cache && read_only_here
+    && a.Safara_ir.Array_info.intent <> Safara_ir.Array_info.Copy_out
+  then M.Read_only
+  else M.Global
+
+let region_spaces ~arch (p : Safara_ir.Program.t) (r : Safara_ir.Region.t) =
+  List.map
+    (fun name ->
+      (name, space_of_array ~arch r (Safara_ir.Program.find_array p name)))
+    (Safara_ir.Region.referenced_arrays r)

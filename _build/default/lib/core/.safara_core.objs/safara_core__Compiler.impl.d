@@ -1,0 +1,1 @@
+lib/core/compiler.ml: List Safara_analysis Safara_gpu Safara_ir Safara_lang Safara_ptxas Safara_sim Safara_transform Safara_vir String

@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Safara_gpu Safara_ir Safara_ptxas Safara_sim Safara_transform Safara_vir

@@ -1,0 +1,134 @@
+module R = Safara_ir.Region
+module P = Safara_ir.Program
+
+type profile = Base | Safara_only | Small_only | Clauses_only | Full | Pgi_like
+
+type compiled = {
+  c_profile : profile;
+  c_arch : Safara_gpu.Arch.t;
+  c_latency : Safara_gpu.Latency.table;
+  c_prog : P.t;
+  c_kernels : (Safara_vir.Kernel.t * Safara_ptxas.Assemble.report) list;
+  c_logs : (string * Safara_transform.Safara.round list) list;
+}
+
+let profile_name = function
+  | Base -> "OpenUH(base)"
+  | Safara_only -> "OpenUH(SAFARA)"
+  | Small_only -> "OpenUH(small)"
+  | Clauses_only -> "OpenUH(small+dim)"
+  | Full -> "OpenUH(SAFARA+clauses)"
+  | Pgi_like -> "PGI-like"
+
+let all_profiles = [ Base; Safara_only; Small_only; Clauses_only; Full; Pgi_like ]
+
+let strip_for profile (r : R.t) =
+  match profile with
+  | Base | Safara_only | Pgi_like -> { r with R.dim_groups = []; small = [] }
+  | Small_only -> { r with R.dim_groups = [] }
+  | Clauses_only | Full -> r
+
+let uses_safara = function
+  | Safara_only | Full | Pgi_like -> true
+  | Base | Small_only | Clauses_only -> false
+
+let compile ?(arch = Safara_gpu.Arch.kepler_k20xm)
+    ?(latency = Safara_gpu.Latency.kepler) ?safara_config profile prog =
+  (* the PGI-like vendor does not route loads through the read-only
+     data cache *)
+  let arch =
+    if profile = Pgi_like then { arch with Safara_gpu.Arch.has_read_only_cache = false }
+    else arch
+  in
+  let prog =
+    { prog with P.regions = List.map (strip_for profile) prog.P.regions }
+  in
+  let prog = Safara_analysis.Schedule.resolve_program prog in
+  let config =
+    match safara_config with
+    | Some c -> c
+    | None ->
+        if profile = Pgi_like then
+          {
+            (Safara_transform.Safara.default_config ~arch) with
+            Safara_transform.Safara.use_feedback = false;
+            cost_model = `Count_only;
+            assumed_free_regs = 4096;
+            policy =
+              {
+                Safara_analysis.Reuse.default_policy with
+                Safara_analysis.Reuse.skip_coalesced_read_only = false;
+              };
+          }
+        else Safara_transform.Safara.default_config ~arch
+  in
+  let prog, logs =
+    if uses_safara profile then
+      Safara_transform.Safara.optimize_program ~config ~arch ~latency prog
+    else (prog, [])
+  in
+  let kernels =
+    List.map
+      (fun r ->
+        let k = Safara_vir.Codegen.compile_region ~arch prog r in
+        Safara_ptxas.Assemble.assemble ~arch k)
+      prog.P.regions
+  in
+  {
+    c_profile = profile;
+    c_arch = arch;
+    c_latency = latency;
+    c_prog = prog;
+    c_kernels = kernels;
+    c_logs = logs;
+  }
+
+let compile_for_env ?arch ?latency profile ~scalars prog =
+  let env =
+    List.filter_map
+      (fun (n, v) ->
+        match v with Safara_sim.Value.I x -> Some (n, x) | _ -> None)
+      scalars
+  in
+  let violations = ref [] in
+  let regions =
+    List.map
+      (fun r ->
+        let r', v = Safara_transform.Clause_check.choose_version ~env prog r in
+        violations := !violations @ v;
+        r')
+      prog.P.regions
+  in
+  (compile ?arch ?latency profile { prog with P.regions }, !violations)
+
+let compile_src ?arch ?latency ?safara_config profile src =
+  compile ?arch ?latency ?safara_config profile
+    (Safara_lang.Frontend.compile src)
+
+let report_of c name =
+  match
+    List.find_opt
+      (fun (k, _) -> String.equal k.Safara_vir.Kernel.kname name)
+      c.c_kernels
+  with
+  | Some (_, report) -> report
+  | None -> invalid_arg ("no kernel named " ^ name)
+
+let make_env c ~scalars =
+  let int_env =
+    List.filter_map
+      (fun (name, v) ->
+        match v with Safara_sim.Value.I n -> Some (name, n) | _ -> None)
+      scalars
+  in
+  let mem = Safara_sim.Memory.create () in
+  Safara_sim.Memory.alloc_program mem ~env:int_env c.c_prog;
+  { Safara_sim.Interp.scalars; mem }
+
+let run_functional c env =
+  Safara_sim.Launch.run_functional ~prog:c.c_prog ~env
+    (List.map fst c.c_kernels)
+
+let time c env =
+  Safara_sim.Launch.time_program ~arch:c.c_arch ~latency:c.c_latency
+    ~prog:c.c_prog ~env c.c_kernels

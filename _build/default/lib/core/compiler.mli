@@ -1,0 +1,77 @@
+(** The top-level compiler: profiles, pipeline, execution.
+
+    Profiles model the configurations compared in the paper's
+    evaluation (§V):
+    - [Base] — OpenUH with the paper's optimizations disabled: clauses
+      ignored, no scalar replacement (Figs 11–12 "OpenUH(base)").
+    - [Safara_only] — Base + the SAFARA feedback-driven scalar
+      replacement (Fig 7, "OpenUH(SAFARA)").
+    - [Small_only] — honor only the [small] clause (first bar of
+      Fig 9/10's cumulative configurations).
+    - [Clauses_only] — honor [small] + [dim], still no SR.
+    - [Full] — clauses + SAFARA ("OpenUH(SAFARA+clauses)").
+    - [Pgi_like] — the stand-in for the PGI 15.9 comparison compiler:
+      ignores the proposed clauses (a different vendor), never uses
+      the read-only data cache, and performs exhaustive
+      non-feedback scalar replacement with a count-only cost model —
+      plausibly different codegen policies, not a claim about PGI
+      internals (see DESIGN.md). *)
+
+type profile = Base | Safara_only | Small_only | Clauses_only | Full | Pgi_like
+
+type compiled = {
+  c_profile : profile;
+  c_arch : Safara_gpu.Arch.t;
+  c_latency : Safara_gpu.Latency.table;
+  c_prog : Safara_ir.Program.t;  (** post-transformation IR *)
+  c_kernels : (Safara_vir.Kernel.t * Safara_ptxas.Assemble.report) list;
+  c_logs : (string * Safara_transform.Safara.round list) list;
+      (** SAFARA feedback rounds per region *)
+}
+
+val profile_name : profile -> string
+val all_profiles : profile list
+
+val compile :
+  ?arch:Safara_gpu.Arch.t ->
+  ?latency:Safara_gpu.Latency.table ->
+  ?safara_config:Safara_transform.Safara.config ->
+  profile ->
+  Safara_ir.Program.t ->
+  compiled
+
+val compile_for_env :
+  ?arch:Safara_gpu.Arch.t ->
+  ?latency:Safara_gpu.Latency.table ->
+  profile ->
+  scalars:(string * Safara_sim.Value.t) list ->
+  Safara_ir.Program.t ->
+  compiled * Safara_transform.Clause_check.violation list
+(** The paper's §IV.B dual-version dispatch: before compiling, verify
+    each region's [dim]/[small] clauses against the actual parameter
+    values; regions whose clauses lie are compiled with the clauses
+    stripped (the "unoptimized kernel version"), and the violations
+    are reported. With truthful clauses this is [compile]. *)
+
+val compile_src :
+  ?arch:Safara_gpu.Arch.t ->
+  ?latency:Safara_gpu.Latency.table ->
+  ?safara_config:Safara_transform.Safara.config ->
+  profile ->
+  string ->
+  compiled
+(** Front end + [compile] on MiniACC source text. *)
+
+val report_of : compiled -> string -> Safara_ptxas.Assemble.report
+(** Per-kernel ptxas report by kernel name. *)
+
+val make_env :
+  compiled -> scalars:(string * Safara_sim.Value.t) list -> Safara_sim.Interp.env
+(** Allocate device memory for the program's arrays (sized from the
+    integer scalars) and package the environment. *)
+
+val run_functional : compiled -> Safara_sim.Interp.env -> unit
+(** Execute all kernels in order against the environment's memory. *)
+
+val time : compiled -> Safara_sim.Interp.env -> Safara_sim.Launch.program_time
+(** Timed execution (uses scratch copies of memory per kernel). *)

@@ -1,0 +1,1 @@
+lib/gpu/latency.mli: Format Memspace

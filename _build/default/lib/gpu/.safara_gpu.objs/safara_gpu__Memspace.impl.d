@@ -1,0 +1,1 @@
+lib/gpu/memspace.ml: Format Printf

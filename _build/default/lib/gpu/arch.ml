@@ -1,0 +1,81 @@
+type t = {
+  name : string;
+  num_sms : int;
+  warp_size : int;
+  max_threads_per_sm : int;
+  max_threads_per_block : int;
+  max_blocks_per_sm : int;
+  max_warps_per_sm : int;
+  registers_per_sm : int;
+  max_registers_per_thread : int;
+  register_alloc_unit : int;
+  shared_mem_per_sm : int;
+  shared_alloc_unit : int;
+  has_read_only_cache : bool;
+  read_only_cache_bytes : int;
+  l2_bytes : int;
+  clock_mhz : int;
+  issue_width : int;
+  mem_segment_bytes : int;
+  mem_cycles_per_transaction : float;
+}
+
+let kepler_k20xm =
+  {
+    name = "Tesla K20Xm (Kepler GK110)";
+    num_sms = 14;
+    warp_size = 32;
+    max_threads_per_sm = 2048;
+    max_threads_per_block = 1024;
+    max_blocks_per_sm = 16;
+    max_warps_per_sm = 64;
+    registers_per_sm = 65536;
+    max_registers_per_thread = 255;
+    register_alloc_unit = 256;
+    shared_mem_per_sm = 49152;
+    shared_alloc_unit = 256;
+    has_read_only_cache = true;
+    read_only_cache_bytes = 49152;
+    l2_bytes = 1572864;
+    clock_mhz = 732;
+    issue_width = 4;
+    mem_segment_bytes = 128;
+    mem_cycles_per_transaction = 2.0;
+  }
+
+let fermi_like =
+  {
+    name = "Fermi-class (GF110)";
+    num_sms = 16;
+    warp_size = 32;
+    max_threads_per_sm = 1536;
+    max_threads_per_block = 1024;
+    max_blocks_per_sm = 8;
+    max_warps_per_sm = 48;
+    registers_per_sm = 32768;
+    max_registers_per_thread = 63;
+    register_alloc_unit = 64;
+    shared_mem_per_sm = 49152;
+    shared_alloc_unit = 128;
+    has_read_only_cache = false;
+    read_only_cache_bytes = 0;
+    l2_bytes = 786432;
+    clock_mhz = 1150;
+    issue_width = 2;
+    mem_segment_bytes = 128;
+    mem_cycles_per_transaction = 4.0;
+  }
+
+let round_up_to ~unit n = if unit <= 0 then n else (n + unit - 1) / unit * unit
+
+let registers_per_warp t ~regs_per_thread =
+  round_up_to ~unit:t.register_alloc_unit (regs_per_thread * t.warp_size)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%s:@ %d SMs, %d regs/SM, %d max regs/thread,@ %d threads/SM, %d \
+     blocks/SM, %d KB shared/SM, read-only cache: %b@]"
+    t.name t.num_sms t.registers_per_sm t.max_registers_per_thread
+    t.max_threads_per_sm t.max_blocks_per_sm
+    (t.shared_mem_per_sm / 1024)
+    t.has_read_only_cache

@@ -1,0 +1,50 @@
+(** GPU architecture description.
+
+    All quantities are per-SM (streaming multiprocessor) unless noted.
+    The default configuration, {!kepler_k20xm}, models the NVIDIA Tesla
+    K20Xm used in the paper's evaluation (GK110, compute capability
+    3.5). A second configuration, {!fermi_like}, is provided to test
+    that analyses and the occupancy model are properly parameterized
+    over the architecture (Fermi has no read-only data cache, which
+    changes SAFARA's memory-space classification). *)
+
+type t = {
+  name : string;
+  num_sms : int;  (** number of streaming multiprocessors *)
+  warp_size : int;  (** threads per warp (32 on all NVIDIA parts) *)
+  max_threads_per_sm : int;
+  max_threads_per_block : int;
+  max_blocks_per_sm : int;  (** resident thread-block limit *)
+  max_warps_per_sm : int;  (** resident warp limit *)
+  registers_per_sm : int;  (** size of the 32-bit register file *)
+  max_registers_per_thread : int;  (** hardware per-thread cap *)
+  register_alloc_unit : int;
+      (** register allocation granularity, in registers per warp *)
+  shared_mem_per_sm : int;  (** bytes *)
+  shared_alloc_unit : int;  (** shared-memory allocation granularity *)
+  has_read_only_cache : bool;
+      (** Kepler SMX read-only data cache (LDG path); absent on Fermi *)
+  read_only_cache_bytes : int;
+  l2_bytes : int;
+  clock_mhz : int;
+  issue_width : int;  (** warp instructions issued per cycle per SM *)
+  mem_segment_bytes : int;  (** memory transaction segment size *)
+  mem_cycles_per_transaction : float;
+      (** SM-level global-memory throughput limit: minimum cycles
+          between consecutive memory transactions *)
+}
+
+val kepler_k20xm : t
+(** The paper's evaluation GPU: Tesla K20Xm, 14 SMX, 65536 registers
+    per SMX, at most 255 registers per thread, 48 KB read-only data
+    cache per SMX. *)
+
+val fermi_like : t
+(** A Fermi-generation configuration: 32768 registers per SM, 63
+    registers per thread, no read-only data cache. *)
+
+val registers_per_warp : t -> regs_per_thread:int -> int
+(** Registers reserved for one warp after applying the allocation
+    granularity ([register_alloc_unit]). *)
+
+val pp : Format.formatter -> t -> unit

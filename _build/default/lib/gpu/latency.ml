@@ -1,0 +1,77 @@
+type table = {
+  global_latency : int;
+  l2_hit_latency : int;
+  read_only_latency : int;
+  shared_latency : int;
+  constant_latency : int;
+  constant_serialized_latency : int;
+  local_latency : int;
+  param_latency : int;
+  extra_cycles_per_transaction : int;
+  alu_latency : int;
+  f64_latency : int;
+  mul_div_latency : int;
+  fdiv_latency : int;
+  special_latency : int;
+}
+
+let kepler =
+  {
+    global_latency = 350;
+    l2_hit_latency = 230;
+    read_only_latency = 140;
+    shared_latency = 30;
+    constant_latency = 24;
+    constant_serialized_latency = 110;
+    local_latency = 90;
+    param_latency = 20;
+    extra_cycles_per_transaction = 6;
+    alu_latency = 9;
+    f64_latency = 16;
+    mul_div_latency = 20;
+    fdiv_latency = 60;
+    special_latency = 36;
+  }
+
+let zero_memory_cost =
+  {
+    kepler with
+    global_latency = 1;
+    l2_hit_latency = 1;
+    read_only_latency = 1;
+    shared_latency = 1;
+    constant_latency = 1;
+    constant_serialized_latency = 1;
+    local_latency = 1;
+    param_latency = 1;
+    extra_cycles_per_transaction = 0;
+  }
+
+let base_latency t : Memspace.space -> int = function
+  | Memspace.Global -> t.global_latency
+  | Read_only -> t.read_only_latency
+  | Shared -> t.shared_latency
+  | Constant -> t.constant_latency
+  | Local -> t.local_latency
+  | Param -> t.param_latency
+
+let memory_latency t space (access : Memspace.access) =
+  match (space, access) with
+  | Memspace.Constant, Memspace.Uncoalesced _ -> t.constant_serialized_latency
+  | _, Coalesced | _, Invariant -> base_latency t space
+  | _, Uncoalesced n ->
+      base_latency t space + (t.extra_cycles_per_transaction * (max 1 n - 1))
+
+let arithmetic_latency t = function
+  | `Alu -> t.alu_latency
+  | `F64 -> t.f64_latency
+  | `Mul -> t.mul_div_latency
+  | `Fdiv -> t.fdiv_latency
+  | `Special -> t.special_latency
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>latencies (cycles): global=%d ro=%d shared=%d const=%d local=%d \
+     alu=%d f64=%d@]"
+    t.global_latency t.read_only_latency t.shared_latency t.constant_latency
+    t.local_latency t.alu_latency t.f64_latency

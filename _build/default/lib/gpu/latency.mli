@@ -1,0 +1,44 @@
+(** Memory and arithmetic latency model.
+
+    The memory latencies follow the microbenchmark methodology of
+    Wong et al., "Demystifying GPU Microarchitecture through
+    Microbenchmarking" (ISPASS 2010), which the paper cites as the
+    source of its cost-model latencies (§III.B.3), scaled to
+    Kepler-generation figures. Latencies are in SM clock cycles and
+    are exposed as a table so tests and ablations can substitute their
+    own. *)
+
+type table = {
+  global_latency : int;  (** L2-miss global load round trip *)
+  l2_hit_latency : int;
+  read_only_latency : int;  (** read-only data cache hit *)
+  shared_latency : int;
+  constant_latency : int;  (** broadcast constant-cache hit *)
+  constant_serialized_latency : int;  (** divergent constant access *)
+  local_latency : int;  (** spill traffic, L1-cached on Kepler *)
+  param_latency : int;
+  extra_cycles_per_transaction : int;
+      (** additional pipeline occupancy per memory transaction beyond
+          the first; this is what makes uncoalesced accesses slow *)
+  alu_latency : int;  (** dependent-issue latency of simple int/f32 ops *)
+  f64_latency : int;
+  mul_div_latency : int;  (** integer multiply / divide *)
+  fdiv_latency : int;
+  special_latency : int;  (** sqrt, exp, log, sin … (SFU) *)
+}
+
+val kepler : table
+(** Default table used throughout the reproduction. *)
+
+val zero_memory_cost : table
+(** Every memory access costs one cycle — used by ablations to isolate
+    occupancy effects from latency effects. *)
+
+val memory_latency : table -> Memspace.space -> Memspace.access -> int
+(** Latency in cycles of a warp-wide access: base latency of the space
+    plus the per-transaction serialization penalty. This is the [L]
+    in SAFARA's [L × C] cost model. *)
+
+val arithmetic_latency : table -> [ `Alu | `F64 | `Mul | `Fdiv | `Special ] -> int
+
+val pp : Format.formatter -> table -> unit

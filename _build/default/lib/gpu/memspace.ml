@@ -1,0 +1,30 @@
+type space = Global | Read_only | Shared | Constant | Local | Param
+
+type access = Coalesced | Uncoalesced of int | Invariant
+
+let transactions ~warp_size ~elem_bytes ~segment_bytes = function
+  | Coalesced ->
+      (* a full warp touching consecutive elements spans this many
+         segments *)
+      max 1 (warp_size * elem_bytes / segment_bytes)
+  | Uncoalesced n -> max 1 (min warp_size n)
+  | Invariant -> 1
+
+let space_to_string = function
+  | Global -> "global"
+  | Read_only -> "read-only"
+  | Shared -> "shared"
+  | Constant -> "constant"
+  | Local -> "local"
+  | Param -> "param"
+
+let access_to_string = function
+  | Coalesced -> "coalesced"
+  | Uncoalesced n -> Printf.sprintf "uncoalesced(%d)" n
+  | Invariant -> "invariant"
+
+let pp_space ppf s = Format.pp_print_string ppf (space_to_string s)
+let pp_access ppf a = Format.pp_print_string ppf (access_to_string a)
+
+let equal_space (a : space) (b : space) = a = b
+let equal_access (a : access) (b : access) = a = b

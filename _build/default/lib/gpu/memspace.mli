@@ -1,0 +1,38 @@
+(** Memory spaces of the GPU memory hierarchy and warp-level access
+    pattern classes.
+
+    These two classifications drive SAFARA's cost model (paper
+    §III.B.1/3): the cost of an array reference is
+    [reference_count × latency(space, access)]. *)
+
+type space =
+  | Global  (** read/write device memory, cached in L2 only on Kepler *)
+  | Read_only
+      (** read-only global data routed through the 48 KB per-SMX
+          read-only data cache (Kepler LDG path) *)
+  | Shared  (** per-thread-block on-chip scratchpad *)
+  | Constant  (** broadcast-optimized constant memory *)
+  | Local
+      (** per-thread spill/stack space; resides in device memory but is
+          cached in L1 on Kepler *)
+  | Param  (** kernel parameter space (driver-managed constant bank) *)
+
+type access =
+  | Coalesced
+      (** consecutive lanes touch consecutive addresses: the warp's 32
+          requests merge into one or two segment transactions *)
+  | Uncoalesced of int
+      (** scattered: the argument is the number of memory transactions
+          the warp generates (2..32) *)
+  | Invariant
+      (** every lane reads the same address (broadcast-friendly) *)
+
+val transactions : warp_size:int -> elem_bytes:int -> segment_bytes:int -> access -> int
+(** Number of segment transactions one warp-wide access generates. *)
+
+val space_to_string : space -> string
+val access_to_string : access -> string
+val pp_space : Format.formatter -> space -> unit
+val pp_access : Format.formatter -> access -> unit
+val equal_space : space -> space -> bool
+val equal_access : access -> access -> bool

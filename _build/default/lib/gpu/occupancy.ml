@@ -1,0 +1,99 @@
+type request = {
+  threads_per_block : int;
+  regs_per_thread : int;
+  shared_bytes_per_block : int;
+}
+
+type limiter = Registers | Warps | Blocks | Shared_memory | Block_too_large
+
+type result = {
+  blocks_per_sm : int;
+  active_warps : int;
+  occupancy : float;
+  limiter : limiter;
+}
+
+let round_up_to ~unit n = if unit <= 0 then n else (n + unit - 1) / unit * unit
+
+let infeasible = { blocks_per_sm = 0; active_warps = 0; occupancy = 0.; limiter = Block_too_large }
+
+let calculate (arch : Arch.t) req =
+  if
+    req.threads_per_block <= 0
+    || req.threads_per_block > arch.max_threads_per_block
+    || req.regs_per_thread > arch.max_registers_per_thread
+    || req.shared_bytes_per_block > arch.shared_mem_per_sm
+  then infeasible
+  else
+    let warps_per_block =
+      (req.threads_per_block + arch.warp_size - 1) / arch.warp_size
+    in
+    let by_blocks = arch.max_blocks_per_sm in
+    let by_warps = arch.max_warps_per_sm / warps_per_block in
+    let by_regs =
+      if req.regs_per_thread <= 0 then max_int
+      else
+        let regs_per_warp =
+          Arch.registers_per_warp arch ~regs_per_thread:req.regs_per_thread
+        in
+        arch.registers_per_sm / (regs_per_warp * warps_per_block)
+    in
+    let by_shared =
+      if req.shared_bytes_per_block <= 0 then max_int
+      else
+        let shared =
+          round_up_to ~unit:arch.shared_alloc_unit req.shared_bytes_per_block
+        in
+        arch.shared_mem_per_sm / shared
+    in
+    let blocks =
+      List.fold_left min max_int [ by_blocks; by_warps; by_regs; by_shared ]
+    in
+    if blocks <= 0 then { infeasible with limiter = Registers }
+    else
+      let limiter =
+        (* report the (first) binding constraint *)
+        if blocks = by_regs && by_regs <= by_warps && by_regs <= by_blocks then
+          Registers
+        else if blocks = by_shared && by_shared <= by_warps then Shared_memory
+        else if blocks = by_warps then Warps
+        else Blocks
+      in
+      let active_warps = blocks * warps_per_block in
+      {
+        blocks_per_sm = blocks;
+        active_warps;
+        occupancy = float_of_int active_warps /. float_of_int arch.max_warps_per_sm;
+        limiter;
+      }
+
+let max_regs_for_full_occupancy (arch : Arch.t) ~threads_per_block =
+  let rec search best r =
+    if r > arch.max_registers_per_thread then best
+    else
+      let res =
+        calculate arch
+          { threads_per_block; regs_per_thread = r; shared_bytes_per_block = 0 }
+      in
+      let full =
+        calculate arch
+          { threads_per_block; regs_per_thread = 0; shared_bytes_per_block = 0 }
+      in
+      if res.active_warps >= full.active_warps then search r (r + 1)
+      else best
+  in
+  search 0 1
+
+let limiter_to_string = function
+  | Registers -> "registers"
+  | Warps -> "warps"
+  | Blocks -> "blocks"
+  | Shared_memory -> "shared memory"
+  | Block_too_large -> "block too large"
+
+let pp_limiter ppf l = Format.pp_print_string ppf (limiter_to_string l)
+
+let pp_result ppf r =
+  Format.fprintf ppf "%d blocks/SM, %d warps, %.1f%% occupancy (limited by %s)"
+    r.blocks_per_sm r.active_warps (100. *. r.occupancy)
+    (limiter_to_string r.limiter)

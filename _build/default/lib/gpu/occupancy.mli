@@ -1,0 +1,39 @@
+(** CUDA occupancy calculator.
+
+    Computes how many thread blocks (and therefore warps) can be
+    resident on one SM simultaneously, given a kernel's resource
+    demands. This is the mechanism by which register pressure hurts
+    performance on GPUs (paper §IV): each extra register per thread
+    can lower the number of resident warps and thus the SM's ability
+    to hide memory latency. Follows the NVIDIA occupancy-calculator
+    formulas, including warp-granular register allocation. *)
+
+type request = {
+  threads_per_block : int;
+  regs_per_thread : int;
+  shared_bytes_per_block : int;
+}
+
+type limiter = Registers | Warps | Blocks | Shared_memory | Block_too_large
+
+type result = {
+  blocks_per_sm : int;
+  active_warps : int;
+  occupancy : float;  (** active warps / max warps, in [0, 1] *)
+  limiter : limiter;  (** binding resource constraint *)
+}
+
+val calculate : Arch.t -> request -> result
+(** [calculate arch req] returns the occupancy of a kernel launch.
+    If the block itself is infeasible (too many threads, more
+    registers than the per-thread cap, or more shared memory than the
+    SM owns), the result has [blocks_per_sm = 0] and limiter
+    [Block_too_large]. *)
+
+val max_regs_for_full_occupancy : Arch.t -> threads_per_block:int -> int
+(** Largest register-per-thread budget that still allows the maximum
+    number of resident warps — the register target SAFARA's feedback
+    loop can aim for instead of the hardware cap. *)
+
+val pp_result : Format.formatter -> result -> unit
+val pp_limiter : Format.formatter -> limiter -> unit

@@ -1,0 +1,1 @@
+lib/ir/array_info.ml: Dim Format List Types

@@ -1,0 +1,1 @@
+lib/ir/program.ml: Array_info Expr Format List Region String

@@ -1,0 +1,1 @@
+lib/ir/program.mli: Array_info Expr Format Region Types

@@ -1,0 +1,1 @@
+lib/ir/region.ml: Dim Format List Stmt String

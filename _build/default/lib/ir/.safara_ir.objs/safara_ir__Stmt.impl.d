@@ -1,0 +1,1 @@
+lib/ir/stmt.ml: Expr Format List Option Types

@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array_info Dim Expr Format Hashtbl List Option Program Region Stmt Types

@@ -1,0 +1,44 @@
+type intent = Copy_in | Copy_out | Copy | Create
+
+type t = {
+  name : string;
+  elem : Types.dtype;
+  dims : Dim.t list;
+  intent : intent;
+}
+
+let make ?(intent = Copy) name elem dims = { name; elem; dims; intent }
+
+let rank t = List.length t.dims
+let is_static t = List.for_all Dim.is_static t.dims
+
+let static_size t =
+  if is_static t then
+    Some
+      (List.fold_left
+         (fun acc (d : Dim.t) ->
+           match d.extent with Dim.Const n -> acc * n | Dim.Sym _ -> acc)
+         1 t.dims)
+  else None
+
+let dims_equal a b =
+  rank a = rank b && List.for_all2 Dim.equal a.dims b.dims
+
+let dope_symbols t =
+  let add acc = function Dim.Sym s when not (List.mem s acc) -> s :: acc | _ -> acc in
+  List.rev
+    (List.fold_left
+       (fun acc (d : Dim.t) -> add (add acc d.lower) d.extent)
+       [] t.dims)
+
+let intent_to_string = function
+  | Copy_in -> "copyin"
+  | Copy_out -> "copyout"
+  | Copy -> "copy"
+  | Create -> "create"
+
+let pp ppf t =
+  Format.fprintf ppf "%a %s%a (%s)" Types.pp t.elem t.name
+    (Format.pp_print_list ~pp_sep:(fun _ () -> ()) Dim.pp)
+    t.dims
+    (intent_to_string t.intent)

@@ -1,0 +1,35 @@
+(** Array metadata: element type, dope vector, data-motion intent.
+
+    [intent] comes from OpenACC data clauses ([copyin] ⇒ the region
+    only reads the array) and is combined with a per-region store
+    analysis to decide read-only data-cache eligibility. *)
+
+type intent = Copy_in | Copy_out | Copy | Create
+
+type t = {
+  name : string;
+  elem : Types.dtype;
+  dims : Dim.t list;  (** outermost dimension first (row-major) *)
+  intent : intent;
+}
+
+val make : ?intent:intent -> string -> Types.dtype -> Dim.t list -> t
+(** Default intent is [Copy]. *)
+
+val rank : t -> int
+val is_static : t -> bool
+(** True when every dimension is compile-time constant: no dope-vector
+    temporaries are needed for its offset computation. *)
+
+val static_size : t -> int option
+(** Total element count if the array is static. *)
+
+val dims_equal : t -> t -> bool
+(** The [dim]-clause compatibility test: same rank and structurally
+    equal dimensions. *)
+
+val dope_symbols : t -> string list
+(** Scalar parameter names appearing in the dope vector (deduplicated,
+    in first-occurrence order). Empty for static arrays. *)
+
+val pp : Format.formatter -> t -> unit

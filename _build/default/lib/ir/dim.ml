@@ -1,0 +1,26 @@
+type bound = Const of int | Sym of string
+
+type t = { lower : bound; extent : bound }
+
+let const ?(lower = 0) n = { lower = Const lower; extent = Const n }
+let dyn ?(lower = Const 0) n = { lower; extent = Sym n }
+
+let is_static { lower; extent } =
+  match (lower, extent) with Const _, Const _ -> true | _ -> false
+
+let equal_bound a b =
+  match (a, b) with
+  | Const x, Const y -> x = y
+  | Sym x, Sym y -> String.equal x y
+  | Const _, Sym _ | Sym _, Const _ -> false
+
+let equal a b = equal_bound a.lower b.lower && equal_bound a.extent b.extent
+
+let pp_bound ppf = function
+  | Const n -> Format.pp_print_int ppf n
+  | Sym s -> Format.pp_print_string ppf s
+
+let pp ppf { lower; extent } =
+  match lower with
+  | Const 0 -> Format.fprintf ppf "[%a]" pp_bound extent
+  | _ -> Format.fprintf ppf "[%a:%a]" pp_bound lower pp_bound extent

@@ -1,0 +1,32 @@
+(** Array dimension descriptors (dope-vector entries).
+
+    A dimension has a lower bound and an extent, each either a
+    compile-time constant or a symbolic reference to a scalar program
+    parameter. Arrays whose dimensions are all constant are "static":
+    the compiler folds their offset arithmetic and no dope-vector
+    temporaries are needed. Arrays with any symbolic dimension model
+    Fortran allocatables / C VLAs: their bounds live in a dope vector
+    and each use costs compiler-generated temporaries — the registers
+    the paper's [dim] clause recovers (§IV.A). *)
+
+type bound = Const of int | Sym of string
+
+type t = { lower : bound; extent : bound }
+
+val const : ?lower:int -> int -> t
+(** [const n] is a static dimension [lower..lower+n-1] (default lower
+    bound 0, the C convention). *)
+
+val dyn : ?lower:bound -> string -> t
+(** [dyn n] is a dynamic dimension whose extent is the scalar
+    parameter named [n]. *)
+
+val is_static : t -> bool
+val equal_bound : bound -> bound -> bool
+
+val equal : t -> t -> bool
+(** Structural equality of bounds — the condition under which two
+    arrays "share the same dimensions" for the [dim] clause. *)
+
+val pp_bound : Format.formatter -> bound -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,151 @@
+type var = { vname : string; vtype : Types.dtype }
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Min
+  | Max
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop = Neg | Not
+
+type intrinsic = Sqrt | Exp | Log | Sin | Cos | Fabs | Pow | Floor
+
+type t =
+  | Int_lit of int * Types.dtype
+  | Float_lit of float * Types.dtype
+  | Var of var
+  | Load of string * t list
+  | Binop of binop * t * t
+  | Unop of unop * t
+  | Call of intrinsic * t list
+  | Cast of Types.dtype * t
+
+let var ?(ty = Types.I32) name = Var { vname = name; vtype = ty }
+let int n = Int_lit (n, Types.I32)
+let float f = Float_lit (f, Types.F64)
+let float32 f = Float_lit (f, Types.F32)
+
+let ( + ) a b = Binop (Add, a, b)
+let ( - ) a b = Binop (Sub, a, b)
+let ( * ) a b = Binop (Mul, a, b)
+let ( / ) a b = Binop (Div, a, b)
+let ( < ) a b = Binop (Lt, a, b)
+let ( <= ) a b = Binop (Le, a, b)
+let ( = ) a b = Binop (Eq, a, b)
+
+let load name subs = Load (name, subs)
+
+let is_comparison = function
+  | Eq | Ne | Lt | Le | Gt | Ge -> true
+  | Add | Sub | Mul | Div | Mod | Min | Max | And | Or -> false
+
+let rec typeof ~elem e =
+  match e with
+  | Int_lit (_, ty) | Float_lit (_, ty) -> ty
+  | Var v -> v.vtype
+  | Load (a, _) -> elem a
+  | Binop (op, a, b) ->
+      if is_comparison op then Types.Bool
+      else if Stdlib.( = ) op And || Stdlib.( = ) op Or then Types.Bool
+      else Types.join (typeof ~elem a) (typeof ~elem b)
+  | Unop (Neg, a) -> typeof ~elem a
+  | Unop (Not, _) -> Types.Bool
+  | Call (Floor, _) -> Types.F64
+  | Call (_, args) ->
+      List.fold_left
+        (fun acc a -> Types.join acc (typeof ~elem a))
+        Types.F32 args
+  | Cast (ty, _) -> ty
+
+let rec fold_vars f e acc =
+  match e with
+  | Int_lit _ | Float_lit _ -> acc
+  | Var v -> f v.vname acc
+  | Load (_, subs) -> List.fold_left (fun acc s -> fold_vars f s acc) acc subs
+  | Binop (_, a, b) -> fold_vars f b (fold_vars f a acc)
+  | Unop (_, a) | Cast (_, a) -> fold_vars f a acc
+  | Call (_, args) -> List.fold_left (fun acc a -> fold_vars f a acc) acc args
+
+let rec arrays_used = function
+  | Int_lit _ | Float_lit _ | Var _ -> []
+  | Load (a, subs) -> a :: List.concat_map arrays_used subs
+  | Binop (_, a, b) -> arrays_used a @ arrays_used b
+  | Unop (_, a) | Cast (_, a) -> arrays_used a
+  | Call (_, args) -> List.concat_map arrays_used args
+
+let rec subst_var x e' e =
+  match e with
+  | Var v when String.equal v.vname x -> e'
+  | Int_lit _ | Float_lit _ | Var _ -> e
+  | Load (a, subs) -> Load (a, List.map (subst_var x e') subs)
+  | Binop (op, a, b) -> Binop (op, subst_var x e' a, subst_var x e' b)
+  | Unop (op, a) -> Unop (op, subst_var x e' a)
+  | Call (i, args) -> Call (i, List.map (subst_var x e') args)
+  | Cast (ty, a) -> Cast (ty, subst_var x e' a)
+
+let equal (a : t) (b : t) = Stdlib.( = ) a b
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Min -> "min"
+  | Max -> "max"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+let intrinsic_to_string = function
+  | Sqrt -> "sqrt"
+  | Exp -> "exp"
+  | Log -> "log"
+  | Sin -> "sin"
+  | Cos -> "cos"
+  | Fabs -> "fabs"
+  | Pow -> "pow"
+  | Floor -> "floor"
+
+let rec pp ppf = function
+  | Int_lit (n, Types.I64) -> Format.fprintf ppf "%dL" n
+  | Int_lit (n, _) -> Format.pp_print_int ppf n
+  | Float_lit (f, Types.F32) -> Format.fprintf ppf "%gf" f
+  | Float_lit (f, _) -> Format.fprintf ppf "%g" f
+  | Var v -> Format.pp_print_string ppf v.vname
+  | Load (a, subs) ->
+      Format.pp_print_string ppf a;
+      List.iter (fun s -> Format.fprintf ppf "[%a]" pp s) subs
+  | Binop ((Min | Max) as op, a, b) ->
+      Format.fprintf ppf "%s(%a, %a)" (binop_to_string op) pp a pp b
+  | Binop (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp a (binop_to_string op) pp b
+  | Unop (Neg, a) -> Format.fprintf ppf "(-%a)" pp a
+  | Unop (Not, a) -> Format.fprintf ppf "(!%a)" pp a
+  | Call (i, args) ->
+      Format.fprintf ppf "%s(%a)" (intrinsic_to_string i)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp)
+        args
+  | Cast (ty, a) -> Format.fprintf ppf "(%a)%a" Types.pp ty pp a
+
+let to_string e = Format.asprintf "%a" pp e
+let pp_var ppf v = Format.fprintf ppf "%a %s" Types.pp v.vtype v.vname

@@ -1,0 +1,83 @@
+(** IR expressions.
+
+    Expressions are explicitly typed at the leaves (variables carry
+    their type; literals are tagged); {!typeof} recovers the type of
+    any node given the array element-type environment. *)
+
+type var = { vname : string; vtype : Types.dtype }
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Min
+  | Max
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop = Neg | Not
+
+type intrinsic = Sqrt | Exp | Log | Sin | Cos | Fabs | Pow | Floor
+
+type t =
+  | Int_lit of int * Types.dtype
+  | Float_lit of float * Types.dtype
+  | Var of var
+  | Load of string * t list  (** array name, subscript list (row-major) *)
+  | Binop of binop * t * t
+  | Unop of unop * t
+  | Call of intrinsic * t list
+  | Cast of Types.dtype * t
+
+val var : ?ty:Types.dtype -> string -> t
+(** Integer variable reference by default ([ty] defaults to [I32]). *)
+
+val int : int -> t
+
+val float : float -> t
+(** An [F64] literal. *)
+
+val float32 : float -> t
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( < ) : t -> t -> t
+val ( <= ) : t -> t -> t
+val ( = ) : t -> t -> t
+
+val load : string -> t list -> t
+
+val typeof : elem:(string -> Types.dtype) -> t -> Types.dtype
+(** Type of an expression; [elem] maps array names to element types.
+    Comparison and logical operators yield [Bool]; arithmetic joins
+    operand types. *)
+
+val is_comparison : binop -> bool
+val fold_vars : (string -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over all scalar-variable names occurring in the expression
+    (not array names). *)
+
+val arrays_used : t -> string list
+(** Array names loaded anywhere in the expression, with duplicates. *)
+
+val subst_var : string -> t -> t -> t
+(** [subst_var x e' e] replaces every occurrence of variable [x] in
+    [e] with [e']. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val pp_var : Format.formatter -> var -> unit
+val binop_to_string : binop -> string
+val intrinsic_to_string : intrinsic -> string

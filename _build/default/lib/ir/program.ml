@@ -1,0 +1,32 @@
+type t = {
+  pname : string;
+  params : Expr.var list;
+  arrays : Array_info.t list;
+  regions : Region.t list;
+}
+
+let make ?(params = []) ?(arrays = []) pname regions =
+  { pname; params; arrays; regions }
+
+let find_array_opt t name =
+  List.find_opt (fun (a : Array_info.t) -> String.equal a.name name) t.arrays
+
+let find_array t name =
+  match find_array_opt t name with Some a -> a | None -> raise Not_found
+
+let find_region t name =
+  List.find (fun (r : Region.t) -> String.equal r.rname name) t.regions
+
+let elem_type t name = (find_array t name).elem
+
+let param_names t = List.map (fun (v : Expr.var) -> v.Expr.vname) t.params
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>// program %s@,%a@,%a@,@,%a@]" t.pname
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf v ->
+         Format.fprintf ppf "param %a;" Expr.pp_var v))
+    t.params
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Array_info.pp)
+    t.arrays
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Region.pp)
+    t.regions

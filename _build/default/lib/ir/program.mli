@@ -1,0 +1,23 @@
+(** A whole MiniACC program: scalar parameters, array declarations and
+    a sequence of offload regions. Host-side control between regions
+    is limited to repeating the region sequence (time-step loops),
+    which is what the benchmarks need. *)
+
+type t = {
+  pname : string;
+  params : Expr.var list;  (** scalar inputs (problem sizes, constants) *)
+  arrays : Array_info.t list;
+  regions : Region.t list;
+}
+
+val make : ?params:Expr.var list -> ?arrays:Array_info.t list ->
+  string -> Region.t list -> t
+
+val find_array : t -> string -> Array_info.t
+(** @raise Not_found if the name is not declared. *)
+
+val find_array_opt : t -> string -> Array_info.t option
+val find_region : t -> string -> Region.t
+val elem_type : t -> string -> Types.dtype
+val param_names : t -> string list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+(** OpenACC offload regions ([kernels] / [parallel] constructs),
+    including the paper's two proposed clauses.
+
+    A [dim] group asserts that the listed arrays share the same
+    dimensions (optionally stating them), letting the code generator
+    compute one offset for syntactically identical subscript lists and
+    load one set of dope-vector temporaries for the whole group
+    (§IV.A). The [small] set asserts that each listed array is smaller
+    than 4 GB so its offsets fit in 32-bit integers (§IV.B). *)
+
+type kind = Kernels | Parallel
+
+type dim_group = {
+  stated_dims : Dim.t list option;
+      (** dimensions written in the clause; [None] means "take them
+          from the first array's dope vector" *)
+  group_arrays : string list;
+}
+
+type t = {
+  rname : string;  (** kernel name, unique within the program *)
+  kind : kind;
+  body : Stmt.t list;
+  dim_groups : dim_group list;
+  small : string list;
+}
+
+val make : ?kind:kind -> ?dim_groups:dim_group list -> ?small:string list ->
+  string -> Stmt.t list -> t
+
+val dim_group_of : t -> string -> int option
+(** Index of the [dim] group containing the array, if any. *)
+
+val is_small : t -> string -> bool
+
+val read_only_arrays : t -> string list
+(** Arrays referenced in the region body that are never stored to
+    within it — the candidates for the Kepler read-only data cache. *)
+
+val referenced_arrays : t -> string list
+(** All arrays loaded or stored in the region, deduplicated, in
+    first-use order. *)
+
+val weight : t -> int
+(** Static statement count — a crude kernel-size measure used for
+    reporting. *)
+
+val pp : Format.formatter -> t -> unit

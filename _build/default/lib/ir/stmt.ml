@@ -1,0 +1,179 @@
+type lvalue = Lvar of Expr.var | Larray of string * Expr.t list
+
+type sched =
+  | Seq
+  | Auto
+  | Gang of int option
+  | Vector of int option
+  | Gang_vector of int option * int option
+
+type redop = Rplus | Rmul | Rmin | Rmax
+
+type t =
+  | Assign of lvalue * Expr.t
+  | Local of Expr.var * Expr.t option
+  | For of loop
+  | If of Expr.t * t list * t list
+
+and loop = {
+  index : Expr.var;
+  lo : Expr.t;
+  hi : Expr.t;
+  sched : sched;
+  reductions : (redop * Expr.var) list;
+  body : t list;
+}
+
+let assign a subs e = Assign (Larray (a, subs), e)
+
+let assign_var ?(ty = Types.F64) name e =
+  Assign (Lvar { Expr.vname = name; vtype = ty }, e)
+
+let for_ ?(sched = Auto) ?(reductions = []) i lo hi body =
+  For { index = { Expr.vname = i; vtype = Types.I32 }; lo; hi; sched; reductions; body }
+
+let is_parallel_sched = function
+  | Gang _ | Vector _ | Gang_vector _ -> true
+  | Seq | Auto -> false
+
+let rec iter f stmts =
+  List.iter
+    (fun s ->
+      f s;
+      match s with
+      | For l -> iter f l.body
+      | If (_, t, e) ->
+          iter f t;
+          iter f e
+      | Assign _ | Local _ -> ())
+    stmts
+
+let rec expr_loads (e : Expr.t) =
+  match e with
+  | Expr.Int_lit _ | Float_lit _ | Var _ -> []
+  | Load (a, subs) -> ((a, subs) :: List.concat_map expr_loads subs)
+  | Binop (_, x, y) -> expr_loads x @ expr_loads y
+  | Unop (_, x) | Cast (_, x) -> expr_loads x
+  | Call (_, args) -> List.concat_map expr_loads args
+
+let loads stmts =
+  let acc = ref [] in
+  let add l = acc := List.rev_append l !acc in
+  iter
+    (fun s ->
+      match s with
+      | Assign (Larray (_, subs), e) ->
+          add (List.concat_map expr_loads subs);
+          add (expr_loads e)
+      | Assign (Lvar _, e) -> add (expr_loads e)
+      | Local (_, Some e) -> add (expr_loads e)
+      | Local (_, None) -> ()
+      | For l ->
+          add (expr_loads l.lo);
+          add (expr_loads l.hi)
+      | If (c, _, _) -> add (expr_loads c))
+    stmts;
+  List.rev !acc
+
+let stores stmts =
+  let acc = ref [] in
+  iter
+    (fun s ->
+      match s with
+      | Assign (Larray (a, subs), _) -> acc := (a, subs) :: !acc
+      | Assign (Lvar _, _) | Local _ | For _ | If _ -> ())
+    stmts;
+  List.rev !acc
+
+let stored_arrays stmts =
+  let names = stores stmts |> List.map fst in
+  List.fold_left (fun acc n -> if List.mem n acc then acc else n :: acc) [] names
+  |> List.rev
+
+let scalars_read stmts =
+  let add name acc = if List.mem name acc then acc else name :: acc in
+  let acc = ref [] in
+  let of_expr e = acc := Expr.fold_vars add e !acc in
+  iter
+    (fun s ->
+      match s with
+      | Assign (Larray (_, subs), e) ->
+          List.iter of_expr subs;
+          of_expr e
+      | Assign (Lvar _, e) -> of_expr e
+      | Local (_, Some e) -> of_expr e
+      | Local (_, None) -> ()
+      | For l ->
+          of_expr l.lo;
+          of_expr l.hi
+      | If (c, _, _) -> of_expr c)
+    stmts;
+  List.rev !acc
+
+let rec map_exprs f stmts =
+  let stmt = function
+    | Assign (Larray (a, subs), e) -> Assign (Larray (a, List.map f subs), f e)
+    | Assign (Lvar v, e) -> Assign (Lvar v, f e)
+    | Local (v, init) -> Local (v, Option.map f init)
+    | For l ->
+        For { l with lo = f l.lo; hi = f l.hi; body = map_exprs f l.body }
+    | If (c, t, e) -> If (f c, map_exprs f t, map_exprs f e)
+  in
+  List.map stmt stmts
+
+let rec loop_depth stmts =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | For l -> max acc (1 + loop_depth l.body)
+      | If (_, t, e) -> max acc (max (loop_depth t) (loop_depth e))
+      | Assign _ | Local _ -> acc)
+    0 stmts
+
+let redop_to_string = function
+  | Rplus -> "+"
+  | Rmul -> "*"
+  | Rmin -> "min"
+  | Rmax -> "max"
+
+let pp_sched ppf = function
+  | Seq -> Format.pp_print_string ppf "seq"
+  | Auto -> Format.pp_print_string ppf "auto"
+  | Gang None -> Format.pp_print_string ppf "gang"
+  | Gang (Some n) -> Format.fprintf ppf "gang(%d)" n
+  | Vector None -> Format.pp_print_string ppf "vector"
+  | Vector (Some n) -> Format.fprintf ppf "vector(%d)" n
+  | Gang_vector (g, v) ->
+      let opt ppf = function
+        | None -> ()
+        | Some n -> Format.fprintf ppf "(%d)" n
+      in
+      Format.fprintf ppf "gang%a vector%a" opt g opt v
+
+let rec pp ppf = function
+  | Assign (Lvar v, e) -> Format.fprintf ppf "@[<2>%s = %a;@]" v.Expr.vname Expr.pp e
+  | Assign (Larray (a, subs), e) ->
+      Format.fprintf ppf "@[<2>%s%a = %a;@]" a pp_subs subs Expr.pp e
+  | Local (v, None) -> Format.fprintf ppf "%a;" Expr.pp_var v
+  | Local (v, Some e) -> Format.fprintf ppf "@[<2>%a = %a;@]" Expr.pp_var v Expr.pp e
+  | For l ->
+      if l.sched <> Auto then
+        Format.fprintf ppf "#pragma acc loop %a@," pp_sched l.sched;
+      List.iter
+        (fun (op, v) ->
+          Format.fprintf ppf "// reduction(%s:%s)@," (redop_to_string op)
+            v.Expr.vname)
+        l.reductions;
+      Format.fprintf ppf "@[<v 2>for (%s = %a; %s <= %a; %s++) {@,%a@]@,}"
+        l.index.Expr.vname Expr.pp l.lo l.index.Expr.vname Expr.pp l.hi
+        l.index.Expr.vname pp_body l.body
+  | If (c, t, []) ->
+      Format.fprintf ppf "@[<v 2>if (%a) {@,%a@]@,}" Expr.pp c pp_body t
+  | If (c, t, e) ->
+      Format.fprintf ppf "@[<v 2>if (%a) {@,%a@]@,@[<v 2>} else {@,%a@]@,}"
+        Expr.pp c pp_body t pp_body e
+
+and pp_subs ppf subs = List.iter (fun s -> Format.fprintf ppf "[%a]" Expr.pp s) subs
+
+and pp_body ppf stmts =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp ppf stmts

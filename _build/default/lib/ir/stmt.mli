@@ -1,0 +1,78 @@
+(** IR statements and loops.
+
+    Loops are kept in OpenACC canonical form: an integer induction
+    variable running from [lo] to [hi] inclusive with unit step. The
+    [sched] field records the loop-distribution directive ([gang],
+    [vector], [seq], …), which the code generator maps onto the
+    CUDA-style grid/block geometry. *)
+
+type lvalue = Lvar of Expr.var | Larray of string * Expr.t list
+
+type sched =
+  | Seq  (** explicitly sequential ([loop seq]) *)
+  | Auto  (** no directive: the compiler decides *)
+  | Gang of int option  (** distribute across thread blocks *)
+  | Vector of int option  (** distribute across threads in a block *)
+  | Gang_vector of int option * int option
+      (** [loop gang(G) vector(V)]: both levels at once *)
+
+type redop = Rplus | Rmul | Rmin | Rmax
+
+type t =
+  | Assign of lvalue * Expr.t
+  | Local of Expr.var * Expr.t option
+      (** kernel-local scalar declaration with optional initializer *)
+  | For of loop
+  | If of Expr.t * t list * t list
+
+and loop = {
+  index : Expr.var;
+  lo : Expr.t;
+  hi : Expr.t;  (** inclusive *)
+  sched : sched;
+  reductions : (redop * Expr.var) list;
+  body : t list;
+}
+
+val assign : string -> Expr.t list -> Expr.t -> t
+(** [assign a subs e] is [a\[subs…\] = e]. *)
+
+val assign_var : ?ty:Types.dtype -> string -> Expr.t -> t
+
+val for_ : ?sched:sched -> ?reductions:(redop * Expr.var) list ->
+  string -> Expr.t -> Expr.t -> t list -> t
+(** [for_ i lo hi body] builds a canonical loop over [I32] index [i]. *)
+
+val is_parallel_sched : sched -> bool
+(** True when the directive distributes iterations across threads
+    (gang and/or vector) — the loops in which inter-iteration scalar
+    replacement must not be applied (paper §III.A.1). *)
+
+val iter : (t -> unit) -> t list -> unit
+(** Pre-order traversal of a statement forest, descending into loop
+    and branch bodies. *)
+
+val loads : t list -> (string * Expr.t list) list
+(** All array reads in evaluation order (including subscripts of
+    stores). *)
+
+val stores : t list -> (string * Expr.t list) list
+(** All array writes in order. *)
+
+val stored_arrays : t list -> string list
+(** Deduplicated names of arrays written anywhere in the forest. *)
+
+val scalars_read : t list -> string list
+(** Deduplicated names of scalar variables read (before any local
+    definition is taken into account). *)
+
+val map_exprs : (Expr.t -> Expr.t) -> t list -> t list
+(** Rewrite every expression in place (subscripts, bounds, conditions,
+    right-hand sides), leaving structure intact. *)
+
+val loop_depth : t list -> int
+
+val redop_to_string : redop -> string
+val pp_sched : Format.formatter -> sched -> unit
+val pp : Format.formatter -> t -> unit
+val pp_body : Format.formatter -> t list -> unit

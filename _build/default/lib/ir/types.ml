@@ -1,0 +1,25 @@
+type dtype = I32 | I64 | F32 | F64 | Bool
+
+let size_bytes = function I32 | F32 | Bool -> 4 | I64 | F64 -> 8
+let registers = function I32 | F32 | Bool -> 1 | I64 | F64 -> 2
+let is_float = function F32 | F64 -> true | I32 | I64 | Bool -> false
+let is_integer = function I32 | I64 -> true | F32 | F64 | Bool -> false
+let is_64bit = function I64 | F64 -> true | I32 | F32 | Bool -> false
+let equal (a : dtype) b = a = b
+
+let to_string = function
+  | I32 -> "int"
+  | I64 -> "long"
+  | F32 -> "float"
+  | F64 -> "double"
+  | Bool -> "bool"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let rank = function Bool -> 0 | I32 -> 1 | I64 -> 2 | F32 -> 3 | F64 -> 4
+
+let join a b =
+  match (a, b) with
+  | F64, _ | _, F64 -> F64
+  | F32, I64 | I64, F32 -> F64
+  | _ -> if rank a >= rank b then a else b

@@ -1,0 +1,24 @@
+(** Scalar data types of the MiniACC IR.
+
+    The 32/64-bit distinction matters throughout the reproduction: GPU
+    general-purpose registers are 32 bits wide, so a 64-bit scalar
+    occupies two consecutive registers (paper §IV.B) — this is what
+    the [small] clause saves. *)
+
+type dtype = I32 | I64 | F32 | F64 | Bool
+
+val size_bytes : dtype -> int
+(** In-memory size: 4 for I32/F32/Bool, 8 for I64/F64. *)
+
+val registers : dtype -> int
+(** Number of 32-bit GPU registers a value of this type occupies. *)
+
+val is_float : dtype -> bool
+val is_integer : dtype -> bool
+val is_64bit : dtype -> bool
+val equal : dtype -> dtype -> bool
+val to_string : dtype -> string
+val pp : Format.formatter -> dtype -> unit
+
+val join : dtype -> dtype -> dtype
+(** Usual arithmetic-conversion join: the wider / more-float type. *)

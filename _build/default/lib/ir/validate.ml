@@ -1,0 +1,125 @@
+type error = { where : string; what : string }
+
+let pp_error ppf e = Format.fprintf ppf "%s: %s" e.where e.what
+
+let errf where fmt = Format.kasprintf (fun what -> { where; what }) fmt
+
+let check_region (prog : Program.t) (r : Region.t) =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun what -> errors := { where = r.rname; what } :: !errors) fmt in
+  let check_array_ref a subs =
+    match Program.find_array_opt prog a with
+    | None -> err "array %s is not declared" a
+    | Some info ->
+        if List.length subs <> Array_info.rank info then
+          err "array %s has rank %d but is used with %d subscripts" a
+            (Array_info.rank info) (List.length subs)
+  in
+  let param_set = Program.param_names prog in
+  (* walk with scope: loop indices + locals *)
+  let rec walk ~scope ~inside_seq stmts =
+    List.fold_left
+      (fun scope s ->
+        let check_expr e =
+          List.iter (fun (a, subs) -> check_array_ref a subs) (Stmt.loads [ Stmt.Assign (Lvar { Expr.vname = "__tmp"; vtype = Types.F64 }, e) ]);
+          Expr.fold_vars
+            (fun v () ->
+              if not (List.mem v scope || List.mem v param_set) then
+                err "scalar %s read before definition" v)
+            e ()
+        in
+        match s with
+        | Stmt.Assign (Larray (a, subs), e) ->
+            check_array_ref a subs;
+            List.iter check_expr subs;
+            check_expr e;
+            scope
+        | Stmt.Assign (Lvar v, e) ->
+            check_expr e;
+            if List.mem v.Expr.vname scope then scope else v.Expr.vname :: scope
+        | Stmt.Local (v, init) ->
+            Option.iter check_expr init;
+            v.Expr.vname :: scope
+        | Stmt.For l ->
+            check_expr l.lo;
+            check_expr l.hi;
+            if List.mem l.index.Expr.vname scope then
+              err "loop index %s shadows an enclosing binding" l.index.Expr.vname;
+            if inside_seq && Stmt.is_parallel_sched l.sched then
+              err "parallel loop on %s nested inside a sequential loop"
+                l.index.Expr.vname;
+            let inside_seq' =
+              inside_seq || not (Stmt.is_parallel_sched l.sched)
+            in
+            ignore
+              (walk
+                 ~scope:(l.index.Expr.vname :: scope)
+                 ~inside_seq:inside_seq' l.body);
+            scope
+        | Stmt.If (c, t, e) ->
+            check_expr c;
+            ignore (walk ~scope ~inside_seq t);
+            ignore (walk ~scope ~inside_seq e);
+            scope)
+      scope stmts
+  in
+  ignore (walk ~scope:[] ~inside_seq:false r.body);
+  (* dim groups *)
+  List.iteri
+    (fun gi (g : Region.dim_group) ->
+      match g.group_arrays with
+      | [] -> err "dim group %d is empty" gi
+      | first :: _ -> (
+          match Program.find_array_opt prog first with
+          | None -> err "dim group %d: array %s is not declared" gi first
+          | Some finfo ->
+              List.iter
+                (fun a ->
+                  match Program.find_array_opt prog a with
+                  | None -> err "dim group %d: array %s is not declared" gi a
+                  | Some info ->
+                      if not (Array_info.dims_equal finfo info) then
+                        err "dim group %d: arrays %s and %s have different dimensions"
+                          gi first a)
+                g.group_arrays;
+              (match g.stated_dims with
+              | None -> ()
+              | Some dims ->
+                  if List.length dims <> Array_info.rank finfo then
+                    err "dim group %d: stated rank %d differs from %s's rank %d"
+                      gi (List.length dims) first (Array_info.rank finfo)
+                  else if not (List.for_all2 Dim.equal dims finfo.dims) then
+                    err "dim group %d: stated dimensions differ from %s's declaration"
+                      gi first)))
+    r.dim_groups;
+  List.iter
+    (fun a ->
+      if Program.find_array_opt prog a = None then
+        err "small clause: array %s is not declared" a)
+    r.small;
+  List.rev !errors
+
+let check (prog : Program.t) =
+  let dup_regions =
+    let seen = Hashtbl.create 8 in
+    List.filter_map
+      (fun (r : Region.t) ->
+        if Hashtbl.mem seen r.rname then
+          Some (errf "program" "duplicate region name %s" r.rname)
+        else (
+          Hashtbl.add seen r.rname ();
+          None))
+      prog.regions
+  in
+  dup_regions @ List.concat_map (check_region prog) prog.regions
+
+let check_exn prog =
+  match check prog with
+  | [] -> ()
+  | errs ->
+      let msg =
+        Format.asprintf "@[<v>invalid IR program %s:@,%a@]" prog.pname
+          (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_error)
+          errs
+      in
+      invalid_arg msg

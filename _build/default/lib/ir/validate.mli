@@ -1,0 +1,25 @@
+(** Structural validation of IR programs.
+
+    Run after front-end lowering and after every transformation; a
+    well-formed program is a precondition of analysis, code
+    generation and the interpreter. *)
+
+type error = { where : string; what : string }
+
+val check : Program.t -> error list
+(** Empty list = valid. Checks performed:
+    - every referenced array is declared, with matching subscript count;
+    - every scalar read is a parameter, a loop index in scope, or a
+      kernel-local declared before use;
+    - loop indices are not shadowed within a nest;
+    - region names are unique;
+    - [dim]-clause groups name declared arrays of equal rank, and if
+      dimensions are stated they match every member's declaration;
+    - [small]-clause arrays are declared;
+    - parallel schedules ([gang]/[vector]) do not appear on loops
+      nested inside a [seq] loop. *)
+
+val check_exn : Program.t -> unit
+(** @raise Invalid_argument with a rendered report if invalid. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,1 @@
+lib/lang/emit.ml: Float List Option Printf Safara_ir String

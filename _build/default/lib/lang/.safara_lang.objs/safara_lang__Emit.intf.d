@@ -1,0 +1,1 @@
+lib/lang/emit.mli: Safara_ir

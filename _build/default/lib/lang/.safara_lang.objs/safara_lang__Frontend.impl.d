@@ -1,0 +1,1 @@
+lib/lang/frontend.ml: Lower Parser Safara_ir Typecheck

@@ -1,0 +1,1 @@
+lib/lang/lower.ml: Ast List Option Printf Safara_ir

@@ -1,0 +1,68 @@
+type ty = Tint | Tlong | Tfloat | Tdouble
+
+type expr =
+  | Int of int
+  | Float of float
+  | Float32 of float
+  | Var of string
+  | Index of string * expr list
+  | Bin of Safara_ir.Expr.binop * expr * expr
+  | Un of Safara_ir.Expr.unop * expr
+  | Call of string * expr list
+  | Cast of ty * expr
+
+type lhs = Lid of string | Lindex of string * expr list
+
+type loop_directive = {
+  dsched : Safara_ir.Stmt.sched;
+  dreductions : (Safara_ir.Stmt.redop * string) list;
+}
+
+type stmt =
+  | Decl of ty * string * expr option
+  | Assign of lhs * expr
+  | For of for_loop
+  | If of expr * stmt list * stmt list
+
+and for_loop = {
+  findex : string;
+  finit : expr;
+  fbound : [ `Le | `Lt ] * expr;
+  fdirective : loop_directive option;
+  fbody : stmt list;
+}
+
+type intent = In | Out
+
+type dim_spec = { ds_lower : expr option; ds_extent : expr }
+
+type decl =
+  | Param of ty * string
+  | Array_decl of intent option * ty * string * dim_spec list
+
+type region = {
+  rname : string option;
+  rkind : Safara_ir.Region.kind;
+  rdim : (dim_spec list option * string list) list;
+  rsmall : string list;
+  rbody : stmt list;
+}
+
+type program = { decls : decl list; regions : region list }
+
+let ty_to_dtype = function
+  | Tint -> Safara_ir.Types.I32
+  | Tlong -> Safara_ir.Types.I64
+  | Tfloat -> Safara_ir.Types.F32
+  | Tdouble -> Safara_ir.Types.F64
+
+let intrinsic_of_name = function
+  | "sqrt" -> Some Safara_ir.Expr.Sqrt
+  | "exp" -> Some Safara_ir.Expr.Exp
+  | "log" -> Some Safara_ir.Expr.Log
+  | "sin" -> Some Safara_ir.Expr.Sin
+  | "cos" -> Some Safara_ir.Expr.Cos
+  | "fabs" -> Some Safara_ir.Expr.Fabs
+  | "pow" -> Some Safara_ir.Expr.Pow
+  | "floor" -> Some Safara_ir.Expr.Floor
+  | _ -> None

@@ -1,0 +1,64 @@
+(** Abstract syntax of MiniACC source programs, as produced by the
+    parser and consumed by the type checker and the IR lowering pass.
+    Operator enums are shared with the IR ({!Safara_ir.Expr}). *)
+
+type ty = Tint | Tlong | Tfloat | Tdouble
+
+type expr =
+  | Int of int
+  | Float of float
+  | Float32 of float
+  | Var of string
+  | Index of string * expr list
+  | Bin of Safara_ir.Expr.binop * expr * expr
+  | Un of Safara_ir.Expr.unop * expr
+  | Call of string * expr list
+  | Cast of ty * expr
+
+type lhs = Lid of string | Lindex of string * expr list
+
+(** Loop-level directive, from [#pragma acc loop …]. *)
+type loop_directive = {
+  dsched : Safara_ir.Stmt.sched;
+  dreductions : (Safara_ir.Stmt.redop * string) list;
+}
+
+type stmt =
+  | Decl of ty * string * expr option
+  | Assign of lhs * expr
+  | For of for_loop
+  | If of expr * stmt list * stmt list
+
+and for_loop = {
+  findex : string;
+  finit : expr;
+  fbound : [ `Le | `Lt ] * expr;  (** condition operator and bound *)
+  fdirective : loop_directive option;
+  fbody : stmt list;
+}
+
+type intent = In | Out
+
+(** One dimension: [\[len\]] or Fortran-style [\[lb:len\]]; bounds are
+    [Int] literals or [Var] references to params. Used both in array
+    declarations and inside [dim] clauses. *)
+type dim_spec = { ds_lower : expr option; ds_extent : expr }
+
+type decl =
+  | Param of ty * string
+  | Array_decl of intent option * ty * string * dim_spec list
+
+type region = {
+  rname : string option;  (** from the [name(...)] clause *)
+  rkind : Safara_ir.Region.kind;
+  rdim : (dim_spec list option * string list) list;
+  rsmall : string list;
+  rbody : stmt list;
+}
+
+type program = { decls : decl list; regions : region list }
+
+val ty_to_dtype : ty -> Safara_ir.Types.dtype
+val intrinsic_of_name : string -> Safara_ir.Expr.intrinsic option
+(** Recognized calls: sqrt exp log sin cos fabs pow floor; plus
+    [min]/[max], which parse as calls but lower to {!Safara_ir.Expr.binop}. *)

@@ -1,0 +1,191 @@
+module E = Safara_ir.Expr
+module S = Safara_ir.Stmt
+module T = Safara_ir.Types
+module D = Safara_ir.Dim
+module A = Safara_ir.Array_info
+module R = Safara_ir.Region
+
+let type_name = function
+  | T.I32 -> "int"
+  | T.I64 -> "long"
+  | T.F32 -> "float"
+  | T.F64 -> "double"
+  | T.Bool -> invalid_arg "emit: bool has no source type"
+
+(* a float literal must re-lex as a float: force a decimal point *)
+let float_text f =
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.17g" f in
+    if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
+    then s
+    else s ^ ".0"
+
+let rec expr_to_source (e : E.t) =
+  match e with
+  | E.Int_lit (n, _) -> if n < 0 then Printf.sprintf "(%d)" n else string_of_int n
+  | E.Float_lit (f, T.F32) ->
+      if f < 0. then Printf.sprintf "(%sf)" (float_text f)
+      else float_text f ^ "f"
+  | E.Float_lit (f, _) ->
+      if f < 0. then Printf.sprintf "(%s)" (float_text f) else float_text f
+  | E.Var v -> v.E.vname
+  | E.Load (a, subs) ->
+      a ^ String.concat "" (List.map (fun s -> "[" ^ expr_to_source s ^ "]") subs)
+  | E.Binop ((E.Min | E.Max) as op, a, b) ->
+      Printf.sprintf "%s(%s, %s)"
+        (match op with E.Min -> "min" | _ -> "max")
+        (expr_to_source a) (expr_to_source b)
+  | E.Binop (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_source a) (E.binop_to_string op)
+        (expr_to_source b)
+  | E.Unop (E.Neg, a) -> Printf.sprintf "(-%s)" (expr_to_source a)
+  | E.Unop (E.Not, a) -> Printf.sprintf "(!%s)" (expr_to_source a)
+  | E.Call (i, args) ->
+      Printf.sprintf "%s(%s)" (E.intrinsic_to_string i)
+        (String.concat ", " (List.map expr_to_source args))
+  | E.Cast (ty, a) -> Printf.sprintf "(%s)(%s)" (type_name ty) (expr_to_source a)
+
+let indent n = String.make (2 * n) ' '
+
+let sched_clause = function
+  | S.Seq -> Some "seq"
+  | S.Auto -> None
+  | S.Gang None -> Some "gang"
+  | S.Gang (Some g) -> Some (Printf.sprintf "gang(%d)" g)
+  | S.Vector None -> Some "vector"
+  | S.Vector (Some v) -> Some (Printf.sprintf "vector(%d)" v)
+  | S.Gang_vector (g, v) ->
+      let part name = function
+        | None -> name
+        | Some n -> Printf.sprintf "%s(%d)" name n
+      in
+      Some (part "gang" g ^ " " ^ part "vector" v)
+
+let rec stmt_lines depth (s : S.t) =
+  let pad = indent depth in
+  match s with
+  | S.Assign (S.Lvar v, e) ->
+      [ Printf.sprintf "%s%s = %s;" pad v.E.vname (expr_to_source e) ]
+  | S.Assign (S.Larray (a, subs), e) ->
+      [
+        Printf.sprintf "%s%s%s = %s;" pad a
+          (String.concat "" (List.map (fun x -> "[" ^ expr_to_source x ^ "]") subs))
+          (expr_to_source e);
+      ]
+  | S.Local (v, None) ->
+      [ Printf.sprintf "%s%s %s;" pad (type_name v.E.vtype) v.E.vname ]
+  | S.Local (v, Some e) ->
+      [
+        Printf.sprintf "%s%s %s = %s;" pad (type_name v.E.vtype) v.E.vname
+          (expr_to_source e);
+      ]
+  | S.For l ->
+      let pragma =
+        let sched = sched_clause l.S.sched in
+        let reds =
+          List.map
+            (fun (op, v) ->
+              Printf.sprintf "reduction(%s:%s)" (S.redop_to_string op) v.E.vname)
+            l.S.reductions
+        in
+        match (sched, reds) with
+        | None, [] -> []
+        | _ ->
+            [
+              Printf.sprintf "%s#pragma acc loop %s" pad
+                (String.concat " " (Option.to_list sched @ reds));
+            ]
+      in
+      pragma
+      @ [
+          Printf.sprintf "%sfor (%s = %s; %s <= %s; %s++) {" pad l.S.index.E.vname
+            (expr_to_source l.S.lo) l.S.index.E.vname (expr_to_source l.S.hi)
+            l.S.index.E.vname;
+        ]
+      @ List.concat_map (stmt_lines (depth + 1)) l.S.body
+      @ [ pad ^ "}" ]
+  | S.If (c, t, []) ->
+      [ Printf.sprintf "%sif (%s) {" pad (expr_to_source c) ]
+      @ List.concat_map (stmt_lines (depth + 1)) t
+      @ [ pad ^ "}" ]
+  | S.If (c, t, e) ->
+      [ Printf.sprintf "%sif (%s) {" pad (expr_to_source c) ]
+      @ List.concat_map (stmt_lines (depth + 1)) t
+      @ [ pad ^ "} else {" ]
+      @ List.concat_map (stmt_lines (depth + 1)) e
+      @ [ pad ^ "}" ]
+
+let bound_to_source = function
+  | D.Const n -> string_of_int n
+  | D.Sym s -> s
+
+let dim_group_to_source (g : R.dim_group) =
+  let dims =
+    match g.R.stated_dims with
+    | None -> ""
+    | Some dims ->
+        String.concat ""
+          (List.map
+             (fun (d : D.t) ->
+               match d.D.lower with
+               | D.Const 0 -> "[" ^ bound_to_source d.D.extent ^ "]"
+               | lb ->
+                   Printf.sprintf "[%s:%s]" (bound_to_source lb)
+                     (bound_to_source d.D.extent))
+             dims)
+  in
+  Printf.sprintf "%s(%s)" dims (String.concat ", " g.R.group_arrays)
+
+let region_lines (r : R.t) =
+  let clauses =
+    [ Printf.sprintf "name(%s)" r.R.rname ]
+    @ (if r.R.dim_groups = [] then []
+       else
+         [
+           "dim("
+           ^ String.concat ", " (List.map dim_group_to_source r.R.dim_groups)
+           ^ ")";
+         ])
+    @
+    if r.R.small = [] then []
+    else [ Printf.sprintf "small(%s)" (String.concat ", " r.R.small) ]
+  in
+  [
+    Printf.sprintf "#pragma acc %s %s"
+      (match r.R.kind with R.Kernels -> "kernels" | R.Parallel -> "parallel")
+      (String.concat " " clauses);
+    "{";
+  ]
+  @ List.concat_map (stmt_lines 1) r.R.body
+  @ [ "}"; "" ]
+
+let program (p : Safara_ir.Program.t) =
+  let params =
+    List.map
+      (fun (v : E.var) ->
+        Printf.sprintf "param %s %s;" (type_name v.E.vtype) v.E.vname)
+      p.Safara_ir.Program.params
+  in
+  let arrays =
+    List.map
+      (fun (a : A.t) ->
+        let intent =
+          match a.A.intent with
+          | A.Copy_in -> "in "
+          | A.Copy_out -> "out "
+          | A.Copy | A.Create -> ""
+        in
+        let dim_to_source (d : D.t) =
+          match d.D.lower with
+          | D.Const 0 -> "[" ^ bound_to_source d.D.extent ^ "]"
+          | lb ->
+              Printf.sprintf "[%s:%s]" (bound_to_source lb)
+                (bound_to_source d.D.extent)
+        in
+        Printf.sprintf "%s%s %s%s;" intent (type_name a.A.elem) a.A.name
+          (String.concat "" (List.map dim_to_source a.A.dims)))
+      p.Safara_ir.Program.arrays
+  in
+  String.concat "\n"
+    (params @ arrays @ [ "" ] @ List.concat_map region_lines p.Safara_ir.Program.regions)

@@ -1,0 +1,12 @@
+(** MiniACC source emission from the IR — the inverse of the front
+    end. Used by tooling (dumping transformed programs as compilable
+    source) and by the round-trip tests: for any valid program [p],
+    [Frontend.compile (emit p)] must be semantically identical to [p].
+
+    Generated kernel-local scalars keep their IR names; region names
+    are preserved via [name(...)] clauses. *)
+
+val expr_to_source : Safara_ir.Expr.t -> string
+
+val program : Safara_ir.Program.t -> string
+(** Emit a complete compilable MiniACC program. *)

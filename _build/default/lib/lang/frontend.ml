@@ -1,0 +1,6 @@
+let compile ?name src =
+  let ast = Parser.parse src in
+  Typecheck.check_exn ast;
+  let prog = Lower.program ?name ast in
+  Safara_ir.Validate.check_exn prog;
+  prog

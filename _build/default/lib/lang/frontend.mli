@@ -1,0 +1,9 @@
+(** One-call front end: lex, parse, type-check, lower, validate. *)
+
+val compile : ?name:string -> string -> Safara_ir.Program.t
+(** [compile src] turns MiniACC source text into a validated IR
+    program.
+    @raise Lexer.Error / Parser.Error on syntax errors.
+    @raise Failure on type errors (rendered report).
+    @raise Invalid_argument if lowering produced invalid IR (an
+    internal error). *)

@@ -1,0 +1,201 @@
+exception Error of Token.pos * string
+
+type state = { src : string; mutable i : int; mutable line : int; mutable bol : int }
+
+let peek st = if st.i < String.length st.src then Some st.src.[st.i] else None
+
+let peek2 st =
+  if st.i + 1 < String.length st.src then Some st.src.[st.i + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.bol <- st.i + 1
+  | _ -> ());
+  st.i <- st.i + 1
+
+let pos st = { Token.line = st.line; col = st.i - st.bol + 1 }
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let keyword = function
+  | "param" -> Some Token.Kw_param
+  | "int" -> Some Token.Kw_int
+  | "long" -> Some Token.Kw_long
+  | "float" -> Some Token.Kw_float
+  | "double" -> Some Token.Kw_double
+  | "for" -> Some Token.Kw_for
+  | "if" -> Some Token.Kw_if
+  | "else" -> Some Token.Kw_else
+  | "in" -> Some Token.Kw_in
+  | "out" -> Some Token.Kw_out
+  | _ -> None
+
+let lex_number st p =
+  let start = st.i in
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  let is_float = ref false in
+  (match (peek st, peek2 st) with
+  | Some '.', Some c when is_digit c ->
+      is_float := true;
+      advance st;
+      while (match peek st with Some c -> is_digit c | None -> false) do
+        advance st
+      done
+  | Some '.', (Some _ | None) when peek2 st <> Some '.' ->
+      is_float := true;
+      advance st
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      advance st;
+      (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+      if not (match peek st with Some c -> is_digit c | None -> false) then
+        raise (Error (p, "malformed exponent"));
+      while (match peek st with Some c -> is_digit c | None -> false) do
+        advance st
+      done
+  | _ -> ());
+  let text = String.sub st.src start (st.i - start) in
+  match peek st with
+  | Some ('f' | 'F') when !is_float ->
+      advance st;
+      Token.Float32_lit (float_of_string text)
+  | _ ->
+      if !is_float then Token.Float_lit (float_of_string text)
+      else Token.Int_lit (int_of_string text)
+
+let lex_pragma st p =
+  (* we are just past "#"; expect "pragma" then "acc"; collect the rest
+     of the (possibly continued) line *)
+  let read_word () =
+    while peek st = Some ' ' || peek st = Some '\t' do
+      advance st
+    done;
+    let start = st.i in
+    while (match peek st with Some c -> is_alnum c | None -> false) do
+      advance st
+    done;
+    String.sub st.src start (st.i - start)
+  in
+  let w1 = read_word () in
+  if w1 <> "pragma" then raise (Error (p, "expected #pragma"));
+  let w2 = read_word () in
+  if w2 <> "acc" then raise (Error (p, "expected #pragma acc"));
+  let buf = Buffer.create 64 in
+  let rec collect () =
+    match peek st with
+    | None | Some '\n' -> ()
+    | Some '\\' when peek2 st = Some '\n' ->
+        advance st;
+        advance st;
+        Buffer.add_char buf ' ';
+        collect ()
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        collect ()
+  in
+  collect ();
+  Token.Pragma (String.trim (Buffer.contents buf))
+
+let tokenize src =
+  let st = { src; i = 0; line = 1; bol = 0 } in
+  let toks = ref [] in
+  let emit t p = toks := (t, p) :: !toks in
+  let rec skip_ws_and_comments () =
+    match (peek st, peek2 st) with
+    | Some (' ' | '\t' | '\r' | '\n'), _ ->
+        advance st;
+        skip_ws_and_comments ()
+    | Some '/', Some '/' ->
+        while peek st <> None && peek st <> Some '\n' do
+          advance st
+        done;
+        skip_ws_and_comments ()
+    | Some '/', Some '*' ->
+        let p = pos st in
+        advance st;
+        advance st;
+        let rec until_close () =
+          match (peek st, peek2 st) with
+          | Some '*', Some '/' ->
+              advance st;
+              advance st
+          | None, _ -> raise (Error (p, "unterminated comment"))
+          | _ ->
+              advance st;
+              until_close ()
+        in
+        until_close ();
+        skip_ws_and_comments ()
+    | _ -> ()
+  in
+  let rec loop () =
+    skip_ws_and_comments ();
+    let p = pos st in
+    match peek st with
+    | None -> emit Token.Eof p
+    | Some c ->
+        (match c with
+        | '#' ->
+            advance st;
+            emit (lex_pragma st p) p
+        | c when is_digit c -> emit (lex_number st p) p
+        | c when is_alpha c ->
+            let start = st.i in
+            while (match peek st with Some c -> is_alnum c | None -> false) do
+              advance st
+            done;
+            let text = String.sub st.src start (st.i - start) in
+            emit (Option.value (keyword text) ~default:(Token.Ident text)) p
+        | _ ->
+            let two tok =
+              advance st;
+              advance st;
+              emit tok p
+            and one tok =
+              advance st;
+              emit tok p
+            in
+            (match (c, peek2 st) with
+            | '+', Some '+' -> two Token.Plus_plus
+            | '+', Some '=' -> two Token.Plus_assign
+            | '-', Some '=' -> two Token.Minus_assign
+            | '*', Some '=' -> two Token.Star_assign
+            | '/', Some '=' -> two Token.Slash_assign
+            | '=', Some '=' -> two Token.Eq_eq
+            | '!', Some '=' -> two Token.Bang_eq
+            | '<', Some '=' -> two Token.Le
+            | '>', Some '=' -> two Token.Ge
+            | '&', Some '&' -> two Token.Amp_amp
+            | '|', Some '|' -> two Token.Bar_bar
+            | '+', _ -> one Token.Plus
+            | '-', _ -> one Token.Minus
+            | '*', _ -> one Token.Star
+            | '/', _ -> one Token.Slash
+            | '%', _ -> one Token.Percent
+            | '=', _ -> one Token.Assign
+            | '<', _ -> one Token.Lt
+            | '>', _ -> one Token.Gt
+            | '!', _ -> one Token.Bang
+            | '(', _ -> one Token.Lparen
+            | ')', _ -> one Token.Rparen
+            | '[', _ -> one Token.Lbracket
+            | ']', _ -> one Token.Rbracket
+            | '{', _ -> one Token.Lbrace
+            | '}', _ -> one Token.Rbrace
+            | ';', _ -> one Token.Semi
+            | ',', _ -> one Token.Comma
+            | ':', _ -> one Token.Colon
+            | _ -> raise (Error (p, Printf.sprintf "unexpected character %C" c))));
+        if (match !toks with (Token.Eof, _) :: _ -> false | _ -> true) then loop ()
+  in
+  loop ();
+  List.rev !toks

@@ -1,0 +1,13 @@
+(** Hand-written lexer for MiniACC.
+
+    Handles [//] line comments and [/* */] block comments. A line
+    beginning with [#pragma acc] is collected into a single
+    {!Token.t.Pragma} token carrying the rest of the line (with [\\]
+    line continuations resolved), mirroring how a C compiler's
+    preprocessor hands directives to the OpenACC front end. *)
+
+exception Error of Token.pos * string
+
+val tokenize : string -> (Token.t * Token.pos) list
+(** Full token stream, terminated by [Eof].
+    @raise Error on an unrecognizable character or malformed number. *)

@@ -1,0 +1,168 @@
+module T = Safara_ir.Types
+module E = Safara_ir.Expr
+module S = Safara_ir.Stmt
+module D = Safara_ir.Dim
+module A = Safara_ir.Array_info
+module R = Safara_ir.Region
+module P = Safara_ir.Program
+
+type env = {
+  params : (string * T.dtype) list;
+  arrays : (string * (T.dtype * int)) list;
+}
+
+let rec lower_expr env scope (e : Ast.expr) : E.t =
+  match e with
+  | Ast.Int n -> E.Int_lit (n, T.I32)
+  | Ast.Float f -> E.Float_lit (f, T.F64)
+  | Ast.Float32 f -> E.Float_lit (f, T.F32)
+  | Ast.Var v ->
+      let ty =
+        match List.assoc_opt v scope with
+        | Some ty -> ty
+        | None -> (
+            match List.assoc_opt v env.params with
+            | Some ty -> ty
+            | None -> failwith ("lower: unknown identifier " ^ v))
+      in
+      E.Var { E.vname = v; vtype = ty }
+  | Ast.Index (a, subs) -> E.Load (a, List.map (lower_expr env scope) subs)
+  | Ast.Bin (op, a, b) -> E.Binop (op, lower_expr env scope a, lower_expr env scope b)
+  | Ast.Un (op, a) -> E.Unop (op, lower_expr env scope a)
+  | Ast.Call ("min", [ a; b ]) ->
+      E.Binop (E.Min, lower_expr env scope a, lower_expr env scope b)
+  | Ast.Call ("max", [ a; b ]) ->
+      E.Binop (E.Max, lower_expr env scope a, lower_expr env scope b)
+  | Ast.Call (name, args) -> (
+      match Ast.intrinsic_of_name name with
+      | Some i -> E.Call (i, List.map (lower_expr env scope) args)
+      | None -> failwith ("lower: unknown function " ^ name))
+  | Ast.Cast (ty, a) -> E.Cast (Ast.ty_to_dtype ty, lower_expr env scope a)
+
+let simplify_minus_one (e : E.t) =
+  match e with
+  | E.Int_lit (n, ty) -> E.Int_lit (n - 1, ty)
+  | _ -> E.Binop (E.Sub, e, E.int 1)
+
+let rec lower_stmts env scope (stmts : Ast.stmt list) : S.t list =
+  match stmts with
+  | [] -> []
+  | s :: rest -> (
+      match s with
+      | Ast.Decl (ty, name, init) ->
+          let dty = Ast.ty_to_dtype ty in
+          let init' = Option.map (lower_expr env scope) init in
+          S.Local ({ E.vname = name; vtype = dty }, init')
+          :: lower_stmts env ((name, dty) :: scope) rest
+      | Ast.Assign (Ast.Lid name, e) ->
+          let ty =
+            match List.assoc_opt name scope with
+            | Some ty -> ty
+            | None -> failwith ("lower: assignment to undeclared " ^ name)
+          in
+          S.Assign (S.Lvar { E.vname = name; vtype = ty }, lower_expr env scope e)
+          :: lower_stmts env scope rest
+      | Ast.Assign (Ast.Lindex (a, subs), e) ->
+          S.Assign
+            (S.Larray (a, List.map (lower_expr env scope) subs), lower_expr env scope e)
+          :: lower_stmts env scope rest
+      | Ast.For f ->
+          let scope' = (f.findex, T.I32) :: scope in
+          let lo = lower_expr env scope f.finit in
+          let hi =
+            let bound = lower_expr env scope (snd f.fbound) in
+            match fst f.fbound with `Le -> bound | `Lt -> simplify_minus_one bound
+          in
+          let sched, reductions =
+            match f.fdirective with
+            | None -> (S.Auto, [])
+            | Some d ->
+                ( d.Ast.dsched,
+                  List.map
+                    (fun (op, v) ->
+                      let ty =
+                        match List.assoc_opt v scope with
+                        | Some ty -> ty
+                        | None -> T.F64
+                      in
+                      (op, { E.vname = v; vtype = ty }))
+                    d.Ast.dreductions )
+          in
+          S.For
+            {
+              S.index = { E.vname = f.findex; vtype = T.I32 };
+              lo;
+              hi;
+              sched;
+              reductions;
+              body = lower_stmts env scope' f.fbody;
+            }
+          :: lower_stmts env scope rest
+      | Ast.If (c, t, e) ->
+          S.If
+            (lower_expr env scope c, lower_stmts env scope t, lower_stmts env scope e)
+          :: lower_stmts env scope rest)
+
+let lower_dim_expr (e : Ast.expr) : D.bound =
+  match e with
+  | Ast.Int n -> D.Const n
+  | Ast.Var v -> D.Sym v
+  | _ -> failwith "lower: array dimensions must be literals or parameters"
+
+let lower_dim_spec (s : Ast.dim_spec) : D.t =
+  {
+    D.lower = (match s.ds_lower with None -> D.Const 0 | Some e -> lower_dim_expr e);
+    extent = lower_dim_expr s.ds_extent;
+  }
+
+let lower_region env idx (r : Ast.region) : R.t =
+  let rname =
+    match r.rname with Some n -> n | None -> Printf.sprintf "k%d" (idx + 1)
+  in
+  {
+    R.rname;
+    kind = r.rkind;
+    body = lower_stmts env [] r.rbody;
+    dim_groups =
+      List.map
+        (fun (specs, arrays) ->
+          {
+            R.stated_dims = Option.map (List.map lower_dim_spec) specs;
+            group_arrays = arrays;
+          })
+        r.rdim;
+    small = r.rsmall;
+  }
+
+let program ?(name = "program") (p : Ast.program) : P.t =
+  let params =
+    List.filter_map
+      (function
+        | Ast.Param (ty, n) -> Some { E.vname = n; vtype = Ast.ty_to_dtype ty }
+        | Ast.Array_decl _ -> None)
+      p.decls
+  in
+  let arrays =
+    List.filter_map
+      (function
+        | Ast.Param _ -> None
+        | Ast.Array_decl (intent, ty, n, dims) ->
+            let intent' =
+              match intent with
+              | Some Ast.In -> A.Copy_in
+              | Some Ast.Out -> A.Copy_out
+              | None -> A.Copy
+            in
+            let dims' = List.map lower_dim_spec dims in
+            Some (A.make ~intent:intent' n (Ast.ty_to_dtype ty) dims'))
+      p.decls
+  in
+  let env =
+    {
+      params = List.map (fun (v : E.var) -> (v.E.vname, v.E.vtype)) params;
+      arrays =
+        List.map (fun (a : A.t) -> (a.A.name, (a.A.elem, A.rank a))) arrays;
+    }
+  in
+  let regions = List.mapi (lower_region env) p.regions in
+  P.make ~params ~arrays name regions

@@ -1,0 +1,12 @@
+(** Lowering from the MiniACC AST to the IR.
+
+    Precondition: the program passed {!Typecheck.check}. Lowering
+    normalizes [<] loop bounds to inclusive [<=] form, resolves
+    [min]/[max] calls to IR binops, annotates every variable reference
+    with its type, converts declaration intents to data-motion
+    intents, numbers anonymous regions [k1], [k2], …, and converts
+    [dim]-clause groups to IR dope-vector dimension groups. *)
+
+val program : ?name:string -> Ast.program -> Safara_ir.Program.t
+(** @raise Failure on constructs the type checker should have
+    rejected (internal-error guard). *)

@@ -1,0 +1,520 @@
+exception Error of Token.pos * string
+
+module E = Safara_ir.Expr
+module S = Safara_ir.Stmt
+module R = Safara_ir.Region
+
+type state = { toks : (Token.t * Token.pos) array; mutable k : int }
+
+let cur st = fst st.toks.(st.k)
+let cur_pos st = snd st.toks.(st.k)
+let advance st = if st.k < Array.length st.toks - 1 then st.k <- st.k + 1
+
+let err st fmt =
+  Format.kasprintf (fun msg -> raise (Error (cur_pos st, msg))) fmt
+
+let expect st tok =
+  if Token.equal (cur st) tok then advance st
+  else
+    err st "expected %s but found %s" (Token.to_string tok)
+      (Token.to_string (cur st))
+
+let expect_ident st =
+  match cur st with
+  | Token.Ident name ->
+      advance st;
+      name
+  | t -> err st "expected identifier but found %s" (Token.to_string t)
+
+let accept st tok =
+  if Token.equal (cur st) tok then (
+    advance st;
+    true)
+  else false
+
+let parse_type_opt st =
+  match cur st with
+  | Token.Kw_int ->
+      advance st;
+      Some Ast.Tint
+  | Token.Kw_long ->
+      advance st;
+      Some Ast.Tlong
+  | Token.Kw_float ->
+      advance st;
+      Some Ast.Tfloat
+  | Token.Kw_double ->
+      advance st;
+      Some Ast.Tdouble
+  | _ -> None
+
+let parse_type st =
+  match parse_type_opt st with
+  | Some ty -> ty
+  | None -> err st "expected a type name, found %s" (Token.to_string (cur st))
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr_prec st = parse_or st
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  while accept st Token.Bar_bar do
+    !lhs |> fun l -> lhs := Ast.Bin (E.Or, l, parse_and st)
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_cmp st) in
+  while accept st Token.Amp_amp do
+    !lhs |> fun l -> lhs := Ast.Bin (E.And, l, parse_cmp st)
+  done;
+  !lhs
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match cur st with
+    | Token.Eq_eq -> Some E.Eq
+    | Token.Bang_eq -> Some E.Ne
+    | Token.Lt -> Some E.Lt
+    | Token.Le -> Some E.Le
+    | Token.Gt -> Some E.Gt
+    | Token.Ge -> Some E.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance st;
+      Ast.Bin (op, lhs, parse_add st)
+
+and parse_add st =
+  let lhs = ref (parse_mul st) in
+  let rec go () =
+    if accept st Token.Plus then (
+      !lhs |> fun l ->
+      lhs := Ast.Bin (E.Add, l, parse_mul st);
+      go ())
+    else if accept st Token.Minus then (
+      !lhs |> fun l ->
+      lhs := Ast.Bin (E.Sub, l, parse_mul st);
+      go ())
+  in
+  go ();
+  !lhs
+
+and parse_mul st =
+  let lhs = ref (parse_unary st) in
+  let rec go () =
+    if accept st Token.Star then (
+      !lhs |> fun l ->
+      lhs := Ast.Bin (E.Mul, l, parse_unary st);
+      go ())
+    else if accept st Token.Slash then (
+      !lhs |> fun l ->
+      lhs := Ast.Bin (E.Div, l, parse_unary st);
+      go ())
+    else if accept st Token.Percent then (
+      !lhs |> fun l ->
+      lhs := Ast.Bin (E.Mod, l, parse_unary st);
+      go ())
+  in
+  go ();
+  !lhs
+
+and parse_unary st =
+  if accept st Token.Minus then Ast.Un (E.Neg, parse_unary st)
+  else if accept st Token.Bang then Ast.Un (E.Not, parse_unary st)
+  else parse_primary st
+
+and parse_primary st =
+  match cur st with
+  | Token.Int_lit n ->
+      advance st;
+      Ast.Int n
+  | Token.Float_lit f ->
+      advance st;
+      Ast.Float f
+  | Token.Float32_lit f ->
+      advance st;
+      Ast.Float32 f
+  | Token.Ident name -> (
+      advance st;
+      match cur st with
+      | Token.Lparen ->
+          advance st;
+          let args = parse_args st in
+          expect st Token.Rparen;
+          Ast.Call (name, args)
+      | Token.Lbracket ->
+          let subs = parse_subscripts st in
+          Ast.Index (name, subs)
+      | _ -> Ast.Var name)
+  | Token.Lparen -> (
+      advance st;
+      match parse_type_opt st with
+      | Some ty ->
+          expect st Token.Rparen;
+          Ast.Cast (ty, parse_unary st)
+      | None ->
+          let e = parse_expr_prec st in
+          expect st Token.Rparen;
+          e)
+  | t -> err st "expected an expression, found %s" (Token.to_string t)
+
+and parse_args st =
+  if Token.equal (cur st) Token.Rparen then []
+  else
+    let first = parse_expr_prec st in
+    let rec more acc =
+      if accept st Token.Comma then more (parse_expr_prec st :: acc)
+      else List.rev acc
+    in
+    more [ first ]
+
+and parse_subscripts st =
+  let rec go acc =
+    if accept st Token.Lbracket then (
+      let e = parse_expr_prec st in
+      expect st Token.Rbracket;
+      go (e :: acc))
+    else List.rev acc
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Directive (pragma payload) parsing                                  *)
+(* ------------------------------------------------------------------ *)
+
+type clause_state = { mutable name : string option;
+                      mutable dim : (Ast.dim_spec list option * string list) list;
+                      mutable small : string list }
+
+let parse_ident_list st =
+  expect st Token.Lparen;
+  let first = expect_ident st in
+  let rec more acc =
+    if accept st Token.Comma then more (expect_ident st :: acc)
+    else List.rev acc
+  in
+  let ids = more [ first ] in
+  expect st Token.Rparen;
+  ids
+
+let parse_dim_specs st =
+  (* zero or more "[expr]" or "[expr:expr]" *)
+  let rec go acc =
+    if Token.equal (cur st) Token.Lbracket then (
+      advance st;
+      let e1 = parse_expr_prec st in
+      let spec =
+        if accept st Token.Colon then
+          let e2 = parse_expr_prec st in
+          { Ast.ds_lower = Some e1; ds_extent = e2 }
+        else { Ast.ds_lower = None; ds_extent = e1 }
+      in
+      expect st Token.Rbracket;
+      go (spec :: acc))
+    else List.rev acc
+  in
+  go []
+
+let parse_dim_clause st cl =
+  (* dim( [l1][l2](a, b), (c, d), ... ) *)
+  expect st Token.Lparen;
+  let rec group () =
+    let specs = parse_dim_specs st in
+    let arrays = parse_ident_list st in
+    let stated = if specs = [] then None else Some specs in
+    cl.dim <- cl.dim @ [ (stated, arrays) ];
+    if accept st Token.Comma then group ()
+  in
+  group ();
+  expect st Token.Rparen
+
+let rec parse_region_clauses st cl =
+  match cur st with
+  | Token.Ident "name" ->
+      advance st;
+      (match parse_ident_list st with
+      | [ n ] -> cl.name <- Some n
+      | _ -> err st "name(...) takes exactly one identifier");
+      parse_region_clauses st cl
+  | Token.Ident "dim" ->
+      advance st;
+      parse_dim_clause st cl;
+      parse_region_clauses st cl
+  | Token.Ident "small" ->
+      advance st;
+      cl.small <- cl.small @ parse_ident_list st;
+      parse_region_clauses st cl
+  | Token.Ident ("copy" | "copyin" | "copyout" | "create" | "present") ->
+      (* accepted and ignored: data motion is handled by the harness *)
+      advance st;
+      ignore (parse_ident_list st);
+      parse_region_clauses st cl
+  | Token.Eof -> ()
+  | t -> err st "unexpected token %s in kernels/parallel directive" (Token.to_string t)
+
+let parse_loop_directive st =
+  let sched_gang = ref None and sched_vector = ref None in
+  let seq = ref false and independent = ref false in
+  let reductions = ref [] in
+  let parse_opt_width () =
+    if Token.equal (cur st) Token.Lparen then (
+      advance st;
+      let n =
+        match cur st with
+        | Token.Int_lit n ->
+            advance st;
+            n
+        | _ -> err st "expected an integer width"
+      in
+      expect st Token.Rparen;
+      Some n)
+    else None
+  in
+  let rec go () =
+    match cur st with
+    | Token.Ident "gang" ->
+        advance st;
+        sched_gang := Some (parse_opt_width ());
+        go ()
+    | Token.Ident "vector" ->
+        advance st;
+        sched_vector := Some (parse_opt_width ());
+        go ()
+    | Token.Ident "seq" ->
+        advance st;
+        seq := true;
+        go ()
+    | Token.Ident "independent" ->
+        advance st;
+        independent := true;
+        go ()
+    | Token.Ident "reduction" ->
+        advance st;
+        expect st Token.Lparen;
+        let op =
+          match cur st with
+          | Token.Plus ->
+              advance st;
+              S.Rplus
+          | Token.Star ->
+              advance st;
+              S.Rmul
+          | Token.Ident "min" ->
+              advance st;
+              S.Rmin
+          | Token.Ident "max" ->
+              advance st;
+              S.Rmax
+          | t -> err st "unknown reduction operator %s" (Token.to_string t)
+        in
+        expect st Token.Colon;
+        let v = expect_ident st in
+        expect st Token.Rparen;
+        reductions := (op, v) :: !reductions;
+        go ()
+    | Token.Eof -> ()
+    | t -> err st "unexpected token %s in loop directive" (Token.to_string t)
+  in
+  go ();
+  let dsched =
+    if !seq then S.Seq
+    else
+      match (!sched_gang, !sched_vector) with
+      | Some g, Some v -> S.Gang_vector (g, v)
+      | Some g, None -> S.Gang g
+      | None, Some v -> S.Vector v
+      | None, None -> S.Auto
+  in
+  { Ast.dsched; dreductions = List.rev !reductions }
+
+let substate_of_payload pos payload =
+  let toks =
+    try Lexer.tokenize payload
+    with Lexer.Error (_, msg) -> raise (Error (pos, "in directive: " ^ msg))
+  in
+  { toks = Array.of_list toks; k = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_stmt st : Ast.stmt =
+  match cur st with
+  | Token.Pragma payload ->
+      let pos = cur_pos st in
+      advance st;
+      let sub = substate_of_payload pos payload in
+      (match cur sub with
+      | Token.Ident "loop" ->
+          advance sub;
+          let directive = parse_loop_directive sub in
+          (match parse_stmt st with
+          | Ast.For f -> Ast.For { f with fdirective = Some directive }
+          | _ -> raise (Error (pos, "#pragma acc loop must precede a for loop")))
+      | t ->
+          raise
+            (Error
+               ( pos,
+                 "unexpected directive inside a region: "
+                 ^ Token.to_string t )))
+  | Token.Kw_for ->
+      advance st;
+      expect st Token.Lparen;
+      let i = expect_ident st in
+      expect st Token.Assign;
+      let init = parse_expr_prec st in
+      expect st Token.Semi;
+      let i2 = expect_ident st in
+      if i <> i2 then err st "loop condition must test the index %s" i;
+      let cmp =
+        match cur st with
+        | Token.Le ->
+            advance st;
+            `Le
+        | Token.Lt ->
+            advance st;
+            `Lt
+        | t -> err st "expected < or <= in loop condition, found %s" (Token.to_string t)
+      in
+      let bound = parse_expr_prec st in
+      expect st Token.Semi;
+      let i3 = expect_ident st in
+      if i <> i3 then err st "loop increment must update the index %s" i;
+      expect st Token.Plus_plus;
+      expect st Token.Rparen;
+      let body = parse_stmt_or_block st in
+      Ast.For
+        { findex = i; finit = init; fbound = (cmp, bound); fdirective = None; fbody = body }
+  | Token.Kw_if ->
+      advance st;
+      expect st Token.Lparen;
+      let c = parse_expr_prec st in
+      expect st Token.Rparen;
+      let then_ = parse_stmt_or_block st in
+      let else_ = if accept st Token.Kw_else then parse_stmt_or_block st else [] in
+      Ast.If (c, then_, else_)
+  | Token.Kw_int | Token.Kw_long | Token.Kw_float | Token.Kw_double ->
+      let ty = parse_type st in
+      let name = expect_ident st in
+      let init = if accept st Token.Assign then Some (parse_expr_prec st) else None in
+      expect st Token.Semi;
+      Ast.Decl (ty, name, init)
+  | Token.Ident _ ->
+      let name = expect_ident st in
+      let lhs =
+        if Token.equal (cur st) Token.Lbracket then
+          Ast.Lindex (name, parse_subscripts st)
+        else Ast.Lid name
+      in
+      let as_expr = function
+        | Ast.Lid n -> Ast.Var n
+        | Ast.Lindex (n, subs) -> Ast.Index (n, subs)
+      in
+      let compound op =
+        advance st;
+        let rhs = parse_expr_prec st in
+        expect st Token.Semi;
+        Ast.Assign (lhs, Ast.Bin (op, as_expr lhs, rhs))
+      in
+      (match cur st with
+      | Token.Assign ->
+          advance st;
+          let rhs = parse_expr_prec st in
+          expect st Token.Semi;
+          Ast.Assign (lhs, rhs)
+      | Token.Plus_assign -> compound E.Add
+      | Token.Minus_assign -> compound E.Sub
+      | Token.Star_assign -> compound E.Mul
+      | Token.Slash_assign -> compound E.Div
+      | t -> err st "expected an assignment operator, found %s" (Token.to_string t))
+  | t -> err st "expected a statement, found %s" (Token.to_string t)
+
+and parse_stmt_or_block st =
+  if accept st Token.Lbrace then (
+    let stmts = parse_stmts_until_rbrace st in
+    stmts)
+  else [ parse_stmt st ]
+
+and parse_stmts_until_rbrace st =
+  let rec go acc =
+    if accept st Token.Rbrace then List.rev acc else go (parse_stmt st :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parse_decl st : Ast.decl =
+  match cur st with
+  | Token.Kw_param ->
+      advance st;
+      let ty = parse_type st in
+      let name = expect_ident st in
+      expect st Token.Semi;
+      Ast.Param (ty, name)
+  | _ ->
+      let intent =
+        if accept st Token.Kw_in then Some Ast.In
+        else if accept st Token.Kw_out then Some Ast.Out
+        else None
+      in
+      let ty = parse_type st in
+      let name = expect_ident st in
+      let dims = parse_dim_specs st in
+      if dims = [] then err st "array %s must have at least one dimension" name;
+      expect st Token.Semi;
+      Ast.Array_decl (intent, ty, name, dims)
+
+let parse_region st pos payload : Ast.region =
+  let sub = substate_of_payload pos payload in
+  let kind =
+    match cur sub with
+    | Token.Ident "kernels" ->
+        advance sub;
+        R.Kernels
+    | Token.Ident "parallel" ->
+        advance sub;
+        R.Parallel
+    | t ->
+        raise
+          (Error (pos, "expected kernels or parallel, found " ^ Token.to_string t))
+  in
+  let cl = { name = None; dim = []; small = [] } in
+  parse_region_clauses sub cl;
+  expect st Token.Lbrace;
+  let body = parse_stmts_until_rbrace st in
+  { Ast.rname = cl.name; rkind = kind; rdim = cl.dim; rsmall = cl.small; rbody = body }
+
+let parse src =
+  let toks = Lexer.tokenize src in
+  let st = { toks = Array.of_list toks; k = 0 } in
+  let decls = ref [] and regions = ref [] in
+  let rec go () =
+    match cur st with
+    | Token.Eof -> ()
+    | Token.Pragma payload ->
+        let pos = cur_pos st in
+        advance st;
+        regions := parse_region st pos payload :: !regions;
+        go ()
+    | _ ->
+        decls := parse_decl st :: !decls;
+        go ()
+  in
+  go ();
+  { Ast.decls = List.rev !decls; regions = List.rev !regions }
+
+let parse_expr src =
+  let toks = Lexer.tokenize src in
+  let st = { toks = Array.of_list toks; k = 0 } in
+  let e = parse_expr_prec st in
+  expect st Token.Eof;
+  e

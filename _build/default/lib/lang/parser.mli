@@ -1,0 +1,26 @@
+(** Recursive-descent parser for MiniACC.
+
+    Grammar summary:
+    {v
+    program  := (decl | region)*
+    decl     := "param" ty ident ";"
+              | ["in"|"out"] ty ident ("[" dim "]")+ ";"
+    region   := <#pragma acc kernels|parallel clauses...> block
+    clauses  := name(id) | dim(dimgroup,...) | small(id,...)
+    stmt     := ty ident ["=" expr] ";"
+              | lhs ("="|"+="|"-="|"*="|"/=") expr ";"
+              | "for" "(" i "=" e ";" i ("<="|"<") e ";" i "++" ")" body
+              | "if" "(" expr ")" block ["else" block]
+              | <#pragma acc loop sched... reduction(op:var)> for-stmt
+    v}
+    Expressions follow C precedence. [min]/[max] parse as calls. A
+    parenthesized type name is a cast. *)
+
+exception Error of Token.pos * string
+
+val parse : string -> Ast.program
+(** @raise Error on syntax errors, with source position.
+    @raise Lexer.Error on lexical errors. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a standalone expression (used by tests). *)

@@ -1,0 +1,57 @@
+(** Lexical tokens of MiniACC, a C-like array language with OpenACC
+    directives (including the paper's proposed [dim] and [small]
+    clauses). Directives arrive as whole-line [Pragma] tokens whose
+    payload is re-lexed by the directive sub-parser. *)
+
+type t =
+  | Int_lit of int
+  | Float_lit of float  (** [double] literal *)
+  | Float32_lit of float  (** literal with [f] suffix *)
+  | Ident of string
+  | Kw_param
+  | Kw_int
+  | Kw_long
+  | Kw_float
+  | Kw_double
+  | Kw_for
+  | Kw_if
+  | Kw_else
+  | Kw_in  (** array intent: region only reads it (copyin) *)
+  | Kw_out  (** array intent: copyout *)
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Semi
+  | Comma
+  | Colon
+  | Assign
+  | Plus_assign
+  | Minus_assign
+  | Star_assign
+  | Slash_assign
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Plus_plus
+  | Eq_eq
+  | Bang_eq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Amp_amp
+  | Bar_bar
+  | Bang
+  | Pragma of string  (** text after [#pragma acc] *)
+  | Eof
+
+type pos = { line : int; col : int }
+
+val to_string : t -> string
+val equal : t -> t -> bool
+val pp_pos : Format.formatter -> pos -> unit

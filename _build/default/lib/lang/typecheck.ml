@@ -1,0 +1,200 @@
+type error = string
+
+module T = Safara_ir.Types
+
+type env = {
+  mutable params : (string * T.dtype) list;
+  mutable arrays : (string * (T.dtype * int)) list;
+  mutable errors : error list;
+}
+
+let err env fmt = Format.kasprintf (fun m -> env.errors <- m :: env.errors) fmt
+
+(* type of an expression; Bool for conditions, None on error (already
+   reported) *)
+let rec type_expr env scope (e : Ast.expr) : T.dtype option =
+  match e with
+  | Ast.Int _ -> Some T.I32
+  | Ast.Float _ -> Some T.F64
+  | Ast.Float32 _ -> Some T.F32
+  | Ast.Var v -> (
+      match List.assoc_opt v scope with
+      | Some ty -> Some ty
+      | None -> (
+          match List.assoc_opt v env.params with
+          | Some ty -> Some ty
+          | None ->
+              if List.mem_assoc v env.arrays then (
+                err env "array %s used without subscripts" v;
+                None)
+              else (
+                err env "unknown identifier %s" v;
+                None)))
+  | Ast.Index (a, subs) -> (
+      match List.assoc_opt a env.arrays with
+      | None ->
+          err env "unknown array %s" a;
+          None
+      | Some (elem, rank) ->
+          if List.length subs <> rank then
+            err env "array %s has rank %d but %d subscripts given" a rank
+              (List.length subs);
+          List.iter
+            (fun s ->
+              match type_expr env scope s with
+              | Some ty when T.is_integer ty -> ()
+              | Some ty ->
+                  err env "subscript of %s has non-integer type %s" a
+                    (T.to_string ty)
+              | None -> ())
+            subs;
+          Some elem)
+  | Ast.Bin (op, a, b) -> (
+      let ta = type_expr env scope a and tb = type_expr env scope b in
+      match (ta, tb) with
+      | Some ta, Some tb ->
+          if Safara_ir.Expr.is_comparison op then Some T.Bool
+          else if op = Safara_ir.Expr.And || op = Safara_ir.Expr.Or then Some T.Bool
+          else (
+            (if op = Safara_ir.Expr.Mod && (T.is_float ta || T.is_float tb) then
+               err env "%% requires integer operands");
+            Some (T.join ta tb))
+      | _ -> None)
+  | Ast.Un (Safara_ir.Expr.Neg, a) -> type_expr env scope a
+  | Ast.Un (Safara_ir.Expr.Not, a) ->
+      ignore (type_expr env scope a);
+      Some T.Bool
+  | Ast.Call (name, args) -> (
+      let arg_types = List.map (type_expr env scope) args in
+      let arity n =
+        if List.length args <> n then
+          err env "%s expects %d argument(s), got %d" name n (List.length args)
+      in
+      match name with
+      | "min" | "max" ->
+          arity 2;
+          (match arg_types with
+          | [ Some a; Some b ] -> Some (T.join a b)
+          | _ -> None)
+      | "pow" ->
+          arity 2;
+          Some T.F64
+      | _ -> (
+          match Ast.intrinsic_of_name name with
+          | Some _ ->
+              arity 1;
+              (match arg_types with [ Some t ] when T.is_float t -> Some t | _ -> Some T.F64)
+          | None ->
+              err env "unknown function %s" name;
+              None))
+  | Ast.Cast (ty, a) ->
+      ignore (type_expr env scope a);
+      Some (Ast.ty_to_dtype ty)
+
+let rec check_stmts env scope stmts =
+  ignore
+    (List.fold_left
+       (fun scope s ->
+         match s with
+         | Ast.Decl (ty, name, init) ->
+             if List.mem_assoc name scope then
+               err env "redeclaration of %s" name;
+             if List.mem_assoc name env.params then
+               err env "local %s shadows a program parameter" name;
+             if List.mem_assoc name env.arrays then
+               err env "local %s shadows an array" name;
+             Option.iter (fun e -> ignore (type_expr env scope e)) init;
+             (name, Ast.ty_to_dtype ty) :: scope
+         | Ast.Assign (Ast.Lid name, e) ->
+             (match List.assoc_opt name scope with
+             | Some _ -> ()
+             | None ->
+                 if List.mem_assoc name env.params then
+                   err env "cannot assign to parameter %s inside a kernel" name
+                 else err env "assignment to undeclared scalar %s" name);
+             ignore (type_expr env scope e);
+             scope
+         | Ast.Assign (Ast.Lindex (a, subs), e) ->
+             ignore (type_expr env scope (Ast.Index (a, subs)));
+             ignore (type_expr env scope e);
+             scope
+         | Ast.For f ->
+             if List.mem_assoc f.findex scope then
+               err env "loop index %s shadows an enclosing binding" f.findex;
+             ignore (type_expr env scope f.finit);
+             ignore (type_expr env scope (snd f.fbound));
+             (match f.fdirective with
+             | Some d ->
+                 List.iter
+                   (fun (_, v) ->
+                     if not (List.mem_assoc v scope) then
+                       err env "reduction variable %s is not a kernel-local scalar" v)
+                   d.Ast.dreductions
+             | None -> ());
+             check_stmts env ((f.findex, T.I32) :: scope) f.fbody;
+             scope
+         | Ast.If (c, t, e) ->
+             ignore (type_expr env scope c);
+             check_stmts env scope t;
+             check_stmts env scope e;
+             scope)
+       scope stmts)
+
+let check_region env (r : Ast.region) =
+  check_stmts env [] r.rbody;
+  List.iter
+    (fun (_, arrays) ->
+      List.iter
+        (fun a ->
+          if not (List.mem_assoc a env.arrays) then
+            err env "dim clause names unknown array %s" a)
+        arrays)
+    r.rdim;
+  List.iter
+    (fun a ->
+      if not (List.mem_assoc a env.arrays) then
+        err env "small clause names unknown array %s" a)
+    r.rsmall
+
+let build_env (p : Ast.program) =
+  let env = { params = []; arrays = []; errors = [] } in
+  List.iter
+    (fun d ->
+      match d with
+      | Ast.Param (ty, name) ->
+          if List.mem_assoc name env.params then err env "duplicate parameter %s" name;
+          env.params <- env.params @ [ (name, Ast.ty_to_dtype ty) ]
+      | Ast.Array_decl (_, ty, name, dims) ->
+          if List.mem_assoc name env.arrays then err env "duplicate array %s" name;
+          if List.mem_assoc name env.params then
+            err env "array %s collides with a parameter" name;
+          let check_bound ~is_extent (dim : Ast.expr) =
+            match dim with
+            | Ast.Int n ->
+                if is_extent && n <= 0 then
+                  err env "array %s has a non-positive dimension" name
+            | Ast.Var v -> (
+                match List.assoc_opt v env.params with
+                | Some ty when T.is_integer ty -> ()
+                | Some _ -> err env "dimension %s of array %s is not an integer parameter" v name
+                | None -> err env "dimension %s of array %s is not a declared parameter" v name)
+            | _ -> err env "array %s: dimensions must be literals or parameters" name
+          in
+          List.iter
+            (fun (spec : Ast.dim_spec) ->
+              Option.iter (check_bound ~is_extent:false) spec.Ast.ds_lower;
+              check_bound ~is_extent:true spec.Ast.ds_extent)
+            dims;
+          env.arrays <- env.arrays @ [ (name, (Ast.ty_to_dtype ty, List.length dims)) ])
+    p.decls;
+  env
+
+let check (p : Ast.program) =
+  let env = build_env p in
+  List.iter (check_region env) p.regions;
+  match env.errors with [] -> Ok () | errs -> Error (List.rev errs)
+
+let check_exn p =
+  match check p with
+  | Ok () -> ()
+  | Error errs -> failwith (String.concat "\n" errs)

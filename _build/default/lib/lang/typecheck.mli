@@ -1,0 +1,14 @@
+(** Semantic analysis of MiniACC programs.
+
+    Collects (rather than fail-fast raises) the kinds of errors the
+    OpenACC front end would report: unknown identifiers, wrong
+    subscript counts, non-integer subscripts, unknown intrinsics and
+    wrong arities, assignments to parameters or loop indices,
+    redeclarations, and malformed array dimensions. *)
+
+type error = string
+
+val check : Ast.program -> (unit, error list) result
+
+val check_exn : Ast.program -> unit
+(** @raise Failure with the rendered error report. *)

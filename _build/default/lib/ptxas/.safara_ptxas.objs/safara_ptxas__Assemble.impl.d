@@ -1,0 +1,1 @@
+lib/ptxas/assemble.ml: Array Cfg Format Linear_scan Option Safara_gpu Safara_vir Spill

@@ -1,0 +1,1 @@
+lib/ptxas/assemble.mli: Format Safara_gpu Safara_vir

@@ -1,0 +1,1 @@
+lib/ptxas/cfg.ml: Array Format Int List Safara_vir String

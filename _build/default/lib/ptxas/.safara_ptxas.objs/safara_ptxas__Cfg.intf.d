@@ -1,0 +1,1 @@
+lib/ptxas/cfg.mli: Format Safara_vir

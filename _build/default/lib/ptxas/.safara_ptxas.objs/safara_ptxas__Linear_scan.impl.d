@@ -1,0 +1,1 @@
+lib/ptxas/linear_scan.ml: Array Cfg Fun Hashtbl List Liveness Printf Safara_vir

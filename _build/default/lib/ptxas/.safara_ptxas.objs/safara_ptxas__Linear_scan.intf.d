@@ -1,0 +1,1 @@
+lib/ptxas/linear_scan.mli: Cfg Result Safara_vir

@@ -1,0 +1,1 @@
+lib/ptxas/liveness.ml: Array Cfg Format Hashtbl Int List Safara_vir

@@ -1,0 +1,1 @@
+lib/ptxas/liveness.mli: Cfg Format Safara_vir

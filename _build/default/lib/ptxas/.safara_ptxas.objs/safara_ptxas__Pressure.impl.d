@@ -1,0 +1,1 @@
+lib/ptxas/pressure.ml: Array Cfg Format List Liveness Safara_vir

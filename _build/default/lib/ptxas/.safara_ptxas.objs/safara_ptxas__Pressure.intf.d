@@ -1,0 +1,1 @@
+lib/ptxas/pressure.mli: Cfg Format Safara_vir

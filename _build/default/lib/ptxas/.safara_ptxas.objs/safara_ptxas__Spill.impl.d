@@ -1,0 +1,1 @@
+lib/ptxas/spill.ml: Array Hashtbl List Safara_gpu Safara_ir Safara_vir

@@ -1,0 +1,1 @@
+lib/ptxas/spill.mli: Safara_vir

@@ -1,0 +1,54 @@
+module I = Safara_vir.Instr
+
+type report = {
+  kernel_name : string;
+  regs_used : int;
+  pred_regs : int;
+  spill_bytes : int;
+  spill_loads : int;
+  spill_stores : int;
+  instructions : int;
+}
+
+let count_spill_ops code =
+  Array.fold_left
+    (fun (ld, st) i ->
+      match i with
+      | I.Ld { note = "spill"; _ } -> (ld + 1, st)
+      | I.St { note = "spill"; _ } -> (ld, st + 1)
+      | _ -> (ld, st))
+    (0, 0) code
+
+let assemble ?max_regs ~arch (k : Safara_vir.Kernel.t) =
+  let cap =
+    Option.value max_regs ~default:arch.Safara_gpu.Arch.max_registers_per_thread
+  in
+  let rec go code spill_bytes round =
+    if round > 16 then failwith "ptxas: spilling did not converge";
+    let cfg = Cfg.build code in
+    let res = Linear_scan.allocate ~max_regs:cap cfg in
+    match res.Linear_scan.spilled with
+    | [] -> (code, res, spill_bytes)
+    | spilled ->
+        let code', bytes = Spill.rewrite ~slot_base:spill_bytes spilled code in
+        go code' (spill_bytes + bytes) (round + 1)
+  in
+  let code, res, spill_bytes = go k.Safara_vir.Kernel.code 0 0 in
+  let spill_loads, spill_stores = count_spill_ops code in
+  let k' = { k with Safara_vir.Kernel.code } in
+  ( k',
+    {
+      kernel_name = k.Safara_vir.Kernel.kname;
+      regs_used = res.Linear_scan.regs_used;
+      pred_regs = res.Linear_scan.pred_used;
+      spill_bytes;
+      spill_loads;
+      spill_stores;
+      instructions = Array.length code;
+    } )
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "ptxas info: %s: %d registers, %d predicates, %d bytes spill (%d loads, %d stores), %d instructions"
+    r.kernel_name r.regs_used r.pred_regs r.spill_bytes r.spill_loads
+    r.spill_stores r.instructions

@@ -1,0 +1,98 @@
+module I = Safara_vir.Instr
+
+type block = {
+  bid : int;
+  first : int;
+  last : int;
+  succs : int list;
+  preds : int list;
+}
+
+type t = {
+  code : I.t array;
+  blocks : block array;
+  label_block : (string * int) list;
+}
+
+let build code =
+  let n = Array.length code in
+  if n = 0 then { code; blocks = [||]; label_block = [] }
+  else begin
+    let leader = Array.make n false in
+    leader.(0) <- true;
+    Array.iteri
+      (fun i instr ->
+        match instr with
+        | I.Label _ -> leader.(i) <- true
+        | _ ->
+            if I.is_branch instr && i + 1 < n then leader.(i + 1) <- true)
+      code;
+    (* block boundaries *)
+    let starts = ref [] in
+    for i = n - 1 downto 0 do
+      if leader.(i) then starts := i :: !starts
+    done;
+    let starts = Array.of_list !starts in
+    let nb = Array.length starts in
+    let last_of k = if k + 1 < nb then starts.(k + 1) - 1 else n - 1 in
+    (* label -> block id *)
+    let label_block = ref [] in
+    for k = 0 to nb - 1 do
+      for i = starts.(k) to last_of k do
+        match code.(i) with
+        | I.Label l -> label_block := (l, k) :: !label_block
+        | _ -> ()
+      done
+    done;
+    let label_block = !label_block in
+    let succs = Array.make nb [] and preds = Array.make nb [] in
+    for k = 0 to nb - 1 do
+      let last = last_of k in
+      let terminal = code.(last) in
+      let targets =
+        List.filter_map
+          (fun l -> List.assoc_opt l label_block)
+          (I.branch_targets terminal)
+      in
+      let fallthrough =
+        match terminal with
+        | I.Bra _ | I.Ret -> []
+        | _ -> if k + 1 < nb then [ k + 1 ] else []
+      in
+      let all =
+        List.sort_uniq Int.compare (targets @ fallthrough)
+      in
+      succs.(k) <- all;
+      List.iter (fun s -> preds.(s) <- k :: preds.(s)) all
+    done;
+    let blocks =
+      Array.init nb (fun k ->
+          {
+            bid = k;
+            first = starts.(k);
+            last = last_of k;
+            succs = succs.(k);
+            preds = List.rev preds.(k);
+          })
+    in
+    { code; blocks; label_block }
+  end
+
+let block_of_index t i =
+  let rec search lo hi =
+    if lo > hi then invalid_arg "block_of_index"
+    else
+      let mid = (lo + hi) / 2 in
+      let b = t.blocks.(mid) in
+      if i < b.first then search lo (mid - 1)
+      else if i > b.last then search (mid + 1) hi
+      else mid
+  in
+  search 0 (Array.length t.blocks - 1)
+
+let pp ppf t =
+  Array.iter
+    (fun b ->
+      Format.fprintf ppf "B%d [%d..%d] -> %s@," b.bid b.first b.last
+        (String.concat "," (List.map string_of_int b.succs)))
+    t.blocks

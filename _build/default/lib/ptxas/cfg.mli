@@ -1,0 +1,25 @@
+(** Control-flow graph over a kernel's flat instruction stream. *)
+
+type block = {
+  bid : int;
+  first : int;  (** index of the first instruction (inclusive) *)
+  last : int;  (** index of the last instruction (inclusive) *)
+  succs : int list;
+  preds : int list;
+}
+
+type t = {
+  code : Safara_vir.Instr.t array;
+  blocks : block array;
+  label_block : (string * int) list;
+}
+
+val build : Safara_vir.Instr.t array -> t
+(** Leaders: instruction 0, every label, every instruction following a
+    branch. Fallthrough edges are added unless the block ends in an
+    unconditional branch or [Ret]. *)
+
+val block_of_index : t -> int -> int
+(** Block containing an instruction index. *)
+
+val pp : Format.formatter -> t -> unit

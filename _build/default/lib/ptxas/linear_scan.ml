@@ -1,0 +1,131 @@
+module V = Safara_vir.Vreg
+
+type result = {
+  assignment : (V.t * int) list;
+  regs_used : int;
+  spilled : V.t list;
+  pred_used : int;
+}
+
+type active = { iv : Liveness.interval; base : int }
+
+let allocate ~max_regs (cfg : Cfg.t) =
+  let ivs = Liveness.intervals cfg in
+  let free = Array.make (max max_regs 2) true in
+  let assignment = ref [] in
+  let spilled = ref [] in
+  let regs_used = ref 0 in
+  let pred_used = ref 0 in
+  let preds_seen = Hashtbl.create 8 in
+  let active : active list ref = ref [] in
+  let release base width =
+    for u = base to base + width - 1 do
+      free.(u) <- true
+    done
+  in
+  let claim base width =
+    for u = base to base + width - 1 do
+      free.(u) <- false
+    done;
+    regs_used := max !regs_used (base + width)
+  in
+  let expire now =
+    let keep, gone = List.partition (fun a -> a.iv.Liveness.i_end >= now) !active in
+    List.iter (fun a -> release a.base (V.width a.iv.Liveness.reg)) gone;
+    active := keep
+  in
+  let find_slot width =
+    let step = if width = 2 then 2 else 1 in
+    let rec go u =
+      if u + width > max_regs then None
+      else if Array.for_all Fun.id (Array.sub free u width) then Some u
+      else go (u + step)
+    in
+    go 0
+  in
+  let rec place iv =
+    let width = V.width iv.Liveness.reg in
+    match find_slot width with
+    | Some base ->
+        claim base width;
+        assignment := (iv.Liveness.reg, base) :: !assignment;
+        active := { iv; base } :: !active
+    | None -> (
+        (* spill the active interval ending furthest away (or this one) *)
+        let victim =
+          List.fold_left
+            (fun best a ->
+              match best with
+              | None -> Some a
+              | Some b ->
+                  if a.iv.Liveness.i_end > b.iv.Liveness.i_end then Some a
+                  else best)
+            None !active
+        in
+        match victim with
+        | Some v when v.iv.Liveness.i_end > iv.Liveness.i_end ->
+            spilled := v.iv.Liveness.reg :: !spilled;
+            assignment :=
+              List.filter (fun (r, _) -> not (V.equal r v.iv.Liveness.reg)) !assignment;
+            active := List.filter (fun a -> a != v) !active;
+            release v.base (V.width v.iv.Liveness.reg);
+            place iv
+        | _ -> spilled := iv.Liveness.reg :: !spilled)
+  in
+  List.iter
+    (fun (iv : Liveness.interval) ->
+      match V.cls iv.Liveness.reg with
+      | V.Pred ->
+          if not (Hashtbl.mem preds_seen iv.Liveness.reg.V.rid) then begin
+            Hashtbl.add preds_seen iv.Liveness.reg.V.rid ();
+            incr pred_used
+          end
+      | V.B32 | V.B64 ->
+          expire iv.Liveness.i_start;
+          place iv)
+    ivs;
+  {
+    assignment = List.rev !assignment;
+    regs_used = !regs_used;
+    spilled = List.rev !spilled;
+    pred_used = !pred_used;
+  }
+
+let verify (cfg : Cfg.t) res =
+  let ivs = Liveness.intervals cfg in
+  let find r =
+    List.find_opt (fun iv -> V.equal iv.Liveness.reg r) ivs
+  in
+  let assigned = res.assignment in
+  let overlap (a : Liveness.interval) (b : Liveness.interval) =
+    a.Liveness.i_start <= b.Liveness.i_end && b.Liveness.i_start <= a.Liveness.i_end
+  in
+  let units (r, base) = List.init (V.width r) (fun k -> base + k) in
+  let rec check = function
+    | [] -> Ok ()
+    | (r1, b1) :: rest -> (
+        if V.width r1 = 2 && b1 mod 2 <> 0 then
+          Error (Printf.sprintf "%s not pair-aligned at %d" (V.to_string r1) b1)
+        else
+          match find r1 with
+          | None -> Error (V.to_string r1 ^ " has no interval")
+          | Some iv1 -> (
+              let conflict =
+                List.find_opt
+                  (fun (r2, b2) ->
+                    (not (V.equal r1 r2))
+                    && List.exists (fun u -> List.mem u (units (r2, b2))) (units (r1, b1))
+                    &&
+                    match find r2 with
+                    | Some iv2 -> overlap iv1 iv2
+                    | None -> false)
+                  rest
+              in
+              match conflict with
+              | Some (r2, _) ->
+                  Error
+                    (Printf.sprintf "%s and %s share a unit while both live"
+                       (V.to_string r1) (V.to_string r2))
+              | None -> check rest))
+  in
+  check assigned

@@ -1,0 +1,25 @@
+(** Linear-scan register allocation onto the GPU's 32-bit register
+    file — our stand-in for the closed-source ptxas assembler whose
+    "PTXAS Info" output SAFARA consumes as feedback (paper §III.B.2).
+
+    64-bit values ([long]/[double]) occupy an even-aligned pair of
+    consecutive 32-bit registers, which is why the [small] clause's
+    32-bit offsets halve the address-arithmetic register cost (§IV.B).
+    Predicates are allocated from a separate file and do not count.
+    When demand exceeds [max_regs], the active interval with the
+    furthest end is spilled. *)
+
+type result = {
+  assignment : (Safara_vir.Vreg.t * int) list;
+      (** virtual register → first 32-bit unit index *)
+  regs_used : int;  (** peak 32-bit units = the ptxas register count *)
+  spilled : Safara_vir.Vreg.t list;
+  pred_used : int;
+}
+
+val allocate : max_regs:int -> Cfg.t -> result
+(** Allocate over the CFG's live intervals. *)
+
+val verify : Cfg.t -> result -> (unit, string) Result.t
+(** Check that no two simultaneously-live registers share a 32-bit
+    unit and that 64-bit values are even-aligned — used by tests. *)

@@ -1,0 +1,1 @@
+lib/sim/exec.ml: Float Safara_ir Safara_vir Value

@@ -1,0 +1,1 @@
+lib/sim/exec.mli: Safara_ir Safara_vir Value

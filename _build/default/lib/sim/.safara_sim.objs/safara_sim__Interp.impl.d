@@ -1,0 +1,1 @@
+lib/sim/interp.ml: Array Exec Hashtbl List Memory Option Safara_gpu Safara_ir Safara_vir String Value

@@ -1,0 +1,1 @@
+lib/sim/interp.mli: Memory Safara_ir Safara_vir Value

@@ -1,0 +1,1 @@
+lib/sim/launch.ml: Float Format Interp List Memory Safara_gpu Safara_ir Safara_ptxas Safara_vir Timing Value

@@ -1,0 +1,1 @@
+lib/sim/launch.mli: Format Interp Safara_gpu Safara_ir Safara_ptxas Safara_vir Value

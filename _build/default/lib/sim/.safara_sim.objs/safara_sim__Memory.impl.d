@@ -1,0 +1,1 @@
+lib/sim/memory.ml: Array List Printf Safara_ir Value

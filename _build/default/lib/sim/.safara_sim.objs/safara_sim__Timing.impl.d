@@ -1,0 +1,1 @@
+lib/sim/timing.ml: Array Exec Float Fun Hashtbl Interp List Memory Option Safara_gpu Safara_ir Safara_vir Value

@@ -1,0 +1,1 @@
+lib/sim/timing.mli: Interp Safara_gpu Safara_ir Safara_vir

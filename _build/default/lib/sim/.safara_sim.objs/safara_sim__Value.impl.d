@@ -1,0 +1,1 @@
+lib/sim/value.ml: Format Safara_ir Safara_vir

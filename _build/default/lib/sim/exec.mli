@@ -1,0 +1,14 @@
+(** Pure instruction semantics shared by the functional interpreter and
+    the timing simulator. Operations are typed by the destination
+    register's data type (integer division truncates toward zero, like
+    PTX [div.s32]). *)
+
+val eval_bin :
+  Safara_vir.Instr.binop -> Safara_ir.Types.dtype -> Value.t -> Value.t -> Value.t
+
+val eval_una : Safara_vir.Instr.unop -> Safara_ir.Types.dtype -> Value.t -> Value.t
+
+val eval_cmp : Safara_vir.Instr.cmp -> Value.t -> Value.t -> bool
+
+val convert : Safara_ir.Types.dtype -> Value.t -> Value.t
+(** [Cvt] semantics: float→int truncates, int→float widens exactly. *)

@@ -1,0 +1,173 @@
+module I = Safara_vir.Instr
+module V = Safara_vir.Vreg
+module K = Safara_vir.Kernel
+
+type env = { scalars : (string * Value.t) list; mem : Memory.t }
+
+type counters = {
+  mutable c_instructions : int;
+  mutable c_loads : int;
+  mutable c_stores : int;
+  mutable c_atomics : int;
+  mutable c_spill_ops : int;
+}
+
+let fresh_counters () =
+  { c_instructions = 0; c_loads = 0; c_stores = 0; c_atomics = 0; c_spill_ops = 0 }
+
+let null_counters = fresh_counters ()
+
+let max_steps_per_thread = ref 10_000_000
+
+let dim_bound env (prog : Safara_ir.Program.t) array d ~which =
+  let info = Safara_ir.Program.find_array prog array in
+  let dim = List.nth info.Safara_ir.Array_info.dims d in
+  let bound =
+    match which with
+    | `Extent -> dim.Safara_ir.Dim.extent
+    | `Lower -> dim.Safara_ir.Dim.lower
+  in
+  match bound with
+  | Safara_ir.Dim.Const n -> Value.I n
+  | Safara_ir.Dim.Sym s -> (
+      match List.assoc_opt s env.scalars with
+      | Some v -> v
+      | None -> failwith ("interp: unbound parameter " ^ s))
+
+let param_value env prog name =
+  match String.index_opt name '.' with
+  | Some dot when String.length name >= dot + 4 && String.sub name dot 4 = ".len" ->
+      let array = String.sub name 0 dot in
+      let d = int_of_string (String.sub name (dot + 4) (String.length name - dot - 4)) in
+      dim_bound env prog array d ~which:`Extent
+  | Some dot when String.length name >= dot + 3 && String.sub name dot 3 = ".lo" ->
+      let array = String.sub name 0 dot in
+      let d = int_of_string (String.sub name (dot + 3) (String.length name - dot - 3)) in
+      dim_bound env prog array d ~which:`Lower
+  | _ -> (
+      match List.assoc_opt name env.scalars with
+      | Some v -> v
+      | None -> (
+          match Safara_ir.Program.find_array_opt prog name with
+          | Some _ -> Value.I (Memory.base env.mem name)
+          | None -> failwith ("interp: unbound kernel parameter " ^ name)))
+
+(* label -> instruction index *)
+let label_map code =
+  let tbl = Hashtbl.create 16 in
+  Array.iteri
+    (fun i instr -> match instr with I.Label l -> Hashtbl.replace tbl l i | _ -> ())
+    code;
+  tbl
+
+let max_rid code =
+  Array.fold_left
+    (fun acc i ->
+      List.fold_left (fun acc (r : V.t) -> max acc r.V.rid) acc (I.defs i @ I.uses i))
+    0 code
+
+let run_kernel ?(counters = null_counters) ~prog ~env ~grid (k : K.t) =
+  let code = k.K.code in
+  let labels = label_map code in
+  let nregs = max_rid code + 1 in
+  let gx, gy, gz = grid in
+  let bx, by, bz = k.K.block in
+  let regs = Array.make nregs (Value.I 0) in
+  (* per-thread local memory for spill slots *)
+  let local = Hashtbl.create 4 in
+  let run_thread ~cta:(cx, cy, cz) ~tid:(tx, ty, tz) =
+    Array.fill regs 0 nregs (Value.I 0);
+    Hashtbl.reset local;
+    let read r = regs.(r.V.rid) in
+    let write r v = regs.(r.V.rid) <- v in
+    let operand op = Value.of_operand op read in
+    let pc = ref 0 in
+    let steps = ref 0 in
+    let n = Array.length code in
+    while !pc < n do
+      incr steps;
+      if !steps > !max_steps_per_thread then failwith "interp: fuel exhausted";
+      counters.c_instructions <- counters.c_instructions + 1;
+      let next = ref (!pc + 1) in
+      (match code.(!pc) with
+      | I.Label _ -> ()
+      | I.Ld { dst; addr; mem; _ } ->
+          let a = Value.to_int (read addr) in
+          if mem.I.m_space = Safara_gpu.Memspace.Local then begin
+            counters.c_spill_ops <- counters.c_spill_ops + 1;
+            write dst
+              (Option.value (Hashtbl.find_opt local a) ~default:(Value.I 0))
+          end
+          else begin
+            counters.c_loads <- counters.c_loads + 1;
+            write dst (Memory.load env.mem ~addr:a)
+          end
+      | I.St { src; addr; mem; _ } ->
+          let a = Value.to_int (read addr) in
+          if mem.I.m_space = Safara_gpu.Memspace.Local then begin
+            counters.c_spill_ops <- counters.c_spill_ops + 1;
+            Hashtbl.replace local a (operand src)
+          end
+          else begin
+            counters.c_stores <- counters.c_stores + 1;
+            Memory.store env.mem ~addr:a (operand src)
+          end
+      | I.Ldp { dst; param } -> write dst (param_value env prog param)
+      | I.Mov { dst; src } -> write dst (operand src)
+      | I.Bin { op; dst; a; b } ->
+          write dst (Exec.eval_bin op dst.V.rty (operand a) (operand b))
+      | I.Una { op; dst; a } -> write dst (Exec.eval_una op dst.V.rty (operand a))
+      | I.Cvt { dst; src } -> write dst (Exec.convert dst.V.rty (read src))
+      | I.Setp { cmp; dst; a; b } ->
+          write dst (Value.B (Exec.eval_cmp cmp (operand a) (operand b)))
+      | I.Bra target -> (
+          match Hashtbl.find_opt labels target with
+          | Some i -> next := i
+          | None -> failwith ("interp: unknown label " ^ target))
+      | I.Brc { pred; if_true; target } ->
+          if Value.to_bool (read pred) = if_true then (
+            match Hashtbl.find_opt labels target with
+            | Some i -> next := i
+            | None -> failwith ("interp: unknown label " ^ target))
+      | I.Spec { dst; sp } ->
+          let v =
+            match sp with
+            | I.Tid I.X -> tx
+            | I.Tid I.Y -> ty
+            | I.Tid I.Z -> tz
+            | I.Ctaid I.X -> cx
+            | I.Ctaid I.Y -> cy
+            | I.Ctaid I.Z -> cz
+            | I.Ntid I.X -> bx
+            | I.Ntid I.Y -> by
+            | I.Ntid I.Z -> bz
+            | I.Nctaid I.X -> gx
+            | I.Nctaid I.Y -> gy
+            | I.Nctaid I.Z -> gz
+          in
+          write dst (Value.I v)
+      | I.Atom { op; addr; src; _ } ->
+          counters.c_atomics <- counters.c_atomics + 1;
+          let a = Value.to_int (read addr) in
+          let v = operand src in
+          Memory.rmw env.mem ~addr:a (fun old ->
+              Exec.eval_bin op
+                (match old with Value.F _ -> Safara_ir.Types.F64 | _ -> Safara_ir.Types.I64)
+                old v)
+      | I.Ret -> next := n);
+      pc := !next
+    done
+  in
+  for cz = 0 to gz - 1 do
+    for cy = 0 to gy - 1 do
+      for cx = 0 to gx - 1 do
+        for tz = 0 to bz - 1 do
+          for ty = 0 to by - 1 do
+            for tx = 0 to bx - 1 do
+              run_thread ~cta:(cx, cy, cz) ~tid:(tx, ty, tz)
+            done
+          done
+        done
+      done
+    done
+  done

@@ -1,0 +1,43 @@
+(** Functional (untimed) kernel interpreter.
+
+    Executes every thread of the launch sequentially against the
+    simulated device memory. It is the semantic oracle of the
+    reproduction: tests compare array contents across compiler
+    configurations (base, SAFARA, clauses) to prove the
+    transformations preserve meaning. *)
+
+type env = {
+  scalars : (string * Value.t) list;
+      (** program scalar parameters by name *)
+  mem : Memory.t;
+}
+
+(** Dynamic execution counters, summed over all threads. *)
+type counters = {
+  mutable c_instructions : int;
+  mutable c_loads : int;  (** global/read-only loads (not local spills) *)
+  mutable c_stores : int;
+  mutable c_atomics : int;
+  mutable c_spill_ops : int;  (** local-memory traffic *)
+}
+
+val fresh_counters : unit -> counters
+
+val param_value :
+  env -> Safara_ir.Program.t -> string -> Value.t
+(** Resolve a kernel parameter name: an array name → its base address;
+    a descriptor name like ["a.len2"] → the array's dimension extent;
+    otherwise a scalar parameter. *)
+
+val run_kernel :
+  ?counters:counters ->
+  prog:Safara_ir.Program.t ->
+  env:env ->
+  grid:int * int * int ->
+  Safara_vir.Kernel.t ->
+  unit
+(** @raise Failure on a malformed kernel (unknown label, step budget
+    exceeded — a guard against non-terminating generated code). *)
+
+val max_steps_per_thread : int ref
+(** Interpreter fuel per thread (default 10 million). *)

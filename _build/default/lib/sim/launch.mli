@@ -1,0 +1,61 @@
+(** Kernel and program launching: grid sizing, functional runs and
+    timed runs.
+
+    Grid geometry follows the OpenACC one-iteration-per-thread
+    lowering: each mapped axis gets [ceil(trip / block_extent)]
+    blocks. Whole-kernel time = resident-set drain time × number of
+    waves, where a wave is [blocks_per_SM × num_SMs] blocks
+    (occupancy comes from the register feedback of {!Safara_ptxas}),
+    plus a fixed per-kernel launch overhead. *)
+
+type kernel_time = {
+  kt_name : string;
+  kt_grid : int * int * int;
+  kt_block : int * int * int;
+  kt_regs : int;
+  kt_occupancy : float;
+  kt_blocks_per_sm : int;
+  kt_waves : int;
+  kt_cycles_per_wave : float;
+  kt_ms : float;
+  kt_instructions : int;  (** dynamic warp-instructions in one resident set *)
+  kt_transactions : int;
+}
+
+type program_time = { ptk : kernel_time list; total_ms : float }
+
+val launch_overhead_ms : float
+
+val eval_int : env:(string * Value.t) list -> Safara_ir.Expr.t -> int
+(** Evaluate a (parameter-only) integer expression, e.g. a loop bound.
+    @raise Failure on unbound variables or array loads. *)
+
+val grid_of :
+  env:(string * Value.t) list -> Safara_vir.Kernel.t -> int * int * int
+
+val run_functional :
+  prog:Safara_ir.Program.t ->
+  env:Interp.env ->
+  Safara_vir.Kernel.t list ->
+  unit
+(** Run all kernels in order against [env.mem] (the semantic run). *)
+
+val time_kernel :
+  arch:Safara_gpu.Arch.t ->
+  latency:Safara_gpu.Latency.table ->
+  prog:Safara_ir.Program.t ->
+  env:Interp.env ->
+  report:Safara_ptxas.Assemble.report ->
+  Safara_vir.Kernel.t ->
+  kernel_time
+(** Times one kernel on a scratch copy of memory. *)
+
+val time_program :
+  arch:Safara_gpu.Arch.t ->
+  latency:Safara_gpu.Latency.table ->
+  prog:Safara_ir.Program.t ->
+  env:Interp.env ->
+  (Safara_vir.Kernel.t * Safara_ptxas.Assemble.report) list ->
+  program_time
+
+val pp_kernel_time : Format.formatter -> kernel_time -> unit

@@ -1,0 +1,110 @@
+module T = Safara_ir.Types
+
+type payload = F of float array | I of int array
+
+type alloc = { a_base : int; a_bytes : int; a_elem : int; a_payload : payload }
+
+type t = {
+  mutable allocs : (string * alloc) list;  (** sorted by base, ascending *)
+  mutable next : int;
+}
+
+let create () = { allocs = []; next = 0x10000 }
+
+let alloc t ~name ~elem ~length =
+  if length <= 0 then invalid_arg ("memory: nonpositive length for " ^ name);
+  if List.mem_assoc name t.allocs then invalid_arg ("memory: duplicate " ^ name);
+  let elem_bytes = T.size_bytes elem in
+  let payload =
+    if T.is_float elem then F (Array.make length 0.) else I (Array.make length 0)
+  in
+  let a =
+    { a_base = t.next; a_bytes = length * elem_bytes; a_elem = elem_bytes; a_payload = payload }
+  in
+  t.allocs <- t.allocs @ [ (name, a) ];
+  (* 256-byte alignment, like cudaMalloc *)
+  t.next <- t.next + ((a.a_bytes + 255) / 256 * 256)
+
+let dim_value env (d : Safara_ir.Dim.t) =
+  match d.Safara_ir.Dim.extent with
+  | Safara_ir.Dim.Const n -> n
+  | Safara_ir.Dim.Sym s -> (
+      match List.assoc_opt s env with
+      | Some v -> v
+      | None -> invalid_arg ("memory: unbound dimension parameter " ^ s))
+
+let alloc_program t ~env (p : Safara_ir.Program.t) =
+  List.iter
+    (fun (a : Safara_ir.Array_info.t) ->
+      let length =
+        List.fold_left (fun acc d -> acc * dim_value env d) 1 a.Safara_ir.Array_info.dims
+      in
+      alloc t ~name:a.Safara_ir.Array_info.name ~elem:a.Safara_ir.Array_info.elem ~length)
+    p.Safara_ir.Program.arrays
+
+let find_by_name t name =
+  match List.assoc_opt name t.allocs with
+  | Some a -> a
+  | None -> invalid_arg ("memory: unknown array " ^ name)
+
+let base t name = (find_by_name t name).a_base
+
+let find_by_addr t addr =
+  let rec go = function
+    | [] -> invalid_arg (Printf.sprintf "memory: wild address %#x" addr)
+    | (_, a) :: rest ->
+        if addr >= a.a_base && addr < a.a_base + a.a_bytes then a else go rest
+  in
+  go t.allocs
+
+let load t ~addr =
+  let a = find_by_addr t addr in
+  let idx = (addr - a.a_base) / a.a_elem in
+  match a.a_payload with
+  | F data -> Value.F data.(idx)
+  | I data -> Value.I data.(idx)
+
+let store t ~addr v =
+  let a = find_by_addr t addr in
+  let idx = (addr - a.a_base) / a.a_elem in
+  match a.a_payload with
+  | F data -> data.(idx) <- Value.to_float v
+  | I data -> data.(idx) <- Value.to_int v
+
+let rmw t ~addr f =
+  let v = load t ~addr in
+  store t ~addr (f v)
+
+let float_data t name =
+  match (find_by_name t name).a_payload with
+  | F data -> data
+  | I _ -> invalid_arg ("memory: " ^ name ^ " is an integer array")
+
+let int_data t name =
+  match (find_by_name t name).a_payload with
+  | I data -> data
+  | F _ -> invalid_arg ("memory: " ^ name ^ " is a float array")
+
+let copy t =
+  {
+    allocs =
+      List.map
+        (fun (n, a) ->
+          ( n,
+            {
+              a with
+              a_payload =
+                (match a.a_payload with
+                | F d -> F (Array.copy d)
+                | I d -> I (Array.copy d));
+            } ))
+        t.allocs;
+    next = t.next;
+  }
+
+let checksum t name =
+  let a = find_by_name t name in
+  match a.a_payload with
+  | F data ->
+      Array.fold_left (fun acc x -> acc +. x) 0. data
+  | I data -> float_of_int (Array.fold_left ( + ) 0 data)

@@ -1,0 +1,43 @@
+(** Simulated device global memory.
+
+    Each program array gets a contiguous allocation in a flat
+    byte-addressed space; kernels compute raw addresses
+    (base + offset×size) exactly as the generated code does, and the
+    memory resolves them back to a cell. Integer arrays and float
+    arrays use separate payloads so the interpreter stays typed. *)
+
+type payload = F of float array | I of int array
+
+type t
+
+val create : unit -> t
+
+val alloc :
+  t -> name:string -> elem:Safara_ir.Types.dtype -> length:int -> unit
+(** Allocate [length] zero-initialized elements.
+    @raise Invalid_argument on duplicate names or nonpositive length. *)
+
+val alloc_program :
+  t -> env:(string * int) list -> Safara_ir.Program.t -> unit
+(** Allocate every array of a program, sizing symbolic dimensions from
+    the integer parameter environment. *)
+
+val base : t -> string -> int
+(** Device base address of an array. *)
+
+val load : t -> addr:int -> Value.t
+val store : t -> addr:int -> Value.t -> unit
+val rmw : t -> addr:int -> (Value.t -> Value.t) -> unit
+
+val float_data : t -> string -> float array
+(** Direct view of a float array's payload (shared, mutable) — used by
+    workload generators and result checking. *)
+
+val int_data : t -> string -> int array
+
+val copy : t -> t
+(** Deep copy (timing runs mutate memory; copies isolate them). *)
+
+val checksum : t -> string -> float
+(** Order-independent digest of an array's contents, for golden
+    comparisons between compiler configurations. *)

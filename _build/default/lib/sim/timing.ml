@@ -1,0 +1,334 @@
+module I = Safara_vir.Instr
+module V = Safara_vir.Vreg
+module K = Safara_vir.Kernel
+module M = Safara_gpu.Memspace
+module T = Safara_ir.Types
+
+type stats = {
+  cycles : float;
+  warps : int;
+  instructions : int;
+  transactions : int;
+  issue_stall : float;
+}
+
+type warp = {
+  w_regs : Value.t array;
+  w_ready : float array;  (** per-rid operand availability, in cycles *)
+  w_local : (int, Value.t) Hashtbl.t;
+  w_cta : int * int * int;
+  w_lane0 : int * int * int;
+  w_sched : int;  (** scheduler this warp is statically assigned to *)
+  mutable w_pc : int;
+  mutable w_free : float;  (** earliest cycle this warp can issue *)
+  mutable w_done : bool;
+  mutable w_last : float;  (** completion time of the latest result *)
+}
+
+let issue_cost (lat : Safara_gpu.Latency.table) instr =
+  ignore lat;
+  match instr with
+  | I.Bin { op = I.Div; dst; _ } when T.is_float dst.V.rty -> 8.
+  | I.Bin { op = I.Pow; _ } -> 16.
+  | I.Una { op = I.Sqrt | I.Exp | I.Log | I.Sin | I.Cos; _ } -> 4.
+  | I.Bin { dst; _ } when T.is_64bit dst.V.rty -> 2.
+  | _ -> 1.
+
+let result_latency (lat : Safara_gpu.Latency.table) instr =
+  let alu = float_of_int (Safara_gpu.Latency.arithmetic_latency lat `Alu) in
+  match instr with
+  | I.Bin { op = I.Div; dst; _ } when T.is_float dst.V.rty ->
+      float_of_int (Safara_gpu.Latency.arithmetic_latency lat `Fdiv)
+  | I.Bin { op = I.Pow; _ } | I.Una { op = I.Sqrt | I.Exp | I.Log | I.Sin | I.Cos; _ }
+    ->
+      float_of_int (Safara_gpu.Latency.arithmetic_latency lat `Special)
+  | I.Bin { op = I.Mul | I.Div | I.Rem; dst; _ } when T.is_integer dst.V.rty ->
+      float_of_int (Safara_gpu.Latency.arithmetic_latency lat `Mul)
+  | I.Bin { dst; _ } when T.is_64bit dst.V.rty ->
+      float_of_int (Safara_gpu.Latency.arithmetic_latency lat `F64)
+  | _ -> alu
+
+let simulate_resident_set ~arch ~latency ~prog ~env ~grid ~blocks_per_sm
+    (k : K.t) =
+  let code = k.K.code in
+  let labels = Hashtbl.create 16 in
+  Array.iteri
+    (fun i instr -> match instr with I.Label l -> Hashtbl.replace labels l i | _ -> ())
+    code;
+  let nregs =
+    1
+    + Array.fold_left
+        (fun acc i ->
+          List.fold_left (fun acc (r : V.t) -> max acc r.V.rid) acc (I.defs i @ I.uses i))
+        0 code
+  in
+  let gx, gy, gz = grid in
+  let bx, by, bz = k.K.block in
+  let total_blocks = gx * gy * gz in
+  let nblocks = min blocks_per_sm (max 1 total_blocks) in
+  let threads_per_block = bx * by * bz in
+  let warp_size = arch.Safara_gpu.Arch.warp_size in
+  let warps_per_block = (threads_per_block + warp_size - 1) / warp_size in
+  let block_coords b = (b mod gx, b / gx mod gy, b / (gx * gy)) in
+  let lane0_coords w =
+    let lin = w * warp_size in
+    (lin mod bx, lin / bx mod by, lin / (bx * by))
+  in
+  let warp_counter = ref 0 in
+  let warps =
+    List.concat_map
+      (fun b ->
+        List.init warps_per_block (fun w ->
+            let id = !warp_counter in
+            incr warp_counter;
+            {
+              w_regs = Array.make nregs (Value.I 0);
+              w_ready = Array.make nregs 0.;
+              w_local = Hashtbl.create 4;
+              w_cta = block_coords b;
+              w_lane0 = lane0_coords w;
+              w_sched = id mod max 1 arch.Safara_gpu.Arch.issue_width;
+              w_pc = 0;
+              w_free = 0.;
+              w_done = false;
+              w_last = 0.;
+            }))
+      (List.init nblocks Fun.id)
+  in
+  let warps = Array.of_list warps in
+  let mem_busy = ref 0. in
+  (* Kepler statically partitions resident warps among its schedulers
+     (issue_width of them); a warp can only issue on its own
+     scheduler's port, so low occupancy leaves schedulers idle *)
+  let nports = max 1 arch.Safara_gpu.Arch.issue_width in
+  let issue_ports = Array.make nports 0. in
+  let issue_step = 1. in
+  let instructions = ref 0 in
+  let transactions = ref 0 in
+  let issue_stall = ref 0. in
+  let elem_bytes (mem : I.mem) = mem.I.m_bytes in
+  let txns (mem : I.mem) =
+    M.transactions ~warp_size ~elem_bytes:(elem_bytes mem)
+      ~segment_bytes:arch.Safara_gpu.Arch.mem_segment_bytes mem.I.m_access
+  in
+  (* --- cache model: recency windows over 128-byte segments ----------
+     A segment re-touched within the last [l1_segments] distinct
+     touches hits the per-SMX read-only/L1 path; within [l2_segments]
+     (this SM's share of L2) it hits L2; otherwise it goes to DRAM.
+     This is what makes re-loading a value fetched one iteration ago
+     cheap on real hardware — and therefore what limits the benefit of
+     replacing coalesced re-loads with registers (paper Fig 7). *)
+  let seg_bytes = arch.Safara_gpu.Arch.mem_segment_bytes in
+  let l1_segments = max 16 (arch.Safara_gpu.Arch.read_only_cache_bytes / seg_bytes) in
+  let l2_segments =
+    max l1_segments
+      (arch.Safara_gpu.Arch.l2_bytes / seg_bytes / max 1 arch.Safara_gpu.Arch.num_sms)
+  in
+  let seg_last : (int, int) Hashtbl.t = Hashtbl.create 4096 in
+  let seg_clock = ref 0 in
+  let touch_tier ~ro addr =
+    let seg = addr / seg_bytes in
+    let age =
+      match Hashtbl.find_opt seg_last seg with
+      | None -> max_int
+      | Some t -> !seg_clock - t
+    in
+    incr seg_clock;
+    Hashtbl.replace seg_last seg !seg_clock;
+    if age < l1_segments && ro then `L1
+    else if age < l2_segments then `L2
+    else `Dram
+  in
+  let tier_latency (mem : I.mem) tier =
+    let base =
+      match (tier, mem.I.m_space) with
+      | _, M.Local -> latency.Safara_gpu.Latency.local_latency
+      | _, M.Shared -> latency.Safara_gpu.Latency.shared_latency
+      | _, (M.Constant | M.Param) ->
+          Safara_gpu.Latency.memory_latency latency mem.I.m_space mem.I.m_access
+      | `L1, M.Read_only -> latency.Safara_gpu.Latency.read_only_latency
+      | `L1, _ | `L2, _ -> latency.Safara_gpu.Latency.l2_hit_latency
+      | `Dram, _ -> latency.Safara_gpu.Latency.global_latency
+    in
+    let n = txns mem in
+    float_of_int
+      (base + (latency.Safara_gpu.Latency.extra_cycles_per_transaction * (n - 1)))
+  in
+  let tier_pipe_factor = function `L1 -> 0.1 | `L2 -> 0.25 | `Dram -> 1.0 in
+  (* one simulation step for warp [w]: execute its next instruction *)
+  let step (w : warp) =
+    let instr = code.(w.w_pc) in
+    let read (r : V.t) = w.w_regs.(r.V.rid) in
+    let write (r : V.t) v = w.w_regs.(r.V.rid) <- v in
+    let operand op = Value.of_operand op read in
+    let op_ready =
+      List.fold_left (fun acc (r : V.t) -> Float.max acc w.w_ready.(r.V.rid)) 0.
+        (I.uses instr)
+    in
+    (match instr with
+    | I.Label _ ->
+        w.w_pc <- w.w_pc + 1
+    | _ ->
+        incr instructions;
+        let port = w.w_sched in
+        let want = Float.max w.w_free op_ready in
+        let issue = Float.max want issue_ports.(port) in
+        issue_stall := !issue_stall +. (issue -. want);
+        issue_ports.(port) <- issue +. issue_step;
+        let next = ref (w.w_pc + 1) in
+        let complete = ref (issue +. 1.) in
+        (match instr with
+        | I.Label _ -> ()
+        | I.Ld { dst; addr; mem; _ } ->
+            let a = Value.to_int (read addr) in
+            (if mem.I.m_space = M.Local then
+               write dst (Option.value (Hashtbl.find_opt w.w_local a) ~default:(Value.I 0))
+             else write dst (Memory.load env.Interp.mem ~addr:a));
+            let tier =
+              if mem.I.m_space = M.Local then `L1
+              else touch_tier ~ro:(mem.I.m_space = M.Read_only) a
+            in
+            let n = txns mem in
+            transactions := !transactions + n;
+            let start = Float.max issue !mem_busy in
+            mem_busy :=
+              start
+              +. (float_of_int n
+                 *. arch.Safara_gpu.Arch.mem_cycles_per_transaction
+                 *. tier_pipe_factor tier);
+            let ready = start +. tier_latency mem tier in
+            w.w_ready.(dst.V.rid) <- ready;
+            complete := ready
+        | I.St { src; addr; mem; _ } ->
+            let a = Value.to_int (read addr) in
+            (if mem.I.m_space = M.Local then Hashtbl.replace w.w_local a (operand src)
+             else Memory.store env.Interp.mem ~addr:a (operand src));
+            let tier =
+              if mem.I.m_space = M.Local then `L1
+              else
+                (* stores allocate in L2, never in the read-only path *)
+                match touch_tier ~ro:false a with `L1 -> `L2 | t -> t
+            in
+            let n = txns mem in
+            transactions := !transactions + n;
+            let start = Float.max issue !mem_busy in
+            mem_busy :=
+              start
+              +. (float_of_int n
+                 *. arch.Safara_gpu.Arch.mem_cycles_per_transaction
+                 *. tier_pipe_factor tier);
+            (* stores retire without blocking the warp *)
+            complete := issue +. 1.
+        | I.Atom { op; addr; src; mem; _ } ->
+            let a = Value.to_int (read addr) in
+            let v = operand src in
+            Memory.rmw env.Interp.mem ~addr:a (fun old ->
+                Exec.eval_bin op
+                  (match old with Value.F _ -> T.F64 | _ -> T.I64)
+                  old v);
+            (* atomics serialize: charge a full round trip on the pipe *)
+            let start = Float.max issue !mem_busy in
+            let n = max 2 (txns mem) in
+            transactions := !transactions + n;
+            mem_busy :=
+              start +. (float_of_int n *. arch.Safara_gpu.Arch.mem_cycles_per_transaction);
+            complete := issue +. 1.
+        | I.Ldp { dst; param } ->
+            write dst (Interp.param_value env prog param);
+            let ready =
+              issue
+              +. float_of_int
+                   (Safara_gpu.Latency.memory_latency latency M.Param M.Invariant)
+            in
+            w.w_ready.(dst.V.rid) <- ready;
+            complete := ready
+        | I.Mov { dst; src } ->
+            write dst (operand src);
+            w.w_ready.(dst.V.rid) <- issue +. 1.
+        | I.Bin { op; dst; a; b } ->
+            write dst (Exec.eval_bin op dst.V.rty (operand a) (operand b));
+            let ready = issue +. result_latency latency instr in
+            w.w_ready.(dst.V.rid) <- ready;
+            complete := issue +. issue_cost latency instr
+        | I.Una { op; dst; a } ->
+            write dst (Exec.eval_una op dst.V.rty (operand a));
+            let ready = issue +. result_latency latency instr in
+            w.w_ready.(dst.V.rid) <- ready;
+            complete := issue +. issue_cost latency instr
+        | I.Cvt { dst; src } ->
+            write dst (Exec.convert dst.V.rty (read src));
+            w.w_ready.(dst.V.rid) <- issue +. result_latency latency instr
+        | I.Setp { cmp; dst; a; b } ->
+            write dst (Value.B (Exec.eval_cmp cmp (operand a) (operand b)));
+            w.w_ready.(dst.V.rid) <- issue +. result_latency latency instr
+        | I.Spec { dst; sp } ->
+            let tx, ty, tz = w.w_lane0 and cx, cy, cz = w.w_cta in
+            let v =
+              match sp with
+              | I.Tid I.X -> tx
+              | I.Tid I.Y -> ty
+              | I.Tid I.Z -> tz
+              | I.Ctaid I.X -> cx
+              | I.Ctaid I.Y -> cy
+              | I.Ctaid I.Z -> cz
+              | I.Ntid I.X -> bx
+              | I.Ntid I.Y -> by
+              | I.Ntid I.Z -> bz
+              | I.Nctaid I.X -> gx
+              | I.Nctaid I.Y -> gy
+              | I.Nctaid I.Z -> gz
+            in
+            write dst (Value.I v);
+            w.w_ready.(dst.V.rid) <- issue +. 1.
+        | I.Bra target -> next := Hashtbl.find labels target
+        | I.Brc { pred; if_true; target } ->
+            if Value.to_bool (read pred) = if_true then
+              next := Hashtbl.find labels target
+        | I.Ret ->
+            w.w_done <- true);
+        w.w_pc <- !next;
+        w.w_free <- Float.max (issue +. 1.) (Float.min !complete (issue +. 8.));
+        (* a warp stalls fully only when a later instruction needs the
+           result; the scoreboard handles that via w_ready. w_free just
+           models the issue pipeline. *)
+        w.w_last <- Float.max w.w_last !complete);
+    if w.w_pc >= Array.length code then w.w_done <- true
+  in
+  (* earliest time the warp's next instruction can actually issue:
+     both the warp pipeline and the instruction's operands *)
+  let issueable (w : warp) =
+    if w.w_pc >= Array.length code then w.w_free
+    else
+      let instr = code.(w.w_pc) in
+      List.fold_left
+        (fun acc (r : V.t) -> Float.max acc w.w_ready.(r.V.rid))
+        w.w_free (I.uses instr)
+  in
+  let remaining () = Array.exists (fun w -> not w.w_done) warps in
+  while remaining () do
+    (* the warp whose next instruction can issue earliest: processing
+       events in nondecreasing issue order keeps the shared issue port
+       honest *)
+    let best = ref None and best_key = ref infinity in
+    Array.iter
+      (fun w ->
+        if not w.w_done then begin
+          let key = issueable w in
+          if key < !best_key then begin
+            best := Some w;
+            best_key := key
+          end
+        end)
+      warps;
+    match !best with None -> () | Some w -> step w
+  done;
+  let cycles =
+    Array.fold_left (fun acc w -> Float.max acc (Float.max w.w_last w.w_free)) 0. warps
+  in
+  {
+    cycles = Float.max cycles !mem_busy;
+    warps = Array.length warps;
+    instructions = !instructions;
+    transactions = !transactions;
+    issue_stall = !issue_stall;
+  }

@@ -1,0 +1,37 @@
+(** Discrete-event timing model of one Kepler SMX.
+
+    Simulates the resident warp set of a single SMX executing the
+    kernel: each warp runs its (lane-0 representative) instruction
+    stream under a per-register scoreboard, a shared issue port of
+    [arch.issue_width] instructions per cycle, and a memory pipeline
+    that serializes transactions at [arch.mem_cycles_per_transaction]
+    cycles each, with latencies from the Wong-style table. Memory
+    instructions charge the transaction count of their static
+    coalescing annotation — the mechanism that makes uncoalesced
+    references expensive and scalar replacement profitable, and makes
+    low occupancy (few resident warps) unable to hide latency, which
+    is how aggressive replacement hurts (paper §IV, Fig 7).
+
+    Because thread blocks of these kernels are homogeneous, whole-GPU
+    kernel time is the resident-set drain time multiplied by the
+    number of waves ({!Launch}). *)
+
+type stats = {
+  cycles : float;  (** drain time of the resident set, in SM cycles *)
+  warps : int;  (** warps simulated *)
+  instructions : int;  (** dynamic warp-instructions issued *)
+  transactions : int;  (** memory transactions generated *)
+  issue_stall : float;  (** cycles lost waiting on the issue port *)
+}
+
+val simulate_resident_set :
+  arch:Safara_gpu.Arch.t ->
+  latency:Safara_gpu.Latency.table ->
+  prog:Safara_ir.Program.t ->
+  env:Interp.env ->
+  grid:int * int * int ->
+  blocks_per_sm:int ->
+  Safara_vir.Kernel.t ->
+  stats
+(** Mutates [env.mem] (pass a scratch copy when the memory must be
+    preserved). Simulates [min blocks_per_sm total_blocks] blocks. *)

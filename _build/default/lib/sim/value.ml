@@ -1,0 +1,21 @@
+type t = I of int | F of float | B of bool
+
+let to_int = function I n -> n | F f -> int_of_float f | B b -> if b then 1 else 0
+let to_float = function I n -> float_of_int n | F f -> f | B b -> if b then 1. else 0.
+let to_bool = function B b -> b | I n -> n <> 0 | F f -> f <> 0.
+
+let zero ty =
+  if Safara_ir.Types.is_float ty then F 0.
+  else if ty = Safara_ir.Types.Bool then B false
+  else I 0
+
+let of_operand op read =
+  match op with
+  | Safara_vir.Instr.Reg r -> read r
+  | Safara_vir.Instr.Imm n -> I n
+  | Safara_vir.Instr.FImm f -> F f
+
+let pp ppf = function
+  | I n -> Format.fprintf ppf "%d" n
+  | F f -> Format.fprintf ppf "%g" f
+  | B b -> Format.fprintf ppf "%b" b

@@ -1,0 +1,13 @@
+(** Runtime values of the kernel interpreter. Integers cover both
+    32- and 64-bit registers (OCaml ints are 63-bit); floats cover
+    F32/F64 (F32 rounding is not modelled — the reproduction's
+    numerics stay in double precision, like the benchmarks'). *)
+
+type t = I of int | F of float | B of bool
+
+val to_int : t -> int
+val to_float : t -> float
+val to_bool : t -> bool
+val zero : Safara_ir.Types.dtype -> t
+val of_operand : Safara_vir.Instr.operand -> (Safara_vir.Vreg.t -> t) -> t
+val pp : Format.formatter -> t -> unit

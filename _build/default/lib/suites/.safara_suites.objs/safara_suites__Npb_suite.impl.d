@@ -1,0 +1,1 @@
+lib/suites/npb_suite.ml: Safara_sim Workload

@@ -1,0 +1,1 @@
+lib/suites/registry.ml: List Npb_suite Spec_extended Spec_misc Spec_seismic Spec_sp String Workload

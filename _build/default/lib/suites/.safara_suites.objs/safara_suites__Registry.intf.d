@@ -1,0 +1,1 @@
+lib/suites/registry.mli: Workload

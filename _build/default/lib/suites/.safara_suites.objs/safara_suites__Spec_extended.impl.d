@@ -1,0 +1,1 @@
+lib/suites/spec_extended.ml: Safara_sim Workload

@@ -1,0 +1,1 @@
+lib/suites/spec_misc.ml: Safara_sim Workload

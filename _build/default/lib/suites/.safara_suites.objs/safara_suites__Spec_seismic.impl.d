@@ -1,0 +1,1 @@
+lib/suites/spec_seismic.ml: Safara_sim Workload

@@ -1,0 +1,1 @@
+lib/suites/spec_sp.ml: Safara_sim Workload

@@ -1,0 +1,1 @@
+lib/suites/workload.ml: Array List Option Safara_core Safara_ir Safara_sim

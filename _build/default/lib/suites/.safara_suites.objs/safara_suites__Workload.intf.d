@@ -1,0 +1,1 @@
+lib/suites/workload.mli: Safara_core Safara_ir Safara_sim

@@ -1,0 +1,104 @@
+(** Reproduction of every table and figure in the paper's evaluation
+    (§V), as data plus formatted text. Speedups are relative to the
+    [Base] profile; normalized times follow the paper's
+    [Norm(c) = ExeTime(c) / max(ExeTime(OpenUH), ExeTime(PGI))]
+    definition (§V.C). *)
+
+type speedup_row = {
+  sr_id : string;
+  sr_values : (string * float) list;  (** config label → speedup *)
+}
+
+type norm_row = {
+  nr_id : string;
+  nr_values : (string * float) list;  (** compiler label → normalized time *)
+}
+
+type reg_row = {
+  rr_kernel : string;
+  rr_base : int;
+  rr_small : int;
+  rr_dim : int option;  (** [None] = NA (the clause is not applicable) *)
+  rr_saved : int;
+}
+
+val fig7 : unit -> speedup_row list
+(** SPEC speedups with SAFARA alone. *)
+
+val fig9 : unit -> speedup_row list
+(** SPEC speedups: small / small+dim / small+dim+SAFARA (cumulative). *)
+
+val fig10 : unit -> speedup_row list
+(** NAS speedups, same three configurations. *)
+
+val fig11 : unit -> norm_row list
+(** SPEC normalized execution time: OpenUH base / SAFARA /
+    SAFARA+clauses vs PGI-like. *)
+
+val fig12 : unit -> norm_row list
+(** NAS normalized execution time, same four compilers. *)
+
+val table1 : unit -> reg_row list
+(** 355.seismic per-kernel register usage. *)
+
+val table2 : unit -> reg_row list
+(** 356.sp per-kernel register usage (with NA rows). *)
+
+type offsets_demo = {
+  od_config : string;
+  od_dope_loads : int;  (** descriptor-extent loads in the kernel *)
+  od_offset_instrs : int;  (** instructions in the kernel body *)
+  od_regs : int;
+}
+
+val offsets : unit -> offsets_demo list
+(** The §IV.A worked example: offset-computation temporaries on the
+    Fig-8 kernel without clauses, with [small], with [dim], and with
+    both. *)
+
+type crossarch_row = {
+  ca_id : string;
+  ca_kepler : float;  (** Full-vs-base speedup on the K20Xm model *)
+  ca_fermi : float;  (** same on the Fermi-class model (no read-only cache, 63-register cap) *)
+}
+
+val crossarch : unit -> crossarch_row list
+(** Extension experiment (not in the paper): the same optimization
+    stack retargeted to a Fermi-class GPU. The cost model re-prices
+    read-only references at global latency and the 63-register cap
+    tightens SAFARA's budget — the speedups shift accordingly. *)
+
+val render_crossarch : crossarch_row list -> string
+
+type unroll_row = {
+  ur_id : string;
+  ur_speedups : (int * float) list;
+      (** unroll factor → speedup of Full+unroll vs plain Full *)
+  ur_regs : (int * int) list;  (** unroll factor → hottest kernel registers *)
+}
+
+val unroll_study : unit -> unroll_row list
+(** The paper's stated future work (§VII): combining classical loop
+    unrolling with SAFARA and the clauses. Unrolling multiplies both
+    the reuse SAFARA can harvest and the register pressure — the same
+    tension the clauses arbitrate. *)
+
+val render_unroll : unroll_row list -> string
+
+type ablation_row = {
+  ab_name : string;
+  ab_description : string;
+  ab_speedups : (string * float) list;  (** benchmark id → speedup vs the ablated variant *)
+}
+
+val ablations : unit -> ablation_row list
+(** The design-choice ablations listed in DESIGN.md §4. *)
+
+val average : speedup_row list -> speedup_row
+(** Geometric-mean row labelled "Average". *)
+
+val render_speedups : title:string -> speedup_row list -> string
+val render_norms : title:string -> norm_row list -> string
+val render_regs : title:string -> reg_row list -> string
+val render_offsets : offsets_demo list -> string
+val render_ablations : ablation_row list -> string

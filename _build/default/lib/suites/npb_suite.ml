@@ -1,0 +1,357 @@
+(* NAS Parallel Benchmark OpenACC analogues (Xu et al., LCPC 2014 —
+   the paper's reference [20]). The NAS C versions use statically-sized
+   arrays, not VLAs, so the dim clause is not applicable (paper §V.C)
+   and our compiler already proves static offsets fit in 32 bits, which
+   is why the small bars sit near 1.0 on Fig 10. Problem geometry is a
+   scaled-down class C: the sweep structures, array counts and
+   coalescing patterns are preserved. *)
+
+let v = fun n -> Safara_sim.Value.I n
+
+(* --- EP --------------------------------------------------------------- *)
+
+let ep =
+  Workload.make ~id:"EP" ~title:"NAS EP: embarrassingly parallel"
+    ~suite:Workload.Npb
+    ~description:
+      "Private pseudo-random Gaussian tallies; compute-bound control \
+       benchmark: no reuse for SAFARA to exploit."
+    ~scalars:[ ("n", v 16384) ]
+    ~check_arrays:[ "sx"; "sy" ]
+    {|
+param int n;
+in double seeds[16384];
+double sx[16384];
+double sy[16384];
+
+#pragma acc kernels name(ep_gauss)
+{
+  #pragma acc loop gang vector(128)
+  for (i = 0; i <= n - 1; i++) {
+    double t;
+    double ax;
+    double ay;
+    double u1;
+    double u2;
+    t = seeds[i];
+    ax = 0.0;
+    ay = 0.0;
+    #pragma acc loop seq
+    for (k = 0; k <= 23; k++) {
+      t = t * 1220.703125 + 0.31415;
+      t = t - floor(t);
+      u1 = 2.0 * t - 1.0;
+      t = t * 1220.703125 + 0.27182;
+      t = t - floor(t);
+      u2 = 2.0 * t - 1.0;
+      ax = ax + u1 * sqrt(fabs(1.0 - u1 * u1 - u2 * u2) + 0.01);
+      ay = ay + u2 * sqrt(fabs(1.0 - u1 * u1 - u2 * u2) + 0.01);
+    }
+    sx[i] = ax;
+    sy[i] = ay;
+  }
+}
+|}
+
+(* --- CG --------------------------------------------------------------- *)
+
+let cg =
+  Workload.make ~id:"CG" ~title:"NAS CG: conjugate gradient"
+    ~suite:Workload.Npb
+    ~description:
+      "Sparse matvec with indirect gathers plus the alpha/rho dot \
+       products; the row accumulator promotes to a register across \
+       the nonzero loop."
+    ~scalars:[ ("nrow", v 4096) ]
+    ~check_arrays:[ "q"; "rho" ]
+    {|
+param int nrow;
+in double aval[4096][20];
+in int acol[4096][20];
+in double p[4096];
+double q[4096];
+double rho[1];
+
+#pragma acc kernels name(cg_spmv)
+{
+  #pragma acc loop gang vector(128)
+  for (i = 0; i <= nrow - 1; i++) {
+    q[i] = 0.0;
+    #pragma acc loop seq
+    for (k = 0; k <= 19; k++) {
+      q[i] = q[i] + aval[i][k] * p[acol[i][k]];
+    }
+  }
+}
+
+#pragma acc kernels name(cg_axpy)
+{
+  #pragma acc loop gang vector(128)
+  for (i = 0; i <= nrow - 1; i++) {
+    q[i] = q[i] * 0.9 + p[i] * 0.1;
+  }
+}
+
+#pragma acc kernels name(cg_dot)
+{
+  double sum = 0.0;
+  #pragma acc loop gang vector(128) reduction(+:sum)
+  for (i = 0; i <= nrow - 1; i++) {
+    sum += p[i] * q[i];
+  }
+  rho[0] = sum;
+}
+|}
+
+(* --- MG --------------------------------------------------------------- *)
+
+let mg =
+  Workload.make ~id:"MG" ~title:"NAS MG: multigrid V-cycle step"
+    ~suite:Workload.Npb
+    ~description:
+      "Smooth (27-point flavoured, sequential k walk with plane \
+       chains), restrict to the coarse grid, and prolongate back — \
+       the three kernel families of the MG psinv/resid/rprj3/interp \
+       set."
+    ~scalars:[ ("nx", v 64); ("ny", v 128); ("nz", v 16) ]
+    ~check_arrays:[ "r"; "zc"; "zf" ]
+    {|
+param int nx;
+param int ny;
+param int nz;
+in double u[16][128][64];
+double r[16][128][64];
+double zc[8][64][32];
+double zf[16][128][64];
+
+#pragma acc kernels name(mg_smooth)
+{
+  #pragma acc loop gang vector(2)
+  for (j = 1; j <= ny - 2; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 1; i <= nx - 2; i++) {
+      #pragma acc loop seq
+      for (k = 1; k <= nz - 2; k++) {
+        r[k][j][i] = 0.5 * u[k][j][i]
+          + 0.25 * (u[k][j][i-1] + u[k][j][i+1] + u[k][j-1][i] + u[k][j+1][i])
+          + 0.125 * (u[k-1][j][i] + u[k+1][j][i] + u[k-1][j-1][i] + u[k+1][j+1][i]);
+      }
+    }
+  }
+}
+
+#pragma acc kernels name(mg_resid)
+{
+  #pragma acc loop gang vector(2)
+  for (j = 1; j <= ny - 2; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 1; i <= nx - 2; i++) {
+      #pragma acc loop seq
+      for (k = 1; k <= nz - 2; k++) {
+        zf[k][j][i] = u[k][j][i]
+          - 0.25 * (r[k][j][i-1] + r[k][j][i+1] + r[k][j-1][i] + r[k][j+1][i])
+          - 0.125 * (r[k-1][j][i] + r[k+1][j][i]);
+      }
+    }
+  }
+}
+
+#pragma acc kernels name(mg_restrict)
+{
+  #pragma acc loop gang vector(2)
+  for (j = 1; j <= ny/2 - 2; j++) {
+    #pragma acc loop gang vector(32)
+    for (i = 1; i <= nx/2 - 2; i++) {
+      #pragma acc loop seq
+      for (k = 1; k <= nz/2 - 2; k++) {
+        zc[k][j][i] = 0.125 * (r[2*k][2*j][2*i] + r[2*k][2*j][2*i+1]
+                             + r[2*k][2*j+1][2*i] + r[2*k+1][2*j][2*i])
+                    + 0.0625 * (r[2*k+1][2*j+1][2*i] + r[2*k+1][2*j][2*i+1]
+                              + r[2*k][2*j+1][2*i+1] + r[2*k+1][2*j+1][2*i+1]);
+      }
+    }
+  }
+}
+
+#pragma acc kernels name(mg_interp)
+{
+  #pragma acc loop gang vector(2)
+  for (j = 1; j <= ny/2 - 2; j++) {
+    #pragma acc loop gang vector(32)
+    for (i = 1; i <= nx/2 - 2; i++) {
+      #pragma acc loop seq
+      for (k = 1; k <= nz/2 - 2; k++) {
+        zf[2*k][2*j][2*i] = zf[2*k][2*j][2*i] + zc[k][j][i];
+        zf[2*k][2*j][2*i+1] = zf[2*k][2*j][2*i+1]
+          + 0.5 * (zc[k][j][i] + zc[k][j][i+1]);
+      }
+    }
+  }
+}
+|}
+
+(* --- SP --------------------------------------------------------------- *)
+
+let sp =
+  Workload.make ~id:"SP" ~title:"NAS SP: scalar penta-diagonal"
+    ~suite:Workload.Npb
+    ~description:
+      "The x-direction line solve walks the fastest dimension \
+       sequentially with (j,k) threads — every access uncoalesced, \
+       with forward-recurrence chains; SAFARA's best case (paper \
+       §V.C: SP kernels contain uncoalesced accesses)."
+    ~scalars:[ ("nx", v 24); ("ny", v 64); ("nz", v 128) ]
+    ~check_arrays:[ "lhs"; "rhs1"; "rhs2" ]
+    {|
+param int nx;
+param int ny;
+param int nz;
+in double u[128][64][24];
+double lhs[128][64][24];
+double rhs1[128][64][24];
+double rhs2[128][64][24];
+
+#pragma acc kernels name(sp_xsolve)
+{
+  #pragma acc loop gang vector(2)
+  for (k = 1; k <= nz - 2; k++) {
+    #pragma acc loop gang vector(64)
+    for (j = 1; j <= ny - 2; j++) {
+      #pragma acc loop seq
+      for (i = 1; i <= nx - 2; i++) {
+        double fac;
+        fac = 1.0 / (2.0 + u[k][j][i] * 0.1);
+        lhs[k][j][i] = fac * (u[k][j][i-1] + u[k][j][i+1]);
+        rhs1[k][j][i] = fac * (rhs1[k][j][i-1] * 0.4 + u[k][j][i] + u[k][j][i-1]);
+        rhs2[k][j][i] = fac * (rhs2[k][j][i-1] * 0.4 + u[k][j][i] - u[k][j][i+1]);
+      }
+    }
+  }
+}
+|}
+
+(* --- LU --------------------------------------------------------------- *)
+
+let lu =
+  Workload.make ~id:"LU" ~title:"NAS LU: SSOR sweep"
+    ~suite:Workload.Npb
+    ~description:
+      "Lower-triangular SSOR relaxation along the x lines: threads \
+       cover (k,j) while the sweep walks the fastest dimension — the \
+       uncoalesced access pattern the paper names for LU (section V.C) — \
+       with forward dependencies across three components."
+    ~scalars:[ ("nx", v 24); ("ny", v 64); ("nz", v 128) ]
+    ~check_arrays:[ "v1"; "v2"; "v3" ]
+    {|
+param int nx;
+param int ny;
+param int nz;
+in double a1[128][64][24];
+in double a2[128][64][24];
+in double a3[128][64][24];
+in double b1[128][64][24];
+in double b2[128][64][24];
+in double b3[128][64][24];
+double v1[128][64][24];
+double v2[128][64][24];
+double v3[128][64][24];
+
+#pragma acc kernels name(lu_jacld)
+{
+  #pragma acc loop gang vector(2)
+  for (k = 1; k <= nz - 2; k++) {
+    #pragma acc loop gang vector(64)
+    for (j = 1; j <= ny - 2; j++) {
+      #pragma acc loop seq
+      for (i = 1; i <= nx - 2; i++) {
+        v1[k][j][i] = b1[k][j][i] * 0.4 + a1[k][j][i] * a2[k][j][i];
+        v2[k][j][i] = b2[k][j][i] * 0.4 + a2[k][j][i] * a3[k][j][i];
+        v3[k][j][i] = b3[k][j][i] * 0.4 + a3[k][j][i] * a1[k][j][i];
+      }
+    }
+  }
+}
+
+#pragma acc kernels name(lu_blts)
+{
+  #pragma acc loop gang vector(2)
+  for (k = 1; k <= nz - 2; k++) {
+    #pragma acc loop gang vector(64)
+    for (j = 1; j <= ny - 2; j++) {
+      #pragma acc loop seq
+      for (i = 1; i <= nx - 2; i++) {
+        v1[k][j][i] = b1[k][j][i] - 0.5 * (a1[k][j][i] * v1[k][j][i-1]
+                                         + a2[k][j][i] * v2[k][j][i-1]);
+        v2[k][j][i] = b2[k][j][i] - 0.5 * (a2[k][j][i] * v1[k][j][i-1]
+                                         + a3[k][j][i] * v3[k][j][i-1]);
+        v3[k][j][i] = b3[k][j][i] - 0.5 * (a1[k][j][i] * v3[k][j][i-1]
+                                         + a3[k][j][i] * v2[k][j][i-1]);
+      }
+    }
+  }
+}
+|}
+
+(* --- BT --------------------------------------------------------------- *)
+
+let bt =
+  Workload.make ~id:"BT" ~title:"NAS BT: block tridiagonal"
+    ~suite:Workload.Npb
+    ~description:
+      "x-direction block solve over five coupled components: threads \
+       cover (j,k) while i walks the fastest dimension — heavily \
+       uncoalesced with rich forward chains; the paper's best NAS \
+       speedup comes from kernels of this shape."
+    ~scalars:[ ("nx", v 24); ("ny", v 64); ("nz", v 128) ]
+    ~check_arrays:[ "w1"; "w2"; "w3"; "w4" ]
+    {|
+param int nx;
+param int ny;
+param int nz;
+in double c1[128][64][24];
+in double c2[128][64][24];
+in double c3[128][64][24];
+in double c4[128][64][24];
+double w1[128][64][24];
+double w2[128][64][24];
+double w3[128][64][24];
+double w4[128][64][24];
+
+#pragma acc kernels name(bt_xsolve)
+{
+  #pragma acc loop gang vector(2)
+  for (k = 1; k <= nz - 2; k++) {
+    #pragma acc loop gang vector(64)
+    for (j = 1; j <= ny - 2; j++) {
+      #pragma acc loop seq
+      for (i = 1; i <= nx - 2; i++) {
+        double pivot;
+        pivot = 1.0 / (1.0 + c1[k][j][i] * c1[k][j][i-1]);
+        w1[k][j][i] = pivot * (w1[k][j][i-1] * 0.3 + c1[k][j][i] + c2[k][j][i-1]);
+        w2[k][j][i] = pivot * (w2[k][j][i-1] * 0.3 + c2[k][j][i] + c3[k][j][i-1]);
+        w3[k][j][i] = pivot * (w3[k][j][i-1] * 0.3 + c3[k][j][i] + c4[k][j][i-1]);
+        w4[k][j][i] = pivot * (w4[k][j][i-1] * 0.3 + c4[k][j][i] + c1[k][j][i-1]);
+      }
+    }
+  }
+}
+
+#pragma acc kernels name(bt_ysolve)
+{
+  #pragma acc loop gang vector(2)
+  for (k = 1; k <= nz - 2; k++) {
+    #pragma acc loop gang vector(64)
+    for (i = 1; i <= nx - 2; i++) {
+      #pragma acc loop seq
+      for (j = 1; j <= ny - 2; j++) {
+        double pivot;
+        pivot = 1.0 / (1.0 + c2[k][j][i] * c2[k][j-1][i]);
+        w1[k][j][i] = pivot * (w1[k][j-1][i] * 0.3 + c1[k][j][i] + c3[k][j-1][i]);
+        w2[k][j][i] = pivot * (w2[k][j-1][i] * 0.3 + c2[k][j][i] + c4[k][j-1][i]);
+      }
+    }
+  }
+}
+|}
+
+let workloads = [ ep; cg; mg; sp; lu; bt ]

@@ -1,0 +1,21 @@
+let spec =
+  [
+    Spec_misc.ostencil;
+    Spec_misc.olbm;
+    Spec_misc.omriq;
+    Spec_misc.ep;
+    Spec_misc.cg;
+    Spec_seismic.workload;
+    Spec_sp.workload;
+    Spec_misc.csp;
+    Spec_misc.mghost;
+    Spec_misc.bt;
+  ]
+
+let npb = Npb_suite.workloads
+
+let extended = Spec_extended.workloads
+
+let all = spec @ npb @ extended
+
+let find id = List.find (fun (w : Workload.t) -> String.equal w.Workload.id id) all

@@ -1,0 +1,19 @@
+(** Registry of all benchmark workloads, in the paper's presentation
+    order. *)
+
+val spec : Workload.t list
+(** The ten SPEC ACCEL OpenACC analogues (Figs 7, 9, 11; Tables I–II). *)
+
+val npb : Workload.t list
+(** The six NAS analogues: EP CG MG SP LU BT (Figs 10, 12). *)
+
+val extended : Workload.t list
+(** The remaining SPEC ACCEL OpenACC members (350.md, 353.clvrleaf,
+    360.ilbdc, 363.swim): fully supported and tested, but outside the
+    ten bars the paper's figures show. *)
+
+val all : Workload.t list
+(** [spec @ npb @ extended]. *)
+
+val find : string -> Workload.t
+(** @raise Not_found for unknown ids. *)

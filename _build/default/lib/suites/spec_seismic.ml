@@ -1,0 +1,221 @@
+(* 355.seismic analogue: a 3D staggered-grid elastic wave propagation
+   kernel set (SEISMIC_CPML style), transliterated from the Fortran
+   original's structure: many same-shaped 3D allocatable arrays, the
+   Fig-8 loop schedule (outer j gang vector(2), middle i gang
+   vector(64), innermost k sequential), and finite-difference
+   derivative chains along k. The paper evaluates seven hot kernels
+   (Table I); each region below is one of them. *)
+
+let source =
+  {|
+param int nx;
+param int ny;
+param int nz;
+param double dt;
+param double h;
+
+double vx[1:nz][1:ny][1:nx];
+double vy[1:nz][1:ny][1:nx];
+double vz[1:nz][1:ny][1:nx];
+double sigxx[1:nz][1:ny][1:nx];
+double sigyy[1:nz][1:ny][1:nx];
+double sigzz[1:nz][1:ny][1:nx];
+double sigxy[1:nz][1:ny][1:nx];
+double sigxz[1:nz][1:ny][1:nx];
+double sigyz[1:nz][1:ny][1:nx];
+in double rho[1:nz][1:ny][1:nx];
+in double lam[1:nz][1:ny][1:nx];
+in double mu[1:nz][1:ny][1:nx];
+double memx[1:nz][1:ny][1:nx];
+double memy[1:nz][1:ny][1:nx];
+double memz[1:nz][1:ny][1:nx];
+in double ax[1:nz][1:ny][1:nx];
+in double bx[1:nz][1:ny][1:nx];
+
+// HOT1: velocity update vx/vy/vz from the six stress components
+// (4th-order staggered derivative along k)
+#pragma acc kernels name(hot1) \
+  dim((vx, vy, vz, sigxx, sigyy, sigzz, sigxy, sigxz, sigyz, rho, memx, memy, memz, ax)) \
+  small(vx, vy, vz, sigxx, sigyy, sigzz, sigxy, sigxz, sigyz, rho, memx, memy, memz, ax)
+{
+  #pragma acc loop gang vector(2)
+  for (j = 2; j <= ny - 1; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 2; i <= nx - 1; i++) {
+      #pragma acc loop seq
+      for (k = 3; k <= nz - 1; k++) {
+        double dvx;
+        double dvy;
+        double dvz;
+        dvx = (sigxx[k][j][i] - sigxx[k][j][i-1]) / h
+            + (sigxy[k][j][i] - sigxy[k][j-1][i]) / h
+            + (1.125 * (sigxz[k][j][i] - sigxz[k-1][j][i])
+               - 0.0417 * (sigxz[k+1][j][i] - sigxz[k-2][j][i])) / h
+            + memx[k][j][i] * ax[k][j][i];
+        dvy = (sigxy[k][j][i] - sigxy[k][j][i-1]) / h
+            + (sigyy[k][j][i] - sigyy[k][j-1][i]) / h
+            + (1.125 * (sigyz[k][j][i] - sigyz[k-1][j][i])
+               - 0.0417 * (sigyz[k+1][j][i] - sigyz[k-2][j][i])) / h
+            + memy[k][j][i] * ax[k][j][i];
+        dvz = (sigxz[k][j][i] - sigxz[k][j][i-1]) / h
+            + (sigyz[k][j][i] - sigyz[k][j-1][i]) / h
+            + (1.125 * (sigzz[k][j][i] - sigzz[k-1][j][i])
+               - 0.0417 * (sigzz[k+1][j][i] - sigzz[k-2][j][i])) / h
+            + memz[k][j][i] * ax[k][j][i];
+        vx[k][j][i] = vx[k][j][i] + dvx * dt / rho[k][j][i];
+        vy[k][j][i] = vy[k][j][i] + dvy * dt / rho[k][j][i];
+        vz[k][j][i] = vz[k][j][i] + dvz * dt / rho[k][j][i];
+      }
+    }
+  }
+}
+
+// HOT2: normal stress update from velocity derivatives (Fig 8's code)
+#pragma acc kernels name(hot2) \
+  dim((vx, vy, vz, sigxx, sigyy, sigzz, lam, mu, rho, memx, memy, memz, ax, bx)) \
+  small(vx, vy, vz, sigxx, sigyy, sigzz, lam, mu, rho, memx, memy, memz, ax, bx)
+{
+  #pragma acc loop gang vector(2)
+  for (j = 2; j <= ny - 1; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 2; i <= nx - 1; i++) {
+      #pragma acc loop seq
+      for (k = 3; k <= nz - 1; k++) {
+        double dvxx;
+        double dvyy;
+        double dvzz;
+        double trace;
+        dvxx = (1.125 * (vx[k][j][i+1] - vx[k][j][i])
+               - 0.0417 * (vx[k+1][j][i] - vx[k-2][j][i])) / h
+             + memx[k][j][i] * bx[k][j][i];
+        dvyy = (1.125 * (vy[k][j+1][i] - vy[k][j][i])
+               - 0.0417 * (vy[k+1][j][i] - vy[k-2][j][i])) / h
+             + memy[k][j][i] * bx[k][j][i];
+        dvzz = (1.125 * (vz[k][j][i] - vz[k-1][j][i])
+               - 0.0417 * (vz[k+1][j][i] - vz[k-2][j][i])) / h
+             + memz[k][j][i] * ax[k][j][i];
+        trace = lam[k][j][i] * rho[k][j][i] * (dvxx + dvyy + dvzz);
+        sigxx[k][j][i] = sigxx[k][j][i] + (trace + 2.0 * mu[k][j][i] * dvxx) * dt;
+        sigyy[k][j][i] = sigyy[k][j][i] + (trace + 2.0 * mu[k][j][i] * dvyy) * dt;
+        sigzz[k][j][i] = sigzz[k][j][i] + (trace + 2.0 * mu[k][j][i] * dvzz) * dt;
+      }
+    }
+  }
+}
+
+// HOT3: shear stress update
+#pragma acc kernels name(hot3) \
+  dim((vx, vy, vz, sigxy, sigxz, sigyz, mu, rho, ax, bx)) \
+  small(vx, vy, vz, sigxy, sigxz, sigyz, mu, rho, ax, bx)
+{
+  #pragma acc loop gang vector(2)
+  for (j = 2; j <= ny - 1; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 2; i <= nx - 1; i++) {
+      #pragma acc loop seq
+      for (k = 3; k <= nz - 1; k++) {
+        sigxy[k][j][i] = sigxy[k][j][i] * ax[k][j][i] + bx[k][j][i]
+          + mu[k][j][i] * rho[k][j][i]
+            * ((vx[k][j+1][i] - vx[k][j-1][i]) + (vy[k][j][i+1] - vy[k][j][i-1])) * dt / h;
+        sigxz[k][j][i] = sigxz[k][j][i] * ax[k][j][i] + bx[k][j][i]
+          + mu[k][j][i] * rho[k][j][i]
+            * ((vx[k+1][j][i] - vx[k-1][j][i]) + (vz[k][j][i+1] - vz[k][j][i-1])) * dt / h;
+        sigyz[k][j][i] = sigyz[k][j][i] * ax[k][j][i] + bx[k][j][i]
+          + mu[k][j][i] * rho[k][j][i]
+            * ((vy[k+1][j][i] - vy[k-1][j][i]) + (vz[k][j+1][i] - vz[k][j-1][i])) * dt / h;
+      }
+    }
+  }
+}
+
+// HOT4: CPML memory variable update along x
+#pragma acc kernels name(hot4) \
+  dim((memx, ax, bx, sigxx)) \
+  small(memx, ax, bx, sigxx)
+{
+  #pragma acc loop gang vector(2)
+  for (j = 2; j <= ny - 1; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 2; i <= nx - 1; i++) {
+      #pragma acc loop seq
+      for (k = 2; k <= nz - 1; k++) {
+        memx[k][j][i] = bx[k][j][i] * memx[k][j][i]
+          + ax[k][j][i] * (sigxx[k][j][i] - sigxx[k-1][j][i]) / h;
+      }
+    }
+  }
+}
+
+// HOT5: CPML memory variable update along y
+#pragma acc kernels name(hot5) \
+  dim((memy, ax, bx, sigyy)) \
+  small(memy, ax, bx, sigyy)
+{
+  #pragma acc loop gang vector(2)
+  for (j = 2; j <= ny - 1; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 2; i <= nx - 1; i++) {
+      #pragma acc loop seq
+      for (k = 2; k <= nz - 1; k++) {
+        memy[k][j][i] = bx[k][j][i] * memy[k][j][i]
+          + ax[k][j][i] * (sigyy[k][j][i] - sigyy[k-1][j][i]) / h;
+      }
+    }
+  }
+}
+
+// HOT6: CPML memory variable update along z
+#pragma acc kernels name(hot6) \
+  dim((vz, memz, ax, bx, sigzz)) \
+  small(vz, memz, ax, bx, sigzz)
+{
+  #pragma acc loop gang vector(2)
+  for (j = 2; j <= ny - 1; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 2; i <= nx - 1; i++) {
+      #pragma acc loop seq
+      for (k = 2; k <= nz - 1; k++) {
+        memz[k][j][i] = bx[k][j][i] * memz[k][j][i]
+          + ax[k][j][i] * (vz[k][j][i] - vz[k-1][j][i]) / h
+          + ax[k][j][i] * (sigzz[k][j][i] - sigzz[k-1][j][i]) / h;
+      }
+    }
+  }
+}
+
+// HOT7: energy accumulation (the value_dz computation of Fig 8)
+#pragma acc kernels name(hot7) \
+  dim((vx, vy, vz, memz)) \
+  small(vx, vy, vz, memz)
+{
+  #pragma acc loop gang vector(2)
+  for (j = 2; j <= ny - 1; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 2; i <= nx - 1; i++) {
+      #pragma acc loop seq
+      for (k = 2; k <= nz - 1; k++) {
+        memz[k][j][i] = (vx[k][j][i] - vx[k-1][j][i]) / h
+                      + (vy[k][j][i] - vy[k-1][j][i]) / h
+                      + (vz[k][j][i] - vz[k-1][j][i]) / h;
+      }
+    }
+  }
+}
+|}
+
+let hot_kernels = [ "hot1"; "hot2"; "hot3"; "hot4"; "hot5"; "hot6"; "hot7" ]
+
+let workload =
+  Workload.make ~id:"355.seismic" ~title:"seismic wave propagation (SEISMIC_CPML)"
+    ~suite:Workload.Spec
+    ~description:
+      "Fortran allocatable-array elastic wave kernels with the paper's \
+       Fig-8 schedule; seven hot regions matching Table I's register \
+       study. Many same-shaped 3D dope-vector arrays per kernel make \
+       this the dim/small showcase."
+    ~scalars:
+      [ ("nx", Safara_sim.Value.I 64); ("ny", Safara_sim.Value.I 256);
+        ("nz", Safara_sim.Value.I 24); ("dt", Safara_sim.Value.F 0.001);
+        ("h", Safara_sim.Value.F 0.25) ]
+    ~check_arrays:[ "vx"; "vy"; "vz"; "sigxx"; "sigyy"; "sigzz"; "memx"; "memz" ]
+    source

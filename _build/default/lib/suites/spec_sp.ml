@@ -1,0 +1,267 @@
+(* 356.sp analogue: the SPEC ACCEL scalar penta-diagonal solver
+   (Fortran, allocatable arrays). Table II studies its ten hottest
+   kernels: the paper notes it has "10 frequently used allocatable
+   arrays with two different dimensional information", and that dim is
+   NA for kernels that touch zero/one allocatable array or arrays of
+   unequal shapes. We model both shapes: the cell-centred fields are
+   [nz][ny][nx] and the face-centred lhs factors are [nz][ny][nxp]
+   with nxp = nx + 1, so kernels mixing the two shapes cannot use a
+   single dim group — the NA rows of Table II. HOT6 only touches
+   static constant-extent arrays, whose offsets the compiler already
+   proves 32-bit, reproducing Table II's "+small saved 0" row. *)
+
+let source =
+  {|
+param int nx;
+param int ny;
+param int nz;
+param int nxp;
+param double dt;
+param double bt;
+
+double u1[1:nz][1:ny][1:nx];
+double u2[1:nz][1:ny][1:nx];
+double u3[1:nz][1:ny][1:nx];
+double u4[1:nz][1:ny][1:nx];
+double u5[1:nz][1:ny][1:nx];
+double us[1:nz][1:ny][1:nx];
+double vs[1:nz][1:ny][1:nx];
+double ws[1:nz][1:ny][1:nx];
+double qs[1:nz][1:ny][1:nx];
+double rho_i[1:nz][1:ny][1:nx];
+double speed[1:nz][1:ny][1:nx];
+double square[1:nz][1:ny][1:nx];
+double rhs1[1:nz][1:ny][1:nx];
+double rhs2[1:nz][1:ny][1:nx];
+double rhs3[1:nz][1:ny][1:nx];
+double rhs4[1:nz][1:ny][1:nx];
+double rhs5[1:nz][1:ny][1:nx];
+double lhsm[1:nz][1:ny][1:nxp];
+double lhsp[1:nz][1:ny][1:nxp];
+in double fjac[1:nz][1:ny][1:nxp];
+double cv[64][64];
+double rhon[64][64];
+
+// HOT1: compute rho_i/us/vs (uses velocity fields of ONE shape but the
+// paper's counterpart touched a single allocatable: dim NA)
+#pragma acc kernels name(hot1) small(u1, u2, u3, rho_i, us, vs)
+{
+  #pragma acc loop gang vector(2)
+  for (j = 2; j <= ny - 1; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 2; i <= nx - 1; i++) {
+      #pragma acc loop seq
+      for (k = 2; k <= nz - 1; k++) {
+        double inv;
+        inv = 1.0 / u1[k][j][i];
+        rho_i[k][j][i] = inv;
+        us[k][j][i] = u2[k][j][i] * inv;
+        vs[k][j][i] = u3[k][j][i] * inv;
+      }
+    }
+  }
+}
+
+// HOT2: ws/qs/square from the conserved variables (same shape: dim ok)
+#pragma acc kernels name(hot2) \
+  dim((u1, u2, u3, u4, ws, qs, square, rho_i)) \
+  small(u1, u2, u3, u4, ws, qs, square, rho_i)
+{
+  #pragma acc loop gang vector(2)
+  for (j = 2; j <= ny - 1; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 2; i <= nx - 1; i++) {
+      #pragma acc loop seq
+      for (k = 2; k <= nz - 1; k++) {
+        double inv;
+        inv = rho_i[k][j][i];
+        ws[k][j][i] = u4[k][j][i] * inv;
+        qs[k][j][i] = 0.5 * (u2[k][j][i] * u2[k][j][i]
+                           + u3[k][j][i] * u3[k][j][i]
+                           + u4[k][j][i] * u4[k][j][i]) * inv;
+        square[k][j][i] = 0.5 * (u2[k][j][i] * us[k][j][i]
+                               + u3[k][j][i] * u3[k][j][i] * inv);
+      }
+    }
+  }
+}
+
+// HOT3: xi-direction flux differences (mixes the two shapes: dim NA)
+#pragma acc kernels name(hot3) small(rhs1, rhs2, u1, u2, us, qs, lhsp, fjac)
+{
+  #pragma acc loop gang vector(2)
+  for (j = 2; j <= ny - 1; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 2; i <= nx - 1; i++) {
+      #pragma acc loop seq
+      for (k = 2; k <= nz - 1; k++) {
+        rhs1[k][j][i] = u1[k][j][i] + dt * (us[k][j][i+1] - 2.0 * us[k][j][i] + us[k][j][i-1])
+                      + lhsp[k][j][i] * fjac[k][j][i];
+        rhs2[k][j][i] = u2[k][j][i] + dt * (qs[k][j][i+1] - 2.0 * qs[k][j][i] + qs[k][j][i-1])
+                      + lhsp[k][j][i+1] * fjac[k][j][i+1];
+      }
+    }
+  }
+}
+
+// HOT4: eta-direction rhs update (one shape, several arrays: dim ok)
+#pragma acc kernels name(hot4) \
+  dim((rhs3, rhs4, u3, u4, vs, ws, square)) \
+  small(rhs3, rhs4, u3, u4, vs, ws, square)
+{
+  #pragma acc loop gang vector(2)
+  for (j = 2; j <= ny - 1; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 2; i <= nx - 1; i++) {
+      #pragma acc loop seq
+      for (k = 2; k <= nz - 1; k++) {
+        rhs3[k][j][i] = u3[k][j][i] + dt * (vs[k][j+1][i] - 2.0 * vs[k][j][i] + vs[k][j-1][i])
+                      + square[k][j][i] * bt;
+        rhs4[k][j][i] = u4[k][j][i] + dt * (ws[k][j+1][i] - 2.0 * ws[k][j][i] + ws[k][j-1][i])
+                      - square[k][j][i] * bt;
+      }
+    }
+  }
+}
+
+// HOT5: zeta-direction sweep with derivative chains along k (dim ok)
+#pragma acc kernels name(hot5) \
+  dim((rhs5, u5, ws, qs, speed)) \
+  small(rhs5, u5, ws, qs, speed)
+{
+  #pragma acc loop gang vector(2)
+  for (j = 2; j <= ny - 1; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 2; i <= nx - 1; i++) {
+      #pragma acc loop seq
+      for (k = 2; k <= nz - 1; k++) {
+        rhs5[k][j][i] = u5[k][j][i]
+          + dt * (ws[k+1][j][i] - 2.0 * ws[k][j][i] + ws[k-1][j][i])
+          + dt * (qs[k+1][j][i] - qs[k-1][j][i])
+          + speed[k][j][i] * bt;
+      }
+    }
+  }
+}
+
+// HOT6: static workspace smoothing (constant-extent arrays only:
+// offsets are provably 32-bit, so the small clause saves nothing)
+#pragma acc kernels name(hot6) small(cv, rhon)
+{
+  #pragma acc loop gang vector(64)
+  for (i = 1; i <= 62; i++) {
+    #pragma acc loop seq
+    for (k = 1; k <= 62; k++) {
+      rhon[i][k] = 0.25 * (cv[i][k-1] + 2.0 * cv[i][k] + cv[i][k+1]);
+    }
+  }
+}
+
+// HOT7: speed/sound-speed computation (one shape: dim ok)
+#pragma acc kernels name(hot7) \
+  dim((speed, square, qs, rho_i, u5, u1)) \
+  small(speed, square, qs, rho_i, u5, u1)
+{
+  #pragma acc loop gang vector(2)
+  for (j = 2; j <= ny - 1; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 2; i <= nx - 1; i++) {
+      #pragma acc loop seq
+      for (k = 2; k <= nz - 1; k++) {
+        double aux;
+        aux = 1.4 * (u5[k][j][i] * rho_i[k][j][i] - qs[k][j][i] * rho_i[k][j][i]);
+        speed[k][j][i] = sqrt(fabs(aux));
+        square[k][j][i] = aux * rho_i[k][j][i] + qs[k][j][i];
+      }
+    }
+  }
+}
+
+// HOT8: the monster kernel (Table II: 211 registers at base): full
+// rhs assembly touching most fields at once, with k chains
+#pragma acc kernels name(hot8) \
+  dim((rhs1, rhs2, rhs3, rhs4, rhs5, u1, u2, u3, u4, u5, us, vs, ws, qs, rho_i, square)) \
+  small(rhs1, rhs2, rhs3, rhs4, rhs5, u1, u2, u3, u4, u5, us, vs, ws, qs, rho_i, square)
+{
+  #pragma acc loop gang vector(2)
+  for (j = 2; j <= ny - 1; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 2; i <= nx - 1; i++) {
+      #pragma acc loop seq
+      for (k = 2; k <= nz - 1; k++) {
+        double up;
+        double um;
+        up = us[k+1][j][i] * rho_i[k+1][j][i];
+        um = us[k-1][j][i] * rho_i[k-1][j][i];
+        rhs1[k][j][i] = u1[k][j][i] + dt * (u1[k+1][j][i] - 2.0 * u1[k][j][i] + u1[k-1][j][i]);
+        rhs2[k][j][i] = u2[k][j][i] + dt * (u2[k+1][j][i] - 2.0 * u2[k][j][i] + u2[k-1][j][i])
+                      + bt * (up - um);
+        rhs3[k][j][i] = u3[k][j][i] + dt * (vs[k][j][i] * ws[k][j][i] - square[k][j][i]);
+        rhs4[k][j][i] = u4[k][j][i] + dt * (ws[k+1][j][i] - ws[k-1][j][i]) * bt;
+        rhs5[k][j][i] = u5[k][j][i] + dt * (qs[k+1][j][i] - 2.0 * qs[k][j][i] + qs[k-1][j][i]);
+      }
+    }
+  }
+}
+
+// HOT9: lhs factor assembly over the face-centred shape (both lhs
+// arrays share it: dim ok, second shape)
+#pragma acc kernels name(hot9) \
+  dim((lhsm, lhsp, fjac)) \
+  small(lhsm, lhsp, fjac)
+{
+  #pragma acc loop gang vector(2)
+  for (j = 2; j <= ny - 1; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 2; i <= nx; i++) {
+      #pragma acc loop seq
+      for (k = 2; k <= nz - 1; k++) {
+        double f0;
+        double f1;
+        f0 = fjac[k][j][i];
+        f1 = fjac[k-1][j][i];
+        lhsp[k][j][i] = f0 * bt + f1 * dt + lhsp[k][j][i] * 0.5;
+        lhsm[k][j][i] = f0 * dt - f1 * bt + lhsm[k][j][i] * 0.5;
+      }
+    }
+  }
+}
+
+// HOT10: boundary add (single allocatable array: dim NA)
+#pragma acc kernels name(hot10) small(rhs1)
+{
+  #pragma acc loop gang vector(2)
+  for (j = 2; j <= ny - 1; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 2; i <= nx - 1; i++) {
+      #pragma acc loop seq
+      for (k = 2; k <= nz - 1; k++) {
+        rhs1[k][j][i] = rhs1[k][j][i] * 0.99 + 0.001;
+      }
+    }
+  }
+}
+|}
+
+let hot_kernels =
+  [ "hot1"; "hot2"; "hot3"; "hot4"; "hot5"; "hot6"; "hot7"; "hot8"; "hot9"; "hot10" ]
+
+(* kernels where the paper reports NA in the dim column *)
+let dim_na = [ "hot1"; "hot3"; "hot6"; "hot10" ]
+
+let workload =
+  Workload.make ~id:"356.sp" ~title:"scalar penta-diagonal solver (SP)"
+    ~suite:Workload.Spec
+    ~description:
+      "Fortran allocatable arrays in two shapes; ten hot kernels \
+       matching Table II, including the NA rows (single-array or \
+       mixed-shape kernels), HOT6's static-array small-saves-nothing \
+       row, and HOT8's register monster."
+    ~scalars:
+      [ ("nx", Safara_sim.Value.I 64); ("ny", Safara_sim.Value.I 256);
+        ("nz", Safara_sim.Value.I 20); ("nxp", Safara_sim.Value.I 65);
+        ("dt", Safara_sim.Value.F 0.015); ("bt", Safara_sim.Value.F 0.4) ]
+    ~check_arrays:
+      [ "rhs1"; "rhs2"; "rhs3"; "rhs4"; "rhs5"; "us"; "vs"; "ws"; "qs";
+        "speed"; "square"; "lhsm"; "lhsp"; "rhon" ]
+    source

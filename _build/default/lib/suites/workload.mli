@@ -1,0 +1,51 @@
+(** Benchmark workload descriptions.
+
+    Each workload is a MiniACC program modelled on the dominant offload
+    kernels of one SPEC ACCEL or NAS OpenACC benchmark (see DESIGN.md
+    for the modelling rationale), plus a deterministic data generator
+    and the problem-size parameters. Sizes are scaled down from the
+    originals so the cycle-level simulator runs in seconds; the
+    register-pressure structure (array counts, dimensionality, reuse
+    patterns, coalescing) is what matters for the paper's effects and
+    is preserved. *)
+
+type suite_kind = Spec | Npb
+
+type t = {
+  id : string;  (** e.g. "355.seismic" *)
+  title : string;
+  suite : suite_kind;
+  description : string;  (** what is modelled and why it is faithful *)
+  source : string;  (** MiniACC program *)
+  scalars : (string * Safara_sim.Value.t) list;
+  seed : int;  (** data-generator seed *)
+  check_arrays : string list;
+      (** arrays whose contents must agree across compiler profiles *)
+}
+
+val make :
+  id:string ->
+  title:string ->
+  suite:suite_kind ->
+  description:string ->
+  scalars:(string * Safara_sim.Value.t) list ->
+  ?seed:int ->
+  ?check_arrays:string list ->
+  string ->
+  t
+
+val fill_inputs : t -> Safara_sim.Memory.t -> Safara_ir.Program.t -> unit
+(** Deterministically fill every float array with LCG values in
+    [0.5, 1.5) (well-conditioned for the numerics) and every int array
+    with small non-negative values. *)
+
+val prepare :
+  Safara_core.Compiler.compiled -> t -> Safara_sim.Interp.env
+(** Allocate memory, fill inputs. *)
+
+val time_under : Safara_core.Compiler.profile -> t ->
+  Safara_sim.Launch.program_time * Safara_core.Compiler.compiled
+(** Compile under the profile and run the timing simulation. *)
+
+val run_under : Safara_core.Compiler.profile -> t -> (string * float) list
+(** Functional run; returns checksums of [check_arrays]. *)

@@ -1,0 +1,1 @@
+lib/transform/clause_check.ml: Format List Safara_ir

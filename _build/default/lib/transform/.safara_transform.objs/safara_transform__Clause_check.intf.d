@@ -1,0 +1,1 @@
+lib/transform/clause_check.mli: Format Safara_ir

@@ -1,0 +1,1 @@
+lib/transform/safara.ml: Format List Logs Option Printf Safara_analysis Safara_gpu Safara_ir Safara_ptxas Safara_vir Scalar_replacement String

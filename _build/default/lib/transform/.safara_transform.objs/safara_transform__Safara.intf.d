@@ -1,0 +1,1 @@
+lib/transform/safara.mli: Format Safara_analysis Safara_gpu Safara_ir

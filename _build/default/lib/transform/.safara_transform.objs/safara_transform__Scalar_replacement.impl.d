@@ -1,0 +1,1 @@
+lib/transform/scalar_replacement.ml: Array List Option Printf Safara_analysis Safara_ir String

@@ -1,0 +1,1 @@
+lib/transform/scalar_replacement.mli: Safara_analysis Safara_ir

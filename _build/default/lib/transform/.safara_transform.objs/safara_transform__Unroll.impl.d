@@ -1,0 +1,1 @@
+lib/transform/unroll.ml: Fun List Safara_ir

@@ -1,0 +1,83 @@
+module R = Safara_ir.Region
+module A = Safara_ir.Array_info
+module D = Safara_ir.Dim
+
+type violation = {
+  v_region : string;
+  v_clause : [ `Dim | `Small ];
+  v_message : string;
+}
+
+let bound_value ~env = function
+  | D.Const n -> n
+  | D.Sym s -> (
+      match List.assoc_opt s env with
+      | Some v -> v
+      | None -> invalid_arg ("clause_check: unbound parameter " ^ s))
+
+let extent_values ~env (dims : D.t list) =
+  List.map
+    (fun (d : D.t) -> (bound_value ~env d.D.lower, bound_value ~env d.D.extent))
+    dims
+
+let four_gb = 4_294_967_296
+
+let runtime_verify ~env (prog : Safara_ir.Program.t) (r : R.t) =
+  let violations = ref [] in
+  let add clause fmt =
+    Format.kasprintf
+      (fun m ->
+        violations := { v_region = r.R.rname; v_clause = clause; v_message = m } :: !violations)
+      fmt
+  in
+  List.iteri
+    (fun gi (g : R.dim_group) ->
+      match g.R.group_arrays with
+      | [] -> ()
+      | first :: rest -> (
+          let fdims = (Safara_ir.Program.find_array prog first).A.dims in
+          let fvals = extent_values ~env fdims in
+          List.iter
+            (fun a ->
+              let dims = (Safara_ir.Program.find_array prog a).A.dims in
+              if List.length dims <> List.length fdims then
+                add `Dim "group %d: %s and %s have different ranks" gi first a
+              else
+                let vals = extent_values ~env dims in
+                if vals <> fvals then
+                  add `Dim "group %d: %s and %s have different extents at run time"
+                    gi first a)
+            rest;
+          match g.R.stated_dims with
+          | None -> ()
+          | Some stated ->
+              let svals = extent_values ~env stated in
+              if svals <> fvals then
+                add `Dim "group %d: stated dimensions disagree with %s's descriptor"
+                  gi first))
+    r.R.dim_groups;
+  List.iter
+    (fun a ->
+      let info = Safara_ir.Program.find_array prog a in
+      let elems =
+        List.fold_left
+          (fun acc (d : D.t) -> acc * bound_value ~env d.D.extent)
+          1 info.A.dims
+      in
+      let bytes = elems * Safara_ir.Types.size_bytes info.A.elem in
+      if bytes >= four_gb then
+        add `Small "array %s is %d bytes (>= 4 GB): offsets overflow 32 bits" a bytes)
+    r.R.small;
+  List.rev !violations
+
+let strip_clauses (r : R.t) = { r with R.dim_groups = []; small = [] }
+
+let choose_version ~env prog r =
+  match runtime_verify ~env prog r with
+  | [] -> (r, [])
+  | violations -> (strip_clauses r, violations)
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s: %s clause: %s" v.v_region
+    (match v.v_clause with `Dim -> "dim" | `Small -> "small")
+    v.v_message

@@ -1,0 +1,38 @@
+(** Validation and runtime verification of the proposed [dim] and
+    [small] clauses (paper §IV.B, last paragraph): because the
+    programmer may pass wrong information, the compiler can emit an
+    optimized and an unoptimized kernel version plus a runtime check
+    that picks between them.
+
+    Static validation is structural (see {!Safara_ir.Validate});
+    {!runtime_verify} evaluates the actual parameter values. *)
+
+type violation = {
+  v_region : string;
+  v_clause : [ `Dim | `Small ];
+  v_message : string;
+}
+
+val runtime_verify :
+  env:(string * int) list ->
+  Safara_ir.Program.t ->
+  Safara_ir.Region.t ->
+  violation list
+(** Check, for concrete parameter values: every [dim]-group member has
+    identical extent values (and matches the stated dimensions, if
+    any); every [small] array's total byte size is below 4 GB. Empty
+    list = the optimized kernel version may run. *)
+
+val strip_clauses : Safara_ir.Region.t -> Safara_ir.Region.t
+(** The "unoptimized version": same body, no [dim]/[small]. *)
+
+val choose_version :
+  env:(string * int) list ->
+  Safara_ir.Program.t ->
+  Safara_ir.Region.t ->
+  Safara_ir.Region.t * violation list
+(** The dual-version dispatch: returns the region to compile (with
+    clauses if the runtime check passes, stripped otherwise) and the
+    violations found. *)
+
+val pp_violation : Format.formatter -> violation -> unit

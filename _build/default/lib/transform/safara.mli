@@ -1,0 +1,58 @@
+(** SAFARA: StAtic Feedback-bAsed Register allocation Assistant
+    (paper §III.B).
+
+    The iterative driver:
+    + compile the region and run the assembler ({!Safara_ptxas}) with
+      no scalar replacement — its report is the "PTXAS Info" feedback;
+    + available registers = cap − registers used;
+    + collect reuse candidates ({!Safara_analysis.Reuse}), classified
+      by memory space and access pattern;
+    + if every candidate fits, replace them all; otherwise take the
+      highest [C × L] cost candidates that fit;
+    + re-run the assembler and repeat until registers are exhausted or
+      no candidates remain.
+
+    The [cost_model] and [use_feedback] switches exist for the
+    ablation benchmarks: [`Count_only] reproduces the Carr–Kennedy
+    metric (paper §III.A.2's criticised baseline); disabling feedback
+    replaces the measured register count with a fixed estimate. *)
+
+type config = {
+  reg_cap : int;  (** register budget per thread (≤ hardware cap) *)
+  policy : Safara_analysis.Reuse.policy;
+  cost_model : [ `Latency_times_count | `Count_only ];
+  use_feedback : bool;
+  max_rounds : int;  (** safety bound on feedback iterations *)
+  assumed_free_regs : int;
+      (** available-register estimate used when [use_feedback] is off *)
+}
+
+val default_config : arch:Safara_gpu.Arch.t -> config
+
+type round = {
+  round_index : int;
+  regs_before : int;  (** ptxas feedback at the start of the round *)
+  available : int;
+  applied : Safara_analysis.Reuse.candidate list;
+  skipped : int;  (** candidates that did not fit this round *)
+}
+
+val optimize_region :
+  ?config:config ->
+  arch:Safara_gpu.Arch.t ->
+  latency:Safara_gpu.Latency.table ->
+  Safara_ir.Program.t ->
+  Safara_ir.Region.t ->
+  Safara_ir.Region.t * round list
+(** The region must be schedule-resolved. Returns the transformed
+    region and the per-round log (empty when nothing was applied). *)
+
+val optimize_program :
+  ?config:config ->
+  arch:Safara_gpu.Arch.t ->
+  latency:Safara_gpu.Latency.table ->
+  Safara_ir.Program.t ->
+  Safara_ir.Program.t * (string * round list) list
+(** Schedule-resolves, then optimizes every region. *)
+
+val pp_round : Format.formatter -> round -> unit

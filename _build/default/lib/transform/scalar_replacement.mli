@@ -1,0 +1,30 @@
+(** The scalar-replacement transformation (Carr–Kennedy, adapted to
+    offload regions as in paper §III).
+
+    Given reuse candidates chosen by the driver, rewrites the region:
+
+    - {e intra-iteration} groups: the replicated reference is loaded
+      once into a kernel-local scalar; later reads use the scalar;
+      a write to the cell updates the scalar and keeps the store.
+    - {e inter-iteration} groups (sequential carrier loop [k], span
+      [s]): rotating scalars [t0..ts] are initialized from iterations
+      [lo..lo+s-1] before the loop, the body loads only the leading
+      value [ts], reads at distance [d] use [td], and the scalars
+      rotate at the bottom of the body — exactly the Fig 3 → Fig 4 /
+      Fig 5 → Fig 6 rewrite. The whole construct is wrapped in a
+      zero-trip guard so the hoisted initial loads cannot read out of
+      bounds when the loop would not execute.
+
+    Candidates must come from {!Safara_analysis.Reuse.candidates} on
+    the {e same} region value (matching is positional/syntactic). *)
+
+val apply :
+  Safara_ir.Region.t ->
+  Safara_analysis.Reuse.candidate list ->
+  Safara_ir.Region.t
+(** Returns the rewritten region ([rname] preserved). Candidates whose
+    scope cannot be located are ignored (robustness; tests assert this
+    does not happen for analysis-produced candidates). *)
+
+val scalar_prefix : string
+(** Name prefix of generated locals (["__sr"]), used by tests. *)

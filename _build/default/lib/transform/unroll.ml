@@ -1,0 +1,83 @@
+module E = Safara_ir.Expr
+module S = Safara_ir.Stmt
+
+let rec has_loop stmts =
+  List.exists
+    (function
+      | S.For _ -> true
+      | S.If (_, t, e) -> has_loop t || has_loop e
+      | S.Assign _ | S.Local _ -> false)
+    stmts
+
+(* the body must not declare locals (their replication would redeclare)
+   nor assign scalars used across replicas; we keep the criterion
+   simple and safe: no Local, no scalar assignment *)
+let rec body_unrollable stmts =
+  List.for_all
+    (function
+      | S.Assign (S.Larray _, _) -> true
+      | S.Assign (S.Lvar _, _) | S.Local _ -> false
+      | S.If (_, t, e) -> body_unrollable t && body_unrollable e
+      | S.For _ -> false)
+    stmts
+
+let substitute idx replacement stmts =
+  S.map_exprs (E.subst_var idx replacement) stmts
+
+let rec unroll_stmts ~factor stmts =
+  List.concat_map
+    (fun s ->
+      match s with
+      | S.For l when l.S.sched = S.Seq && (not (has_loop l.S.body)) && body_unrollable l.S.body && factor > 1 ->
+          let idx = l.S.index.E.vname in
+          (* main loop: i = lo; i <= hi - (u-1); step u — expressed in
+             canonical unit-step form over a compressed index u_i:
+             we keep the original index and step by emitting the body
+             u times per iteration of a loop with stride u. Canonical
+             loops have unit step, so iterate over t in [0 .. trip/u-1]
+             with i = lo + u*t. *)
+          let u = factor in
+          let t_name = "__u_" ^ idx in
+          let lo = l.S.lo and hi = l.S.hi in
+          (* trip = hi - lo + 1; main iterations = trip / u *)
+          let trip = E.Binop (E.Add, E.Binop (E.Sub, hi, lo), E.int 1) in
+          let main_hi = E.Binop (E.Sub, E.Binop (E.Div, trip, E.int u), E.int 1) in
+          let i_of_t d =
+            E.Binop
+              ( E.Add,
+                lo,
+                E.Binop (E.Add, E.Binop (E.Mul, E.int u, E.var t_name), E.int d) )
+          in
+          let main_body =
+            List.concat_map (fun d -> substitute idx (i_of_t d) l.S.body)
+              (List.init u Fun.id)
+          in
+          let main_loop =
+            S.For
+              {
+                S.index = { E.vname = t_name; vtype = Safara_ir.Types.I32 };
+                lo = E.int 0;
+                hi = main_hi;
+                sched = S.Seq;
+                reductions = [];
+                body = main_body;
+              }
+          in
+          (* remainder: i = lo + u*(trip/u) .. hi *)
+          let rem_lo =
+            E.Binop (E.Add, lo, E.Binop (E.Mul, E.int u, E.Binop (E.Div, trip, E.int u)))
+          in
+          let rem_loop = S.For { l with S.lo = rem_lo } in
+          [ main_loop; rem_loop ]
+      | S.For l -> [ S.For { l with S.body = unroll_stmts ~factor l.S.body } ]
+      | S.If (c, t, e) ->
+          [ S.If (c, unroll_stmts ~factor t, unroll_stmts ~factor e) ]
+      | S.Assign _ | S.Local _ -> [ s ])
+    stmts
+
+let unroll_region ~factor (r : Safara_ir.Region.t) =
+  if factor <= 1 then r
+  else { r with Safara_ir.Region.body = unroll_stmts ~factor r.Safara_ir.Region.body }
+
+let unroll_program ~factor (p : Safara_ir.Program.t) =
+  { p with Safara_ir.Program.regions = List.map (unroll_region ~factor) p.Safara_ir.Program.regions }

@@ -1,0 +1,15 @@
+(** Loop unrolling (the paper's "future work" §VII combination:
+    classical unrolling interacting with SAFARA and the clauses; used
+    here by the ablation benchmarks).
+
+    Unrolls an innermost sequential loop by a factor [u]: the body is
+    replicated [u] times with the index substituted by [i], [i+1], …,
+    [i+u-1]; a remainder loop covers the tail. Only loops whose body
+    is free of inner loops and index assignments are unrolled. *)
+
+val unroll_region :
+  factor:int -> Safara_ir.Region.t -> Safara_ir.Region.t
+(** Unrolls every eligible innermost [Seq] loop. Factor ≤ 1 is the
+    identity. *)
+
+val unroll_program : factor:int -> Safara_ir.Program.t -> Safara_ir.Program.t

@@ -1,0 +1,1 @@
+lib/vir/addressing.ml: Builder Either Format Hashtbl Instr List Option Printf Safara_analysis Safara_gpu Safara_ir String Vreg

@@ -1,0 +1,1 @@
+lib/vir/addressing.mli: Builder Instr Safara_gpu Safara_ir Vreg

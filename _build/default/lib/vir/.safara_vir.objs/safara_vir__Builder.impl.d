@@ -1,0 +1,1 @@
+lib/vir/builder.ml: Array Instr List Printf Vreg

@@ -1,0 +1,1 @@
+lib/vir/codegen.ml: Addressing Builder Format Hashtbl Instr Kernel List Peephole Safara_analysis Safara_gpu Safara_ir String Vreg

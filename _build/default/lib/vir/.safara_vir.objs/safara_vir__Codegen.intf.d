@@ -1,0 +1,1 @@
+lib/vir/codegen.mli: Kernel Safara_gpu Safara_ir

@@ -1,0 +1,1 @@
+lib/vir/instr.ml: Format Printf Safara_gpu Vreg

@@ -1,0 +1,1 @@
+lib/vir/instr.mli: Format Safara_gpu Vreg

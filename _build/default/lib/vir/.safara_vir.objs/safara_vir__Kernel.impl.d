@@ -1,0 +1,1 @@
+lib/vir/kernel.ml: Array Format Instr List Safara_ir String

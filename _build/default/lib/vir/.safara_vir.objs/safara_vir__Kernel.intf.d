@@ -1,0 +1,1 @@
+lib/vir/kernel.mli: Format Instr Safara_ir

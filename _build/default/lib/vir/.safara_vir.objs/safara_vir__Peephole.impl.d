@@ -1,0 +1,1 @@
+lib/vir/peephole.ml: Array Hashtbl Instr List Printf Safara_ir Vreg

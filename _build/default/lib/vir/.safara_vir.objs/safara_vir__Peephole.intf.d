@@ -1,0 +1,1 @@
+lib/vir/peephole.mli: Instr

@@ -1,0 +1,1 @@
+lib/vir/vreg.ml: Format Int Map Printf Safara_ir Set

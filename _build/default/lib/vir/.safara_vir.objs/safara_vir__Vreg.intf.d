@@ -1,0 +1,1 @@
+lib/vir/vreg.mli: Format Map Safara_ir Set

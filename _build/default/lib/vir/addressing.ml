@@ -1,0 +1,462 @@
+module E = Safara_ir.Expr
+module T = Safara_ir.Types
+module D = Safara_ir.Dim
+module A = Safara_ir.Array_info
+module M = Safara_gpu.Memspace
+
+type mode = {
+  md_array : A.t;
+  md_space : M.space;
+  md_small : bool;
+  md_dope_set : string;
+  md_dims : D.t list;
+  md_descriptor : bool;
+}
+
+type cache_key = string * E.t list
+
+type t = {
+  b : Builder.t;
+  modes : (string * mode) list;
+  bases : (string, Vreg.t) Hashtbl.t;
+  dopes : (string * int, Vreg.t) Hashtbl.t;
+  offsets : (cache_key, Vreg.t) Hashtbl.t;
+  addrs : (cache_key, Vreg.t) Hashtbl.t;
+  mutable log : cache_key list;  (** undo log for offsets/addrs *)
+  mutable emitted : int;
+  mutable reused : int;
+}
+
+let create b ~modes =
+  {
+    b;
+    modes;
+    bases = Hashtbl.create 16;
+    dopes = Hashtbl.create 16;
+    offsets = Hashtbl.create 32;
+    addrs = Hashtbl.create 32;
+    log = [];
+    emitted = 0;
+    reused = 0;
+  }
+
+let mode t name =
+  match List.assoc_opt name t.modes with
+  | Some m -> m
+  | None -> invalid_arg ("addressing: no mode for array " ^ name)
+
+(* byte-size threshold under which static offsets are provably 32-bit *)
+let small_static_limit = 0x7fffffff
+
+let dims_signature dims =
+  String.concat "" (List.map (Format.asprintf "%a" D.pp) dims)
+
+let modes_of_region ~arch (prog : Safara_ir.Program.t) (r : Safara_ir.Region.t) =
+  let spaces = Safara_analysis.Spaces.region_spaces ~arch prog r in
+  List.map
+    (fun name ->
+      let info = Safara_ir.Program.find_array prog name in
+      let group = Safara_ir.Region.dim_group_of r name in
+      let fortran_decl (a : A.t) =
+        List.exists (fun (d : D.t) -> d.D.lower <> D.Const 0) a.A.dims
+      in
+      let dims, descriptor =
+        match group with
+        | Some gi -> (
+            let g = List.nth r.Safara_ir.Region.dim_groups gi in
+            match g.Safara_ir.Region.stated_dims with
+            | Some dims ->
+                (* stated dimensions are compiler knowledge: literal
+                   bounds fold (paper §IV.A's recommendation) *)
+                (dims, false)
+            | None ->
+                (* take the descriptor of the group's first array *)
+                let leader =
+                  Safara_ir.Program.find_array prog
+                    (List.hd g.Safara_ir.Region.group_arrays)
+                in
+                (leader.A.dims, fortran_decl leader))
+        | None -> (info.A.dims, fortran_decl info)
+      in
+      let static = (not descriptor) && List.for_all D.is_static dims in
+      let small =
+        Safara_ir.Region.is_small r name
+        ||
+        (static
+        &&
+        match A.static_size { info with A.dims } with
+        | Some n -> n * T.size_bytes info.A.elem < small_static_limit
+        | None -> false)
+      in
+      let dope_set =
+        if static then "#" ^ dims_signature dims
+        else
+          match group with
+          | Some gi ->
+              let g = List.nth r.Safara_ir.Region.dim_groups gi in
+              "@" ^ List.hd g.Safara_ir.Region.group_arrays
+          | None -> "@" ^ name
+      in
+      ( name,
+        {
+          md_array = info;
+          md_space = Option.value (List.assoc_opt name spaces) ~default:M.Global;
+          md_small = small;
+          md_dope_set = dope_set;
+          md_dims = dims;
+          md_descriptor = descriptor;
+        } ))
+    (Safara_ir.Region.referenced_arrays r)
+
+let dope_leader md =
+  if String.length md.md_dope_set > 0 && md.md_dope_set.[0] = '@' then
+    Some (String.sub md.md_dope_set 1 (String.length md.md_dope_set - 1))
+  else None
+
+let dope_param_name set d = Printf.sprintf "%s.len%d" set d
+let dope_lower_name set d = Printf.sprintf "%s.lo%d" set d
+
+let dope_params md =
+  match dope_leader md with
+  | Some leader when String.equal leader md.md_array.A.name ->
+      let extents =
+        (* the outermost extent never enters the offset computation *)
+        List.tl (List.mapi (fun d _ -> dope_param_name leader d) md.md_dims)
+      in
+      let lowers =
+        List.concat
+          (List.mapi
+             (fun d (dim : D.t) ->
+               match dim.D.lower with
+               | D.Sym _ -> [ dope_lower_name leader d ]
+               | D.Const _ when md.md_descriptor -> [ dope_lower_name leader d ]
+               | D.Const _ -> [])
+             md.md_dims)
+      in
+      extents @ lowers
+  | _ -> []
+
+let base_reg t name =
+  match Hashtbl.find_opt t.bases name with
+  | Some r -> r
+  | None ->
+      let r = Builder.fresh t.b T.I64 in
+      Builder.emit t.b (Instr.Ldp { dst = r; param = name });
+      Hashtbl.replace t.bases name r;
+      r
+
+(* extent of dimension [d] (1-based position in the Horner recurrence,
+   i.e. dims.(d)) as an operand in the offset width *)
+let extent_operand t md d =
+  let width = if md.md_small then T.I32 else T.I64 in
+  match (List.nth md.md_dims d).D.extent with
+  | D.Const n when not md.md_descriptor -> Instr.Imm n
+  | D.Const _ | D.Sym _ -> (
+      let key = (md.md_dope_set, d) in
+      match Hashtbl.find_opt t.dopes key with
+      | Some r -> Instr.Reg r
+      | None ->
+          let leader =
+            match dope_leader md with
+            | Some l -> l
+            | None -> assert false (* dynamic arrays always have a leader *)
+          in
+          let r = Builder.fresh t.b width in
+          Builder.emit t.b
+            (Instr.Ldp { dst = r; param = dope_param_name leader d });
+          Hashtbl.replace t.dopes key r;
+          r |> fun r -> Instr.Reg r)
+
+(* lower bound of dimension [d]: None when it is zero (the C default,
+   no subtraction needed); a 32-bit operand otherwise. Cached per
+   descriptor set with keys offset by 1000 (extents use the plain
+   index, strides negative indices). *)
+let lower_operand t md d =
+  match (List.nth md.md_dims d).D.lower with
+  | D.Const 0 when not md.md_descriptor -> None
+  | D.Const n when not md.md_descriptor -> Some (Instr.Imm n)
+  | D.Const _ | D.Sym _ -> (
+      let key = (md.md_dope_set, 1000 + d) in
+      match Hashtbl.find_opt t.dopes key with
+      | Some r -> Some (Instr.Reg r)
+      | None ->
+          let leader =
+            match dope_leader md with Some l -> l | None -> assert false
+          in
+          let r = Builder.fresh t.b T.I32 in
+          Builder.emit t.b (Instr.Ldp { dst = r; param = dope_lower_name leader d });
+          Hashtbl.replace t.dopes key r;
+          Some (Instr.Reg r))
+
+let preload t arrays =
+  List.iter
+    (fun name ->
+      let md = mode t name in
+      ignore (base_reg t name);
+      List.iteri
+        (fun d _ ->
+          if d > 0 then ignore (extent_operand t md d);
+          ignore (lower_operand t md d))
+        md.md_dims)
+    arrays
+
+(* widen a 32-bit operand to 64 bits (no-op in small mode) *)
+let widen t ~small (op : Instr.operand) =
+  if small then op
+  else
+    match op with
+    | Instr.Imm _ -> op
+    | Instr.FImm _ -> invalid_arg "addressing: float subscript"
+    | Instr.Reg r ->
+        if Safara_ir.Types.is_64bit r.Vreg.rty then op
+        else
+          let w = Builder.fresh t.b T.I64 in
+          Builder.emit t.b (Instr.Cvt { dst = w; src = r });
+          Instr.Reg w
+
+let as_reg t ty (op : Instr.operand) =
+  match op with
+  | Instr.Reg r -> r
+  | _ ->
+      let r = Builder.fresh t.b ty in
+      Builder.emit t.b (Instr.Mov { dst = r; src = op });
+      r
+
+(* two subscript tuples over the same descriptor that differ by an
+   integer constant in exactly one dimension: neighbor references like
+   a[k][j][i] / a[k-1][j][i] *)
+let diff_one_dim subs subs2 =
+  if List.length subs <> List.length subs2 then None
+  else
+    let forms e = Safara_analysis.Affine.analyze ~indices:[] e in
+    let rec go d acc s1 s2 =
+      match (s1, s2) with
+      | [], [] -> acc
+      | x :: r1, y :: r2 -> (
+          if E.equal x y then go (d + 1) acc r1 r2
+          else
+            match (forms x, forms y) with
+            | Some fx, Some fy when Safara_analysis.Affine.comparable fx fy -> (
+                let delta =
+                  fx.Safara_analysis.Affine.const - fy.Safara_analysis.Affine.const
+                in
+                if delta = 0 then go (d + 1) acc r1 r2
+                else
+                  match acc with
+                  | None -> go (d + 1) (Some (d, delta)) r1 r2
+                  | Some _ -> None (* differs in two dimensions *))
+            | _ -> None)
+      | _ -> None
+    in
+    go 0 None subs subs2
+
+(* element stride of dimension [d]: the product of all later extents
+   (row-major); loop-invariant, so the register is cached per
+   descriptor set *)
+let stride_operand t md d =
+  let rank = List.length md.md_dims in
+  let parts = List.init (rank - 1 - d) (fun j -> extent_operand t md (d + 1 + j)) in
+  let imms, regs =
+    List.partition_map
+      (function Instr.Imm n -> Either.Left n | op -> Either.Right op)
+      parts
+  in
+  let const = List.fold_left ( * ) 1 imms in
+  match regs with
+  | [] -> Instr.Imm const
+  | _ -> (
+      let key = (md.md_dope_set, -(d + 1)) in
+      (* strides cached alongside dope extents, with negative keys *)
+      match Hashtbl.find_opt t.dopes key with
+      | Some r -> Instr.Reg r
+      | None ->
+          let width = if md.md_small then T.I32 else T.I64 in
+          let start = if const = 1 then None else Some (Instr.Imm const) in
+          let acc =
+            List.fold_left
+              (fun acc op ->
+                match acc with
+                | None -> Some op
+                | Some prev ->
+                    let m = Builder.fresh t.b width in
+                    Builder.emit t.b
+                      (Instr.Bin { op = Instr.Mul; dst = m; a = prev; b = op });
+                    Some (Instr.Reg m))
+              start regs
+          in
+          (match acc with
+          | Some (Instr.Reg r) ->
+              Hashtbl.replace t.dopes key r;
+              Instr.Reg r
+          | Some imm -> imm
+          | None -> Instr.Imm 1))
+
+(* Horner-rule element offset in the mode's width *)
+let offset_reg t ~compile_sub md subs =
+  let key = (md.md_dope_set, subs) in
+  match Hashtbl.find_opt t.offsets key with
+  | Some r ->
+      t.reused <- t.reused + 1;
+      r
+  | None
+    when (* strength reduction: derive from a cached neighbor offset *)
+         Hashtbl.fold
+           (fun (set, subs2) reg acc ->
+             if acc <> None || set <> md.md_dope_set then acc
+             else
+               match diff_one_dim subs subs2 with
+               | Some (d, delta) -> Some (reg, d, delta)
+               | None -> acc)
+           t.offsets None
+         <> None ->
+      let reg, d, delta =
+        Option.get
+          (Hashtbl.fold
+             (fun (set, subs2) reg acc ->
+               if acc <> None || set <> md.md_dope_set then acc
+               else
+                 match diff_one_dim subs subs2 with
+                 | Some (d, delta) -> Some (reg, d, delta)
+                 | None -> acc)
+             t.offsets None)
+      in
+      t.emitted <- t.emitted + 1;
+      let width = if md.md_small then T.I32 else T.I64 in
+      let stride = stride_operand t md d in
+      let r =
+        match stride with
+        | Instr.Imm s ->
+            let dst = Builder.fresh t.b width in
+            Builder.emit t.b
+              (Instr.Bin
+                 { op = Instr.Add; dst; a = Instr.Reg reg; b = Instr.Imm (delta * s) });
+            dst
+        | stride_op ->
+            let step =
+              if delta = 1 || delta = -1 then stride_op
+              else begin
+                let m = Builder.fresh t.b width in
+                Builder.emit t.b
+                  (Instr.Bin
+                     { op = Instr.Mul; dst = m; a = stride_op; b = Instr.Imm (abs delta) });
+                Instr.Reg m
+              end
+            in
+            let dst = Builder.fresh t.b width in
+            Builder.emit t.b
+              (Instr.Bin
+                 {
+                   op = (if delta > 0 then Instr.Add else Instr.Sub);
+                   dst;
+                   a = Instr.Reg reg;
+                   b = step;
+                 });
+            dst
+      in
+      Hashtbl.replace t.offsets key r;
+      t.log <- key :: t.log;
+      r
+  | None ->
+      t.emitted <- t.emitted + 1;
+      let small = md.md_small in
+      let width = if small then T.I32 else T.I64 in
+      (* the per-dimension term is (subscript - lower bound), the
+         paper's (i - t0) pattern; the subtraction happens in 32-bit
+         before widening *)
+      let term d s =
+        let op = compile_sub s in
+        match lower_operand t md d with
+        | None -> op
+        | Some lb ->
+            let r = Builder.fresh t.b T.I32 in
+            Builder.emit t.b (Instr.Bin { op = Instr.Sub; dst = r; a = op; b = lb });
+            Instr.Reg r
+      in
+      let rec horner d acc rest =
+        match rest with
+        | [] -> acc
+        | s :: more ->
+            let e = extent_operand t md d in
+            let m = Builder.fresh t.b width in
+            Builder.emit t.b (Instr.Bin { op = Instr.Mul; dst = m; a = acc; b = e });
+            let a = Builder.fresh t.b width in
+            Builder.emit t.b
+              (Instr.Bin
+                 { op = Instr.Add; dst = a; a = Instr.Reg m; b = widen t ~small (term d s) });
+            horner (d + 1) (Instr.Reg a) more
+      in
+      let acc, rest =
+        match subs with
+        | [] -> invalid_arg "addressing: scalar array reference"
+        | s :: more -> (widen t ~small (term 0 s), more)
+      in
+      let final = horner 1 acc rest in
+      let r = as_reg t width final in
+      Hashtbl.replace t.offsets key r;
+      t.log <- key :: t.log;
+      r
+
+let address_of t ~compile_sub name subs =
+  let md = mode t name in
+  let key = (name, subs) in
+  match Hashtbl.find_opt t.addrs key with
+  | Some r ->
+      t.reused <- t.reused + 1;
+      r
+  | None ->
+      let off = offset_reg t ~compile_sub md subs in
+      let elem = T.size_bytes md.md_array.A.elem in
+      let scaled =
+        let s = Builder.fresh t.b off.Vreg.rty in
+        Builder.emit t.b
+          (Instr.Bin { op = Instr.Mul; dst = s; a = Instr.Reg off; b = Instr.Imm elem });
+        s
+      in
+      let wide =
+        if Safara_ir.Types.is_64bit scaled.Vreg.rty then scaled
+        else begin
+          (* mul.wide-style single widening conversion *)
+          let w = Builder.fresh t.b T.I64 in
+          Builder.emit t.b (Instr.Cvt { dst = w; src = scaled });
+          w
+        end
+      in
+      let base = base_reg t name in
+      let addr = Builder.fresh t.b T.I64 in
+      Builder.emit t.b
+        (Instr.Bin
+           { op = Instr.Add; dst = addr; a = Instr.Reg base; b = Instr.Reg wide });
+      Hashtbl.replace t.addrs key addr;
+      t.log <- key :: t.log;
+      addr
+
+let mark t = List.length t.log
+
+let release t m =
+  let rec drop log n =
+    if n <= 0 then log
+    else
+      match log with
+      | [] -> []
+      | key :: rest ->
+          Hashtbl.remove t.offsets key;
+          Hashtbl.remove t.addrs key;
+          drop rest (n - 1)
+  in
+  let excess = List.length t.log - m in
+  t.log <- drop t.log excess
+
+let invalidate_var t v =
+  let mentions subs =
+    List.exists (fun s -> E.fold_vars (fun x acc -> acc || String.equal x v) s false) subs
+  in
+  let purge tbl =
+    let doomed =
+      Hashtbl.fold (fun ((_, subs) as k) _ acc -> if mentions subs then k :: acc else acc) tbl []
+    in
+    List.iter (Hashtbl.remove tbl) doomed
+  in
+  purge t.offsets;
+  purge t.addrs
+
+let stats t = (t.emitted, t.reused)

@@ -1,0 +1,82 @@
+(** Array address computation — the code whose register footprint the
+    paper's [dim] and [small] clauses shrink (§IV).
+
+    For each dynamic (dope-vector) array the generated kernel loads the
+    array's dimension extents from its descriptor into registers and
+    computes row-major offsets by Horner's rule. Without clauses, each
+    array owns a private descriptor (the compiler cannot know two
+    allocatables share dimensions), and offsets are 64-bit. A [dim]
+    clause makes all arrays of a group share one descriptor {e and}
+    one offset computation per distinct subscript tuple; a [small]
+    clause switches the offset arithmetic and descriptor registers to
+    32 bits (one hardware register instead of two), with a single
+    widening [cvt] at the final address add.
+
+    Static arrays fold their extents into immediates, use 32-bit
+    offsets when the array fits in 4 GB (the compiler can prove it),
+    and share offsets across arrays with identical dimensions. *)
+
+type mode = {
+  md_array : Safara_ir.Array_info.t;
+  md_space : Safara_gpu.Memspace.space;
+  md_small : bool;  (** 32-bit offset arithmetic *)
+  md_dope_set : string;
+      (** descriptor identity: the array name, a [dim]-group id, or a
+          static dimension signature *)
+  md_dims : Safara_ir.Dim.t list;  (** effective dimensions *)
+  md_descriptor : bool;
+      (** Fortran-allocatable semantics: every bound (lower bounds and
+          extents, even ones written as literals) lives in a runtime
+          dope vector and must be loaded into registers — the paper's
+          t0..t14 temporaries. Arrays declared with explicit lower
+          bounds get this treatment; a [dim] clause with {e stated}
+          dimensions turns the stated values back into compile-time
+          knowledge (the paper's §IV.A recommendation). *)
+}
+
+type t
+
+val create : Builder.t -> modes:(string * mode) list -> t
+
+val modes_of_region :
+  arch:Safara_gpu.Arch.t ->
+  Safara_ir.Program.t ->
+  Safara_ir.Region.t ->
+  (string * mode) list
+(** Compute each referenced array's addressing mode from the region's
+    [dim]/[small] clauses, the declarations, and the memory-space
+    analysis. *)
+
+val base_reg : t -> string -> Vreg.t
+(** Base-pointer register of an array (loaded once per kernel). *)
+
+val preload : t -> string list -> unit
+(** Load base pointers and descriptor extents of the given arrays at
+    the current emission point (kernel entry). *)
+
+val address_of :
+  t ->
+  compile_sub:(Safara_ir.Expr.t -> Instr.operand) ->
+  string ->
+  Safara_ir.Expr.t list ->
+  Vreg.t
+(** Emit (or reuse) the address computation for [array\[subs…\]];
+    returns a 64-bit address register. [compile_sub] compiles one
+    subscript to a 32-bit operand. *)
+
+val dope_params : mode -> string list
+(** Descriptor parameter names contributed by this array's dope set
+    (empty for non-leader group members and static arrays). *)
+
+val mark : t -> int
+val release : t -> int -> unit
+(** Scope management for the offset/address caches: [release t (mark t)]
+    drops every cache entry added since the mark (used at loop-body and
+    branch boundaries where cached values go stale). *)
+
+val invalidate_var : t -> string -> unit
+(** Drop cached offsets/addresses whose subscripts read the given
+    scalar variable (called when that scalar is reassigned). *)
+
+val stats : t -> int * int
+(** (offset computations emitted, offset computations reused) *)

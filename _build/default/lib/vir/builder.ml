@@ -1,0 +1,25 @@
+type t = {
+  mutable rev_code : Instr.t list;
+  mutable nreg : int;
+  mutable nlabel : int;
+  mutable len : int;
+}
+
+let create () = { rev_code = []; nreg = 0; nlabel = 0; len = 0 }
+
+let fresh t rty =
+  let r = { Vreg.rid = t.nreg; rty } in
+  t.nreg <- t.nreg + 1;
+  r
+
+let emit t i =
+  t.rev_code <- i :: t.rev_code;
+  t.len <- t.len + 1
+
+let fresh_label t stem =
+  let l = Printf.sprintf "$L_%s_%d" stem t.nlabel in
+  t.nlabel <- t.nlabel + 1;
+  l
+
+let code t = Array.of_list (List.rev t.rev_code)
+let length t = t.len

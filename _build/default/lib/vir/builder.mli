@@ -1,0 +1,13 @@
+(** Instruction-stream builder: fresh virtual registers, fresh labels,
+    append-only emission. *)
+
+type t
+
+val create : unit -> t
+val fresh : t -> Safara_ir.Types.dtype -> Vreg.t
+val emit : t -> Instr.t -> unit
+val fresh_label : t -> string -> string
+(** [fresh_label b stem] returns a unique label like ["$L_stem_7"]. *)
+
+val code : t -> Instr.t array
+val length : t -> int

@@ -1,0 +1,144 @@
+module I = Instr
+module V = Vreg
+module T = Safara_ir.Types
+
+(* --- constant folding & identities --------------------------------- *)
+
+let fold_instr (instr : I.t) : I.t =
+  match instr with
+  | I.Bin { op; dst; a = I.Imm x; b = I.Imm y } when T.is_integer dst.V.rty ->
+      let v =
+        match op with
+        | I.Add -> Some (x + y)
+        | I.Sub -> Some (x - y)
+        | I.Mul -> Some (x * y)
+        | I.Div -> if y = 0 then None else Some (x / y)
+        | I.Rem -> if y = 0 then None else Some (x mod y)
+        | I.Min -> Some (min x y)
+        | I.Max -> Some (max x y)
+        | I.Pow | I.And | I.Or -> None
+      in
+      (match v with
+      | Some v -> I.Mov { dst; src = I.Imm v }
+      | None -> instr)
+  | I.Bin { op = I.Add; dst; a; b = I.Imm 0 }
+  | I.Bin { op = I.Sub; dst; a; b = I.Imm 0 }
+  | I.Bin { op = I.Add; dst; a = I.Imm 0; b = a }
+  | I.Bin { op = I.Mul; dst; a; b = I.Imm 1 }
+  | I.Bin { op = I.Mul; dst; a = I.Imm 1; b = a }
+  | I.Bin { op = I.Div; dst; a; b = I.Imm 1 } ->
+      I.Mov { dst; src = a }
+  | _ -> instr
+
+(* --- block-local copy propagation ----------------------------------- *)
+
+let copy_propagate code =
+  let copies : (int, I.operand) Hashtbl.t = Hashtbl.create 32 in
+  let invalidate (r : V.t) =
+    Hashtbl.remove copies r.V.rid;
+    (* any copy whose source is r is stale now *)
+    let stale =
+      Hashtbl.fold
+        (fun k v acc -> match v with I.Reg s when V.equal s r -> k :: acc | _ -> acc)
+        copies []
+    in
+    List.iter (Hashtbl.remove copies) stale
+  in
+  Array.map
+    (fun instr ->
+      match instr with
+      | I.Label _ | I.Bra _ | I.Brc _ | I.Ret ->
+          (* control flow: be conservative, clear the window *)
+          let instr' =
+            match instr with
+            | I.Brc r -> (
+                match Hashtbl.find_opt copies r.pred.V.rid with
+                | Some (I.Reg p) -> I.Brc { r with pred = p }
+                | _ -> instr)
+            | _ -> instr
+          in
+          Hashtbl.reset copies;
+          instr'
+      | _ ->
+          let subst (r : V.t) =
+            match Hashtbl.find_opt copies r.V.rid with
+            | Some (I.Reg s) when s.V.rty = r.V.rty -> s
+            | _ -> r
+          in
+          let subst_op (op : I.operand) =
+            match op with
+            | I.Reg r -> (
+                match Hashtbl.find_opt copies r.V.rid with
+                | Some replacement -> (
+                    match replacement with
+                    | I.Reg s when s.V.rty = r.V.rty -> replacement
+                    | I.Imm _ | I.FImm _ -> replacement
+                    | I.Reg _ -> op)
+                | None -> op)
+            | _ -> op
+          in
+          (* rewrite uses; Ld/St/Atom addresses are plain registers *)
+          let instr' =
+            match instr with
+            | I.Ld r -> I.Ld { r with addr = subst r.addr }
+            | I.St r -> I.St { r with src = subst_op r.src; addr = subst r.addr }
+            | I.Mov r -> I.Mov { r with src = subst_op r.src }
+            | I.Bin r -> I.Bin { r with a = subst_op r.a; b = subst_op r.b }
+            | I.Una r -> I.Una { r with a = subst_op r.a }
+            | I.Cvt r -> I.Cvt { r with src = subst r.src }
+            | I.Setp r -> I.Setp { r with a = subst_op r.a; b = subst_op r.b }
+            | I.Atom r -> I.Atom { r with addr = subst r.addr; src = subst_op r.src }
+            | other -> other
+          in
+          (* update the copy window *)
+          List.iter invalidate (I.defs instr');
+          (match instr' with
+          | I.Mov { dst; src = I.Reg s } when not (V.equal dst s) ->
+              Hashtbl.replace copies dst.V.rid (I.Reg s)
+          | I.Mov { dst; src = (I.Imm _ | I.FImm _) as c } ->
+              Hashtbl.replace copies dst.V.rid c
+          | _ -> ());
+          instr')
+    code
+
+(* --- dead-code elimination ------------------------------------------ *)
+
+let is_pure = function
+  | I.Mov _ | I.Bin _ | I.Una _ | I.Cvt _ | I.Setp _ | I.Spec _ | I.Ldp _
+  | I.Ld _ ->
+      true
+  | I.Label _ | I.St _ | I.Bra _ | I.Brc _ | I.Atom _ | I.Ret -> false
+
+let dead_code_eliminate code =
+  let code = ref (Array.to_list code) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let used = Hashtbl.create 64 in
+    List.iter
+      (fun i -> List.iter (fun (r : V.t) -> Hashtbl.replace used r.V.rid ()) (I.uses i))
+      !code;
+    let kept =
+      List.filter
+        (fun i ->
+          if not (is_pure i) then true
+          else
+            match I.defs i with
+            | [ d ] -> Hashtbl.mem used d.V.rid
+            | _ -> true)
+        !code
+    in
+    if List.length kept <> List.length !code then begin
+      changed := true;
+      code := kept
+    end
+  done;
+  Array.of_list !code
+
+let optimize code =
+  code |> Array.map fold_instr |> copy_propagate |> Array.map fold_instr
+  |> dead_code_eliminate
+
+let stats before after =
+  Printf.sprintf "peephole: %d -> %d instructions" (Array.length before)
+    (Array.length after)

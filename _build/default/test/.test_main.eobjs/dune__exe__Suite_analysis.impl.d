@@ -1,0 +1,1 @@
+test/suite_analysis.ml: Affine Alcotest Coalescing Dependence Format List Mapping Option Parallelism Printf Reuse Safara_analysis Safara_gpu Safara_ir Safara_lang Schedule Spaces String

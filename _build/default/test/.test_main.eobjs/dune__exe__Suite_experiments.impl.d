@@ -1,0 +1,1 @@
+test/suite_experiments.ml: Alcotest Experiments List Safara_suites

@@ -1,0 +1,1 @@
+test/suite_extras.ml: Alcotest Array List Printexc Printf Safara_analysis Safara_core Safara_gpu Safara_ir Safara_lang Safara_ptxas Safara_sim Safara_suites Safara_vir String

@@ -1,0 +1,1 @@
+test/suite_fortran.ml: Alcotest Array List Printexc Printf Safara_analysis Safara_core Safara_gpu Safara_ir Safara_lang Safara_sim Safara_transform Safara_vir Str_helpers

@@ -1,0 +1,1 @@
+test/suite_gpu.ml: Alcotest Arch Latency Memspace Occupancy Printf Safara_gpu

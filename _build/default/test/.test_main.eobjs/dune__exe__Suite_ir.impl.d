@@ -1,0 +1,1 @@
+test/suite_ir.ml: Alcotest Array_info Dim Expr List Program Region Safara_ir Stmt Types Validate

@@ -1,0 +1,1 @@
+test/suite_lang.ml: Alcotest Ast Fmt Frontend Lexer List Parser Printf Safara_ir Safara_lang Str_helpers String Token Typecheck

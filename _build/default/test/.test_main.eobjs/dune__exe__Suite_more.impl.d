@@ -1,0 +1,1 @@
+test/suite_more.ml: Alcotest Array Filename Float Int64 List Printexc Printf Safara_analysis Safara_core Safara_gpu Safara_ir Safara_lang Safara_sim Safara_suites Str_helpers Sys

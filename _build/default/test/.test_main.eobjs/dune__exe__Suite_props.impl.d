@@ -1,0 +1,1 @@
+test/suite_props.ml: Array Buffer Int64 List Printf QCheck QCheck_alcotest Safara_analysis Safara_core Safara_gpu Safara_ir Safara_lang Safara_ptxas Safara_sim Safara_transform Safara_vir

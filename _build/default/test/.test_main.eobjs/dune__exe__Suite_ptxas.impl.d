@@ -1,0 +1,1 @@
+test/suite_ptxas.ml: Alcotest Array Assemble Cfg Linear_scan List Liveness Pressure Safara_analysis Safara_gpu Safara_ir Safara_lang Safara_ptxas Safara_sim Safara_suites Safara_vir

@@ -1,0 +1,1 @@
+test/suite_shapes.ml: Alcotest Float List Printf Registry Safara_core Safara_sim Safara_suites Workload

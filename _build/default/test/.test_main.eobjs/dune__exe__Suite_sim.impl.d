@@ -1,0 +1,1 @@
+test/suite_sim.ml: Alcotest Array Interp Launch List Memory Safara_analysis Safara_gpu Safara_ir Safara_lang Safara_ptxas Safara_sim Safara_vir Value

@@ -1,0 +1,1 @@
+test/suite_timing.ml: Alcotest Array Hashtbl List Printf Safara_gpu Safara_ir Safara_sim Safara_vir

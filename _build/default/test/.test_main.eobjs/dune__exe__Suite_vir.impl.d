@@ -1,0 +1,1 @@
+test/suite_vir.ml: Alcotest Array List Printf Safara_analysis Safara_gpu Safara_ir Safara_lang Safara_ptxas Safara_vir Str_helpers

@@ -1,0 +1,1 @@
+test/suite_workloads.ml: Alcotest Int64 List Printf Registry Safara_core Safara_gpu Safara_ptxas Safara_sim Safara_suites Spec_seismic Spec_sp Workload

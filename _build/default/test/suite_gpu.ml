@@ -1,0 +1,141 @@
+(* Tests for the GPU machine model: architecture parameters, latency
+   table and the occupancy calculator. Occupancy expectations are
+   hand-checked against the NVIDIA occupancy calculator for compute
+   capability 3.5. *)
+
+open Safara_gpu
+
+let check_int = Alcotest.(check int)
+let k20 = Arch.kepler_k20xm
+
+let test_register_granularity () =
+  (* 32 regs/thread * 32 threads = 1024, already a multiple of 256 *)
+  check_int "32 regs" 1024 (Arch.registers_per_warp k20 ~regs_per_thread:32);
+  (* 33 regs/thread * 32 = 1056 -> rounds to 1280 *)
+  check_int "33 regs" 1280 (Arch.registers_per_warp k20 ~regs_per_thread:33);
+  check_int "1 reg" 256 (Arch.registers_per_warp k20 ~regs_per_thread:1)
+
+let occ ?(shared = 0) threads regs =
+  Occupancy.calculate k20
+    {
+      Occupancy.threads_per_block = threads;
+      regs_per_thread = regs;
+      shared_bytes_per_block = shared;
+    }
+
+let test_occupancy_full () =
+  (* 256 threads, 32 regs: 8 warps/block; regs/block = 8*1024 = 8192;
+     65536/8192 = 8 blocks = 64 warps = 100% *)
+  let r = occ 256 32 in
+  check_int "blocks" 8 r.Occupancy.blocks_per_sm;
+  check_int "warps" 64 r.Occupancy.active_warps;
+  Alcotest.(check (float 0.001)) "occupancy" 1.0 r.Occupancy.occupancy
+
+let test_occupancy_register_limited () =
+  (* 256 threads, 64 regs: regs/warp = 2048; warps by regs = 32; blocks
+     by regs = 32/8 = 4 -> 32 warps = 50% *)
+  let r = occ 256 64 in
+  check_int "blocks" 4 r.Occupancy.blocks_per_sm;
+  check_int "warps" 32 r.Occupancy.active_warps;
+  Alcotest.(check bool)
+    "limited by registers" true
+    (r.Occupancy.limiter = Occupancy.Registers)
+
+let test_occupancy_high_pressure () =
+  (* 128 threads, 200 regs: regs/warp = ceil(200*32/256)*256 = 6400;
+     warps by regs = 65536/6400 = 10; blocks = 10/4 = 2 -> 8 warps *)
+  let r = occ 128 200 in
+  check_int "blocks" 2 r.Occupancy.blocks_per_sm;
+  check_int "warps" 8 r.Occupancy.active_warps
+
+let test_occupancy_block_limited () =
+  (* tiny blocks: 32 threads, few regs -> capped at 16 blocks/SM *)
+  let r = occ 32 16 in
+  check_int "blocks" 16 r.Occupancy.blocks_per_sm;
+  check_int "warps" 16 r.Occupancy.active_warps;
+  Alcotest.(check bool)
+    "limited by blocks" true
+    (r.Occupancy.limiter = Occupancy.Blocks)
+
+let test_occupancy_shared_limited () =
+  let r = occ ~shared:25000 256 16 in
+  check_int "blocks (shared)" 1 r.Occupancy.blocks_per_sm;
+  Alcotest.(check bool)
+    "limited by shared" true
+    (r.Occupancy.limiter = Occupancy.Shared_memory)
+
+let test_occupancy_infeasible () =
+  let r = occ 2048 16 in
+  check_int "too many threads" 0 r.Occupancy.blocks_per_sm;
+  let r = occ 256 300 in
+  check_int "too many regs" 0 r.Occupancy.blocks_per_sm
+
+let test_occupancy_monotone_in_registers () =
+  (* more registers per thread never increases occupancy *)
+  let prev = ref max_int in
+  for regs = 1 to k20.Arch.max_registers_per_thread do
+    let r = occ 256 regs in
+    Alcotest.(check bool)
+      (Printf.sprintf "monotone at %d regs" regs)
+      true
+      (r.Occupancy.active_warps <= !prev);
+    prev := r.Occupancy.active_warps
+  done
+
+let test_max_regs_full_occupancy () =
+  (* 256-thread blocks reach 64 warps with <= 32 regs/thread on K20 *)
+  check_int "threshold" 32
+    (Occupancy.max_regs_for_full_occupancy k20 ~threads_per_block:256)
+
+let test_fermi_has_no_ro_cache () =
+  Alcotest.(check bool) "kepler" true k20.Arch.has_read_only_cache;
+  Alcotest.(check bool) "fermi" false Arch.fermi_like.Arch.has_read_only_cache
+
+let test_latency_ordering () =
+  let t = Latency.kepler in
+  let lat space access = Latency.memory_latency t space access in
+  Alcotest.(check bool)
+    "shared is fastest memory" true
+    (lat Memspace.Shared Memspace.Coalesced < lat Memspace.Read_only Memspace.Coalesced);
+  Alcotest.(check bool)
+    "read-only beats global" true
+    (lat Memspace.Read_only Memspace.Coalesced < lat Memspace.Global Memspace.Coalesced);
+  Alcotest.(check bool)
+    "uncoalesced worse than coalesced" true
+    (lat Memspace.Global (Memspace.Uncoalesced 32) > lat Memspace.Global Memspace.Coalesced);
+  (* degree matters: 32 transactions slower than 4 *)
+  Alcotest.(check bool)
+    "transaction count matters" true
+    (lat Memspace.Global (Memspace.Uncoalesced 32) > lat Memspace.Global (Memspace.Uncoalesced 4))
+
+let test_transactions () =
+  let txn = Memspace.transactions ~warp_size:32 ~segment_bytes:128 in
+  check_int "f32 coalesced" 1 (txn ~elem_bytes:4 Memspace.Coalesced);
+  check_int "f64 coalesced" 2 (txn ~elem_bytes:8 Memspace.Coalesced);
+  check_int "fully scattered" 32 (txn ~elem_bytes:4 (Memspace.Uncoalesced 32));
+  check_int "invariant" 1 (txn ~elem_bytes:8 Memspace.Invariant);
+  check_int "clamped" 32 (txn ~elem_bytes:4 (Memspace.Uncoalesced 99))
+
+let test_constant_serialization () =
+  let t = Latency.kepler in
+  Alcotest.(check bool)
+    "divergent constant access is serialized" true
+    (Latency.memory_latency t Memspace.Constant (Memspace.Uncoalesced 8)
+    > Latency.memory_latency t Memspace.Constant Memspace.Coalesced)
+
+let suite =
+  [
+    Alcotest.test_case "register allocation granularity" `Quick test_register_granularity;
+    Alcotest.test_case "full occupancy" `Quick test_occupancy_full;
+    Alcotest.test_case "register-limited occupancy" `Quick test_occupancy_register_limited;
+    Alcotest.test_case "high register pressure" `Quick test_occupancy_high_pressure;
+    Alcotest.test_case "block-limited occupancy" `Quick test_occupancy_block_limited;
+    Alcotest.test_case "shared-memory-limited occupancy" `Quick test_occupancy_shared_limited;
+    Alcotest.test_case "infeasible launches" `Quick test_occupancy_infeasible;
+    Alcotest.test_case "occupancy monotone in registers" `Quick test_occupancy_monotone_in_registers;
+    Alcotest.test_case "max regs for full occupancy" `Quick test_max_regs_full_occupancy;
+    Alcotest.test_case "fermi lacks read-only cache" `Quick test_fermi_has_no_ro_cache;
+    Alcotest.test_case "latency ordering" `Quick test_latency_ordering;
+    Alcotest.test_case "warp transactions" `Quick test_transactions;
+    Alcotest.test_case "constant serialization" `Quick test_constant_serialization;
+  ]

