@@ -3,66 +3,75 @@
    and, additionally, bechamel microbenchmarks of the compiler passes
    themselves.
 
+   All experiments run through the parallel, memoizing evaluation
+   engine (lib/engine + Safara_suites.Eval): -j N sets the domain-pool
+   size (default: SAFARA_JOBS, else cores-1), the content-addressed
+   caches ensure each (workload, profile) compiles and simulates at
+   most once per run, and the rendered output is byte-identical at any
+   -j. Engine statistics go to stderr so stdout stays comparable.
+
    Usage: main.exe [fig7|fig9|fig10|fig11|fig12|table1|table2|offsets|
-                    ablations|micro|all]   (default: all)        *)
+                    ablations|crossarch|unroll|micro|json|all] [-j N]
+   (default: all)                                                     *)
 
 open Safara_suites
 
-let run_fig7 () =
+let run_fig7 ~eng () =
   print_string
     (Experiments.render_speedups
        ~title:"Figure 7: SPEC ACCEL speedup with SAFARA alone (vs OpenUH base)"
-       (Experiments.fig7 ()))
+       (Experiments.fig7 ~eng ()))
 
-let run_fig9 () =
+let run_fig9 ~eng () =
   print_string
     (Experiments.render_speedups
        ~title:
          "Figure 9: SPEC ACCEL speedup, cumulative small / small+dim / small+dim+SAFARA"
-       (Experiments.fig9 ()))
+       (Experiments.fig9 ~eng ()))
 
-let run_fig10 () =
+let run_fig10 ~eng () =
   print_string
     (Experiments.render_speedups
        ~title:"Figure 10: NAS speedup, cumulative small / small+dim / small+dim+SAFARA"
-       (Experiments.fig10 ()))
+       (Experiments.fig10 ~eng ()))
 
-let run_fig11 () =
+let run_fig11 ~eng () =
   print_string
     (Experiments.render_norms
        ~title:
          "Figure 11: SPEC normalized execution time, OpenUH vs PGI-like (lower is better)"
-       (Experiments.fig11 ()))
+       (Experiments.fig11 ~eng ()))
 
-let run_fig12 () =
+let run_fig12 ~eng () =
   print_string
     (Experiments.render_norms
        ~title:
          "Figure 12: NAS normalized execution time, OpenUH vs PGI-like (lower is better)"
-       (Experiments.fig12 ()))
+       (Experiments.fig12 ~eng ()))
 
-let run_table1 () =
+let run_table1 ~eng () =
   print_string
     (Experiments.render_regs
        ~title:"Table I: 355.seismic register usage via small and dim clauses"
-       (Experiments.table1 ()))
+       (Experiments.table1 ~eng ()))
 
-let run_table2 () =
+let run_table2 ~eng () =
   print_string
     (Experiments.render_regs
        ~title:"Table II: 356.sp register usage via small and dim clauses"
-       (Experiments.table2 ()))
+       (Experiments.table2 ~eng ()))
 
-let run_offsets () = print_string (Experiments.render_offsets (Experiments.offsets ()))
+let run_offsets ~eng () =
+  print_string (Experiments.render_offsets (Experiments.offsets ~eng ()))
 
-let run_ablations () =
-  print_string (Experiments.render_ablations (Experiments.ablations ()))
+let run_ablations ~eng () =
+  print_string (Experiments.render_ablations (Experiments.ablations ~eng ()))
 
-let run_crossarch () =
-  print_string (Experiments.render_crossarch (Experiments.crossarch ()))
+let run_crossarch ~eng () =
+  print_string (Experiments.render_crossarch (Experiments.crossarch ~eng ()))
 
-let run_unroll () =
-  print_string (Experiments.render_unroll (Experiments.unroll_study ()))
+let run_unroll ~eng () =
+  print_string (Experiments.render_unroll (Experiments.unroll_study ~eng ()))
 
 (* --- bechamel microbenchmarks of the compiler passes ---------------- *)
 
@@ -123,54 +132,237 @@ let run_micro () =
         results)
     (micro_tests ())
 
-let all () =
+let all ~eng () =
   Printf.printf
     "SAFARA reproduction evaluation — %s, latency table 'kepler'\n\
      profiles: base / SAFARA / small / small+dim / full(small+dim+SAFARA) / PGI-like\n\
      deterministic: fixed workload seeds, no simulator randomness\n\n"
     Safara_gpu.Arch.kepler_k20xm.Safara_gpu.Arch.name;
-  run_table1 ();
+  run_table1 ~eng ();
   print_newline ();
-  run_table2 ();
+  run_table2 ~eng ();
   print_newline ();
-  run_offsets ();
+  run_offsets ~eng ();
   print_newline ();
-  run_fig7 ();
+  run_fig7 ~eng ();
   print_newline ();
-  run_fig9 ();
+  run_fig9 ~eng ();
   print_newline ();
-  run_fig10 ();
+  run_fig10 ~eng ();
   print_newline ();
-  run_fig11 ();
+  run_fig11 ~eng ();
   print_newline ();
-  run_fig12 ();
+  run_fig12 ~eng ();
   print_newline ();
-  run_ablations ();
+  run_ablations ~eng ();
   print_newline ();
-  run_crossarch ();
+  run_crossarch ~eng ();
   print_newline ();
-  run_unroll ();
+  run_unroll ~eng ();
   print_newline ();
   run_micro ()
 
+(* --- json output mode ------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let j_str s = "\"" ^ json_escape s ^ "\""
+let j_float f = Printf.sprintf "%.12g" f
+let j_int = string_of_int
+let j_list items = "[" ^ String.concat "," items ^ "]"
+let j_obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> j_str k ^ ":" ^ v) fields) ^ "}"
+let j_assoc to_v kvs = j_obj (List.map (fun (k, v) -> (k, to_v v)) kvs)
+
+let speedup_rows_json rows =
+  j_list
+    (List.map
+       (fun (r : Experiments.speedup_row) ->
+         j_obj
+           [ ("id", j_str r.Experiments.sr_id);
+             ("values", j_assoc j_float r.Experiments.sr_values) ])
+       rows)
+
+let norm_rows_json rows =
+  j_list
+    (List.map
+       (fun (r : Experiments.norm_row) ->
+         j_obj
+           [ ("id", j_str r.Experiments.nr_id);
+             ("values", j_assoc j_float r.Experiments.nr_values) ])
+       rows)
+
+let reg_rows_json rows =
+  j_list
+    (List.map
+       (fun (r : Experiments.reg_row) ->
+         j_obj
+           [ ("kernel", j_str r.Experiments.rr_kernel);
+             ("base", j_int r.Experiments.rr_base);
+             ("small", j_int r.Experiments.rr_small);
+             ("dim",
+              match r.Experiments.rr_dim with
+              | Some d -> j_int d
+              | None -> "null");
+             ("saved", j_int r.Experiments.rr_saved) ])
+       rows)
+
+let engine_json eng =
+  let s = Eval.stats eng in
+  j_obj
+    [ ("pool_jobs", j_int s.Eval.st_jobs);
+      ("job_counts", j_list (List.map j_int s.Eval.st_job_counts));
+      ("compile_cache",
+       j_obj
+         [ ("hits", j_int s.Eval.st_compile_hits);
+           ("misses", j_int s.Eval.st_compile_misses) ]);
+      ("sim_cache",
+       j_obj
+         [ ("hits", j_int s.Eval.st_sim_hits);
+           ("misses", j_int s.Eval.st_sim_misses) ]);
+      ("compile_s", j_float s.Eval.st_compile_s);
+      ("sim_s", j_float s.Eval.st_sim_s);
+      ("wall_s", j_float s.Eval.st_wall_s) ]
+
+let run_json ~eng () =
+  let table1 = reg_rows_json (Experiments.table1 ~eng ()) in
+  let table2 = reg_rows_json (Experiments.table2 ~eng ()) in
+  let offsets =
+    j_list
+      (List.map
+         (fun (r : Experiments.offsets_demo) ->
+           j_obj
+             [ ("config", j_str r.Experiments.od_config);
+               ("dope_loads", j_int r.Experiments.od_dope_loads);
+               ("instructions", j_int r.Experiments.od_offset_instrs);
+               ("regs", j_int r.Experiments.od_regs) ])
+         (Experiments.offsets ~eng ()))
+  in
+  let fig7 = speedup_rows_json (Experiments.fig7 ~eng ()) in
+  let fig9 = speedup_rows_json (Experiments.fig9 ~eng ()) in
+  let fig10 = speedup_rows_json (Experiments.fig10 ~eng ()) in
+  let fig11 = norm_rows_json (Experiments.fig11 ~eng ()) in
+  let fig12 = norm_rows_json (Experiments.fig12 ~eng ()) in
+  let ablations =
+    j_list
+      (List.map
+         (fun (r : Experiments.ablation_row) ->
+           j_obj
+             [ ("name", j_str r.Experiments.ab_name);
+               ("description", j_str r.Experiments.ab_description);
+               ("slowdowns", j_assoc j_float r.Experiments.ab_speedups) ])
+         (Experiments.ablations ~eng ()))
+  in
+  let crossarch =
+    j_list
+      (List.map
+         (fun (r : Experiments.crossarch_row) ->
+           j_obj
+             [ ("id", j_str r.Experiments.ca_id);
+               ("kepler", j_float r.Experiments.ca_kepler);
+               ("fermi", j_float r.Experiments.ca_fermi) ])
+         (Experiments.crossarch ~eng ()))
+  in
+  let unroll =
+    j_list
+      (List.map
+         (fun (r : Experiments.unroll_row) ->
+           j_obj
+             [ ("id", j_str r.Experiments.ur_id);
+               ("speedups",
+                j_list
+                  (List.map
+                     (fun (f, s) -> j_list [ j_int f; j_float s ])
+                     r.Experiments.ur_speedups));
+               ("regs",
+                j_list
+                  (List.map
+                     (fun (f, n) -> j_list [ j_int f; j_int n ])
+                     r.Experiments.ur_regs)) ])
+         (Experiments.unroll_study ~eng ()))
+  in
+  print_string
+    (j_obj
+       [ ("arch", j_str Safara_gpu.Arch.kepler_k20xm.Safara_gpu.Arch.name);
+         ("table1", table1);
+         ("table2", table2);
+         ("offsets", offsets);
+         ("fig7", fig7);
+         ("fig9", fig9);
+         ("fig10", fig10);
+         ("fig11", fig11);
+         ("fig12", fig12);
+         ("ablations", ablations);
+         ("crossarch", crossarch);
+         ("unroll", unroll);
+         ("engine", engine_json eng) ]);
+  print_newline ()
+
+(* --- entry point ----------------------------------------------------- *)
+
+let usage () =
+  Printf.eprintf
+    "usage: main.exe \
+     [fig7|fig9|fig10|fig11|fig12|table1|table2|offsets|ablations|crossarch|unroll|micro|json|all] \
+     [-j N]\n";
+  exit 2
+
 let () =
-  let cmd = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  match cmd with
-  | "fig7" -> run_fig7 ()
-  | "fig9" -> run_fig9 ()
-  | "fig10" -> run_fig10 ()
-  | "fig11" -> run_fig11 ()
-  | "fig12" -> run_fig12 ()
-  | "table1" -> run_table1 ()
-  | "table2" -> run_table2 ()
-  | "offsets" -> run_offsets ()
-  | "ablations" -> run_ablations ()
-  | "crossarch" -> run_crossarch ()
-  | "unroll" -> run_unroll ()
+  let jobs = ref None in
+  let cmds = ref [] in
+  let rec parse i =
+    if i < Array.length Sys.argv then begin
+      (match Sys.argv.(i) with
+      | "-j" | "--jobs" ->
+          if i + 1 >= Array.length Sys.argv then usage ();
+          (match int_of_string_opt Sys.argv.(i + 1) with
+          | Some n when n >= 1 -> jobs := Some n
+          | _ -> usage ());
+          parse (i + 2)
+      | arg when String.length arg > 0 && arg.[0] = '-' -> usage ()
+      | arg ->
+          cmds := arg :: !cmds;
+          parse (i + 1))
+    end
+  in
+  parse 1;
+  let cmd = match !cmds with [] -> "all" | [ c ] -> c | _ -> usage () in
+  let eng = Eval.create ?jobs:!jobs () in
+  (* determinism guard: parallel evaluation must reproduce the serial
+     results exactly (debug builds only) *)
+  if Eval.jobs eng > 1 then Eval.self_check eng (Registry.find "303.ostencil");
+  (match cmd with
+  | "fig7" -> run_fig7 ~eng ()
+  | "fig9" -> run_fig9 ~eng ()
+  | "fig10" -> run_fig10 ~eng ()
+  | "fig11" -> run_fig11 ~eng ()
+  | "fig12" -> run_fig12 ~eng ()
+  | "table1" -> run_table1 ~eng ()
+  | "table2" -> run_table2 ~eng ()
+  | "offsets" -> run_offsets ~eng ()
+  | "ablations" -> run_ablations ~eng ()
+  | "crossarch" -> run_crossarch ~eng ()
+  | "unroll" -> run_unroll ~eng ()
   | "micro" -> run_micro ()
-  | "all" -> all ()
+  | "json" -> run_json ~eng ()
+  | "all" -> all ~eng ()
   | other ->
       Printf.eprintf
-        "unknown experiment %S; expected fig7|fig9|fig10|fig11|fig12|table1|table2|offsets|ablations|crossarch|unroll|micro|all\n"
+        "unknown experiment %S; expected \
+         fig7|fig9|fig10|fig11|fig12|table1|table2|offsets|ablations|crossarch|unroll|micro|json|all\n"
         other;
-      exit 2
+      exit 2);
+  if cmd <> "micro" then prerr_string (Eval.render_stats eng);
+  Eval.shutdown eng

@@ -314,7 +314,7 @@ let run_cmd =
 (* --- bench ------------------------------------------------------------ *)
 
 let bench_cmd =
-  let run id =
+  let run id jobs show_stats =
     wrap (fun () ->
         let w =
           try Safara_suites.Registry.find id
@@ -328,10 +328,22 @@ let bench_cmd =
         in
         Printf.printf "%s — %s\n%s\n\n" w.Safara_suites.Workload.id
           w.Safara_suites.Workload.title w.Safara_suites.Workload.description;
+        (* the six profile runs are independent jobs: fan them out over
+           the engine's domain pool, then print serially from the cache
+           so the report is identical at any -j *)
+        let eng = Safara_suites.Eval.create ?jobs () in
+        if Safara_suites.Eval.jobs eng > 1 then
+          Safara_suites.Eval.self_check eng w;
+        Safara_suites.Eval.warm eng
+          (List.map
+             (fun p -> Safara_suites.Eval.job p w)
+             Safara_core.Compiler.all_profiles);
         let base = ref 0.0 in
         List.iter
           (fun p ->
-            let t, c = Safara_suites.Workload.time_under p w in
+            let t =
+              Safara_suites.Eval.time_job eng (Safara_suites.Eval.job p w)
+            in
             let total = t.Safara_sim.Launch.total_ms in
             if p = Safara_core.Compiler.Base then base := total;
             Printf.printf "%-24s %9.4f ms  %5.2fx\n"
@@ -340,18 +352,34 @@ let bench_cmd =
             List.iter
               (fun kt ->
                 Format.printf "    %a@." Safara_sim.Launch.pp_kernel_time kt)
-              t.Safara_sim.Launch.ptk;
-            ignore c)
-          Safara_core.Compiler.all_profiles)
+              t.Safara_sim.Launch.ptk)
+          Safara_core.Compiler.all_profiles;
+        if show_stats then prerr_string (Safara_suites.Eval.render_stats eng);
+        Safara_suites.Eval.shutdown eng)
   in
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK"
            ~doc:"benchmark id, e.g. 355.seismic or SP")
   in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "evaluation-engine domain-pool size (default: \\$(b,SAFARA_JOBS), \
+             else cores - 1; 1 = serial)")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "engine-stats" ]
+          ~doc:"print cache and pool statistics to stderr at the end")
+  in
   Cmd.v
     (Cmd.info "bench"
        ~doc:"Run one of the paper's benchmarks under every compiler profile")
-    Term.(ret (const run $ id_arg))
+    Term.(ret (const run $ id_arg $ jobs_arg $ stats_arg))
 
 (* --- time ------------------------------------------------------------ *)
 

@@ -31,8 +31,12 @@ let collect_refs stmts =
   let refs = ref [] in
   let next_id = ref 0 in
   let next_guard = ref 0 in
-  let emit array subs kind nest guard =
-    refs := { array; subs; kind; id = !next_id; nest; guard } :: !refs;
+  (* [rev_nest] is outermost-last while walking; re-reversed once per
+     emitted reference instead of appending at every loop level *)
+  let emit array subs kind rev_nest guard =
+    refs :=
+      { array; subs; kind; id = !next_id; nest = List.rev rev_nest; guard }
+      :: !refs;
     incr next_id
   in
   let rec expr nest guard (e : E.t) =
@@ -58,7 +62,7 @@ let collect_refs stmts =
     | S.For l ->
         expr nest guard l.S.lo;
         expr nest guard l.S.hi;
-        let nest' = nest @ [ (l.S.index.E.vname, l.S.sched) ] in
+        let nest' = (l.S.index.E.vname, l.S.sched) :: nest in
         List.iter (stmt nest' guard) l.S.body
     | S.If (c, t, e) ->
         expr nest guard c;

@@ -1,0 +1,68 @@
+type 'v slot = Pending | Done of 'v
+
+type 'v t = {
+  cname : string;
+  mutex : Mutex.t;
+  changed : Condition.t;
+  tbl : (string, 'v slot) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(name = "cache") () =
+  {
+    cname = name;
+    mutex = Mutex.create ();
+    changed = Condition.create ();
+    tbl = Hashtbl.create 64;
+    hits = 0;
+    misses = 0;
+  }
+
+let name t = t.cname
+
+let find_or_compute t ~key f =
+  Mutex.lock t.mutex;
+  let rec get () =
+    match Hashtbl.find_opt t.tbl key with
+    | Some (Done v) ->
+        t.hits <- t.hits + 1;
+        Mutex.unlock t.mutex;
+        v
+    | Some Pending ->
+        Condition.wait t.changed t.mutex;
+        get ()
+    | None -> (
+        t.misses <- t.misses + 1;
+        Hashtbl.replace t.tbl key Pending;
+        Mutex.unlock t.mutex;
+        match f () with
+        | v ->
+            Mutex.lock t.mutex;
+            Hashtbl.replace t.tbl key (Done v);
+            Condition.broadcast t.changed;
+            Mutex.unlock t.mutex;
+            v
+        | exception e ->
+            Mutex.lock t.mutex;
+            Hashtbl.remove t.tbl key;
+            Condition.broadcast t.changed;
+            Mutex.unlock t.mutex;
+            raise e)
+  in
+  get ()
+
+let locked t f =
+  Mutex.lock t.mutex;
+  let v = f () in
+  Mutex.unlock t.mutex;
+  v
+
+let hits t = locked t (fun () -> t.hits)
+let misses t = locked t (fun () -> t.misses)
+
+let length t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun _ slot n -> match slot with Done _ -> n + 1 | Pending -> n)
+        t.tbl 0)

@@ -1,0 +1,131 @@
+type t = {
+  psize : int;
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+  counts : int array;  (* [0] = calling domain, [i] = worker i *)
+}
+
+(* set inside worker domains so nested [map] calls run serially
+   instead of queueing behind the task that issued them *)
+let in_worker = Domain.DLS.new_key (fun () -> false)
+
+let default_size () =
+  match Sys.getenv_opt "SAFARA_JOBS" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
+  | None -> max 1 (Domain.recommended_domain_count () - 1)
+
+let worker t i () =
+  Domain.DLS.set in_worker true;
+  let rec next () =
+    if t.stopping then None
+    else
+      match Queue.take_opt t.queue with
+      | Some task -> Some task
+      | None ->
+          Condition.wait t.nonempty t.mutex;
+          next ()
+  in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let task = next () in
+    Mutex.unlock t.mutex;
+    match task with
+    | None -> ()
+    | Some task ->
+        (* tasks from [map] never raise: failures are reified into the
+           result slot and re-raised by the caller *)
+        (try task () with _ -> ());
+        t.counts.(i) <- t.counts.(i) + 1;
+        loop ()
+  in
+  loop ()
+
+let create ?size () =
+  let psize = match size with Some n -> max 1 n | None -> default_size () in
+  let t =
+    {
+      psize;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      stopping = false;
+      domains = [];
+      counts = Array.make (psize + 1) 0;
+    }
+  in
+  if psize > 1 then
+    t.domains <- List.init psize (fun i -> Domain.spawn (worker t (i + 1)));
+  t
+
+let size t = t.psize
+
+let serial_map t f xs =
+  List.map
+    (fun x ->
+      let y = f x in
+      t.counts.(0) <- t.counts.(0) + 1;
+      y)
+    xs
+
+let map (type b) t (f : _ -> b) xs =
+  if t.psize <= 1 || Domain.DLS.get in_worker then serial_map t f xs
+  else
+    match xs with
+    | [] -> []
+    | [ _ ] -> serial_map t f xs
+    | _ ->
+        let arr = Array.of_list xs in
+        let n = Array.length arr in
+        let out : (b, exn * Printexc.raw_backtrace) result option array =
+          Array.make n None
+        in
+        let m = Mutex.create () in
+        let finished = Condition.create () in
+        let remaining = ref n in
+        Mutex.lock t.mutex;
+        Array.iteri
+          (fun i x ->
+            Queue.add
+              (fun () ->
+                let r =
+                  try Ok (f x)
+                  with e -> Error (e, Printexc.get_raw_backtrace ())
+                in
+                Mutex.lock m;
+                out.(i) <- Some r;
+                decr remaining;
+                if !remaining = 0 then Condition.signal finished;
+                Mutex.unlock m)
+              t.queue)
+          arr;
+        Condition.broadcast t.nonempty;
+        Mutex.unlock t.mutex;
+        Mutex.lock m;
+        while !remaining > 0 do
+          Condition.wait finished m
+        done;
+        Mutex.unlock m;
+        Array.to_list
+          (Array.map
+             (function
+               | Some (Ok v) -> v
+               | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+               | None -> assert false)
+             out)
+
+let iter t f xs = ignore (map t (fun x -> f x) xs)
+
+let job_counts t = Array.to_list t.counts
+
+let shutdown t =
+  if t.domains <> [] then begin
+    Mutex.lock t.mutex;
+    t.stopping <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end

@@ -1,0 +1,41 @@
+(** A fixed-size domain pool with a mutex/condition work queue.
+
+    The pool is the parallel substrate of the evaluation engine: jobs
+    are closures pushed onto a shared queue and drained by [size]
+    worker domains. A pool of size 1 (or smaller) spawns no domains at
+    all and runs everything in the calling domain — the serial
+    fallback used by [-j 1] and by single-core machines.
+
+    [map] preserves submission order in its result list regardless of
+    the order in which workers finish, so parallel runs render
+    byte-identically to serial ones. Calls to [map] from inside a
+    worker task degrade to the serial path instead of deadlocking on
+    the (already busy) queue. *)
+
+type t
+
+val default_size : unit -> int
+(** [SAFARA_JOBS] when set, otherwise
+    [Domain.recommended_domain_count () - 1], never below 1. *)
+
+val create : ?size:int -> unit -> t
+(** [create ~size ()] spawns [size] worker domains ([size <= 1]:
+    none). Default size is {!default_size}. *)
+
+val size : t -> int
+(** Worker-domain count; 1 means the serial fallback. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Run [f] over every element through the pool; results are in
+    submission order. If any task raised, the first such exception (in
+    submission order) is re-raised after all tasks finished. *)
+
+val iter : t -> ('a -> unit) -> 'a list -> unit
+
+val job_counts : t -> int list
+(** Jobs executed so far, per executor: the head is the calling
+    domain (serial-path jobs), followed by one count per worker. *)
+
+val shutdown : t -> unit
+(** Join all worker domains. Must not race with an in-flight [map];
+    idempotent. *)

@@ -100,32 +100,39 @@ let verify (cfg : Cfg.t) res =
   let overlap (a : Liveness.interval) (b : Liveness.interval) =
     a.Liveness.i_start <= b.Liveness.i_end && b.Liveness.i_start <= a.Liveness.i_end
   in
-  let units (r, base) = List.init (V.width r) (fun k -> base + k) in
+  (* precompute each assignment's occupied unit range once instead of
+     rebuilding both unit lists for every pair *)
+  let with_units =
+    List.map
+      (fun (r, base) -> (r, base, base + V.width r - 1, find r))
+      assigned
+  in
+  let ranges_meet lo1 hi1 lo2 hi2 = lo1 <= hi2 && lo2 <= hi1 in
   let rec check = function
     | [] -> Ok ()
-    | (r1, b1) :: rest -> (
+    | (r1, b1, e1, iv1) :: rest -> (
         if V.width r1 = 2 && b1 mod 2 <> 0 then
           Error (Printf.sprintf "%s not pair-aligned at %d" (V.to_string r1) b1)
         else
-          match find r1 with
+          match iv1 with
           | None -> Error (V.to_string r1 ^ " has no interval")
           | Some iv1 -> (
               let conflict =
                 List.find_opt
-                  (fun (r2, b2) ->
+                  (fun (r2, b2, e2, iv2) ->
                     (not (V.equal r1 r2))
-                    && List.exists (fun u -> List.mem u (units (r2, b2))) (units (r1, b1))
+                    && ranges_meet b1 e1 b2 e2
                     &&
-                    match find r2 with
+                    match iv2 with
                     | Some iv2 -> overlap iv1 iv2
                     | None -> false)
                   rest
               in
               match conflict with
-              | Some (r2, _) ->
+              | Some (r2, _, _, _) ->
                   Error
                     (Printf.sprintf "%s and %s share a unit while both live"
                        (V.to_string r1) (V.to_string r2))
               | None -> check rest))
   in
-  check assigned
+  check with_units

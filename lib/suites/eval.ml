@@ -1,0 +1,188 @@
+module C = Safara_core.Compiler
+module Pool = Safara_engine.Pool
+module Cache = Safara_engine.Cache
+
+type t = {
+  epool : Pool.t;
+  cc : C.compiled Cache.t;  (** compile cache *)
+  tc : Safara_sim.Launch.program_time Cache.t;  (** simulation cache *)
+  lock : Mutex.t;
+  mutable compile_s : float;
+  mutable sim_s : float;
+  created_at : float;
+}
+
+let create ?jobs () =
+  {
+    epool = Pool.create ?size:jobs ();
+    cc = Cache.create ~name:"compile" ();
+    tc = Cache.create ~name:"simulate" ();
+    lock = Mutex.create ();
+    compile_s = 0.;
+    sim_s = 0.;
+    created_at = Unix.gettimeofday ();
+  }
+
+let jobs t = Pool.size t.epool
+let pool t = t.epool
+let shutdown t = Pool.shutdown t.epool
+
+let timed t phase f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  Mutex.lock t.lock;
+  (match phase with
+  | `Compile -> t.compile_s <- t.compile_s +. dt
+  | `Sim -> t.sim_s <- t.sim_s +. dt);
+  Mutex.unlock t.lock;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Jobs and content-addressed keys                                     *)
+(* ------------------------------------------------------------------ *)
+
+type job = {
+  jw : Workload.t;
+  jp : C.profile;
+  jarch : Safara_gpu.Arch.t;
+  jconfig : Safara_transform.Safara.config option;
+  junroll : int option;
+}
+
+let job ?(arch = Safara_gpu.Arch.kepler_k20xm) ?safara_config ?unroll profile w
+    =
+  { jw = w; jp = profile; jarch = arch; jconfig = safara_config;
+    junroll = unroll }
+
+(* All key components are plain immutable data (strings, records,
+   variants), so marshalling them is a faithful content address. *)
+let digest_of v = Digest.to_hex (Digest.string (Marshal.to_string v []))
+
+let compile_key ~src ~profile ~arch ~config ~unroll =
+  digest_of (src, profile, arch, config, unroll)
+
+let ckey j =
+  compile_key ~src:j.jw.Workload.source ~profile:j.jp ~arch:j.jarch
+    ~config:j.jconfig ~unroll:j.junroll
+
+let tkey j =
+  digest_of
+    (ckey j, j.jw.Workload.id, j.jw.Workload.seed, j.jw.Workload.scalars)
+
+(* ------------------------------------------------------------------ *)
+(* Memoized compile and simulate                                       *)
+(* ------------------------------------------------------------------ *)
+
+let compiled t j =
+  Cache.find_or_compute t.cc ~key:(ckey j) (fun () ->
+      timed t `Compile (fun () ->
+          let prog = Safara_lang.Frontend.compile j.jw.Workload.source in
+          let prog =
+            match j.junroll with
+            | None -> prog
+            | Some factor -> Safara_transform.Unroll.unroll_program ~factor prog
+          in
+          C.compile ~arch:j.jarch ?safara_config:j.jconfig j.jp prog))
+
+let compile_src t ?(arch = Safara_gpu.Arch.kepler_k20xm) ?safara_config profile
+    src =
+  let key =
+    compile_key ~src ~profile ~arch ~config:safara_config ~unroll:None
+  in
+  Cache.find_or_compute t.cc ~key (fun () ->
+      timed t `Compile (fun () ->
+          C.compile ~arch ?safara_config profile
+            (Safara_lang.Frontend.compile src)))
+
+let time_job t j =
+  Cache.find_or_compute t.tc ~key:(tkey j) (fun () ->
+      let c = compiled t j in
+      timed t `Sim (fun () ->
+          (* private simulation instance: fresh memory per miss *)
+          let env = Workload.prepare c j.jw in
+          C.time c env))
+
+let total_ms t j = (time_job t j).Safara_sim.Launch.total_ms
+
+let warm t js = Pool.iter t.epool (fun j -> ignore (time_job t j)) js
+let warm_compiled t js = Pool.iter t.epool (fun j -> ignore (compiled t j)) js
+let map t f xs = Pool.map t.epool f xs
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  st_jobs : int;
+  st_job_counts : int list;
+  st_compile_hits : int;
+  st_compile_misses : int;
+  st_sim_hits : int;
+  st_sim_misses : int;
+  st_compile_s : float;
+  st_sim_s : float;
+  st_wall_s : float;
+}
+
+let stats t =
+  Mutex.lock t.lock;
+  let compile_s = t.compile_s and sim_s = t.sim_s in
+  Mutex.unlock t.lock;
+  {
+    st_jobs = jobs t;
+    st_job_counts = Pool.job_counts t.epool;
+    st_compile_hits = Cache.hits t.cc;
+    st_compile_misses = Cache.misses t.cc;
+    st_sim_hits = Cache.hits t.tc;
+    st_sim_misses = Cache.misses t.tc;
+    st_compile_s = compile_s;
+    st_sim_s = sim_s;
+    st_wall_s = Unix.gettimeofday () -. t.created_at;
+  }
+
+let render_stats t =
+  let s = stats t in
+  let b = Buffer.create 256 in
+  Buffer.add_string b "engine stats\n";
+  Buffer.add_string b
+    (Printf.sprintf "  pool: %d worker%s (-j %d)\n" s.st_jobs
+       (if s.st_jobs = 1 then "" else "s")
+       s.st_jobs);
+  (match s.st_job_counts with
+  | caller :: workers ->
+      Buffer.add_string b
+        (Printf.sprintf "  jobs per domain: caller=%d%s\n" caller
+           (String.concat ""
+              (List.mapi (fun i n -> Printf.sprintf " w%d=%d" (i + 1) n) workers)))
+  | [] -> ());
+  Buffer.add_string b
+    (Printf.sprintf "  compile cache: %d hits / %d misses\n" s.st_compile_hits
+       s.st_compile_misses);
+  Buffer.add_string b
+    (Printf.sprintf "  sim cache:     %d hits / %d misses\n" s.st_sim_hits
+       s.st_sim_misses);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  phase wall-clock: compile %.2fs, simulate %.2fs, total %.2fs\n"
+       s.st_compile_s s.st_sim_s s.st_wall_s);
+  Buffer.contents b
+
+(* [assert (Sys.opaque_identity false)] is stripped by -noassert
+   (unlike a literal [assert false], which the compiler must keep), so
+   reaching the handler means assertions are live in this build. *)
+let assertions_enabled =
+  try
+    assert (Sys.opaque_identity false);
+    false
+  with Assert_failure _ -> true
+
+let self_check t w =
+  if jobs t > 1 && assertions_enabled then begin
+    let js = List.map (fun p -> job p w) C.all_profiles in
+    warm t js;
+    let parallel = List.map (time_job t) js in
+    let serial_eng = create ~jobs:1 () in
+    let serial = List.map (time_job serial_eng) js in
+    assert (parallel = serial)
+  end

@@ -1,0 +1,104 @@
+(** The parallel, memoizing evaluation engine.
+
+    Every table, figure and ablation in the harness boils down to a
+    set of jobs: compile a workload under a compiler profile (plus
+    optional architecture, SAFARA-configuration and unroll-factor
+    overrides) and, for the timed experiments, simulate it. This
+    module runs those jobs through a {!Safara_engine.Pool} of domains
+    and memoizes both stages in content-addressed
+    {!Safara_engine.Cache}s, so each distinct (source, profile, arch,
+    config, unroll) combination compiles exactly once and simulates
+    exactly once per run, no matter how many figures reference it.
+
+    Sharing discipline: cached values — {!Safara_core.Compiler.compiled}
+    artifacts and {!Safara_sim.Launch.program_time} records — are
+    immutable. Mutable state (simulator memory) is created fresh
+    inside each cache miss and dropped before the value is published,
+    so domains never observe each other's memory. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [jobs <= 1] is the serial engine. Default: [SAFARA_JOBS] when
+    set, else [Domain.recommended_domain_count () - 1]. *)
+
+val jobs : t -> int
+(** The pool size ([-j] value). *)
+
+val pool : t -> Safara_engine.Pool.t
+
+val shutdown : t -> unit
+
+(** {1 Jobs} *)
+
+type job
+
+val job :
+  ?arch:Safara_gpu.Arch.t ->
+  ?safara_config:Safara_transform.Safara.config ->
+  ?unroll:int ->
+  Safara_core.Compiler.profile ->
+  Workload.t ->
+  job
+(** [unroll], when given, applies {!Safara_transform.Unroll} with that
+    factor to the front-end IR before profile compilation (the §VII
+    study passes 1, 2, 4 — factor 1 still runs the pass). *)
+
+val compiled : t -> job -> Safara_core.Compiler.compiled
+(** Memoized compile; repeated calls with an equal key return the
+    physically same artifact. *)
+
+val time_job : t -> job -> Safara_sim.Launch.program_time
+(** Memoized compile + simulate; the simulation environment is
+    per-miss and never shared. *)
+
+val total_ms : t -> job -> float
+
+val compile_src :
+  t ->
+  ?arch:Safara_gpu.Arch.t ->
+  ?safara_config:Safara_transform.Safara.config ->
+  Safara_core.Compiler.profile ->
+  string ->
+  Safara_core.Compiler.compiled
+(** Memoized compile of a raw MiniACC source (no workload attached);
+    used by the offsets demo and the compiler driver. *)
+
+val warm : t -> job list -> unit
+(** Simulate every job through the pool (filling both caches).
+    Callers then assemble rows serially from cache hits, which makes
+    parallel output byte-identical to serial output. *)
+
+val warm_compiled : t -> job list -> unit
+(** Compile-only warm-up for the register tables. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map on the engine's pool. *)
+
+(** {1 Instrumentation} *)
+
+type stats = {
+  st_jobs : int;  (** pool size *)
+  st_job_counts : int list;  (** jobs per executor; head = caller *)
+  st_compile_hits : int;
+  st_compile_misses : int;
+  st_sim_hits : int;
+  st_sim_misses : int;
+  st_compile_s : float;  (** wall-clock spent in compile misses *)
+  st_sim_s : float;  (** wall-clock spent in simulation misses *)
+  st_wall_s : float;  (** wall-clock since [create] *)
+}
+
+val stats : t -> stats
+
+val render_stats : t -> string
+(** Multi-line human-readable form of {!stats}. *)
+
+val assertions_enabled : bool
+(** Whether this binary keeps [assert]s (dev profile). *)
+
+val self_check : t -> Workload.t -> unit
+(** Determinism guard: in debug builds, when the pool is parallel,
+    times the workload under every profile both through the pool and
+    through a fresh serial engine and asserts the results are equal.
+    A no-op in release builds or at [-j 1]. *)

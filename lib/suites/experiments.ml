@@ -11,39 +11,60 @@ type reg_row = {
   rr_saved : int;
 }
 
-let time profile (w : Workload.t) =
-  (fst (Workload.time_under profile w)).Safara_sim.Launch.total_ms
+(* Every experiment follows the same engine discipline: flatten the
+   experiment into (workload × profile/config/arch) jobs, [Eval.warm]
+   them through the domain pool (each distinct job compiles and
+   simulates exactly once, memoized by content-addressed key), then
+   assemble and render the rows serially from cache hits — so parallel
+   runs are byte-identical to serial ones. *)
+
+let default_engine = lazy (Eval.create ())
+let engine = function Some e -> e | None -> Lazy.force default_engine
+
+let time ?eng profile (w : Workload.t) =
+  Eval.total_ms (engine eng) (Eval.job profile w)
+
+let warm_profiles eng profiles ws =
+  Eval.warm eng
+    (List.concat_map (fun w -> List.map (fun p -> Eval.job p w) profiles) ws)
 
 (* ------------------------------------------------------------------ *)
 (* Speedup figures                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let speedups configs (w : Workload.t) =
-  let base = time C.Base w in
+let speedups ?eng configs (w : Workload.t) =
+  let base = time ?eng C.Base w in
   {
     sr_id = w.Workload.id;
-    sr_values = List.map (fun (label, p) -> (label, base /. time p w)) configs;
+    sr_values =
+      List.map (fun (label, p) -> (label, base /. time ?eng p w)) configs;
   }
 
-let fig7 () =
-  List.map (speedups [ ("SAFARA", C.Safara_only) ]) Registry.spec
+let speedup_figure ?eng configs ws =
+  let eng = engine eng in
+  warm_profiles eng (C.Base :: List.map snd configs) ws;
+  List.map (speedups ~eng configs) ws
+
+let fig7 ?eng () = speedup_figure ?eng [ ("SAFARA", C.Safara_only) ] Registry.spec
 
 let cumulative_configs =
   [ ("small", C.Small_only); ("small+dim", C.Clauses_only);
     ("small+dim+SAFARA", C.Full) ]
 
-let fig9 () = List.map (speedups cumulative_configs) Registry.spec
-let fig10 () = List.map (speedups cumulative_configs) Registry.npb
+let fig9 ?eng () = speedup_figure ?eng cumulative_configs Registry.spec
+let fig10 ?eng () = speedup_figure ?eng cumulative_configs Registry.npb
 
 (* ------------------------------------------------------------------ *)
 (* Normalized-time figures (paper §V.C)                                *)
 (* ------------------------------------------------------------------ *)
 
-let norm_row (w : Workload.t) =
-  let openuh_base = time C.Base w in
-  let openuh_safara = time C.Safara_only w in
-  let openuh_full = time C.Full w in
-  let pgi = time C.Pgi_like w in
+let norm_profiles = [ C.Base; C.Safara_only; C.Full; C.Pgi_like ]
+
+let norm_row ?eng (w : Workload.t) =
+  let openuh_base = time ?eng C.Base w in
+  let openuh_safara = time ?eng C.Safara_only w in
+  let openuh_full = time ?eng C.Full w in
+  let pgi = time ?eng C.Pgi_like w in
   (* Norm(c) = ExeTime(c) / max(ExeTime(best OpenUH), ExeTime(PGI)) *)
   let denom = Float.max openuh_base pgi in
   {
@@ -57,15 +78,23 @@ let norm_row (w : Workload.t) =
       ];
   }
 
-let fig11 () = List.map norm_row Registry.spec
-let fig12 () = List.map norm_row Registry.npb
+let norm_figure ?eng ws =
+  let eng = engine eng in
+  warm_profiles eng norm_profiles ws;
+  List.map (norm_row ~eng) ws
+
+let fig11 ?eng () = norm_figure ?eng Registry.spec
+let fig12 ?eng () = norm_figure ?eng Registry.npb
 
 (* ------------------------------------------------------------------ *)
 (* Register tables                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let reg_table (w : Workload.t) kernels ~dim_na =
-  let compiled p = C.compile_src p w.Workload.source in
+let reg_table ?eng (w : Workload.t) kernels ~dim_na =
+  let eng = engine eng in
+  let profiles = [ C.Base; C.Small_only; C.Clauses_only ] in
+  Eval.warm_compiled eng (List.map (fun p -> Eval.job p w) profiles);
+  let compiled p = Eval.compiled eng (Eval.job p w) in
   let cb = compiled C.Base and cs = compiled C.Small_only and cd = compiled C.Clauses_only in
   let regs c k = (C.report_of c k).Safara_ptxas.Assemble.regs_used in
   List.mapi
@@ -81,11 +110,11 @@ let reg_table (w : Workload.t) kernels ~dim_na =
       })
     kernels
 
-let table1 () =
-  reg_table Spec_seismic.workload Spec_seismic.hot_kernels ~dim_na:[]
+let table1 ?eng () =
+  reg_table ?eng Spec_seismic.workload Spec_seismic.hot_kernels ~dim_na:[]
 
-let table2 () =
-  reg_table Spec_sp.workload Spec_sp.hot_kernels ~dim_na:Spec_sp.dim_na
+let table2 ?eng () =
+  reg_table ?eng Spec_sp.workload Spec_sp.hot_kernels ~dim_na:Spec_sp.dim_na
 
 (* ------------------------------------------------------------------ *)
 (* §IV.A offset example                                                *)
@@ -128,10 +157,24 @@ out double value_dz[1:nz][1:ny][1:nx];
     (if dim then "dim((vz_1, vz_2, vz_3, value_dz))" else "")
     (if small then "small(vz_1, vz_2, vz_3, value_dz)" else "")
 
-let offsets () =
+let offset_variants =
+  [
+    ("base (64-bit offsets, per-array dope)", false, false);
+    ("+small (32-bit offsets)", true, false);
+    ("+dim (shared dope/offsets)", false, true);
+    ("+small +dim", true, true);
+  ]
+
+let offsets ?eng () =
+  let eng = engine eng in
+  Eval.map eng
+    (fun (_, small, dim) ->
+      ignore (Eval.compile_src eng C.Clauses_only (fig8_kernel ~small ~dim)))
+    offset_variants
+  |> ignore;
   List.map
     (fun (label, small, dim) ->
-      let c = C.compile_src C.Clauses_only (fig8_kernel ~small ~dim) in
+      let c = Eval.compile_src eng C.Clauses_only (fig8_kernel ~small ~dim) in
       let k, report = List.hd c.C.c_kernels in
       let dope_loads =
         Safara_vir.Kernel.count_instr k ~f:(function
@@ -154,12 +197,7 @@ let offsets () =
         od_offset_instrs = report.Safara_ptxas.Assemble.instructions;
         od_regs = report.Safara_ptxas.Assemble.regs_used;
       })
-    [
-      ("base (64-bit offsets, per-array dope)", false, false);
-      ("+small (32-bit offsets)", true, false);
-      ("+dim (shared dope/offsets)", false, true);
-      ("+small +dim", true, true);
-    ]
+    offset_variants
 
 (* ------------------------------------------------------------------ *)
 (* Cross-architecture extension                                        *)
@@ -167,24 +205,33 @@ let offsets () =
 
 type crossarch_row = { ca_id : string; ca_kepler : float; ca_fermi : float }
 
-let crossarch () =
+let crossarch_benchmarks =
+  [ "303.ostencil"; "314.omriq"; "355.seismic"; "370.bt"; "SP"; "LU" ]
+
+let crossarch ?eng () =
+  let eng = engine eng in
+  let ws = List.map Registry.find crossarch_benchmarks in
+  let archs = [ Safara_gpu.Arch.kepler_k20xm; Safara_gpu.Arch.fermi_like ] in
+  Eval.warm eng
+    (List.concat_map
+       (fun w ->
+         List.concat_map
+           (fun arch ->
+             [ Eval.job ~arch C.Base w; Eval.job ~arch C.Full w ])
+           archs)
+       ws);
   let speedup_on arch (w : Workload.t) =
-    let run profile =
-      let c = C.compile_src ~arch profile w.Workload.source in
-      let env = Workload.prepare c w in
-      (C.time c env).Safara_sim.Launch.total_ms
-    in
+    let run profile = Eval.total_ms eng (Eval.job ~arch profile w) in
     run C.Base /. run C.Full
   in
   List.map
-    (fun id ->
-      let w = Registry.find id in
+    (fun (w : Workload.t) ->
       {
-        ca_id = id;
+        ca_id = w.Workload.id;
         ca_kepler = speedup_on Safara_gpu.Arch.kepler_k20xm w;
         ca_fermi = speedup_on Safara_gpu.Arch.fermi_like w;
       })
-    [ "303.ostencil"; "314.omriq"; "355.seismic"; "370.bt"; "SP"; "LU" ]
+    ws
 
 let render_crossarch rows =
   let b = Buffer.create 512 in
@@ -212,17 +259,22 @@ type unroll_row = {
   ur_regs : (int * int) list;
 }
 
-let unroll_study () =
+let unroll_benchmarks = [ "303.ostencil"; "355.seismic"; "SP"; "370.bt" ]
+
+let unroll_study ?eng () =
+  let eng = engine eng in
   let factors = [ 1; 2; 4 ] in
+  let ws = List.map Registry.find unroll_benchmarks in
+  Eval.warm eng
+    (List.concat_map
+       (fun w -> List.map (fun f -> Eval.job ~unroll:f C.Full w) factors)
+       ws);
   List.map
-    (fun id ->
-      let w = Registry.find id in
-      let prog0 = Safara_lang.Frontend.compile w.Workload.source in
+    (fun (w : Workload.t) ->
       let measure factor =
-        let prog = Safara_transform.Unroll.unroll_program ~factor prog0 in
-        let c = C.compile C.Full prog in
-        let env = Workload.prepare c w in
-        let ms = (C.time c env).Safara_sim.Launch.total_ms in
+        let j = Eval.job ~unroll:factor C.Full w in
+        let c = Eval.compiled eng j in
+        let ms = Eval.total_ms eng j in
         let regs =
           List.fold_left
             (fun acc (_, r) -> max acc r.Safara_ptxas.Assemble.regs_used)
@@ -241,11 +293,11 @@ let unroll_study () =
           factors
       in
       {
-        ur_id = id;
+        ur_id = w.Workload.id;
         ur_speedups = List.map fst rows;
         ur_regs = List.map snd rows;
       })
-    [ "303.ostencil"; "355.seismic"; "SP"; "370.bt" ]
+    ws
 
 let render_unroll rows =
   let b = Buffer.create 512 in
@@ -288,20 +340,48 @@ let ablation_benchmarks =
 
 let arch = Safara_gpu.Arch.kepler_k20xm
 
-let time_with_config config (w : Workload.t) =
-  let c = C.compile_src ~safara_config:config C.Full w.Workload.source in
-  let env = Workload.prepare c w in
-  (C.time c env).Safara_sim.Launch.total_ms
+let time_with_config ?eng config (w : Workload.t) =
+  Eval.total_ms (engine eng) (Eval.job ~safara_config:config C.Full w)
 
 let default_config = Safara_transform.Safara.default_config ~arch
 
-let ablations () =
+let tight_config = { default_config with Safara_transform.Safara.reg_cap = 48 }
+
+let ablation_variant_configs =
+  [
+    { default_config with Safara_transform.Safara.cost_model = `Count_only };
+    { tight_config with Safara_transform.Safara.cost_model = `Count_only };
+    { default_config with Safara_transform.Safara.use_feedback = false;
+      assumed_free_regs = 16 };
+    { default_config with
+      Safara_transform.Safara.policy =
+        { Safara_analysis.Reuse.default_policy with
+          Safara_analysis.Reuse.skip_coalesced_read_only = true } };
+    { default_config with
+      Safara_transform.Safara.policy =
+        { Safara_analysis.Reuse.default_policy with
+          Safara_analysis.Reuse.allow_inter = false } };
+    { default_config with
+      Safara_transform.Safara.policy =
+        { Safara_analysis.Reuse.default_policy with
+          Safara_analysis.Reuse.allow_promote = false } };
+  ]
+
+let ablations ?eng () =
+  let eng = engine eng in
+  Eval.warm eng
+    (List.concat_map
+       (fun config ->
+         List.map
+           (fun id -> Eval.job ~safara_config:config C.Full (Registry.find id))
+           ablation_benchmarks)
+       (default_config :: tight_config :: ablation_variant_configs));
   let bench_rows variant_config =
     List.map
       (fun id ->
         let w = Registry.find id in
-        let def = time_with_config default_config w in
-        let abl = time_with_config variant_config w in
+        let def = time_with_config ~eng default_config w in
+        let abl = time_with_config ~eng variant_config w in
         (id, abl /. def))
       ablation_benchmarks
   in
@@ -321,14 +401,14 @@ let ablations () =
          the regime of the paper's III.B.4 running example where \
          candidate selection actually has to choose";
       ab_speedups =
-        (let tight = { default_config with Safara_transform.Safara.reg_cap = 48 } in
-         List.map
+        (List.map
            (fun id ->
              let w = Registry.find id in
-             let def = time_with_config tight w in
+             let def = time_with_config ~eng tight_config w in
              let abl =
-               time_with_config
-                 { tight with Safara_transform.Safara.cost_model = `Count_only }
+               time_with_config ~eng
+                 { tight_config with
+                   Safara_transform.Safara.cost_model = `Count_only }
                  w
              in
              (id, abl /. def))

@@ -2,7 +2,14 @@
     (§V), as data plus formatted text. Speedups are relative to the
     [Base] profile; normalized times follow the paper's
     [Norm(c) = ExeTime(c) / max(ExeTime(OpenUH), ExeTime(PGI))]
-    definition (§V.C). *)
+    definition (§V.C).
+
+    Every generator takes an optional evaluation engine ([?eng]); when
+    omitted, a shared lazily-created engine is used (serial unless
+    [SAFARA_JOBS] says otherwise). Passing an explicit parallel
+    {!Eval.t} fans the experiment's (workload × profile) jobs out over
+    its domain pool while the row assembly and rendering stay serial,
+    so output is byte-identical at any [-j]. *)
 
 type speedup_row = {
   sr_id : string;
@@ -22,26 +29,26 @@ type reg_row = {
   rr_saved : int;
 }
 
-val fig7 : unit -> speedup_row list
+val fig7 : ?eng:Eval.t -> unit -> speedup_row list
 (** SPEC speedups with SAFARA alone. *)
 
-val fig9 : unit -> speedup_row list
+val fig9 : ?eng:Eval.t -> unit -> speedup_row list
 (** SPEC speedups: small / small+dim / small+dim+SAFARA (cumulative). *)
 
-val fig10 : unit -> speedup_row list
+val fig10 : ?eng:Eval.t -> unit -> speedup_row list
 (** NAS speedups, same three configurations. *)
 
-val fig11 : unit -> norm_row list
+val fig11 : ?eng:Eval.t -> unit -> norm_row list
 (** SPEC normalized execution time: OpenUH base / SAFARA /
     SAFARA+clauses vs PGI-like. *)
 
-val fig12 : unit -> norm_row list
+val fig12 : ?eng:Eval.t -> unit -> norm_row list
 (** NAS normalized execution time, same four compilers. *)
 
-val table1 : unit -> reg_row list
+val table1 : ?eng:Eval.t -> unit -> reg_row list
 (** 355.seismic per-kernel register usage. *)
 
-val table2 : unit -> reg_row list
+val table2 : ?eng:Eval.t -> unit -> reg_row list
 (** 356.sp per-kernel register usage (with NA rows). *)
 
 type offsets_demo = {
@@ -51,7 +58,7 @@ type offsets_demo = {
   od_regs : int;
 }
 
-val offsets : unit -> offsets_demo list
+val offsets : ?eng:Eval.t -> unit -> offsets_demo list
 (** The §IV.A worked example: offset-computation temporaries on the
     Fig-8 kernel without clauses, with [small], with [dim], and with
     both. *)
@@ -62,7 +69,7 @@ type crossarch_row = {
   ca_fermi : float;  (** same on the Fermi-class model (no read-only cache, 63-register cap) *)
 }
 
-val crossarch : unit -> crossarch_row list
+val crossarch : ?eng:Eval.t -> unit -> crossarch_row list
 (** Extension experiment (not in the paper): the same optimization
     stack retargeted to a Fermi-class GPU. The cost model re-prices
     read-only references at global latency and the 63-register cap
@@ -77,7 +84,7 @@ type unroll_row = {
   ur_regs : (int * int) list;  (** unroll factor → hottest kernel registers *)
 }
 
-val unroll_study : unit -> unroll_row list
+val unroll_study : ?eng:Eval.t -> unit -> unroll_row list
 (** The paper's stated future work (§VII): combining classical loop
     unrolling with SAFARA and the clauses. Unrolling multiplies both
     the reuse SAFARA can harvest and the register pressure — the same
@@ -91,7 +98,7 @@ type ablation_row = {
   ab_speedups : (string * float) list;  (** benchmark id → speedup vs the ablated variant *)
 }
 
-val ablations : unit -> ablation_row list
+val ablations : ?eng:Eval.t -> unit -> ablation_row list
 (** The design-choice ablations listed in DESIGN.md §4. *)
 
 val average : speedup_row list -> speedup_row

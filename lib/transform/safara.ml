@@ -94,6 +94,7 @@ let optimize_region ?config ~arch ~latency prog region =
   loop region [] 1
 
 let optimize_program ?config ~arch ~latency prog =
+  Scalar_replacement.reset_fresh ();
   let prog = Safara_analysis.Schedule.resolve_program prog in
   let logs = ref [] in
   let regions =

@@ -35,11 +35,19 @@ type promote_job = {
   p_scope : string list * int list;  (** nest including carrier, guard *)
 }
 
-let fresh_counter = ref 0
+(* Domain-local so concurrent compilations never race on the counter;
+   the SAFARA driver resets it per program so generated names depend
+   only on the program being compiled, not on how many compilations
+   this domain ran before — a requirement for the evaluation engine's
+   parallel-equals-serial guarantee. *)
+let fresh_counter = Domain.DLS.new_key (fun () -> ref 0)
+
+let reset_fresh () = Domain.DLS.get fresh_counter := 0
 
 let fresh_var elem =
-  incr fresh_counter;
-  { E.vname = Printf.sprintf "%s%d" scalar_prefix !fresh_counter; vtype = elem }
+  let counter = Domain.DLS.get fresh_counter in
+  incr counter;
+  { E.vname = Printf.sprintf "%s%d" scalar_prefix !counter; vtype = elem }
 
 let job_of_candidate (c : Reuse.candidate) =
   let rep_ref = List.hd c.Reuse.c_refs in

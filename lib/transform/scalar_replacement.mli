@@ -28,3 +28,9 @@ val apply :
 
 val scalar_prefix : string
 (** Name prefix of generated locals (["__sr"]), used by tests. *)
+
+val reset_fresh : unit -> unit
+(** Reset this domain's fresh-name counter. Called by the SAFARA
+    driver at the start of each program so generated scalar names are
+    a function of the program alone (deterministic under the parallel
+    evaluation engine). *)

@@ -1,0 +1,175 @@
+(* The parallel evaluation engine: pool ordering and serial fallback,
+   content-addressed cache semantics (compute-once, physical sharing,
+   failure retry), and the end-to-end determinism guarantee — figure
+   and table output must be byte-identical between -j 1 and -j 4. *)
+
+module Pool = Safara_engine.Pool
+module Cache = Safara_engine.Cache
+open Safara_suites
+
+let test_pool_map_order () =
+  let pool = Pool.create ~size:4 () in
+  let n = 100 in
+  let input = List.init n (fun i -> i) in
+  (* uneven task weights scramble completion order *)
+  let f i =
+    let spin = (i * 7919) mod 97 in
+    let acc = ref 0 in
+    for k = 0 to spin * 1000 do
+      acc := !acc + k
+    done;
+    ignore !acc;
+    i * i
+  in
+  let out = Pool.map pool f input in
+  Pool.shutdown pool;
+  Alcotest.(check (list int))
+    "results present and in submission order"
+    (List.map (fun i -> i * i) input)
+    out
+
+let test_pool_serial_fallback () =
+  let pool = Pool.create ~size:1 () in
+  Alcotest.(check int) "size clamps to 1" 1 (Pool.size pool);
+  let out = Pool.map pool (fun i -> i + 1) [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "serial map" [ 2; 3; 4 ] out;
+  (match Pool.job_counts pool with
+  | caller :: _ -> Alcotest.(check int) "caller ran the jobs" 3 caller
+  | [] -> Alcotest.fail "no job counts");
+  Pool.shutdown pool
+
+let test_pool_exception () =
+  let pool = Pool.create ~size:4 () in
+  (try
+     ignore
+       (Pool.map pool
+          (fun i -> if i = 3 then failwith "boom" else i)
+          [ 0; 1; 2; 3; 4 ]);
+     Alcotest.fail "expected exception"
+   with Failure msg -> Alcotest.(check string) "task failure surfaces" "boom" msg);
+  (* pool survives a failed batch *)
+  Alcotest.(check (list int)) "pool still works" [ 0; 2; 4 ]
+    (Pool.map pool (fun i -> 2 * i) [ 0; 1; 2 ]);
+  Pool.shutdown pool
+
+let test_cache_computes_once () =
+  let cache = Cache.create ~name:"t" () in
+  let pool = Pool.create ~size:4 () in
+  let computes = Atomic.make 0 in
+  let out =
+    Pool.map pool
+      (fun _ ->
+        Cache.find_or_compute cache ~key:"shared" (fun () ->
+            Atomic.incr computes;
+            (* widen the race window *)
+            let acc = ref 0 in
+            for k = 0 to 2_000_000 do
+              acc := !acc + k
+            done;
+            !acc))
+      (List.init 8 (fun i -> i))
+  in
+  Pool.shutdown pool;
+  Alcotest.(check int) "computed exactly once" 1 (Atomic.get computes);
+  (match out with
+  | v :: rest ->
+      List.iter (fun v' -> Alcotest.(check int) "all equal" v v') rest
+  | [] -> Alcotest.fail "no results");
+  Alcotest.(check int) "one miss" 1 (Cache.misses cache);
+  Alcotest.(check int) "seven hits" 7 (Cache.hits cache);
+  Alcotest.(check int) "one entry" 1 (Cache.length cache)
+
+let test_cache_failure_retries () =
+  let cache = Cache.create () in
+  let attempts = ref 0 in
+  (try
+     ignore
+       (Cache.find_or_compute cache ~key:"k" (fun () ->
+            incr attempts;
+            failwith "first try fails"))
+   with Failure _ -> ());
+  let v =
+    Cache.find_or_compute cache ~key:"k" (fun () ->
+        incr attempts;
+        42)
+  in
+  Alcotest.(check int) "second attempt ran" 2 !attempts;
+  Alcotest.(check int) "and succeeded" 42 v
+
+let test_compile_cache_physical_equality () =
+  let eng = Eval.create ~jobs:1 () in
+  let w = Registry.find "303.ostencil" in
+  let j = Eval.job Safara_core.Compiler.Full w in
+  let c1 = Eval.compiled eng j in
+  let c2 = Eval.compiled eng j in
+  Alcotest.(check bool) "physically equal artifact" true (c1 == c2);
+  let s = Eval.stats eng in
+  Alcotest.(check int) "one compile miss" 1 s.Eval.st_compile_misses;
+  Alcotest.(check int) "one compile hit" 1 s.Eval.st_compile_hits;
+  (* distinct profile = distinct key *)
+  let c3 = Eval.compiled eng (Eval.job Safara_core.Compiler.Base w) in
+  Alcotest.(check bool) "different profile, different artifact" true
+    (not (c3 == c1));
+  Eval.shutdown eng
+
+let test_sim_dedup () =
+  let eng = Eval.create ~jobs:1 () in
+  let w = Registry.find "303.ostencil" in
+  let j = Eval.job Safara_core.Compiler.Base w in
+  let t1 = Eval.time_job eng j in
+  let t2 = Eval.time_job eng j in
+  Alcotest.(check bool) "physically shared timing record" true (t1 == t2);
+  let s = Eval.stats eng in
+  Alcotest.(check int) "simulated once" 1 s.Eval.st_sim_misses;
+  Eval.shutdown eng
+
+let check_parallel_matches_serial render =
+  let serial = Eval.create ~jobs:1 () in
+  let out1 = render serial in
+  Eval.shutdown serial;
+  let parallel = Eval.create ~jobs:4 () in
+  let out4 = render parallel in
+  let s = Eval.stats parallel in
+  Eval.shutdown parallel;
+  Alcotest.(check string) "byte-identical at -j 1 and -j 4" out1 out4;
+  s
+
+let test_table1_j1_equals_j4 () =
+  let s =
+    check_parallel_matches_serial (fun eng ->
+        Experiments.render_regs ~title:"Table I" (Experiments.table1 ~eng ()))
+  in
+  Alcotest.(check int) "each profile compiled at most once" 3
+    s.Eval.st_compile_misses
+
+let test_fig9_j1_equals_j4 () =
+  let s =
+    check_parallel_matches_serial (fun eng ->
+        Experiments.render_speedups ~title:"Figure 9" (Experiments.fig9 ~eng ()))
+  in
+  (* 10 SPEC workloads x 4 profiles: every (workload, profile) pair
+     compiles and simulates exactly once per run *)
+  Alcotest.(check int) "40 distinct compiles" 40 s.Eval.st_compile_misses;
+  Alcotest.(check int) "40 distinct simulations" 40 s.Eval.st_sim_misses;
+  Alcotest.(check bool) "rows assembled from cache hits" true
+    (s.Eval.st_sim_hits >= 40)
+
+let suite =
+  [
+    Alcotest.test_case "pool: map preserves order" `Quick test_pool_map_order;
+    Alcotest.test_case "pool: -j 1 serial fallback" `Quick
+      test_pool_serial_fallback;
+    Alcotest.test_case "pool: task exception surfaces" `Quick
+      test_pool_exception;
+    Alcotest.test_case "cache: concurrent requests compute once" `Quick
+      test_cache_computes_once;
+    Alcotest.test_case "cache: failed compute retries" `Quick
+      test_cache_failure_retries;
+    Alcotest.test_case "cache: compiled artifacts physically shared" `Quick
+      test_compile_cache_physical_equality;
+    Alcotest.test_case "cache: simulation deduplicated" `Quick test_sim_dedup;
+    Alcotest.test_case "determinism: table1 -j1 = -j4" `Quick
+      test_table1_j1_equals_j4;
+    Alcotest.test_case "determinism: fig9 -j1 = -j4" `Slow
+      test_fig9_j1_equals_j4;
+  ]

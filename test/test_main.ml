@@ -16,5 +16,6 @@ let () =
       ("fortran", Suite_fortran.suite);
       ("timing", Suite_timing.suite);
       ("experiments", Suite_experiments.suite);
+      ("engine", Suite_engine.suite);
       ("shapes", Suite_shapes.suite);
     ]
