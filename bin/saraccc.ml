@@ -91,17 +91,81 @@ let wrap f =
 (* --- check ----------------------------------------------------------- *)
 
 let check_cmd =
-  let run file =
+  let run file workloads json werror wcodes arch_name profile_name =
     wrap (fun () ->
-        let prog = load file in
-        Printf.printf "%s: OK (%d params, %d arrays, %d offload regions)\n"
-          file
-          (List.length prog.Safara_ir.Program.params)
-          (List.length prog.Safara_ir.Program.arrays)
-          (List.length prog.Safara_ir.Program.regions))
+        let arch = arch_of arch_name in
+        let profile = profile_of profile_name in
+        let inputs =
+          (match file with
+          | Some f -> [ (Filename.basename f, read_file f) ]
+          | None -> [])
+          @
+          if workloads then
+            List.map
+              (fun (w : Safara_suites.Workload.t) ->
+                (w.Safara_suites.Workload.id, w.Safara_suites.Workload.source))
+              Safara_suites.Registry.all
+          else []
+        in
+        if inputs = [] then failwith "no input: give a FILE and/or --workloads";
+        let all = ref [] in
+        let any_errors = ref false in
+        List.iter
+          (fun (name, src) ->
+            let diags =
+              Safara_check.Check.finalize ~werror ~codes:wcodes
+                (Safara_check.Check.run ~file:name ~arch ~profile src)
+            in
+            if Safara_diag.Diagnostic.has_errors diags then any_errors := true;
+            all := !all @ diags;
+            if not json then
+              if diags = [] then Printf.printf "%s: OK\n" name
+              else print_string (Safara_diag.Diagnostic.render_all ~src diags))
+          inputs;
+        if json then
+          print_endline (Safara_diag.Diagnostic.list_to_json !all);
+        if !any_errors then exit 1)
   in
-  Cmd.v (Cmd.info "check" ~doc:"Parse, type-check and validate a MiniACC file")
-    Term.(ret (const run $ file_arg))
+  let opt_file_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"MiniACC source file")
+  in
+  let workloads_arg =
+    Arg.(
+      value & flag
+      & info [ "workloads" ]
+          ~doc:"also check the source of every registered benchmark workload")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"emit diagnostics as a JSON array (for CI)")
+  in
+  let werror_arg =
+    Arg.(
+      value & flag
+      & info [ "werror" ] ~doc:"treat warnings as errors (notes are kept)")
+  in
+  let wcodes_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "W" ] ~docv:"CODE"
+          ~doc:
+            "only report warnings/notes with this SAF0xx code (repeatable; \
+             errors always shown)")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run the whole-pipeline static checker: front end, IR validation, \
+          dependence-based race detection, VIR verification and lints")
+    Term.(
+      ret
+        (const run $ opt_file_arg $ workloads_arg $ json_arg $ werror_arg
+        $ wcodes_arg $ arch_arg $ profile_arg))
 
 (* --- ir -------------------------------------------------------------- *)
 

@@ -12,6 +12,12 @@
 
 type verdict = Parallel | Serial of string  (** reason it must stay serial *)
 
+val scalar_recurrences : Safara_ir.Stmt.loop -> string list
+(** Scalars read-before-write and written in the loop body, excluding
+    the loop index, declared reductions and body-local declarations —
+    each one sequentializes the loop (or races if it is distributed
+    anyway). *)
+
 val analyze_body : Safara_ir.Stmt.t list -> (string * verdict) list
 (** Verdict for every loop in a region body, keyed by index name
     (unique within a validated region), based purely on dependence

@@ -1,0 +1,76 @@
+module Diag = Safara_diag.Diagnostic
+module Srcmap = Safara_lang.Srcmap
+module P = Safara_ir.Program
+
+let span_of_pos ~file (p : Safara_lang.Token.pos) =
+  { Diag.file; line = p.Safara_lang.Token.line; col = p.Safara_lang.Token.col }
+
+(* fill in a source span for an IR-level diagnostic from its [where]
+   context, when the source map knows the region *)
+let locate map (d : Diag.t) =
+  match d.Diag.span with
+  | Some _ -> d
+  | None -> { d with Diag.span = Srcmap.locate map ~where:d.Diag.where }
+
+let front_end ~file src =
+  match Safara_lang.Parser.parse src with
+  | exception Safara_lang.Lexer.Error (pos, msg) ->
+      Error
+        [
+          Diag.make ~span:(span_of_pos ~file pos) ~code:"SAF001" ~where:"lexer"
+            Diag.Error msg;
+        ]
+  | exception Safara_lang.Parser.Error (pos, msg) ->
+      Error
+        [
+          Diag.make ~span:(span_of_pos ~file pos) ~code:"SAF002"
+            ~where:"parser" Diag.Error msg;
+        ]
+  | ast -> (
+      match Safara_lang.Typecheck.check ast with
+      | Error errs ->
+          Error
+            (List.map (Safara_lang.Typecheck.diagnostic_of_error ~file) errs)
+      | Ok () ->
+          let prog, map = Safara_lang.Lower.program_with_map ~file ast in
+          Ok (prog, map))
+
+let ir_checks ~map prog =
+  let validation = List.map (locate map) (Safara_ir.Validate.check prog) in
+  if Diag.has_errors validation then (validation, `Stop)
+  else
+    ( validation
+      @ Races.check_program ~map prog
+      @ List.concat_map (Lint.region_lints ~map) prog.P.regions,
+      `Continue )
+
+let backend_checks ~map ~arch ~profile prog =
+  match Safara_core.Compiler.compile ~arch profile prog with
+  | exception (Failure msg | Invalid_argument msg) ->
+      [
+        Diag.make ~code:"SAF020" ~where:"compiler" Diag.Error
+          ("internal error during compilation: " ^ msg);
+      ]
+  | c ->
+      List.concat_map
+        (fun ((k, _) as kr) ->
+          List.map (locate map) (Safara_vir.Verify.verify k)
+          @ Lint.kernel_lints ~map ~arch kr)
+        c.Safara_core.Compiler.c_kernels
+
+let run ?(file = "<input>") ?(arch = Safara_gpu.Arch.kepler_k20xm)
+    ?(profile = Safara_core.Compiler.Full) src =
+  match front_end ~file src with
+  | Error diags -> Diag.sort diags
+  | Ok (prog, map) -> (
+      match ir_checks ~map prog with
+      | diags, `Stop -> Diag.sort diags
+      | diags, `Continue ->
+          Diag.sort (diags @ backend_checks ~map ~arch ~profile prog))
+
+let finalize ?(werror = false) ?(codes = []) diags =
+  let diags = Diag.filter_codes codes diags in
+  let diags = if werror then Diag.promote_warnings diags else diags in
+  Diag.sort diags
+
+let exit_code diags = if Diag.has_errors diags then 1 else 0

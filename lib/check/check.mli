@@ -1,0 +1,36 @@
+(** The whole-pipeline static checker behind [saraccc check].
+
+    Runs, in order, stopping at the first stage whose errors make the
+    later stages meaningless:
+
+    + front end: lex + parse ([SAF001]/[SAF002]), type check
+      ([SAF003]);
+    + IR validation ([SAF004], stops on error) — then the
+      dependence-based race detector ([SAF010]/[SAF011]) and the IR
+      lints ([SAF032]/[SAF033]);
+    + backend: compiles under a profile (default [Full]), runs the
+      VIR verifier on every produced kernel ([SAF020]) and the kernel
+      lints ([SAF030]/[SAF031]).
+
+    Diagnostics are anchored to source positions through the
+    {!Safara_lang.Srcmap} built during lowering. *)
+
+val run :
+  ?file:string ->
+  ?arch:Safara_gpu.Arch.t ->
+  ?profile:Safara_core.Compiler.profile ->
+  string ->
+  Safara_diag.Diagnostic.t list
+(** [run src] — the full pipeline on MiniACC source text; never
+    raises. Result is sorted and unfiltered. *)
+
+val finalize :
+  ?werror:bool ->
+  ?codes:string list ->
+  Safara_diag.Diagnostic.t list ->
+  Safara_diag.Diagnostic.t list
+(** Apply [-W code] selection ({!Safara_diag.Diagnostic.filter_codes})
+    and [--werror] promotion, re-sort. *)
+
+val exit_code : Safara_diag.Diagnostic.t list -> int
+(** 1 when any error-severity diagnostic remains, else 0. *)

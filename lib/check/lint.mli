@@ -1,0 +1,46 @@
+(** Lint passes over the IR and over compiled kernels.
+
+    - [SAF030] (note): a global-memory access whose warp pattern is
+      uncoalesced — reported once per (direction, array) per kernel.
+      A note, not a warning: some kernels are unavoidably strided and
+      the cost model already prices the transactions.
+    - [SAF031] (warning): register demand exceeded the architecture's
+      per-thread budget and the assembler had to spill.
+    - [SAF032] (warning): a [dim]/[small] clause that cannot help
+      because the region never references the named arrays.
+    - [SAF033] (warning): a scalar written but never read (outside
+      its own redefinitions). *)
+
+val region_lints :
+  ?map:Safara_lang.Srcmap.t ->
+  Safara_ir.Region.t ->
+  Safara_diag.Diagnostic.t list
+(** [SAF032] + [SAF033] on front-end IR. *)
+
+val unexploited_clauses :
+  ?map:Safara_lang.Srcmap.t ->
+  Safara_ir.Region.t ->
+  Safara_diag.Diagnostic.t list
+
+val dead_scalars :
+  ?map:Safara_lang.Srcmap.t ->
+  Safara_ir.Region.t ->
+  Safara_diag.Diagnostic.t list
+
+val kernel_lints :
+  ?map:Safara_lang.Srcmap.t ->
+  arch:Safara_gpu.Arch.t ->
+  Safara_vir.Kernel.t * Safara_ptxas.Assemble.report ->
+  Safara_diag.Diagnostic.t list
+(** [SAF030] + [SAF031] on a compiled kernel. *)
+
+val uncoalesced :
+  ?map:Safara_lang.Srcmap.t ->
+  Safara_vir.Kernel.t ->
+  Safara_diag.Diagnostic.t list
+
+val pressure :
+  ?map:Safara_lang.Srcmap.t ->
+  arch:Safara_gpu.Arch.t ->
+  Safara_ptxas.Assemble.report ->
+  Safara_diag.Diagnostic.t list

@@ -1,0 +1,25 @@
+(** Dependence-based data-race detection (codes [SAF010]/[SAF011]).
+
+    For every loop the programmer explicitly scheduled parallel
+    ([gang] and/or [vector]), proves via the dependence engine
+    ({!Safara_analysis.Dependence}) that no flow/anti/output
+    dependence on an array it writes is carried at the loop's level,
+    and via {!Safara_analysis.Parallelism.scalar_recurrences} that no
+    scalar is read-and-written across iterations outside a declared
+    reduction. Violations report the offending array pair, their
+    subscripts and the distance vector over the common nest, with
+    [seq]-demotion as the fix-it hint.
+
+    [Auto]-scheduled loops are not reported: the compiler decides
+    those itself and never distributes a loop it cannot prove
+    independent. Read-read (input) dependences are never races. *)
+
+val check_region :
+  ?map:Safara_lang.Srcmap.t ->
+  Safara_ir.Region.t ->
+  Safara_diag.Diagnostic.t list
+
+val check_program :
+  ?map:Safara_lang.Srcmap.t ->
+  Safara_ir.Program.t ->
+  Safara_diag.Diagnostic.t list

@@ -71,7 +71,16 @@ let compile ?(arch = Safara_gpu.Arch.kepler_k20xm)
     List.map
       (fun r ->
         let k = Safara_vir.Codegen.compile_region ~arch prog r in
-        Safara_ptxas.Assemble.assemble ~arch k)
+        (* debug builds prove every kernel well-formed, both straight
+           out of codegen and after assembly (spill insertion) *)
+        assert (
+          Safara_vir.Verify.verify_exn k;
+          true);
+        let assembled = Safara_ptxas.Assemble.assemble ~arch k in
+        assert (
+          Safara_vir.Verify.verify_exn (fst assembled);
+          true);
+        assembled)
       prog.P.regions
   in
   {

@@ -1,12 +1,20 @@
-type error = { where : string; what : string }
+module Diag = Safara_diag.Diagnostic
 
-let pp_error ppf e = Format.fprintf ppf "%s: %s" e.where e.what
+type error = Diag.t
 
-let errf where fmt = Format.kasprintf (fun what -> { where; what }) fmt
+let pp_error = Diag.pp
+
+let errf where fmt =
+  Format.kasprintf
+    (fun what -> Diag.make ~code:"SAF004" ~where Diag.Error what)
+    fmt
 
 let check_region (prog : Program.t) (r : Region.t) =
   let errors = ref [] in
-  let err fmt = Format.kasprintf (fun what -> errors := { where = r.rname; what } :: !errors) fmt in
+  let where = "region " ^ r.rname in
+  let err fmt =
+    Format.kasprintf (fun what -> errors := errf where "%s" what :: !errors) fmt
+  in
   let check_array_ref a subs =
     match Program.find_array_opt prog a with
     | None -> err "array %s is not declared" a
@@ -111,7 +119,9 @@ let check (prog : Program.t) =
           None))
       prog.regions
   in
-  dup_regions @ List.concat_map (check_region prog) prog.regions
+  (* deterministic report order: sorted by where/code/message, not
+     traversal order *)
+  Diag.sort (dup_regions @ List.concat_map (check_region prog) prog.regions)
 
 let check_exn prog =
   match check prog with

@@ -2,12 +2,14 @@
 
     Run after front-end lowering and after every transformation; a
     well-formed program is a precondition of analysis, code
-    generation and the interpreter. *)
+    generation and the interpreter. Violations are reported as
+    [SAF004] diagnostics ({!Safara_diag.Diagnostic}). *)
 
-type error = { where : string; what : string }
+type error = Safara_diag.Diagnostic.t
 
 val check : Program.t -> error list
-(** Empty list = valid. Checks performed:
+(** Empty list = valid. The report is deterministic: errors are
+    sorted by region, code and message. Checks performed:
     - every referenced array is declared, with matching subscript count;
     - every scalar read is a parameter, a loop index in scope, or a
       kernel-local declared before use;
@@ -20,6 +22,7 @@ val check : Program.t -> error list
       nested inside a [seq] loop. *)
 
 val check_exn : Program.t -> unit
-(** @raise Invalid_argument with a rendered report if invalid. *)
+(** @raise Invalid_argument with a rendered report of {e all} errors
+    if invalid. *)
 
 val pp_error : Format.formatter -> error -> unit

@@ -1,3 +1,7 @@
+type pos = Token.pos = { line : int; col : int }
+
+let no_pos = { line = 0; col = 0 }
+
 type ty = Tint | Tlong | Tfloat | Tdouble
 
 type expr =
@@ -18,7 +22,9 @@ type loop_directive = {
   dreductions : (Safara_ir.Stmt.redop * string) list;
 }
 
-type stmt =
+type stmt = { sdesc : stmt_desc; spos : pos }
+
+and stmt_desc =
   | Decl of ty * string * expr option
   | Assign of lhs * expr
   | For of for_loop
@@ -32,11 +38,15 @@ and for_loop = {
   fbody : stmt list;
 }
 
+let at spos sdesc = { sdesc; spos }
+
 type intent = In | Out
 
 type dim_spec = { ds_lower : expr option; ds_extent : expr }
 
-type decl =
+type decl = { ddesc : decl_desc; dpos : pos }
+
+and decl_desc =
   | Param of ty * string
   | Array_decl of intent option * ty * string * dim_spec list
 
@@ -46,6 +56,7 @@ type region = {
   rdim : (dim_spec list option * string list) list;
   rsmall : string list;
   rbody : stmt list;
+  rpos : pos;
 }
 
 type program = { decls : decl list; regions : region list }

@@ -1,6 +1,15 @@
 (** Abstract syntax of MiniACC source programs, as produced by the
     parser and consumed by the type checker and the IR lowering pass.
-    Operator enums are shared with the IR ({!Safara_ir.Expr}). *)
+    Operator enums are shared with the IR ({!Safara_ir.Expr}).
+
+    Statements, declarations and regions carry the source position of
+    their first token, so every later pipeline stage can anchor
+    diagnostics at a file:line:col instead of a bare region name. *)
+
+type pos = Token.pos = { line : int; col : int }
+
+val no_pos : pos
+(** [{line = 0; col = 0}] — for programmatically-built AST fragments. *)
 
 type ty = Tint | Tlong | Tfloat | Tdouble
 
@@ -23,7 +32,9 @@ type loop_directive = {
   dreductions : (Safara_ir.Stmt.redop * string) list;
 }
 
-type stmt =
+type stmt = { sdesc : stmt_desc; spos : pos }
+
+and stmt_desc =
   | Decl of ty * string * expr option
   | Assign of lhs * expr
   | For of for_loop
@@ -37,6 +48,8 @@ and for_loop = {
   fbody : stmt list;
 }
 
+val at : pos -> stmt_desc -> stmt
+
 type intent = In | Out
 
 (** One dimension: [\[len\]] or Fortran-style [\[lb:len\]]; bounds are
@@ -44,7 +57,9 @@ type intent = In | Out
     declarations and inside [dim] clauses. *)
 type dim_spec = { ds_lower : expr option; ds_extent : expr }
 
-type decl =
+type decl = { ddesc : decl_desc; dpos : pos }
+
+and decl_desc =
   | Param of ty * string
   | Array_decl of intent option * ty * string * dim_spec list
 
@@ -54,6 +69,7 @@ type region = {
   rdim : (dim_spec list option * string list) list;
   rsmall : string list;
   rbody : stmt list;
+  rpos : pos;  (** position of the region's [#pragma] *)
 }
 
 type program = { decls : decl list; regions : region list }

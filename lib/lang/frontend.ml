@@ -4,3 +4,10 @@ let compile ?name src =
   let prog = Lower.program ?name ast in
   Safara_ir.Validate.check_exn prog;
   prog
+
+let compile_with_map ?(file = "<input>") ?name src =
+  let ast = Parser.parse src in
+  Typecheck.check_exn ast;
+  let prog, map = Lower.program_with_map ~file ?name ast in
+  Safara_ir.Validate.check_exn prog;
+  (prog, map)

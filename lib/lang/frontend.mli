@@ -7,3 +7,8 @@ val compile : ?name:string -> string -> Safara_ir.Program.t
     @raise Failure on type errors (rendered report).
     @raise Invalid_argument if lowering produced invalid IR (an
     internal error). *)
+
+val compile_with_map :
+  ?file:string -> ?name:string -> string -> Safara_ir.Program.t * Srcmap.t
+(** Same pipeline, but also returns the source-position side-table
+    ({!Srcmap}) for anchoring IR-level diagnostics. *)

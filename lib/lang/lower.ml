@@ -48,7 +48,7 @@ let rec lower_stmts env scope (stmts : Ast.stmt list) : S.t list =
   match stmts with
   | [] -> []
   | s :: rest -> (
-      match s with
+      match s.Ast.sdesc with
       | Ast.Decl (ty, name, init) ->
           let dty = Ast.ty_to_dtype ty in
           let init' = Option.map (lower_expr env scope) init in
@@ -115,12 +115,12 @@ let lower_dim_spec (s : Ast.dim_spec) : D.t =
     extent = lower_dim_expr s.ds_extent;
   }
 
+let region_name idx (r : Ast.region) =
+  match r.Ast.rname with Some n -> n | None -> Printf.sprintf "k%d" (idx + 1)
+
 let lower_region env idx (r : Ast.region) : R.t =
-  let rname =
-    match r.rname with Some n -> n | None -> Printf.sprintf "k%d" (idx + 1)
-  in
   {
-    R.rname;
+    R.rname = region_name idx r;
     kind = r.rkind;
     body = lower_stmts env [] r.rbody;
     dim_groups =
@@ -134,17 +134,50 @@ let lower_region env idx (r : Ast.region) : R.t =
     small = r.rsmall;
   }
 
+(* side-table of source positions, keyed by the same region names the
+   lowering above assigns *)
+let build_srcmap ?(file = "<input>") (p : Ast.program) : Srcmap.t =
+  let decls =
+    List.map
+      (fun (d : Ast.decl) ->
+        match d.Ast.ddesc with
+        | Ast.Param (_, n) | Ast.Array_decl (_, _, n, _) -> (n, d.Ast.dpos))
+      p.decls
+  in
+  let loops = ref [] in
+  let rec walk rname (s : Ast.stmt) =
+    match s.Ast.sdesc with
+    | Ast.For f ->
+        loops := ((rname, f.findex), s.Ast.spos) :: !loops;
+        List.iter (walk rname) f.fbody
+    | Ast.If (_, t, e) ->
+        List.iter (walk rname) t;
+        List.iter (walk rname) e
+    | Ast.Decl _ | Ast.Assign _ -> ()
+  in
+  let regions =
+    List.mapi
+      (fun idx (r : Ast.region) ->
+        let name = region_name idx r in
+        List.iter (walk name) r.Ast.rbody;
+        (name, r.Ast.rpos))
+      p.regions
+  in
+  { Srcmap.file; regions; loops = List.rev !loops; decls }
+
 let program ?(name = "program") (p : Ast.program) : P.t =
   let params =
     List.filter_map
-      (function
+      (fun (d : Ast.decl) ->
+        match d.Ast.ddesc with
         | Ast.Param (ty, n) -> Some { E.vname = n; vtype = Ast.ty_to_dtype ty }
         | Ast.Array_decl _ -> None)
       p.decls
   in
   let arrays =
     List.filter_map
-      (function
+      (fun (d : Ast.decl) ->
+        match d.Ast.ddesc with
         | Ast.Param _ -> None
         | Ast.Array_decl (intent, ty, n, dims) ->
             let intent' =
@@ -166,3 +199,7 @@ let program ?(name = "program") (p : Ast.program) : P.t =
   in
   let regions = List.mapi (lower_region env) p.regions in
   P.make ~params ~arrays name regions
+
+let program_with_map ?(file = "<input>") ?name (p : Ast.program) :
+    P.t * Srcmap.t =
+  (program ?name p, build_srcmap ~file p)

@@ -10,3 +10,12 @@
 val program : ?name:string -> Ast.program -> Safara_ir.Program.t
 (** @raise Failure on constructs the type checker should have
     rejected (internal-error guard). *)
+
+val program_with_map :
+  ?file:string -> ?name:string -> Ast.program -> Safara_ir.Program.t * Srcmap.t
+(** Like {!program}, but also returns the {!Srcmap} side-table mapping
+    region/loop/declaration names back to source positions, for
+    diagnostics produced on position-free IR. [file] is recorded in
+    every span (default ["<input>"]). *)
+
+val build_srcmap : ?file:string -> Ast.program -> Srcmap.t

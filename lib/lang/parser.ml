@@ -346,6 +346,10 @@ let substate_of_payload pos payload =
 (* ------------------------------------------------------------------ *)
 
 let rec parse_stmt st : Ast.stmt =
+  let start_pos = cur_pos st in
+  Ast.at start_pos (parse_stmt_desc st)
+
+and parse_stmt_desc st : Ast.stmt_desc =
   match cur st with
   | Token.Pragma payload ->
       let pos = cur_pos st in
@@ -355,7 +359,7 @@ let rec parse_stmt st : Ast.stmt =
       | Token.Ident "loop" ->
           advance sub;
           let directive = parse_loop_directive sub in
-          (match parse_stmt st with
+          (match parse_stmt_desc st with
           | Ast.For f -> Ast.For { f with fdirective = Some directive }
           | _ -> raise (Error (pos, "#pragma acc loop must precede a for loop")))
       | t ->
@@ -453,25 +457,29 @@ and parse_stmts_until_rbrace st =
 (* ------------------------------------------------------------------ *)
 
 let parse_decl st : Ast.decl =
-  match cur st with
-  | Token.Kw_param ->
-      advance st;
-      let ty = parse_type st in
-      let name = expect_ident st in
-      expect st Token.Semi;
-      Ast.Param (ty, name)
-  | _ ->
-      let intent =
-        if accept st Token.Kw_in then Some Ast.In
-        else if accept st Token.Kw_out then Some Ast.Out
-        else None
-      in
-      let ty = parse_type st in
-      let name = expect_ident st in
-      let dims = parse_dim_specs st in
-      if dims = [] then err st "array %s must have at least one dimension" name;
-      expect st Token.Semi;
-      Ast.Array_decl (intent, ty, name, dims)
+  let dpos = cur_pos st in
+  let ddesc =
+    match cur st with
+    | Token.Kw_param ->
+        advance st;
+        let ty = parse_type st in
+        let name = expect_ident st in
+        expect st Token.Semi;
+        Ast.Param (ty, name)
+    | _ ->
+        let intent =
+          if accept st Token.Kw_in then Some Ast.In
+          else if accept st Token.Kw_out then Some Ast.Out
+          else None
+        in
+        let ty = parse_type st in
+        let name = expect_ident st in
+        let dims = parse_dim_specs st in
+        if dims = [] then err st "array %s must have at least one dimension" name;
+        expect st Token.Semi;
+        Ast.Array_decl (intent, ty, name, dims)
+  in
+  { Ast.ddesc; dpos }
 
 let parse_region st pos payload : Ast.region =
   let sub = substate_of_payload pos payload in
@@ -491,7 +499,8 @@ let parse_region st pos payload : Ast.region =
   parse_region_clauses sub cl;
   expect st Token.Lbrace;
   let body = parse_stmts_until_rbrace st in
-  { Ast.rname = cl.name; rkind = kind; rdim = cl.dim; rsmall = cl.small; rbody = body }
+  { Ast.rname = cl.name; rkind = kind; rdim = cl.dim; rsmall = cl.small;
+    rbody = body; rpos = pos }
 
 let parse src =
   let toks = Lexer.tokenize src in

@@ -1,0 +1,35 @@
+type t = {
+  file : string;
+  regions : (string * Token.pos) list;
+  loops : ((string * string) * Token.pos) list;
+  decls : (string * Token.pos) list;
+}
+
+let empty = { file = ""; regions = []; loops = []; decls = [] }
+
+let span_of t (p : Token.pos) =
+  { Safara_diag.Diagnostic.file = t.file; line = p.line; col = p.col }
+
+let region_span t rname =
+  Option.map (span_of t) (List.assoc_opt rname t.regions)
+
+let loop_span t ~region ~index =
+  match List.assoc_opt (region, index) t.loops with
+  | Some p -> Some (span_of t p)
+  | None ->
+      (* scalar replacement may wrap the loop; fall back to the region *)
+      region_span t region
+
+let decl_span t name = Option.map (span_of t) (List.assoc_opt name t.decls)
+
+let locate t ~where =
+  (* [where] is a diagnostic context like "region hot" or a bare region
+     name; attach the region's pragma position when we know it *)
+  let name =
+    match String.index_opt where ' ' with
+    | Some i -> String.sub where (i + 1) (String.length where - i - 1)
+    | None -> where
+  in
+  match region_span t name with
+  | Some s -> Some s
+  | None -> region_span t where

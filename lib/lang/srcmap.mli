@@ -1,0 +1,34 @@
+(** Source map: positions that survive lowering.
+
+    The IR ({!Safara_ir}) is deliberately position-free — transforms
+    rewrite it wholesale — so the lowering pass records, on the side,
+    where each region, loop and declaration came from. Diagnostics
+    produced on IR entities (race reports, validation errors, lints)
+    are then anchored back to file:line:col through this table.
+
+    Loops are keyed by [(region name, index name)]: index names are
+    unique within a validated region, so the key is unambiguous. *)
+
+type t = {
+  file : string;
+  regions : (string * Token.pos) list;  (** region name → pragma pos *)
+  loops : ((string * string) * Token.pos) list;
+      (** (region, loop index) → [for] pos *)
+  decls : (string * Token.pos) list;  (** param/array name → decl pos *)
+}
+
+val empty : t
+
+val span_of : t -> Token.pos -> Safara_diag.Diagnostic.span
+
+val region_span : t -> string -> Safara_diag.Diagnostic.span option
+
+val loop_span :
+  t -> region:string -> index:string -> Safara_diag.Diagnostic.span option
+(** Falls back to the region's span for loops introduced by transforms. *)
+
+val decl_span : t -> string -> Safara_diag.Diagnostic.span option
+
+val locate : t -> where:string -> Safara_diag.Diagnostic.span option
+(** Best-effort span for a diagnostic [where] context ("region hot",
+    "hot", …). *)

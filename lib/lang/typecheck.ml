@@ -1,4 +1,4 @@
-type error = string
+type error = { epos : Token.pos option; emsg : string }
 
 module T = Safara_ir.Types
 
@@ -8,7 +8,12 @@ type env = {
   mutable errors : error list;
 }
 
-let err env fmt = Format.kasprintf (fun m -> env.errors <- m :: env.errors) fmt
+let err_at env pos fmt =
+  Format.kasprintf
+    (fun m -> env.errors <- { epos = pos; emsg = m } :: env.errors)
+    fmt
+
+let err env fmt = err_at env None fmt
 
 (* type of an expression; Bool for conditions, None on error (already
    reported) *)
@@ -91,101 +96,129 @@ let rec type_expr env scope (e : Ast.expr) : T.dtype option =
       ignore (type_expr env scope a);
       Some (Ast.ty_to_dtype ty)
 
+(* wrap the error sink so everything reported while checking one
+   statement is anchored at that statement's position *)
+let with_pos env (pos : Token.pos) f =
+  let before = env.errors in
+  f ();
+  let added, rest =
+    let rec split acc l =
+      if l == before then (acc, l)
+      else
+        match l with
+        | [] -> (acc, [])
+        | e :: tl -> split (e :: acc) tl
+    in
+    split [] env.errors
+  in
+  env.errors <-
+    List.rev_append
+      (List.rev_map
+         (fun e -> if e.epos = None then { e with epos = Some pos } else e)
+         added)
+      rest
+
 let rec check_stmts env scope stmts =
   ignore
     (List.fold_left
-       (fun scope s ->
-         match s with
-         | Ast.Decl (ty, name, init) ->
-             if List.mem_assoc name scope then
-               err env "redeclaration of %s" name;
-             if List.mem_assoc name env.params then
-               err env "local %s shadows a program parameter" name;
-             if List.mem_assoc name env.arrays then
-               err env "local %s shadows an array" name;
-             Option.iter (fun e -> ignore (type_expr env scope e)) init;
-             (name, Ast.ty_to_dtype ty) :: scope
-         | Ast.Assign (Ast.Lid name, e) ->
-             (match List.assoc_opt name scope with
-             | Some _ -> ()
-             | None ->
-                 if List.mem_assoc name env.params then
-                   err env "cannot assign to parameter %s inside a kernel" name
-                 else err env "assignment to undeclared scalar %s" name);
-             ignore (type_expr env scope e);
-             scope
-         | Ast.Assign (Ast.Lindex (a, subs), e) ->
-             ignore (type_expr env scope (Ast.Index (a, subs)));
-             ignore (type_expr env scope e);
-             scope
-         | Ast.For f ->
-             if List.mem_assoc f.findex scope then
-               err env "loop index %s shadows an enclosing binding" f.findex;
-             ignore (type_expr env scope f.finit);
-             ignore (type_expr env scope (snd f.fbound));
-             (match f.fdirective with
-             | Some d ->
-                 List.iter
-                   (fun (_, v) ->
-                     if not (List.mem_assoc v scope) then
-                       err env "reduction variable %s is not a kernel-local scalar" v)
-                   d.Ast.dreductions
-             | None -> ());
-             check_stmts env ((f.findex, T.I32) :: scope) f.fbody;
-             scope
-         | Ast.If (c, t, e) ->
-             ignore (type_expr env scope c);
-             check_stmts env scope t;
-             check_stmts env scope e;
-             scope)
+       (fun scope (s : Ast.stmt) ->
+         let scope' = ref scope in
+         with_pos env s.Ast.spos (fun () ->
+             scope' :=
+               match s.Ast.sdesc with
+               | Ast.Decl (ty, name, init) ->
+                   if List.mem_assoc name scope then
+                     err env "redeclaration of %s" name;
+                   if List.mem_assoc name env.params then
+                     err env "local %s shadows a program parameter" name;
+                   if List.mem_assoc name env.arrays then
+                     err env "local %s shadows an array" name;
+                   Option.iter (fun e -> ignore (type_expr env scope e)) init;
+                   (name, Ast.ty_to_dtype ty) :: scope
+               | Ast.Assign (Ast.Lid name, e) ->
+                   (match List.assoc_opt name scope with
+                   | Some _ -> ()
+                   | None ->
+                       if List.mem_assoc name env.params then
+                         err env "cannot assign to parameter %s inside a kernel" name
+                       else err env "assignment to undeclared scalar %s" name);
+                   ignore (type_expr env scope e);
+                   scope
+               | Ast.Assign (Ast.Lindex (a, subs), e) ->
+                   ignore (type_expr env scope (Ast.Index (a, subs)));
+                   ignore (type_expr env scope e);
+                   scope
+               | Ast.For f ->
+                   if List.mem_assoc f.findex scope then
+                     err env "loop index %s shadows an enclosing binding" f.findex;
+                   ignore (type_expr env scope f.finit);
+                   ignore (type_expr env scope (snd f.fbound));
+                   (match f.fdirective with
+                   | Some d ->
+                       List.iter
+                         (fun (_, v) ->
+                           if not (List.mem_assoc v scope) then
+                             err env "reduction variable %s is not a kernel-local scalar" v)
+                         d.Ast.dreductions
+                   | None -> ());
+                   check_stmts env ((f.findex, T.I32) :: scope) f.fbody;
+                   scope
+               | Ast.If (c, t, e) ->
+                   ignore (type_expr env scope c);
+                   check_stmts env scope t;
+                   check_stmts env scope e;
+                   scope);
+         !scope')
        scope stmts)
 
 let check_region env (r : Ast.region) =
   check_stmts env [] r.rbody;
-  List.iter
-    (fun (_, arrays) ->
+  with_pos env r.rpos (fun () ->
+      List.iter
+        (fun (_, arrays) ->
+          List.iter
+            (fun a ->
+              if not (List.mem_assoc a env.arrays) then
+                err env "dim clause names unknown array %s" a)
+            arrays)
+        r.rdim;
       List.iter
         (fun a ->
           if not (List.mem_assoc a env.arrays) then
-            err env "dim clause names unknown array %s" a)
-        arrays)
-    r.rdim;
-  List.iter
-    (fun a ->
-      if not (List.mem_assoc a env.arrays) then
-        err env "small clause names unknown array %s" a)
-    r.rsmall
+            err env "small clause names unknown array %s" a)
+        r.rsmall)
 
 let build_env (p : Ast.program) =
   let env = { params = []; arrays = []; errors = [] } in
   List.iter
-    (fun d ->
-      match d with
-      | Ast.Param (ty, name) ->
-          if List.mem_assoc name env.params then err env "duplicate parameter %s" name;
-          env.params <- env.params @ [ (name, Ast.ty_to_dtype ty) ]
-      | Ast.Array_decl (_, ty, name, dims) ->
-          if List.mem_assoc name env.arrays then err env "duplicate array %s" name;
-          if List.mem_assoc name env.params then
-            err env "array %s collides with a parameter" name;
-          let check_bound ~is_extent (dim : Ast.expr) =
-            match dim with
-            | Ast.Int n ->
-                if is_extent && n <= 0 then
-                  err env "array %s has a non-positive dimension" name
-            | Ast.Var v -> (
-                match List.assoc_opt v env.params with
-                | Some ty when T.is_integer ty -> ()
-                | Some _ -> err env "dimension %s of array %s is not an integer parameter" v name
-                | None -> err env "dimension %s of array %s is not a declared parameter" v name)
-            | _ -> err env "array %s: dimensions must be literals or parameters" name
-          in
-          List.iter
-            (fun (spec : Ast.dim_spec) ->
-              Option.iter (check_bound ~is_extent:false) spec.Ast.ds_lower;
-              check_bound ~is_extent:true spec.Ast.ds_extent)
-            dims;
-          env.arrays <- env.arrays @ [ (name, (Ast.ty_to_dtype ty, List.length dims)) ])
+    (fun (d : Ast.decl) ->
+      with_pos env d.Ast.dpos (fun () ->
+          match d.Ast.ddesc with
+          | Ast.Param (ty, name) ->
+              if List.mem_assoc name env.params then err env "duplicate parameter %s" name;
+              env.params <- env.params @ [ (name, Ast.ty_to_dtype ty) ]
+          | Ast.Array_decl (_, ty, name, dims) ->
+              if List.mem_assoc name env.arrays then err env "duplicate array %s" name;
+              if List.mem_assoc name env.params then
+                err env "array %s collides with a parameter" name;
+              let check_bound ~is_extent (dim : Ast.expr) =
+                match dim with
+                | Ast.Int n ->
+                    if is_extent && n <= 0 then
+                      err env "array %s has a non-positive dimension" name
+                | Ast.Var v -> (
+                    match List.assoc_opt v env.params with
+                    | Some ty when T.is_integer ty -> ()
+                    | Some _ -> err env "dimension %s of array %s is not an integer parameter" v name
+                    | None -> err env "dimension %s of array %s is not a declared parameter" v name)
+                | _ -> err env "array %s: dimensions must be literals or parameters" name
+              in
+              List.iter
+                (fun (spec : Ast.dim_spec) ->
+                  Option.iter (check_bound ~is_extent:false) spec.Ast.ds_lower;
+                  check_bound ~is_extent:true spec.Ast.ds_extent)
+                dims;
+              env.arrays <- env.arrays @ [ (name, (Ast.ty_to_dtype ty, List.length dims)) ]))
     p.decls;
   env
 
@@ -194,7 +227,28 @@ let check (p : Ast.program) =
   List.iter (check_region env) p.regions;
   match env.errors with [] -> Ok () | errs -> Error (List.rev errs)
 
+let error_message e = e.emsg
+
+let diagnostic_of_error ?(file = "") e =
+  let span =
+    Option.map
+      (fun (p : Token.pos) ->
+        { Safara_diag.Diagnostic.file; line = p.line; col = p.col })
+      e.epos
+  in
+  Safara_diag.Diagnostic.make ?span ~code:"SAF003" ~where:"typecheck"
+    Safara_diag.Diagnostic.Error e.emsg
+
 let check_exn p =
   match check p with
   | Ok () -> ()
-  | Error errs -> failwith (String.concat "\n" errs)
+  | Error errs ->
+      failwith
+        (String.concat "\n"
+           (List.map
+              (fun e ->
+                match e.epos with
+                | Some pos ->
+                    Format.asprintf "%a: %s" Token.pp_pos pos e.emsg
+                | None -> e.emsg)
+              errs))

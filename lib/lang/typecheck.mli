@@ -4,11 +4,19 @@
     OpenACC front end would report: unknown identifiers, wrong
     subscript counts, non-integer subscripts, unknown intrinsics and
     wrong arities, assignments to parameters or loop indices,
-    redeclarations, and malformed array dimensions. *)
+    redeclarations, and malformed array dimensions. Every error is
+    anchored at the source position of the statement or declaration it
+    was found in. *)
 
-type error = string
+type error = { epos : Token.pos option; emsg : string }
 
 val check : Ast.program -> (unit, error list) result
 
+val error_message : error -> string
+
+val diagnostic_of_error : ?file:string -> error -> Safara_diag.Diagnostic.t
+(** Renders the error as an [SAF003] diagnostic with its source span. *)
+
 val check_exn : Ast.program -> unit
-(** @raise Failure with the rendered error report. *)
+(** @raise Failure with the rendered error report (all errors, one per
+    line, each prefixed by its position when known). *)

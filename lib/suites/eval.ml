@@ -2,6 +2,24 @@ module C = Safara_core.Compiler
 module Pool = Safara_engine.Pool
 module Cache = Safara_engine.Cache
 
+(* [assert (Sys.opaque_identity false)] is stripped by -noassert
+   (unlike a literal [assert false], which the compiler must keep), so
+   reaching the handler means assertions are live in this build. *)
+let assertions_enabled =
+  try
+    assert (Sys.opaque_identity false);
+    false
+  with Assert_failure _ -> true
+
+let verify_kernels = ref assertions_enabled
+
+(* every compile-cache miss proves its kernels VIR-well-formed before
+   the artifact is published to other domains *)
+let verified (c : C.compiled) =
+  if !verify_kernels then
+    List.iter (fun (k, _) -> Safara_vir.Verify.verify_exn k) c.C.c_kernels;
+  c
+
 type t = {
   epool : Pool.t;
   cc : C.compiled Cache.t;  (** compile cache *)
@@ -83,7 +101,7 @@ let compiled t j =
             | None -> prog
             | Some factor -> Safara_transform.Unroll.unroll_program ~factor prog
           in
-          C.compile ~arch:j.jarch ?safara_config:j.jconfig j.jp prog))
+          verified (C.compile ~arch:j.jarch ?safara_config:j.jconfig j.jp prog)))
 
 let compile_src t ?(arch = Safara_gpu.Arch.kepler_k20xm) ?safara_config profile
     src =
@@ -92,8 +110,9 @@ let compile_src t ?(arch = Safara_gpu.Arch.kepler_k20xm) ?safara_config profile
   in
   Cache.find_or_compute t.cc ~key (fun () ->
       timed t `Compile (fun () ->
-          C.compile ~arch ?safara_config profile
-            (Safara_lang.Frontend.compile src)))
+          verified
+            (C.compile ~arch ?safara_config profile
+               (Safara_lang.Frontend.compile src))))
 
 let time_job t j =
   Cache.find_or_compute t.tc ~key:(tkey j) (fun () ->
@@ -167,15 +186,6 @@ let render_stats t =
        "  phase wall-clock: compile %.2fs, simulate %.2fs, total %.2fs\n"
        s.st_compile_s s.st_sim_s s.st_wall_s);
   Buffer.contents b
-
-(* [assert (Sys.opaque_identity false)] is stripped by -noassert
-   (unlike a literal [assert false], which the compiler must keep), so
-   reaching the handler means assertions are live in this build. *)
-let assertions_enabled =
-  try
-    assert (Sys.opaque_identity false);
-    false
-  with Assert_failure _ -> true
 
 let self_check t w =
   if jobs t > 1 && assertions_enabled then begin

@@ -97,6 +97,12 @@ val render_stats : t -> string
 val assertions_enabled : bool
 (** Whether this binary keeps [assert]s (dev profile). *)
 
+val verify_kernels : bool ref
+(** When on, every compile-cache miss runs the VIR verifier
+    ({!Safara_vir.Verify}) over each produced kernel before the
+    artifact is published, failing fast on compiler bugs. Defaults to
+    {!assertions_enabled}. *)
+
 val self_check : t -> Workload.t -> unit
 (** Determinism guard: in debug builds, when the pool is parallel,
     times the workload under every profile both through the pool and

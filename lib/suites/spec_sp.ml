@@ -65,7 +65,7 @@ double rhon[64][64];
 // HOT2: ws/qs/square from the conserved variables (same shape: dim ok)
 #pragma acc kernels name(hot2) \
   dim((u1, u2, u3, u4, ws, qs, square, rho_i)) \
-  small(u1, u2, u3, u4, ws, qs, square, rho_i)
+  small(u2, u3, u4, ws, qs, square, rho_i)
 {
   #pragma acc loop gang vector(2)
   for (j = 2; j <= ny - 1; j++) {
@@ -160,7 +160,7 @@ double rhon[64][64];
 // HOT7: speed/sound-speed computation (one shape: dim ok)
 #pragma acc kernels name(hot7) \
   dim((speed, square, qs, rho_i, u5, u1)) \
-  small(speed, square, qs, rho_i, u5, u1)
+  small(speed, square, qs, rho_i, u5)
 {
   #pragma acc loop gang vector(2)
   for (j = 2; j <= ny - 1; j++) {

@@ -81,3 +81,14 @@ let pp_violation ppf v =
   Format.fprintf ppf "%s: %s clause: %s" v.v_region
     (match v.v_clause with `Dim -> "dim" | `Small -> "small")
     v.v_message
+
+let diagnostic_of_violation ?span v =
+  let module Diag = Safara_diag.Diagnostic in
+  Diag.make ?span ~code:"SAF005"
+    ~where:("region " ^ v.v_region)
+    ~hint:
+      "the compiler falls back to the unoptimized kernel version at run time"
+    Diag.Warning
+    (Format.asprintf "%s clause: %s"
+       (match v.v_clause with `Dim -> "dim" | `Small -> "small")
+       v.v_message)

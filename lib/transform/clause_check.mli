@@ -36,3 +36,8 @@ val choose_version :
     violations found. *)
 
 val pp_violation : Format.formatter -> violation -> unit
+
+val diagnostic_of_violation :
+  ?span:Safara_diag.Diagnostic.span -> violation -> Safara_diag.Diagnostic.t
+(** Renders a clause violation as an [SAF005] warning on the shared
+    diagnostic type (the runtime fallback means it is recoverable). *)

@@ -117,8 +117,11 @@ let dope_param_name set d = Printf.sprintf "%s.len%d" set d
 let dope_lower_name set d = Printf.sprintf "%s.lo%d" set d
 
 let dope_params md =
+  (* names are derived from the dope-set leader, which need not be a
+     referenced array itself (a dim group's leader can be absent from
+     the region); callers dedupe by [md_dope_set] *)
   match dope_leader md with
-  | Some leader when String.equal leader md.md_array.A.name ->
+  | Some leader ->
       let extents =
         (* the outermost extent never enters the offset computation *)
         List.tl (List.mapi (fun d _ -> dope_param_name leader d) md.md_dims)
@@ -134,7 +137,7 @@ let dope_params md =
              md.md_dims)
       in
       extents @ lowers
-  | _ -> []
+  | None -> []
 
 let base_reg t name =
   match Hashtbl.find_opt t.bases name with

@@ -427,10 +427,16 @@ let compile_region ~arch (prog : Safara_ir.Program.t) (r : R.t) =
       ctx.params_used []
   in
   let dope_params =
+    (* one contribution per dope set: group members share descriptor
+       params, and the set's leader may itself be unreferenced *)
+    let seen = Hashtbl.create 4 in
     List.concat_map
       (fun (name, md) ->
-        if List.mem name arrays then
+        if List.mem name arrays && not (Hashtbl.mem seen md.Addressing.md_dope_set)
+        then begin
+          Hashtbl.add seen md.Addressing.md_dope_set ();
           List.map (fun p -> Kernel.P_scalar (p, T.I64)) (Addressing.dope_params md)
+        end
         else [])
       modes
   in

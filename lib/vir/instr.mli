@@ -57,3 +57,5 @@ val map_regs : (Vreg.t -> Vreg.t) -> t -> t
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 val axis_to_string : axis -> string
+val binop_to_string : binop -> string
+val unop_to_string : unop -> string

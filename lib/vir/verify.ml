@@ -1,0 +1,292 @@
+(* VIR verifier: structural and dataflow well-formedness of kernels.
+
+   Runs after codegen and again after every VIR-level transform
+   (unroll, scalar replacement, peephole) and after assembly — the
+   assembled code is still in virtual-register form, so the same
+   checks apply. Faults are SAF020 diagnostics; any fault is a
+   compiler bug, not a user error. *)
+
+module Diag = Safara_diag.Diagnostic
+module M = Safara_gpu.Memspace
+
+let fault kern ~at fmt =
+  Format.kasprintf
+    (fun m ->
+      Diag.make ~code:"SAF020"
+        ~where:("kernel " ^ kern.Kernel.kname)
+        Diag.Error
+        (Printf.sprintf "instr %d: %s" at m))
+    fmt
+
+(* --- basic blocks ------------------------------------------------- *)
+
+type block = {
+  b_start : int;  (* index of first instruction *)
+  b_len : int;
+  b_succs : int list;  (* indices into the blocks array *)
+}
+
+(* leaders: 0, every Label, every instruction after a branch *)
+let build_blocks (code : Instr.t array) =
+  let n = Array.length code in
+  let leader = Array.make (max n 1) false in
+  if n > 0 then leader.(0) <- true;
+  Array.iteri
+    (fun i ins ->
+      (match ins with Instr.Label _ -> leader.(i) <- true | _ -> ());
+      if Instr.is_branch ins && i + 1 < n then leader.(i + 1) <- true)
+    code;
+  let starts = ref [] in
+  for i = n - 1 downto 0 do
+    if leader.(i) then starts := i :: !starts
+  done;
+  let starts = Array.of_list !starts in
+  let nb = Array.length starts in
+  let block_of_start = Hashtbl.create 16 in
+  Array.iteri (fun bi s -> Hashtbl.add block_of_start s bi) starts;
+  let label_block = Hashtbl.create 16 in
+  Array.iteri
+    (fun i ins ->
+      match ins with
+      | Instr.Label l ->
+          if not (Hashtbl.mem label_block l) then
+            Hashtbl.add label_block l (Hashtbl.find block_of_start i)
+      | _ -> ())
+    code;
+  let blocks =
+    Array.mapi
+      (fun bi s ->
+        let last = if bi + 1 < nb then starts.(bi + 1) - 1 else n - 1 in
+        let succs =
+          match code.(last) with
+          | Instr.Ret -> []
+          | Instr.Bra t -> (
+              match Hashtbl.find_opt label_block t with
+              | Some b -> [ b ]
+              | None -> [])
+          | Instr.Brc { target; _ } ->
+              let taken =
+                match Hashtbl.find_opt label_block target with
+                | Some b -> [ b ]
+                | None -> []
+              in
+              if bi + 1 < nb then (bi + 1) :: taken else taken
+          | _ -> if bi + 1 < nb then [ bi + 1 ] else []
+        in
+        { b_start = s; b_len = last - s + 1; b_succs = succs })
+      starts
+  in
+  (blocks, label_block)
+
+(* --- checks ------------------------------------------------------- *)
+
+let check_control_flow kern =
+  let code = kern.Kernel.code in
+  let faults = ref [] in
+  let add f = faults := f :: !faults in
+  let labels = Hashtbl.create 16 in
+  Array.iteri
+    (fun i ins ->
+      match ins with
+      | Instr.Label l ->
+          if Hashtbl.mem labels l then
+            add (fault kern ~at:i "duplicate label %s" l)
+          else Hashtbl.add labels l ()
+      | _ -> ())
+    code;
+  Array.iteri
+    (fun i ins ->
+      List.iter
+        (fun t ->
+          if not (Hashtbl.mem labels t) then
+            add (fault kern ~at:i "branch to undefined label %s" t))
+        (Instr.branch_targets ins))
+    code;
+  let n = Array.length code in
+  (if n = 0 then add (fault kern ~at:0 "kernel has no code")
+   else
+     match code.(n - 1) with
+     | Instr.Ret | Instr.Bra _ -> ()
+     | _ -> add (fault kern ~at:(n - 1) "control falls off the end of the kernel"));
+  if
+    n > 0
+    && not (Array.exists (function Instr.Ret -> true | _ -> false) code)
+  then add (fault kern ~at:(n - 1) "kernel has no ret");
+  List.rev !faults
+
+let check_def_before_use kern =
+  let code = kern.Kernel.code in
+  if Array.length code = 0 then []
+  else begin
+    let faults = ref [] in
+    let add f = faults := f :: !faults in
+    let blocks, _ = build_blocks code in
+    let nb = Array.length blocks in
+    (* universe of registers that are defined somewhere *)
+    let universe =
+      Array.fold_left
+        (fun acc ins -> List.fold_left (fun s r -> Vreg.Set.add r s) acc (Instr.defs ins))
+        Vreg.Set.empty code
+    in
+    (* must-reach analysis: IN[b] = ∩ OUT[preds]; optimistic init *)
+    let out = Array.make nb universe in
+    let preds = Array.make nb [] in
+    Array.iteri
+      (fun bi b -> List.iter (fun s -> preds.(s) <- bi :: preds.(s)) b.b_succs)
+      blocks;
+    let in_of bi =
+      if bi = 0 then Vreg.Set.empty
+      else
+        match preds.(bi) with
+        | [] -> universe (* unreachable: no constraints *)
+        | p :: ps ->
+            List.fold_left
+              (fun acc q -> Vreg.Set.inter acc out.(q))
+              out.(p) ps
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iteri
+        (fun bi b ->
+          let live = ref (in_of bi) in
+          for i = b.b_start to b.b_start + b.b_len - 1 do
+            List.iter (fun r -> live := Vreg.Set.add r !live) (Instr.defs code.(i))
+          done;
+          if not (Vreg.Set.equal !live out.(bi)) then begin
+            out.(bi) <- !live;
+            changed := true
+          end)
+        blocks
+    done;
+    (* now re-walk each block reporting uses of never-defined regs *)
+    Array.iteri
+      (fun bi b ->
+        let live = ref (in_of bi) in
+        for i = b.b_start to b.b_start + b.b_len - 1 do
+          List.iter
+            (fun r ->
+              if not (Vreg.Set.mem r !live) then
+                add
+                  (fault kern ~at:i "register %s used before definition"
+                     (Vreg.to_string r)))
+            (Instr.uses code.(i));
+          List.iter (fun r -> live := Vreg.Set.add r !live) (Instr.defs code.(i))
+        done)
+      blocks;
+    List.rev !faults
+  end
+
+let op_cls = function
+  | Instr.Reg r -> Some (Vreg.cls r)
+  | Instr.Imm _ | Instr.FImm _ -> None
+
+let check_types kern =
+  let code = kern.Kernel.code in
+  let faults = ref [] in
+  let add f = faults := f :: !faults in
+  let pnames = Kernel.param_names kern in
+  Array.iteri
+    (fun i ins ->
+      match ins with
+      | Instr.Ldp { param; _ } ->
+          if not (List.mem param pnames) then
+            add (fault kern ~at:i "ld.param of %s, not a kernel parameter" param)
+      | Instr.Setp { dst; a; b; _ } ->
+          if Vreg.cls dst <> Vreg.Pred then
+            add
+              (fault kern ~at:i "setp destination %s is not a predicate"
+                 (Vreg.to_string dst));
+          List.iter
+            (fun o ->
+              if op_cls o = Some Vreg.Pred then
+                add (fault kern ~at:i "setp compares a predicate operand"))
+            [ a; b ]
+      | Instr.Brc { pred; _ } ->
+          if Vreg.cls pred <> Vreg.Pred then
+            add
+              (fault kern ~at:i "branch condition %s is not a predicate"
+                 (Vreg.to_string pred))
+      | Instr.Bin { op; dst; a; b } -> (
+          match op with
+          | Instr.And | Instr.Or ->
+              (* legal on predicates and on integers *)
+              List.iter
+                (fun o ->
+                  match op_cls o with
+                  | Some c when c <> Vreg.cls dst ->
+                      add
+                        (fault kern ~at:i
+                           "%s operand class differs from destination %s"
+                           (Instr.binop_to_string op) (Vreg.to_string dst))
+                  | _ -> ())
+                [ a; b ]
+          | _ ->
+              if Vreg.cls dst = Vreg.Pred then
+                add
+                  (fault kern ~at:i "%s writes predicate register %s"
+                     (Instr.binop_to_string op) (Vreg.to_string dst)))
+      | Instr.Una { op; dst; a = _ } ->
+          if op <> Instr.Not && Vreg.cls dst = Vreg.Pred then
+            add
+              (fault kern ~at:i "%s writes predicate register %s"
+                 (Instr.unop_to_string op) (Vreg.to_string dst))
+      | Instr.Cvt { dst; src } ->
+          if Vreg.cls dst = Vreg.Pred || Vreg.cls src = Vreg.Pred then
+            add (fault kern ~at:i "cvt involving a predicate register")
+      | Instr.Ld { dst; mem; _ } ->
+          let want = Safara_ir.Types.size_bytes dst.Vreg.rty in
+          if mem.Instr.m_bytes <> want then
+            add
+              (fault kern ~at:i "ld.b%d into %d-byte register %s"
+                 (mem.Instr.m_bytes * 8) want (Vreg.to_string dst))
+      | _ -> ())
+    code;
+  List.rev !faults
+
+let writable (s : M.space) =
+  match s with
+  | M.Global | M.Shared | M.Local -> true
+  | M.Read_only | M.Constant | M.Param -> false
+
+let check_memspaces kern =
+  let code = kern.Kernel.code in
+  let faults = ref [] in
+  let add f = faults := f :: !faults in
+  Array.iteri
+    (fun i ins ->
+      match ins with
+      | Instr.St { mem; _ } ->
+          if not (writable mem.Instr.m_space) then
+            add
+              (fault kern ~at:i "store to read-only %s memory"
+                 (M.space_to_string mem.Instr.m_space))
+      | Instr.Atom { mem; _ } ->
+          if not (writable mem.Instr.m_space) then
+            add
+              (fault kern ~at:i "atomic to read-only %s memory"
+                 (M.space_to_string mem.Instr.m_space))
+      | Instr.Ld { mem; _ } ->
+          if mem.Instr.m_space = M.Param then
+            add (fault kern ~at:i "ld from param space (use ld.param)")
+      | _ -> ())
+    code;
+  List.rev !faults
+
+let verify (kern : Kernel.t) : Diag.t list =
+  check_control_flow kern
+  @ check_def_before_use kern
+  @ check_types kern
+  @ check_memspaces kern
+
+let verify_exn kern =
+  match verify kern with
+  | [] -> ()
+  | faults ->
+      let msg =
+        Format.asprintf "@[<v>VIR verifier: kernel %s is ill-formed:@,%a@]"
+          kern.Kernel.kname
+          (Format.pp_print_list ~pp_sep:Format.pp_print_cut Diag.pp)
+          faults
+      in
+      invalid_arg msg

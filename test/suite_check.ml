@@ -1,0 +1,475 @@
+(* Static-checker tests: the diagnostics engine, the dependence-based
+   race detector (SAF010/SAF011), the VIR verifier (SAF020) and the
+   lint passes (SAF030/SAF032/SAF033), plus the whole [Check.run]
+   pipeline on every shipped workload. *)
+
+module Diag = Safara_diag.Diagnostic
+module Check = Safara_check.Check
+module Races = Safara_check.Races
+module Lint = Safara_check.Lint
+module Verify = Safara_vir.Verify
+module I = Safara_vir.Instr
+module K = Safara_vir.Kernel
+module M = Safara_gpu.Memspace
+module T = Safara_ir.Types
+
+let codes diags = List.map (fun d -> d.Diag.code) diags
+let has code diags = List.mem code (codes diags)
+let errors diags = List.filter (fun d -> d.Diag.severity = Diag.Error) diags
+
+let run_check ?profile src = Check.run ~file:"t.macc" ?profile src
+
+let races_of src =
+  let prog, map = Safara_lang.Frontend.compile_with_map ~file:"t.macc" src in
+  Races.check_program ~map prog
+
+(* --- race detector: positive and negative cases per class ---------- *)
+
+let wrap_loop ?(sched = "gang vector(128)") body =
+  Printf.sprintf
+    {|
+param int n;
+double a[n];
+double b[n];
+out double c[n];
+#pragma acc kernels name(k)
+{
+  #pragma acc loop %s
+  for (i = 1; i < n - 1; i++) {
+    %s
+  }
+}
+|}
+    sched body
+
+let test_siv_flow_race () =
+  let ds = races_of (wrap_loop "c[i] = c[i-1] + a[i];") in
+  Alcotest.(check bool) "SAF010 reported" true (has "SAF010" ds);
+  let d = List.find (fun d -> d.Diag.code = "SAF010") ds in
+  Alcotest.(check bool) "severity error" true (d.Diag.severity = Diag.Error);
+  Alcotest.(check bool)
+    "message names distance" true
+    (let m = d.Diag.message in
+     Str_helpers.contains m "c[i]" && Str_helpers.contains m "distance");
+  Alcotest.(check bool) "has seq fix-it" true (d.Diag.hint <> None)
+
+let test_siv_independent () =
+  let ds = races_of (wrap_loop "c[i] = a[i] * b[i];") in
+  Alcotest.(check (list string)) "no diagnostics" [] (codes ds)
+
+let test_ziv_race () =
+  (* every iteration writes the same element: output dependence *)
+  let ds = races_of (wrap_loop "c[0] = a[i];") in
+  Alcotest.(check bool) "SAF010 on ZIV pair" true (has "SAF010" ds)
+
+let test_ziv_distinct_elements () =
+  (* constant subscripts that never collide: no dependence *)
+  let src =
+    {|
+param int n;
+double a[n];
+out double c[n];
+#pragma acc kernels name(k)
+{
+  #pragma acc loop seq
+  for (i = 1; i < n - 1; i++) {
+    c[i] = a[1] + a[2];
+  }
+}
+|}
+  in
+  Alcotest.(check (list string)) "no diagnostics" [] (codes (races_of src))
+
+let miv_src ~outer_sched ~rhs =
+  Printf.sprintf
+    {|
+param int n;
+param int m;
+double a[n][m];
+out double c[n][m];
+#pragma acc kernels name(k)
+{
+  #pragma acc loop %s
+  for (i = 1; i < n - 1; i++) {
+    #pragma acc loop seq
+    for (j = 1; j < m - 1; j++) {
+      c[i][j] = %s;
+    }
+  }
+}
+|}
+    outer_sched rhs
+
+let test_miv_race () =
+  (* c[i][j] <- c[i-1][j+1]: distance (1,-1), carried by the parallel
+     outer loop *)
+  let ds =
+    races_of (miv_src ~outer_sched:"gang vector(64)" ~rhs:"c[i-1][j+1] + 1.0")
+  in
+  Alcotest.(check bool) "SAF010 reported" true (has "SAF010" ds)
+
+let test_miv_inner_carried_ok () =
+  (* c[i][j] <- c[i][j-1]: carried only by the inner seq loop, so the
+     parallel outer loop is race-free *)
+  let ds =
+    races_of (miv_src ~outer_sched:"gang vector(64)" ~rhs:"c[i][j-1] + 1.0")
+  in
+  Alcotest.(check (list string)) "no diagnostics" [] (codes ds)
+
+let test_read_read_not_race () =
+  (* both iterations read a[i-1]; reads never race *)
+  let ds = races_of (wrap_loop "c[i] = a[i-1] + a[i+1];") in
+  Alcotest.(check (list string)) "no diagnostics" [] (codes ds)
+
+let test_seq_loop_not_reported () =
+  let ds = races_of (wrap_loop ~sched:"seq" "c[i] = c[i-1] + a[i];") in
+  Alcotest.(check (list string)) "seq loop never races" [] (codes ds)
+
+let accumulator_src ~clause =
+  Printf.sprintf
+    {|
+param int n;
+double a[n];
+out double c[n];
+#pragma acc kernels name(k)
+{
+  double s = 0.0;
+  #pragma acc loop gang vector(128) %s
+  for (i = 0; i < n; i++) {
+    s = s + a[i];
+  }
+  c[0] = s;
+}
+|}
+    clause
+
+let test_scalar_recurrence () =
+  let ds = races_of (accumulator_src ~clause:"") in
+  Alcotest.(check bool) "SAF011 reported" true (has "SAF011" ds)
+
+let test_declared_reduction_ok () =
+  let ds = races_of (accumulator_src ~clause:"reduction(+:s)") in
+  Alcotest.(check (list string)) "no diagnostics" [] (codes ds)
+
+(* --- VIR verifier on hand-broken kernels --------------------------- *)
+
+let r id ty = { Safara_vir.Vreg.rid = id; rty = ty }
+
+let kernel ?(params = []) code =
+  {
+    K.kname = "broken";
+    params;
+    code = Array.of_list code;
+    block = (128, 1, 1);
+    axes = [];
+    shared_bytes = 0;
+  }
+
+let gmem = { I.m_space = M.Global; m_access = M.Coalesced; m_bytes = 8 }
+
+let test_verify_clean () =
+  let k =
+    kernel
+      [
+        I.Mov { dst = r 0 T.I64; src = I.Imm 7 };
+        I.Bin { op = I.Add; dst = r 1 T.I64; a = I.Reg (r 0 T.I64); b = I.Imm 1 };
+        I.Ret;
+      ]
+  in
+  Alcotest.(check (list string)) "no faults" [] (codes (Verify.verify k))
+
+let test_verify_use_before_def () =
+  let k =
+    kernel
+      [
+        I.Bin { op = I.Add; dst = r 1 T.I64; a = I.Reg (r 0 T.I64); b = I.Imm 1 };
+        I.Ret;
+      ]
+  in
+  let ds = Verify.verify k in
+  Alcotest.(check bool) "SAF020" true (has "SAF020" ds);
+  Alcotest.(check bool)
+    "mentions the register" true
+    (List.exists
+       (fun d -> Str_helpers.contains d.Diag.message "used before definition")
+       ds)
+
+let test_verify_def_on_one_path_only () =
+  (* r0 defined only when the branch is taken: a use after the join
+     must fault *)
+  let p = r 9 T.Bool in
+  let k =
+    kernel
+      [
+        I.Mov { dst = p; src = I.Imm 1 };
+        I.Setp { cmp = I.Eq; dst = p; a = I.Imm 1; b = I.Imm 1 };
+        I.Brc { pred = p; if_true = true; target = "skip" };
+        I.Mov { dst = r 0 T.I64; src = I.Imm 7 };
+        I.Label "skip";
+        I.Bin { op = I.Add; dst = r 1 T.I64; a = I.Reg (r 0 T.I64); b = I.Imm 1 };
+        I.Ret;
+      ]
+  in
+  Alcotest.(check bool) "SAF020" true (has "SAF020" (Verify.verify k))
+
+let test_verify_bad_branch_target () =
+  let k = kernel [ I.Bra "nowhere"; I.Ret ] in
+  let ds = Verify.verify k in
+  Alcotest.(check bool) "SAF020" true (has "SAF020" ds);
+  Alcotest.(check bool)
+    "names the label" true
+    (List.exists (fun d -> Str_helpers.contains d.Diag.message "nowhere") ds)
+
+let test_verify_fall_off_end () =
+  let k = kernel [ I.Mov { dst = r 0 T.I64; src = I.Imm 0 } ] in
+  Alcotest.(check bool) "SAF020" true (has "SAF020" (Verify.verify k))
+
+let test_verify_store_to_readonly () =
+  let mem = { gmem with I.m_space = M.Read_only } in
+  let k =
+    kernel
+      [
+        I.Mov { dst = r 0 T.I64; src = I.Imm 0 };
+        I.Mov { dst = r 1 T.F64; src = I.FImm 0.0 };
+        I.St { src = I.Reg (r 1 T.F64); addr = r 0 T.I64; mem; note = "a" };
+        I.Ret;
+      ]
+  in
+  let ds = Verify.verify k in
+  Alcotest.(check bool) "SAF020" true (has "SAF020" ds)
+
+let test_verify_unknown_param () =
+  let k =
+    kernel ~params:[ K.P_scalar ("n", T.I64) ]
+      [ I.Ldp { dst = r 0 T.I64; param = "m" }; I.Ret ]
+  in
+  Alcotest.(check bool) "SAF020" true (has "SAF020" (Verify.verify k))
+
+let test_verify_width_mismatch () =
+  (* 8-byte load into a 32-bit register *)
+  let k =
+    kernel
+      [
+        I.Mov { dst = r 0 T.I64; src = I.Imm 0 };
+        I.Ld { dst = r 1 T.I32; addr = r 0 T.I64; mem = gmem; note = "a" };
+        I.Ret;
+      ]
+  in
+  Alcotest.(check bool) "SAF020" true (has "SAF020" (Verify.verify k))
+
+let test_verify_all_compiled_kernels () =
+  (* every kernel the compiler produces for every workload must verify *)
+  let arch = Safara_gpu.Arch.kepler_k20xm in
+  List.iter
+    (fun (w : Safara_suites.Workload.t) ->
+      let prog = Safara_lang.Frontend.compile w.Safara_suites.Workload.source in
+      let c = Safara_core.Compiler.compile ~arch Safara_core.Compiler.Full prog in
+      List.iter
+        (fun (k, _) ->
+          Alcotest.(check (list string))
+            (w.Safara_suites.Workload.id ^ "/" ^ k.K.kname)
+            [] (codes (Verify.verify k)))
+        c.Safara_core.Compiler.c_kernels)
+    Safara_suites.Registry.all
+
+(* --- lints --------------------------------------------------------- *)
+
+let test_lint_dead_scalar () =
+  let ds =
+    run_check
+      {|
+param int n;
+double a[n];
+out double c[n];
+#pragma acc kernels name(k)
+{
+  #pragma acc loop gang vector(128)
+  for (i = 0; i < n; i++) {
+    double unused;
+    unused = a[i] * 2.0;
+    c[i] = a[i];
+  }
+}
+|}
+  in
+  Alcotest.(check bool) "SAF033" true (has "SAF033" ds);
+  let d = List.find (fun d -> d.Diag.code = "SAF033") ds in
+  Alcotest.(check bool)
+    "names the scalar" true
+    (Str_helpers.contains d.Diag.message "unused")
+
+let test_lint_unexploited_clause () =
+  let ds =
+    run_check
+      {|
+param int n;
+double a[n];
+double b[n];
+out double c[n];
+#pragma acc kernels name(k) small(b)
+{
+  #pragma acc loop gang vector(128)
+  for (i = 0; i < n; i++) {
+    c[i] = a[i];
+  }
+}
+|}
+  in
+  Alcotest.(check bool) "SAF032" true (has "SAF032" ds)
+
+let test_lint_uncoalesced_note () =
+  (* fig5's inner seq loop reads b[j][i-1]: j (the vector index) in
+     the slowest-varying subscript means the warp's lanes stride by a
+     whole row — uncoalesced *)
+  let ds =
+    run_check
+      {|
+param int n;
+param int m;
+in double b[n][m];
+out double a[m][n];
+#pragma acc kernels name(k)
+{
+  #pragma acc loop gang vector(128)
+  for (j = 1; j < n - 1; j++) {
+    #pragma acc loop seq
+    for (i = 1; i < m - 1; i++) {
+      a[i][j] = b[j][i-1] + b[j][i+1];
+    }
+  }
+}
+|}
+  in
+  let notes = List.filter (fun d -> d.Diag.code = "SAF030") ds in
+  Alcotest.(check bool) "SAF030 present" true (notes <> []);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "is a note" true (d.Diag.severity = Diag.Note))
+    notes
+
+(* --- diagnostics engine -------------------------------------------- *)
+
+let test_front_end_errors () =
+  Alcotest.(check bool)
+    "lexical" true
+    (has "SAF001" (run_check "param int n; ?"));
+  Alcotest.(check bool)
+    "syntax" true
+    (has "SAF002" (run_check "param int n; double a[n"));
+  Alcotest.(check bool)
+    "type" true
+    (has "SAF003"
+       (run_check
+          {|
+param int n;
+out double c[n];
+#pragma acc kernels name(k)
+{
+  #pragma acc loop gang
+  for (i = 0; i < n; i++) { c[i] = nosuch[i]; }
+}
+|}))
+
+let test_spans_and_render () =
+  let src = wrap_loop "c[i] = c[i-1] + a[i];" in
+  let ds = run_check src in
+  let d = List.find (fun d -> d.Diag.code = "SAF010") ds in
+  (match d.Diag.span with
+  | None -> Alcotest.fail "race diagnostic has no span"
+  | Some s ->
+      Alcotest.(check string) "file" "t.macc" s.Diag.file;
+      Alcotest.(check bool) "positioned" true (s.Diag.line > 1));
+  let rendered = Diag.render ~src d in
+  Alcotest.(check bool) "caret" true (Str_helpers.contains rendered "^");
+  Alcotest.(check bool)
+    "hint rendered" true
+    (Str_helpers.contains rendered "hint:")
+
+let test_finalize_werror_and_filter () =
+  let w = Diag.warningf ~code:"SAF032" ~where:"region k" "w" in
+  let n = Diag.notef ~code:"SAF030" ~where:"kernel k" "n" in
+  let e = Diag.errorf ~code:"SAF010" ~where:"region k" "e" in
+  let promoted = Check.finalize ~werror:true [ w; n; e ] in
+  Alcotest.(check int) "werror promotes" 2 (List.length (errors promoted));
+  Alcotest.(check int) "notes kept" 1 (Diag.count Diag.Note promoted);
+  let filtered = Check.finalize ~codes:[ "SAF030" ] [ w; n; e ] in
+  Alcotest.(check (list string))
+    "errors always kept" [ "SAF010"; "SAF030" ]
+    (List.sort compare (codes filtered));
+  Alcotest.(check int) "exit 1 on errors" 1 (Check.exit_code promoted);
+  Alcotest.(check int) "exit 0 without" 0 (Check.exit_code [ w; n ])
+
+let test_json_shape () =
+  let d =
+    Diag.make
+      ~span:{ Diag.file = "t.macc"; line = 3; col = 7 }
+      ~hint:"try \"this\"" ~code:"SAF010" ~where:"region k" Diag.Error
+      "a \"quoted\" message"
+  in
+  let j = Diag.list_to_json [ d ] in
+  Alcotest.(check bool) "code field" true (Str_helpers.contains j {|"SAF010"|});
+  Alcotest.(check bool)
+    "escaped quotes" true
+    (Str_helpers.contains j {|\"quoted\"|})
+
+let test_check_deterministic () =
+  let src = Safara_suites.Spec_sp.workload.Safara_suites.Workload.source in
+  let a = run_check src and b = run_check src in
+  Alcotest.(check int) "same count" (List.length a) (List.length b);
+  List.iter2
+    (fun x y -> Alcotest.(check string) "same order" x.Diag.message y.Diag.message)
+    a b
+
+(* --- the pipeline accepts everything we ship ----------------------- *)
+
+let test_workloads_error_free () =
+  List.iter
+    (fun (w : Safara_suites.Workload.t) ->
+      let ds = run_check w.Safara_suites.Workload.source in
+      Alcotest.(check (list string))
+        (w.Safara_suites.Workload.id ^ " errors") []
+        (codes (errors ds)))
+    Safara_suites.Registry.all
+
+let suite =
+  [
+    Alcotest.test_case "race: SIV flow positive" `Quick test_siv_flow_race;
+    Alcotest.test_case "race: SIV independent" `Quick test_siv_independent;
+    Alcotest.test_case "race: ZIV positive" `Quick test_ziv_race;
+    Alcotest.test_case "race: ZIV distinct" `Quick test_ziv_distinct_elements;
+    Alcotest.test_case "race: MIV positive" `Quick test_miv_race;
+    Alcotest.test_case "race: MIV inner-carried ok" `Quick
+      test_miv_inner_carried_ok;
+    Alcotest.test_case "race: read-read guard" `Quick test_read_read_not_race;
+    Alcotest.test_case "race: seq loop exempt" `Quick test_seq_loop_not_reported;
+    Alcotest.test_case "race: scalar recurrence" `Quick test_scalar_recurrence;
+    Alcotest.test_case "race: reduction exempt" `Quick test_declared_reduction_ok;
+    Alcotest.test_case "verify: clean kernel" `Quick test_verify_clean;
+    Alcotest.test_case "verify: use before def" `Quick
+      test_verify_use_before_def;
+    Alcotest.test_case "verify: one-path def" `Quick
+      test_verify_def_on_one_path_only;
+    Alcotest.test_case "verify: bad branch target" `Quick
+      test_verify_bad_branch_target;
+    Alcotest.test_case "verify: fall off end" `Quick test_verify_fall_off_end;
+    Alcotest.test_case "verify: store to read-only" `Quick
+      test_verify_store_to_readonly;
+    Alcotest.test_case "verify: unknown param" `Quick test_verify_unknown_param;
+    Alcotest.test_case "verify: load width mismatch" `Quick
+      test_verify_width_mismatch;
+    Alcotest.test_case "verify: all compiled kernels" `Quick
+      test_verify_all_compiled_kernels;
+    Alcotest.test_case "lint: dead scalar" `Quick test_lint_dead_scalar;
+    Alcotest.test_case "lint: unexploited clause" `Quick
+      test_lint_unexploited_clause;
+    Alcotest.test_case "lint: uncoalesced note" `Quick
+      test_lint_uncoalesced_note;
+    Alcotest.test_case "diag: front-end errors" `Quick test_front_end_errors;
+    Alcotest.test_case "diag: spans and caret" `Quick test_spans_and_render;
+    Alcotest.test_case "diag: werror and -W" `Quick
+      test_finalize_werror_and_filter;
+    Alcotest.test_case "diag: json escaping" `Quick test_json_shape;
+    Alcotest.test_case "diag: deterministic" `Quick test_check_deterministic;
+    Alcotest.test_case "pipeline: workloads error-free" `Quick
+      test_workloads_error_free;
+  ]

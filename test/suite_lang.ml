@@ -138,17 +138,17 @@ let test_parse_fig8 () =
 let test_parse_loop_directives () =
   let ast = Parser.parse fig8_src in
   let r = List.hd ast.Ast.regions in
-  match r.Ast.rbody with
+  match List.map (fun (s : Ast.stmt) -> s.Ast.sdesc) r.Ast.rbody with
   | [ Ast.For fj ] -> (
       (match fj.Ast.fdirective with
       | Some { Ast.dsched = S.Gang_vector (None, Some 2); _ } -> ()
       | _ -> Alcotest.fail "outer loop directive wrong");
-      match fj.Ast.fbody with
+      match List.map (fun (s : Ast.stmt) -> s.Ast.sdesc) fj.Ast.fbody with
       | [ Ast.For fi ] -> (
           (match fi.Ast.fdirective with
           | Some { Ast.dsched = S.Gang_vector (None, Some 64); _ } -> ()
           | _ -> Alcotest.fail "middle loop directive wrong");
-          match fi.Ast.fbody with
+          match List.map (fun (s : Ast.stmt) -> s.Ast.sdesc) fi.Ast.fbody with
           | [ Ast.For fk ] -> (
               match fk.Ast.fdirective with
               | Some { Ast.dsched = S.Seq; _ } -> ()
@@ -175,7 +175,7 @@ in double a[n];
   in
   let ast = Parser.parse src in
   let r = List.hd ast.Ast.regions in
-  match r.Ast.rbody with
+  match List.map (fun (s : Ast.stmt) -> s.Ast.sdesc) r.Ast.rbody with
   | [ Ast.Decl _; Ast.For f ] -> (
       match f.Ast.fdirective with
       | Some { Ast.dreductions = [ (S.Rplus, "sum") ]; _ } -> ()
@@ -206,7 +206,8 @@ let check_src src =
 let test_typecheck_ok () =
   match check_src fig8_src with
   | Ok () -> ()
-  | Error errs -> Alcotest.fail (String.concat "; " errs)
+  | Error errs ->
+      Alcotest.fail (String.concat "; " (List.map Typecheck.error_message errs))
 
 let expect_type_error fragment src =
   match check_src src with
@@ -214,15 +215,13 @@ let expect_type_error fragment src =
   | Error errs ->
       let found =
         List.exists
-          (fun e ->
-            let re = Str_helpers.contains e fragment in
-            re)
+          (fun e -> Str_helpers.contains (Typecheck.error_message e) fragment)
           errs
       in
       if not found then
         Alcotest.fail
           (Printf.sprintf "expected error about %S, got: %s" fragment
-             (String.concat "; " errs))
+             (String.concat "; " (List.map Typecheck.error_message errs)))
 
 let test_typecheck_unknown_ident () =
   expect_type_error "unknown identifier"

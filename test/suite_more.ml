@@ -86,7 +86,11 @@ let test_typecheck_pow_arity () =
   match Safara_lang.Typecheck.check (Safara_lang.Parser.parse src) with
   | Error errs ->
       Alcotest.(check bool) "arity error" true
-        (List.exists (fun e -> Str_helpers.contains e "expects 2") errs)
+        (List.exists
+           (fun e ->
+             Str_helpers.contains (Safara_lang.Typecheck.error_message e)
+               "expects 2")
+           errs)
   | Ok () -> Alcotest.fail "pow/1 must be rejected"
 
 let test_parse_all_casts () =

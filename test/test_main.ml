@@ -18,4 +18,5 @@ let () =
       ("experiments", Suite_experiments.suite);
       ("engine", Suite_engine.suite);
       ("shapes", Suite_shapes.suite);
+      ("check", Suite_check.suite);
     ]
