@@ -73,6 +73,209 @@ let run_crossarch ~eng () =
 let run_unroll ~eng () =
   print_string (Experiments.render_unroll (Experiments.unroll_study ~eng ()))
 
+(* --- JSON helpers (shared by the json and sim modes) ----------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let j_str s = "\"" ^ json_escape s ^ "\""
+let j_float f = Printf.sprintf "%.12g" f
+let j_int = string_of_int
+let j_list items = "[" ^ String.concat "," items ^ "]"
+let j_obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> j_str k ^ ":" ^ v) fields) ^ "}"
+let j_assoc to_v kvs = j_obj (List.map (fun (k, v) -> (k, to_v v)) kvs)
+
+(* --- sim: simulator-throughput microbenchmark ------------------------ *)
+(* Measures simulated instructions per second of both simulator engines
+   — the pre-decoded unboxed core (default) and the boxed reference
+   walker (Decode.use_reference) — over the evaluation workload mix,
+   for the functional interpreter and the timing model separately.
+   Before measuring, each workload is run once under both engines and
+   the results (array checksums, dynamic counters, timing stats) are
+   required to match exactly. Results go to BENCH_sim.json. *)
+
+let sim_smoke_ids = [ "303.ostencil"; "355.seismic"; "EP" ]
+
+type sim_meas = { sm_ips : float; sm_instr : int; sm_s : float; sm_runs : int }
+
+let sim_measure ~min_time run =
+  ignore (run ());
+  (* warm-up: decoder, allocator *)
+  let t0 = Unix.gettimeofday () in
+  let instr = ref 0 and runs = ref 0 in
+  let rec loop () =
+    instr := !instr + run ();
+    incr runs;
+    if Unix.gettimeofday () -. t0 < min_time then loop ()
+  in
+  loop ();
+  let dt = Unix.gettimeofday () -. t0 in
+  {
+    sm_ips = float_of_int !instr /. dt;
+    sm_instr = !instr;
+    sm_s = dt;
+    sm_runs = !runs;
+  }
+
+let sim_with_engine use_ref f =
+  let saved = !Safara_sim.Decode.use_reference in
+  Safara_sim.Decode.use_reference := use_ref;
+  Fun.protect ~finally:(fun () -> Safara_sim.Decode.use_reference := saved) f
+
+let sim_functional_run c (w : Workload.t) () =
+  let env = Workload.prepare c w in
+  let counters = Safara_sim.Interp.fresh_counters () in
+  List.iter
+    (fun (k, _) ->
+      let grid = Safara_sim.Launch.grid_of ~env:env.Safara_sim.Interp.scalars k in
+      Safara_sim.Interp.run_kernel ~counters ~prog:c.Safara_core.Compiler.c_prog
+        ~env ~grid k)
+    c.Safara_core.Compiler.c_kernels;
+  counters.Safara_sim.Interp.c_instructions
+
+let sim_timing_run c (w : Workload.t) () =
+  let env = Workload.prepare c w in
+  let pt = Safara_core.Compiler.time c env in
+  List.fold_left
+    (fun acc kt -> acc + kt.Safara_sim.Launch.kt_instructions)
+    0 pt.Safara_sim.Launch.ptk
+
+let sim_check_identical c (w : Workload.t) =
+  (* the two engines must agree bit-for-bit before throughput means
+     anything *)
+  let snapshot use_ref =
+    sim_with_engine use_ref (fun () ->
+        let env = Workload.prepare c w in
+        let counters = Safara_sim.Interp.fresh_counters () in
+        List.iter
+          (fun (k, _) ->
+            let grid =
+              Safara_sim.Launch.grid_of ~env:env.Safara_sim.Interp.scalars k
+            in
+            Safara_sim.Interp.run_kernel ~counters
+              ~prog:c.Safara_core.Compiler.c_prog ~env ~grid k)
+          c.Safara_core.Compiler.c_kernels;
+        let sums =
+          List.map
+            (fun (a : Safara_ir.Array_info.t) ->
+              ( a.Safara_ir.Array_info.name,
+                Safara_sim.Memory.checksum env.Safara_sim.Interp.mem
+                  a.Safara_ir.Array_info.name ))
+            c.Safara_core.Compiler.c_prog.Safara_ir.Program.arrays
+        in
+        let timing = Safara_core.Compiler.time c (Workload.prepare c w) in
+        (sums, counters, timing))
+  in
+  if snapshot true <> snapshot false then (
+    Printf.eprintf "bench sim: engines diverge on %s\n" w.Workload.id;
+    exit 1)
+
+let run_sim ~smoke () =
+  let workloads =
+    if smoke then List.map Registry.find sim_smoke_ids else Registry.all
+  in
+  let min_time = if smoke then 0.05 else 0.3 in
+  Printf.printf
+    "Simulator throughput: decoded unboxed core vs boxed reference engine\n\
+     profile Full, %s; simulated warp-instructions per second\n\n"
+    Safara_gpu.Arch.kepler_k20xm.Safara_gpu.Arch.name;
+  Printf.printf "%-16s %14s %14s %8s %14s %14s %8s\n" "workload" "interp-ref"
+    "interp-dec" "x" "timing-ref" "timing-dec" "x";
+  let rows =
+    List.map
+      (fun (w : Workload.t) ->
+        let c =
+          Safara_core.Compiler.compile_src Safara_core.Compiler.Full
+            w.Workload.source
+        in
+        sim_check_identical c w;
+        let fr =
+          sim_with_engine true (fun () ->
+              sim_measure ~min_time (sim_functional_run c w))
+        in
+        let fd =
+          sim_with_engine false (fun () ->
+              sim_measure ~min_time (sim_functional_run c w))
+        in
+        let tr =
+          sim_with_engine true (fun () ->
+              sim_measure ~min_time (sim_timing_run c w))
+        in
+        let td =
+          sim_with_engine false (fun () ->
+              sim_measure ~min_time (sim_timing_run c w))
+        in
+        Printf.printf "%-16s %14.3e %14.3e %7.2fx %14.3e %14.3e %7.2fx\n%!"
+          w.Workload.id fr.sm_ips fd.sm_ips
+          (fd.sm_ips /. fr.sm_ips)
+          tr.sm_ips td.sm_ips
+          (td.sm_ips /. tr.sm_ips);
+        (w.Workload.id, fr, fd, tr, td))
+      workloads
+  in
+  let total f =
+    List.fold_left (fun (i, s) r -> (i + (f r).sm_instr, s +. (f r).sm_s)) (0, 0.) rows
+  in
+  let agg f =
+    let i, s = total f in
+    float_of_int i /. s
+  in
+  let fr = agg (fun (_, x, _, _, _) -> x) and fd = agg (fun (_, _, x, _, _) -> x) in
+  let tr = agg (fun (_, _, _, x, _) -> x) and td = agg (fun (_, _, _, _, x) -> x) in
+  Printf.printf "\n%-16s %14.3e %14.3e %7.2fx %14.3e %14.3e %7.2fx\n" "aggregate"
+    fr fd (fd /. fr) tr td (td /. tr);
+  let meas_json (m : sim_meas) =
+    j_obj
+      [ ("ips", j_float m.sm_ips);
+        ("instructions", j_int m.sm_instr);
+        ("seconds", j_float m.sm_s);
+        ("runs", j_int m.sm_runs) ]
+  in
+  let json =
+    j_obj
+      [ ("arch", j_str Safara_gpu.Arch.kepler_k20xm.Safara_gpu.Arch.name);
+        ("profile", j_str "full");
+        ("mode", j_str (if smoke then "smoke" else "full"));
+        ("workloads",
+         j_list
+           (List.map
+              (fun (id, fr, fd, tr, td) ->
+                j_obj
+                  [ ("id", j_str id);
+                    ("interp_reference", meas_json fr);
+                    ("interp_decoded", meas_json fd);
+                    ("interp_speedup", j_float (fd.sm_ips /. fr.sm_ips));
+                    ("timing_reference", meas_json tr);
+                    ("timing_decoded", meas_json td);
+                    ("timing_speedup", j_float (td.sm_ips /. tr.sm_ips)) ])
+              rows));
+        ("aggregate",
+         j_obj
+           [ ("interp_reference_ips", j_float fr);
+             ("interp_decoded_ips", j_float fd);
+             ("interp_speedup", j_float (fd /. fr));
+             ("timing_reference_ips", j_float tr);
+             ("timing_decoded_ips", j_float td);
+             ("timing_speedup", j_float (td /. tr)) ]) ]
+  in
+  let oc = open_out "BENCH_sim.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote BENCH_sim.json\n"
+
 (* --- bechamel microbenchmarks of the compiler passes ---------------- *)
 
 let micro_tests () =
@@ -163,28 +366,6 @@ let all ~eng () =
   run_micro ()
 
 (* --- json output mode ------------------------------------------------ *)
-
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let j_str s = "\"" ^ json_escape s ^ "\""
-let j_float f = Printf.sprintf "%.12g" f
-let j_int = string_of_int
-let j_list items = "[" ^ String.concat "," items ^ "]"
-let j_obj fields =
-  "{" ^ String.concat "," (List.map (fun (k, v) -> j_str k ^ ":" ^ v) fields) ^ "}"
-let j_assoc to_v kvs = j_obj (List.map (fun (k, v) -> (k, to_v v)) kvs)
 
 let speedup_rows_json rows =
   j_list
@@ -315,12 +496,13 @@ let run_json ~eng () =
 let usage () =
   Printf.eprintf
     "usage: main.exe \
-     [fig7|fig9|fig10|fig11|fig12|table1|table2|offsets|ablations|crossarch|unroll|micro|json|all] \
-     [-j N]\n";
+     [fig7|fig9|fig10|fig11|fig12|table1|table2|offsets|ablations|crossarch|unroll|micro|sim|json|all] \
+     [-j N] [--smoke]\n";
   exit 2
 
 let () =
   let jobs = ref None in
+  let smoke = ref false in
   let cmds = ref [] in
   let rec parse i =
     if i < Array.length Sys.argv then begin
@@ -331,6 +513,9 @@ let () =
           | Some n when n >= 1 -> jobs := Some n
           | _ -> usage ());
           parse (i + 2)
+      | "--smoke" ->
+          smoke := true;
+          parse (i + 1)
       | arg when String.length arg > 0 && arg.[0] = '-' -> usage ()
       | arg ->
           cmds := arg :: !cmds;
@@ -356,13 +541,14 @@ let () =
   | "crossarch" -> run_crossarch ~eng ()
   | "unroll" -> run_unroll ~eng ()
   | "micro" -> run_micro ()
+  | "sim" -> run_sim ~smoke:!smoke ()
   | "json" -> run_json ~eng ()
   | "all" -> all ~eng ()
   | other ->
       Printf.eprintf
         "unknown experiment %S; expected \
-         fig7|fig9|fig10|fig11|fig12|table1|table2|offsets|ablations|crossarch|unroll|micro|json|all\n"
+         fig7|fig9|fig10|fig11|fig12|table1|table2|offsets|ablations|crossarch|unroll|micro|sim|json|all\n"
         other;
       exit 2);
-  if cmd <> "micro" then prerr_string (Eval.render_stats eng);
+  if cmd <> "micro" && cmd <> "sim" then prerr_string (Eval.render_stats eng);
   Eval.shutdown eng

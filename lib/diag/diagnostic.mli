@@ -16,6 +16,7 @@
     - [SAF010] data race: loop-carried array dependence in a parallel loop
     - [SAF011] data race: scalar recurrence in a parallel loop
     - [SAF020] VIR verifier fault (compiler miscompile guard)
+    - [SAF021] simulator decode fault (branch to an unknown label)
     - [SAF030] uncoalesced global access (note)
     - [SAF031] register pressure above the architecture budget
     - [SAF032] dim/small clause declared but never exploited

@@ -2,9 +2,9 @@ module I = Safara_vir.Instr
 module V = Safara_vir.Vreg
 module K = Safara_vir.Kernel
 
-type env = { scalars : (string * Value.t) list; mem : Memory.t }
+type env = Decode.env = { scalars : (string * Value.t) list; mem : Memory.t }
 
-type counters = {
+type counters = Decode.counters = {
   mutable c_instructions : int;
   mutable c_loads : int;
   mutable c_stores : int;
@@ -12,64 +12,24 @@ type counters = {
   mutable c_spill_ops : int;
 }
 
-let fresh_counters () =
-  { c_instructions = 0; c_loads = 0; c_stores = 0; c_atomics = 0; c_spill_ops = 0 }
-
-let null_counters = fresh_counters ()
+let fresh_counters = Decode.fresh_counters
+let null_counters = Decode.null_counters
 
 let max_steps_per_thread = ref 10_000_000
 
-let dim_bound env (prog : Safara_ir.Program.t) array d ~which =
-  let info = Safara_ir.Program.find_array prog array in
-  let dim = List.nth info.Safara_ir.Array_info.dims d in
-  let bound =
-    match which with
-    | `Extent -> dim.Safara_ir.Dim.extent
-    | `Lower -> dim.Safara_ir.Dim.lower
-  in
-  match bound with
-  | Safara_ir.Dim.Const n -> Value.I n
-  | Safara_ir.Dim.Sym s -> (
-      match List.assoc_opt s env.scalars with
-      | Some v -> v
-      | None -> failwith ("interp: unbound parameter " ^ s))
-
 let param_value env prog name =
-  match String.index_opt name '.' with
-  | Some dot when String.length name >= dot + 4 && String.sub name dot 4 = ".len" ->
-      let array = String.sub name 0 dot in
-      let d = int_of_string (String.sub name (dot + 4) (String.length name - dot - 4)) in
-      dim_bound env prog array d ~which:`Extent
-  | Some dot when String.length name >= dot + 3 && String.sub name dot 3 = ".lo" ->
-      let array = String.sub name 0 dot in
-      let d = int_of_string (String.sub name (dot + 3) (String.length name - dot - 3)) in
-      dim_bound env prog array d ~which:`Lower
-  | _ -> (
-      match List.assoc_opt name env.scalars with
-      | Some v -> v
-      | None -> (
-          match Safara_ir.Program.find_array_opt prog name with
-          | Some _ -> Value.I (Memory.base env.mem name)
-          | None -> failwith ("interp: unbound kernel parameter " ^ name)))
+  Decode.resolve_param env prog (Decode.parse_param name)
 
-(* label -> instruction index *)
-let label_map code =
-  let tbl = Hashtbl.create 16 in
-  Array.iteri
-    (fun i instr -> match instr with I.Label l -> Hashtbl.replace tbl l i | _ -> ())
-    code;
-  tbl
+(* --- boxed reference walker ------------------------------------------ *)
+(* The original Value.t-based interpreter, kept as the semantic oracle:
+   the differential suite runs every workload through both engines and
+   [bench sim] measures the decoded core's speedup against this one.
+   Selected via [Decode.use_reference]. *)
 
-let max_rid code =
-  Array.fold_left
-    (fun acc i ->
-      List.fold_left (fun acc (r : V.t) -> max acc r.V.rid) acc (I.defs i @ I.uses i))
-    0 code
-
-let run_kernel ?(counters = null_counters) ~prog ~env ~grid (k : K.t) =
+let run_kernel_ref ~counters ~prog ~env ~grid (k : K.t) =
   let code = k.K.code in
-  let labels = label_map code in
-  let nregs = max_rid code + 1 in
+  let labels = K.label_map k in
+  let nregs = K.num_regs k in
   let gx, gy, gz = grid in
   let bx, by, bz = k.K.block in
   let regs = Array.make nregs (Value.I 0) in
@@ -171,3 +131,45 @@ let run_kernel ?(counters = null_counters) ~prog ~env ~grid (k : K.t) =
       done
     done
   done
+
+(* --- decoded engine --------------------------------------------------- *)
+
+let run_kernel_dec ~counters ~prog ~env ~grid (k : K.t) =
+  let d = Decode.decode k in
+  let n = Array.length d.Decode.d_ops in
+  let st = Decode.make_state d in
+  let ps = Decode.make_params d ~env ~prog in
+  let gx, gy, gz = grid in
+  let bx, by, bz = k.K.block in
+  Decode.set_launch st ~ntid:(bx, by, bz) ~nctaid:(gx, gy, gz);
+  (* Straightline code executes at most [n] ops per thread, so when
+     [n <= budget] the reference fuel check provably can't fire and the
+     per-step counter is dropped entirely. *)
+  let budget = !max_steps_per_thread in
+  let fuel_free = (not d.Decode.d_has_backedge) && n <= budget in
+  let run_thread () =
+    if fuel_free then ignore (Decode.run d st ps counters ~pc:0 ~fuel:max_int)
+    else if Decode.run d st ps counters ~pc:0 ~fuel:budget < n then
+      (* out of fuel with the thread still running: the reference
+         engine faults when it attempts step [budget + 1] *)
+      failwith "interp: fuel exhausted"
+  in
+  for cz = 0 to gz - 1 do
+    for cy = 0 to gy - 1 do
+      for cx = 0 to gx - 1 do
+        for tz = 0 to bz - 1 do
+          for ty = 0 to by - 1 do
+            for tx = 0 to bx - 1 do
+              Decode.reset_state st;
+              Decode.set_thread st ~tx ~ty ~tz ~cx ~cy ~cz;
+              run_thread ()
+            done
+          done
+        done
+      done
+    done
+  done
+
+let run_kernel ?(counters = null_counters) ~prog ~env ~grid (k : K.t) =
+  if !Decode.use_reference then run_kernel_ref ~counters ~prog ~env ~grid k
+  else run_kernel_dec ~counters ~prog ~env ~grid k

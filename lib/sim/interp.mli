@@ -4,16 +4,22 @@
     simulated device memory. It is the semantic oracle of the
     reproduction: tests compare array contents across compiler
     configurations (base, SAFARA, clauses) to prove the
-    transformations preserve meaning. *)
+    transformations preserve meaning.
 
-type env = {
+    Two engines share this entry point. The default runs on the
+    pre-decoded, unboxed core ({!Decode}); the original boxed walker is
+    preserved behind [Decode.use_reference] as the semantic oracle for
+    the differential tests and the [bench sim] baseline. The two are
+    bit-identical on verifier-clean kernels. *)
+
+type env = Decode.env = {
   scalars : (string * Value.t) list;
       (** program scalar parameters by name *)
   mem : Memory.t;
 }
 
 (** Dynamic execution counters, summed over all threads. *)
-type counters = {
+type counters = Decode.counters = {
   mutable c_instructions : int;
   mutable c_loads : int;  (** global/read-only loads (not local spills) *)
   mutable c_stores : int;
@@ -36,8 +42,10 @@ val run_kernel :
   grid:int * int * int ->
   Safara_vir.Kernel.t ->
   unit
-(** @raise Failure on a malformed kernel (unknown label, step budget
-    exceeded — a guard against non-terminating generated code). *)
+(** @raise Failure when the step budget is exceeded (a guard against
+    non-terminating generated code) or a parameter is unbound.
+    @raise Decode.Error on a branch to an unknown label — detected
+    statically at decode time (SAF021) rather than mid-simulation. *)
 
 val max_steps_per_thread : int ref
 (** Interpreter fuel per thread (default 10 million). *)

@@ -2,26 +2,56 @@ module T = Safara_ir.Types
 
 type payload = F of float array | I of int array
 
-type alloc = { a_base : int; a_bytes : int; a_elem : int; a_payload : payload }
-
-type t = {
-  mutable allocs : (string * alloc) list;  (** sorted by base, ascending *)
-  mutable next : int;
+type alloc = {
+  a_base : int;
+  a_bytes : int;
+  a_elem : int;
+  a_shift : int;  (** log2 a_elem — cells are 4- or 8-byte, so offsets shift *)
+  a_payload : payload;
 }
 
-let create () = { allocs = []; next = 0x10000 }
+(* Allocations live in a growable array, sorted by base address by
+   construction ([next] only grows), with a hashtable index by name and
+   a two-entry last-hit cache for address resolution: kernels stream
+   from one array into another, so alternating load/store addresses
+   both stay cached and most lookups cost one or two range checks; the
+   miss path is a binary search instead of the former linear scan. *)
+type t = {
+  mutable allocs : alloc array;  (** first [n] slots used, base-ascending *)
+  mutable n : int;
+  index : (string, int) Hashtbl.t;  (** name → slot *)
+  mutable next : int;
+  mutable last : int;  (** most-recent-hit slot for [find_by_addr], or -1 *)
+  mutable last2 : int;  (** second-most-recent-hit slot, or -1 *)
+}
+
+let dummy = { a_base = 0; a_bytes = 0; a_elem = 1; a_shift = 0; a_payload = I [||] }
+
+let create () =
+  {
+    allocs = [||]; n = 0; index = Hashtbl.create 16; next = 0x10000;
+    last = -1; last2 = -1;
+  }
 
 let alloc t ~name ~elem ~length =
   if length <= 0 then invalid_arg ("memory: nonpositive length for " ^ name);
-  if List.mem_assoc name t.allocs then invalid_arg ("memory: duplicate " ^ name);
+  if Hashtbl.mem t.index name then invalid_arg ("memory: duplicate " ^ name);
   let elem_bytes = T.size_bytes elem in
   let payload =
     if T.is_float elem then F (Array.make length 0.) else I (Array.make length 0)
   in
   let a =
-    { a_base = t.next; a_bytes = length * elem_bytes; a_elem = elem_bytes; a_payload = payload }
+    { a_base = t.next; a_bytes = length * elem_bytes; a_elem = elem_bytes;
+      a_shift = (if elem_bytes = 8 then 3 else 2); a_payload = payload }
   in
-  t.allocs <- t.allocs @ [ (name, a) ];
+  if t.n = Array.length t.allocs then begin
+    let grown = Array.make (max 8 (2 * t.n)) dummy in
+    Array.blit t.allocs 0 grown 0 t.n;
+    t.allocs <- grown
+  end;
+  t.allocs.(t.n) <- a;
+  Hashtbl.replace t.index name t.n;
+  t.n <- t.n + 1;
   (* 256-byte alignment, like cudaMalloc *)
   t.next <- t.next + ((a.a_bytes + 255) / 256 * 256)
 
@@ -43,19 +73,46 @@ let alloc_program t ~env (p : Safara_ir.Program.t) =
     p.Safara_ir.Program.arrays
 
 let find_by_name t name =
-  match List.assoc_opt name t.allocs with
-  | Some a -> a
+  match Hashtbl.find_opt t.index name with
+  | Some i -> t.allocs.(i)
   | None -> invalid_arg ("memory: unknown array " ^ name)
 
 let base t name = (find_by_name t name).a_base
 
-let find_by_addr t addr =
-  let rec go = function
-    | [] -> invalid_arg (Printf.sprintf "memory: wild address %#x" addr)
-    | (_, a) :: rest ->
-        if addr >= a.a_base && addr < a.a_base + a.a_bytes then a else go rest
-  in
-  go t.allocs
+let[@inline] inside (a : alloc) addr = addr >= a.a_base && addr < a.a_base + a.a_bytes
+
+let find_idx t addr =
+  let li = t.last in
+  if li >= 0 && inside t.allocs.(li) addr then li
+  else begin
+    let l2 = t.last2 in
+    if l2 >= 0 && inside t.allocs.(l2) addr then begin
+      t.last2 <- li;
+      t.last <- l2;
+      l2
+    end
+    else begin
+      (* greatest slot whose base is <= addr *)
+      let lo = ref 0 and hi = ref (t.n - 1) and found = ref (-1) in
+      while !lo <= !hi do
+        let mid = (!lo + !hi) / 2 in
+        if t.allocs.(mid).a_base <= addr then begin
+          found := mid;
+          lo := mid + 1
+        end
+        else hi := mid - 1
+      done;
+      let i = !found in
+      if i >= 0 && inside t.allocs.(i) addr then begin
+        t.last2 <- li;
+        t.last <- i;
+        i
+      end
+      else invalid_arg (Printf.sprintf "memory: wild address %#x" addr)
+    end
+  end
+
+let find_by_addr t addr = t.allocs.(find_idx t addr)
 
 let load t ~addr =
   let a = find_by_addr t addr in
@@ -75,6 +132,46 @@ let rmw t ~addr f =
   let v = load t ~addr in
   store t ~addr (f v)
 
+(* --- unboxed accessors (decoded engine) ----------------------------- *)
+(* The conversions mirror Value.to_float / Value.to_int applied to the
+   boxed [load]/[store] results, so the decoded engine observes exactly
+   the reference semantics without materializing a Value.t. *)
+
+(* The range check in [find_idx] already proved
+   [a_base <= addr < a_base + a_bytes], so the shifted cell index is in
+   bounds and the payload access can skip the bounds check. *)
+
+let load_float t ~addr =
+  let a = find_by_addr t addr in
+  let idx = (addr - a.a_base) lsr a.a_shift in
+  match a.a_payload with
+  | F data -> Array.unsafe_get data idx
+  | I data -> float_of_int (Array.unsafe_get data idx)
+
+let load_int t ~addr =
+  let a = find_by_addr t addr in
+  let idx = (addr - a.a_base) lsr a.a_shift in
+  match a.a_payload with
+  | F data -> int_of_float (Array.unsafe_get data idx)
+  | I data -> Array.unsafe_get data idx
+
+let store_float t ~addr f =
+  let a = find_by_addr t addr in
+  let idx = (addr - a.a_base) lsr a.a_shift in
+  match a.a_payload with
+  | F data -> Array.unsafe_set data idx f
+  | I data -> Array.unsafe_set data idx (int_of_float f)
+
+let store_int t ~addr n =
+  let a = find_by_addr t addr in
+  let idx = (addr - a.a_base) lsr a.a_shift in
+  match a.a_payload with
+  | F data -> Array.unsafe_set data idx (float_of_int n)
+  | I data -> Array.unsafe_set data idx n
+
+let is_float_at t ~addr =
+  match (find_by_addr t addr).a_payload with F _ -> true | I _ -> false
+
 let float_data t name =
   match (find_by_name t name).a_payload with
   | F data -> data
@@ -88,18 +185,21 @@ let int_data t name =
 let copy t =
   {
     allocs =
-      List.map
-        (fun (n, a) ->
-          ( n,
-            {
-              a with
-              a_payload =
-                (match a.a_payload with
-                | F d -> F (Array.copy d)
-                | I d -> I (Array.copy d));
-            } ))
+      Array.map
+        (fun a ->
+          {
+            a with
+            a_payload =
+              (match a.a_payload with
+              | F d -> F (Array.copy d)
+              | I d -> I (Array.copy d));
+          })
         t.allocs;
+    n = t.n;
+    index = Hashtbl.copy t.index;
     next = t.next;
+    last = t.last;
+    last2 = t.last2;
   }
 
 let checksum t name =

@@ -29,6 +29,22 @@ val load : t -> addr:int -> Value.t
 val store : t -> addr:int -> Value.t -> unit
 val rmw : t -> addr:int -> (Value.t -> Value.t) -> unit
 
+(** {2 Unboxed cell access}
+
+    Used by the decoded simulator core: the conversions are exactly
+    [Value.to_float]/[Value.to_int] of the boxed operations, without
+    materializing a [Value.t]. Address resolution is a last-hit cache
+    backed by binary search over the base-sorted allocation array. *)
+
+val load_float : t -> addr:int -> float
+val load_int : t -> addr:int -> int
+val store_float : t -> addr:int -> float -> unit
+val store_int : t -> addr:int -> int -> unit
+
+val is_float_at : t -> addr:int -> bool
+(** Whether the allocation containing [addr] has a float payload
+    (drives the atomics' evaluation domain, like the boxed [rmw]). *)
+
 val float_data : t -> string -> float array
 (** Direct view of a float array's payload (shared, mutable) — used by
     workload generators and result checking. *)

@@ -3,6 +3,7 @@ module V = Safara_vir.Vreg
 module K = Safara_vir.Kernel
 module M = Safara_gpu.Memspace
 module T = Safara_ir.Types
+module D = Decode
 
 type stats = {
   cycles : float;
@@ -10,19 +11,6 @@ type stats = {
   instructions : int;
   transactions : int;
   issue_stall : float;
-}
-
-type warp = {
-  w_regs : Value.t array;
-  w_ready : float array;  (** per-rid operand availability, in cycles *)
-  w_local : (int, Value.t) Hashtbl.t;
-  w_cta : int * int * int;
-  w_lane0 : int * int * int;
-  w_sched : int;  (** scheduler this warp is statically assigned to *)
-  mutable w_pc : int;
-  mutable w_free : float;  (** earliest cycle this warp can issue *)
-  mutable w_done : bool;
-  mutable w_last : float;  (** completion time of the latest result *)
 }
 
 let issue_cost (lat : Safara_gpu.Latency.table) instr =
@@ -48,20 +36,36 @@ let result_latency (lat : Safara_gpu.Latency.table) instr =
       float_of_int (Safara_gpu.Latency.arithmetic_latency lat `F64)
   | _ -> alu
 
-let simulate_resident_set ~arch ~latency ~prog ~env ~grid ~blocks_per_sm
+(* Resident-set layout shared by both engines. *)
+let block_coords ~gx ~gy b = (b mod gx, b / gx mod gy, b / (gx * gy))
+
+let lane0_coords ~bx ~by ~warp_size w =
+  let lin = w * warp_size in
+  (lin mod bx, lin / bx mod by, lin / (bx * by))
+
+(* --- boxed reference engine ------------------------------------------ *)
+(* The original per-instruction walker with an O(warps) scheduler scan,
+   kept as the oracle for the differential suite and the [bench sim]
+   baseline. Selected via [Decode.use_reference]. *)
+
+type warp = {
+  w_regs : Value.t array;
+  w_ready : float array;  (** per-rid operand availability, in cycles *)
+  w_local : (int, Value.t) Hashtbl.t;
+  w_cta : int * int * int;
+  w_lane0 : int * int * int;
+  w_sched : int;  (** scheduler this warp is statically assigned to *)
+  mutable w_pc : int;
+  mutable w_free : float;  (** earliest cycle this warp can issue *)
+  mutable w_done : bool;
+  mutable w_last : float;  (** completion time of the latest result *)
+}
+
+let simulate_resident_set_ref ~arch ~latency ~prog ~env ~grid ~blocks_per_sm
     (k : K.t) =
   let code = k.K.code in
-  let labels = Hashtbl.create 16 in
-  Array.iteri
-    (fun i instr -> match instr with I.Label l -> Hashtbl.replace labels l i | _ -> ())
-    code;
-  let nregs =
-    1
-    + Array.fold_left
-        (fun acc i ->
-          List.fold_left (fun acc (r : V.t) -> max acc r.V.rid) acc (I.defs i @ I.uses i))
-        0 code
-  in
+  let labels = K.label_map k in
+  let nregs = K.num_regs k in
   let gx, gy, gz = grid in
   let bx, by, bz = k.K.block in
   let total_blocks = gx * gy * gz in
@@ -69,11 +73,6 @@ let simulate_resident_set ~arch ~latency ~prog ~env ~grid ~blocks_per_sm
   let threads_per_block = bx * by * bz in
   let warp_size = arch.Safara_gpu.Arch.warp_size in
   let warps_per_block = (threads_per_block + warp_size - 1) / warp_size in
-  let block_coords b = (b mod gx, b / gx mod gy, b / (gx * gy)) in
-  let lane0_coords w =
-    let lin = w * warp_size in
-    (lin mod bx, lin / bx mod by, lin / (bx * by))
-  in
   let warp_counter = ref 0 in
   let warps =
     List.concat_map
@@ -85,8 +84,8 @@ let simulate_resident_set ~arch ~latency ~prog ~env ~grid ~blocks_per_sm
               w_regs = Array.make nregs (Value.I 0);
               w_ready = Array.make nregs 0.;
               w_local = Hashtbl.create 4;
-              w_cta = block_coords b;
-              w_lane0 = lane0_coords w;
+              w_cta = block_coords ~gx ~gy b;
+              w_lane0 = lane0_coords ~bx ~by ~warp_size w;
               w_sched = id mod max 1 arch.Safara_gpu.Arch.issue_width;
               w_pc = 0;
               w_free = 0.;
@@ -332,3 +331,295 @@ let simulate_resident_set ~arch ~latency ~prog ~env ~grid ~blocks_per_sm
     transactions = !transactions;
     issue_stall = !issue_stall;
   }
+
+(* --- decoded engine --------------------------------------------------- *)
+(* Same machine model on the pre-decoded unboxed core: semantics run
+   through Decode.exec_op, per-pc costs/latencies are precomputed from
+   the original instructions (so every charged float is identical to the
+   reference), and the scheduler picks the next warp from a binary
+   min-heap instead of scanning all warps each step. *)
+
+type dwarp = {
+  dw_id : int;
+  dw_st : D.state;
+  dw_ready : float array;  (** per-rid operand availability, in cycles *)
+  dw_sched : int;
+  mutable dw_pc : int;
+  mutable dw_free : float;
+  mutable dw_done : bool;
+  mutable dw_last : float;
+}
+
+let simulate_resident_set_dec ~arch ~latency ~prog ~env ~grid ~blocks_per_sm
+    (k : K.t) =
+  let d = D.decode k in
+  let ops = d.D.d_ops in
+  let code = k.K.code in
+  let n = Array.length ops in
+  let gx, gy, gz = grid in
+  let bx, by, bz = k.K.block in
+  let total_blocks = gx * gy * gz in
+  let nblocks = min blocks_per_sm (max 1 total_blocks) in
+  let threads_per_block = bx * by * bz in
+  let warp_size = arch.Safara_gpu.Arch.warp_size in
+  let warps_per_block = (threads_per_block + warp_size - 1) / warp_size in
+  (* Per-pc static timing, computed once from the original instruction
+     stream so the charged numbers are bit-identical to the reference
+     engine's per-step calls. *)
+  let icost = Array.map (issue_cost latency) code in
+  let rlat = Array.map (result_latency latency) code in
+  let seg_bytes = arch.Safara_gpu.Arch.mem_segment_bytes in
+  let txns (mem : I.mem) =
+    M.transactions ~warp_size ~elem_bytes:mem.I.m_bytes ~segment_bytes:seg_bytes
+      mem.I.m_access
+  in
+  let tier_latency (mem : I.mem) tier =
+    let base =
+      match (tier, mem.I.m_space) with
+      | _, M.Local -> latency.Safara_gpu.Latency.local_latency
+      | _, M.Shared -> latency.Safara_gpu.Latency.shared_latency
+      | _, (M.Constant | M.Param) ->
+          Safara_gpu.Latency.memory_latency latency mem.I.m_space mem.I.m_access
+      | `L1, M.Read_only -> latency.Safara_gpu.Latency.read_only_latency
+      | `L1, _ | `L2, _ -> latency.Safara_gpu.Latency.l2_hit_latency
+      | `Dram, _ -> latency.Safara_gpu.Latency.global_latency
+    in
+    let nt = txns mem in
+    float_of_int
+      (base + (latency.Safara_gpu.Latency.extra_cycles_per_transaction * (nt - 1)))
+  in
+  (* per-mem-op tables, indexed by the decode-time [mi] *)
+  let nmems = Array.length d.D.d_mems in
+  let m_txns = Array.make nmems 0 in
+  let m_lat = Array.make (nmems * 3) 0. in  (* [mi*3 + tier] *)
+  let m_pipe = Array.make (nmems * 3) 0. in
+  let mem_cpt = arch.Safara_gpu.Arch.mem_cycles_per_transaction in
+  for mi = 0 to nmems - 1 do
+    let mem = d.D.d_mems.(mi).D.mo_mem in
+    let nt = txns mem in
+    m_txns.(mi) <- nt;
+    List.iteri
+      (fun ti tier ->
+        m_lat.((mi * 3) + ti) <- tier_latency mem tier;
+        m_pipe.((mi * 3) + ti) <-
+          float_of_int nt *. mem_cpt
+          *. (match tier with `L1 -> 0.1 | `L2 -> 0.25 | `Dram -> 1.0))
+      [ `L1; `L2; `Dram ]
+  done;
+  let tier_idx = function `L1 -> 0 | `L2 -> 1 | `Dram -> 2 in
+  let ldp_ready =
+    float_of_int (Safara_gpu.Latency.memory_latency latency M.Param M.Invariant)
+  in
+  let l1_segments = max 16 (arch.Safara_gpu.Arch.read_only_cache_bytes / seg_bytes) in
+  let l2_segments =
+    max l1_segments
+      (arch.Safara_gpu.Arch.l2_bytes / seg_bytes / max 1 arch.Safara_gpu.Arch.num_sms)
+  in
+  let seg_last : (int, int) Hashtbl.t = Hashtbl.create 4096 in
+  let seg_clock = ref 0 in
+  let touch_tier ~ro addr =
+    let seg = addr / seg_bytes in
+    let age =
+      match Hashtbl.find_opt seg_last seg with
+      | None -> max_int
+      | Some t -> !seg_clock - t
+    in
+    incr seg_clock;
+    Hashtbl.replace seg_last seg !seg_clock;
+    if age < l1_segments && ro then `L1
+    else if age < l2_segments then `L2
+    else `Dram
+  in
+  let ps = D.make_params d ~env ~prog in
+  let warp_counter = ref 0 in
+  let warps =
+    Array.concat
+      (List.map
+        (fun b ->
+          Array.init warps_per_block (fun w ->
+              let id = !warp_counter in
+              incr warp_counter;
+              let st = D.make_state d in
+              let tid = lane0_coords ~bx ~by ~warp_size w in
+              let cta = block_coords ~gx ~gy b in
+              D.set_specials st ~tid ~cta ~ntid:(bx, by, bz)
+                ~nctaid:(gx, gy, gz);
+              {
+                dw_id = id;
+                dw_st = st;
+                dw_ready = Array.make d.D.d_nregs 0.;
+                dw_sched = id mod max 1 arch.Safara_gpu.Arch.issue_width;
+                dw_pc = 0;
+                dw_free = 0.;
+                dw_done = false;
+                dw_last = 0.;
+              }))
+        (List.init nblocks Fun.id))
+  in
+  let nwarps = Array.length warps in
+  let mem_busy = ref 0. in
+  let nports = max 1 arch.Safara_gpu.Arch.issue_width in
+  let issue_ports = Array.make nports 0. in
+  let issue_step = 1. in
+  let instructions = ref 0 in
+  let transactions = ref 0 in
+  let issue_stall = ref 0. in
+  let issueable (w : dwarp) =
+    if w.dw_pc >= n then w.dw_free
+    else begin
+      let uses = d.D.d_uses.(w.dw_pc) in
+      let acc = ref w.dw_free in
+      for i = 0 to Array.length uses - 1 do
+        let r = w.dw_ready.(uses.(i)) in
+        if r > !acc then acc := r
+      done;
+      !acc
+    end
+  in
+  let step (w : dwarp) =
+    let pc = w.dw_pc in
+    (match ops.(pc) with
+    | D.DNop -> w.dw_pc <- pc + 1
+    | op ->
+        incr instructions;
+        let uses = d.D.d_uses.(pc) in
+        let op_ready = ref 0. in
+        for i = 0 to Array.length uses - 1 do
+          let r = w.dw_ready.(uses.(i)) in
+          if r > !op_ready then op_ready := r
+        done;
+        let port = w.dw_sched in
+        let want = Float.max w.dw_free !op_ready in
+        let issue = Float.max want issue_ports.(port) in
+        issue_stall := !issue_stall +. (issue -. want);
+        issue_ports.(port) <- issue +. issue_step;
+        let st = w.dw_st in
+        let next = D.exec_op d st ps D.null_counters pc in
+        let complete = ref (issue +. 1.) in
+        (match op with
+        | D.DNop | D.DRet -> ()
+        | D.DLd { dst; mi; _ } ->
+            let a = st.D.x_addr in
+            let mo = d.D.d_mems.(mi) in
+            let tier =
+              if mo.D.mo_local then `L1 else touch_tier ~ro:mo.D.mo_ro a
+            in
+            let ti = (mi * 3) + tier_idx tier in
+            transactions := !transactions + m_txns.(mi);
+            let start = Float.max issue !mem_busy in
+            mem_busy := start +. m_pipe.(ti);
+            let ready = start +. m_lat.(ti) in
+            w.dw_ready.(dst) <- ready;
+            complete := ready
+        | D.DSt { mi; _ } ->
+            let a = st.D.x_addr in
+            let mo = d.D.d_mems.(mi) in
+            let tier =
+              if mo.D.mo_local then `L1
+              else
+                (* stores allocate in L2, never in the read-only path *)
+                match touch_tier ~ro:false a with `L1 -> `L2 | t -> t
+            in
+            let ti = (mi * 3) + tier_idx tier in
+            transactions := !transactions + m_txns.(mi);
+            let start = Float.max issue !mem_busy in
+            mem_busy := start +. m_pipe.(ti)
+            (* stores retire without blocking the warp *)
+        | D.DAtom { mi; _ } ->
+            (* atomics serialize: charge a full round trip on the pipe *)
+            let start = Float.max issue !mem_busy in
+            let nt = max 2 m_txns.(mi) in
+            transactions := !transactions + nt;
+            mem_busy := start +. (float_of_int nt *. mem_cpt)
+        | D.DLdp { dst; _ } ->
+            let ready = issue +. ldp_ready in
+            w.dw_ready.(dst) <- ready;
+            complete := ready
+        | D.DMov { dst; _ } | D.DSpec { dst; _ } ->
+            w.dw_ready.(dst) <- issue +. 1.
+        | D.DAddF { dst; _ } | D.DSubF { dst; _ } | D.DMulF { dst; _ }
+        | D.DAddI { dst; _ } | D.DMulI { dst; _ }
+        | D.DBinF { dst; _ } | D.DBinI { dst; _ } | D.DBinB { dst; _ }
+        | D.DUnaF { dst; _ } | D.DNegI { dst; _ } | D.DNot { dst; _ } ->
+            w.dw_ready.(dst) <- issue +. rlat.(pc);
+            complete := issue +. icost.(pc)
+        | D.DCvtF { dst; _ } | D.DCvtI { dst; _ } | D.DCvtB { dst; _ }
+        | D.DSetpF { dst; _ } | D.DSetpI { dst; _ } ->
+            w.dw_ready.(dst) <- issue +. rlat.(pc)
+        | D.DBra _ | D.DBrc _ -> ());
+        w.dw_pc <- next;
+        w.dw_free <- Float.max (issue +. 1.) (Float.min !complete (issue +. 8.));
+        w.dw_last <- Float.max w.dw_last !complete);
+    if w.dw_pc >= n then w.dw_done <- true
+  in
+  (* Binary min-heap of live warps keyed by (issueable, warp id); the
+     lexicographic order reproduces the linear scan's first-strict-
+     minimum selection exactly. A warp's key only changes when the warp
+     itself steps (dw_free and dw_ready are per-warp), so popping the
+     minimum, stepping it and pushing it back keeps the heap honest. *)
+  let hkey = Array.make (max 1 nwarps) infinity in
+  let hwid = Array.make (max 1 nwarps) 0 in
+  let hsize = ref 0 in
+  let hless i j =
+    hkey.(i) < hkey.(j) || (hkey.(i) = hkey.(j) && hwid.(i) < hwid.(j))
+  in
+  let hswap i j =
+    let k = hkey.(i) and w = hwid.(i) in
+    hkey.(i) <- hkey.(j);
+    hwid.(i) <- hwid.(j);
+    hkey.(j) <- k;
+    hwid.(j) <- w
+  in
+  let hpush key wid =
+    let i = ref !hsize in
+    hkey.(!i) <- key;
+    hwid.(!i) <- wid;
+    incr hsize;
+    while !i > 0 && hless !i ((!i - 1) / 2) do
+      hswap !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+  in
+  let hpop () =
+    let wid = hwid.(0) in
+    decr hsize;
+    hkey.(0) <- hkey.(!hsize);
+    hwid.(0) <- hwid.(!hsize);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let s = ref !i in
+      if l < !hsize && hless l !s then s := l;
+      if r < !hsize && hless r !s then s := r;
+      if !s <> !i then begin
+        hswap !i !s;
+        i := !s
+      end
+      else continue := false
+    done;
+    wid
+  in
+  Array.iter (fun w -> hpush (issueable w) w.dw_id) warps;
+  while !hsize > 0 do
+    let w = warps.(hpop ()) in
+    step w;
+    if not w.dw_done then hpush (issueable w) w.dw_id
+  done;
+  let cycles =
+    Array.fold_left
+      (fun acc w -> Float.max acc (Float.max w.dw_last w.dw_free))
+      0. warps
+  in
+  {
+    cycles = Float.max cycles !mem_busy;
+    warps = nwarps;
+    instructions = !instructions;
+    transactions = !transactions;
+    issue_stall = !issue_stall;
+  }
+
+let simulate_resident_set ~arch ~latency ~prog ~env ~grid ~blocks_per_sm k =
+  if !D.use_reference then
+    simulate_resident_set_ref ~arch ~latency ~prog ~env ~grid ~blocks_per_sm k
+  else simulate_resident_set_dec ~arch ~latency ~prog ~env ~grid ~blocks_per_sm k

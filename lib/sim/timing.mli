@@ -14,7 +14,14 @@
 
     Because thread blocks of these kernels are homogeneous, whole-GPU
     kernel time is the resident-set drain time multiplied by the
-    number of waves ({!Launch}). *)
+    number of waves ({!Launch}).
+
+    Two engines implement the model. The default runs on the
+    pre-decoded unboxed core ({!Decode}) with per-pc precomputed
+    costs/latencies and a binary min-heap warp scheduler (O(log warps)
+    per step instead of a full scan); the original boxed walker is
+    preserved behind [Decode.use_reference]. Both produce identical
+    {!stats} — the differential suite checks every workload. *)
 
 type stats = {
   cycles : float;  (** drain time of the resident set, in SM cycles *)

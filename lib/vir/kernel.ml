@@ -29,6 +29,23 @@ let param_names t =
 
 let count_instr t ~f = Array.fold_left (fun acc i -> if f i then acc + 1 else acc) 0 t.code
 
+let label_map t =
+  let tbl = Hashtbl.create 16 in
+  Array.iteri
+    (fun i instr -> match instr with Instr.Label l -> Hashtbl.replace tbl l i | _ -> ())
+    t.code;
+  tbl
+
+let max_rid t =
+  let fold_regs acc regs =
+    List.fold_left (fun acc (r : Vreg.t) -> max acc r.Vreg.rid) acc regs
+  in
+  Array.fold_left
+    (fun acc i -> fold_regs (fold_regs acc (Instr.defs i)) (Instr.uses i))
+    0 t.code
+
+let num_regs t = max_rid t + 1
+
 let memory_ops t =
   count_instr t ~f:(function
     | Instr.Ld _ | Instr.St _ | Instr.Atom _ -> true

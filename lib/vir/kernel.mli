@@ -32,6 +32,16 @@ type t = {
 val threads_per_block : t -> int
 val param_names : t -> string list
 val count_instr : t -> f:(Instr.t -> bool) -> int
+
+val label_map : t -> (string, int) Hashtbl.t
+(** Label name → instruction index of the [Label] in [code]. *)
+
+val max_rid : t -> int
+(** Highest virtual-register id appearing in [code] (defs or uses). *)
+
+val num_regs : t -> int
+(** [max_rid + 1]: the register-file size a simulator must provide. *)
+
 val memory_ops : t -> int
 (** Global/read-only/local loads, stores and atomics in the static code. *)
 

@@ -343,6 +343,163 @@ double a[n];
   Alcotest.(check bool) "cached version faster" true
     ((time cached).Launch.kt_ms < (time redundant).Launch.kt_ms)
 
+(* --- differential: decoded engine vs boxed reference engine --------- *)
+(* The pre-decoded unboxed core is only a performance change: on every
+   workload it must produce the same array bits, the same functional
+   counters and the same timing statistics as the boxed walker it
+   replaced. *)
+
+let with_engine use_ref f =
+  let saved = !Decode.use_reference in
+  Decode.use_reference := use_ref;
+  Fun.protect ~finally:(fun () -> Decode.use_reference := saved) f
+
+let engine_snapshot profile (w : Safara_suites.Workload.t) use_ref =
+  with_engine use_ref (fun () ->
+      let c =
+        Safara_core.Compiler.compile_src profile w.Safara_suites.Workload.source
+      in
+      let env = Safara_suites.Workload.prepare c w in
+      let counters = Interp.fresh_counters () in
+      List.iter
+        (fun (k, _) ->
+          let grid = Launch.grid_of ~env:env.Interp.scalars k in
+          Interp.run_kernel ~counters ~prog:c.Safara_core.Compiler.c_prog ~env
+            ~grid k)
+        c.Safara_core.Compiler.c_kernels;
+      let sums =
+        List.map
+          (fun (a : Safara_ir.Array_info.t) ->
+            ( a.Safara_ir.Array_info.name,
+              Int64.bits_of_float
+                (Memory.checksum env.Interp.mem a.Safara_ir.Array_info.name) ))
+          c.Safara_core.Compiler.c_prog.Safara_ir.Program.arrays
+      in
+      let cnt =
+        ( counters.Interp.c_instructions,
+          counters.Interp.c_loads,
+          counters.Interp.c_stores,
+          counters.Interp.c_atomics,
+          counters.Interp.c_spill_ops )
+      in
+      let timing =
+        Safara_core.Compiler.time c (Safara_suites.Workload.prepare c w)
+      in
+      (sums, cnt, timing))
+
+let check_engines_agree profile (w : Safara_suites.Workload.t) () =
+  let w = Suite_workloads.shrink w in
+  let r_sums, r_cnt, r_time = engine_snapshot profile w true in
+  let d_sums, d_cnt, d_time = engine_snapshot profile w false in
+  List.iter2
+    (fun (name, r) (_, d) ->
+      if r <> d then
+        Alcotest.fail
+          (Printf.sprintf "%s: array %s differs between engines" w.Safara_suites.Workload.id
+             name))
+    r_sums d_sums;
+  if r_cnt <> d_cnt then
+    Alcotest.fail (w.Safara_suites.Workload.id ^ ": functional counters differ");
+  (* [compare] rather than [=] so identical NaNs would still agree *)
+  if compare r_time d_time <> 0 then
+    Alcotest.fail (w.Safara_suites.Workload.id ^ ": timing stats differ")
+
+let test_decode_unknown_label () =
+  let k =
+    {
+      Safara_vir.Kernel.kname = "bad";
+      params = [];
+      code = [| Safara_vir.Instr.Bra "nowhere"; Safara_vir.Instr.Ret |];
+      block = (1, 1, 1);
+      axes = [];
+      shared_bytes = 0;
+    }
+  in
+  match Decode.decode k with
+  | exception Decode.Error d ->
+      Alcotest.(check string) "diagnostic code" "SAF021" d.Safara_diag.Diagnostic.code
+  | _ -> Alcotest.fail "expected Decode.Error for unknown label"
+
+(* --- memory: sorted-array resolution ---------------------------------- *)
+
+let test_memory_many_allocs () =
+  let m = Memory.create () in
+  let names = List.init 40 (fun i -> Printf.sprintf "a%d" i) in
+  List.iteri
+    (fun i name ->
+      let elem = if i mod 2 = 0 then Safara_ir.Types.F64 else Safara_ir.Types.I32 in
+      Memory.alloc m ~name ~elem ~length:(3 + (i mod 5)))
+    names;
+  (* first and last element of every allocation resolve to it *)
+  List.iteri
+    (fun i name ->
+      let elem_bytes = if i mod 2 = 0 then 8 else 4 in
+      let length = 3 + (i mod 5) in
+      let first = Memory.base m name in
+      let last = first + ((length - 1) * elem_bytes) in
+      if i mod 2 = 0 then begin
+        Memory.store m ~addr:last (V.F (float_of_int i));
+        Alcotest.(check (float 0.))
+          (name ^ " last cell") (float_of_int i)
+          (V.to_float (Memory.load m ~addr:last))
+      end
+      else begin
+        Memory.store m ~addr:first (V.I i);
+        Alcotest.(check int) (name ^ " first cell") i
+          (V.to_int (Memory.load m ~addr:first))
+      end)
+    names
+
+let test_memory_gap_rejected () =
+  let m = Memory.create () in
+  (* 24-byte allocations padded to 256: addresses in the padding gap
+     are wild even though they sit between two live bases *)
+  Memory.alloc m ~name:"x" ~elem:Safara_ir.Types.F64 ~length:3;
+  Memory.alloc m ~name:"y" ~elem:Safara_ir.Types.F64 ~length:3;
+  let bx = Memory.base m "x" in
+  let wild = bx + 24 in
+  Alcotest.(check bool) "gap address rejected" true
+    (try
+       ignore (Memory.load m ~addr:wild);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "below-heap address rejected" true
+    (try
+       ignore (Memory.load m ~addr:(bx - 1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_memory_duplicate_name () =
+  let m = Memory.create () in
+  Memory.alloc m ~name:"x" ~elem:Safara_ir.Types.F64 ~length:2;
+  Alcotest.(check bool) "duplicate alloc rejected" true
+    (try
+       Memory.alloc m ~name:"x" ~elem:Safara_ir.Types.I32 ~length:2;
+       false
+     with Invalid_argument _ -> true)
+
+let test_memory_alternating_arrays () =
+  (* streaming from one array into another alternates resolutions;
+     the two-entry last-hit cache must not confuse the slots *)
+  let m = Memory.create () in
+  Memory.alloc m ~name:"src" ~elem:Safara_ir.Types.F64 ~length:64;
+  Memory.alloc m ~name:"dst" ~elem:Safara_ir.Types.F64 ~length:64;
+  Memory.alloc m ~name:"aux" ~elem:Safara_ir.Types.I32 ~length:64;
+  let bs = Memory.base m "src"
+  and bd = Memory.base m "dst"
+  and ba = Memory.base m "aux" in
+  for i = 0 to 63 do
+    Memory.store m ~addr:(bs + (8 * i)) (V.F (float_of_int i))
+  done;
+  for i = 0 to 63 do
+    let v = Memory.load m ~addr:(bs + (8 * i)) in
+    Memory.store m ~addr:(bd + (8 * i)) (V.F (2. *. V.to_float v));
+    Memory.store m ~addr:(ba + (4 * i)) (V.I i)
+  done;
+  Alcotest.(check (float 0.)) "dst mid" 42.
+    (V.to_float (Memory.load m ~addr:(bd + (8 * 21))));
+  Alcotest.(check int) "aux mid" 21 (V.to_int (Memory.load m ~addr:(ba + (4 * 21))))
+
 let suite =
   [
     Alcotest.test_case "memory roundtrip" `Quick test_memory_roundtrip;
@@ -358,4 +515,28 @@ let suite =
     Alcotest.test_case "uncoalesced slower" `Quick test_uncoalesced_slower;
     Alcotest.test_case "waves scale with grid" `Quick test_timing_counts_waves;
     Alcotest.test_case "fewer memory ops faster" `Quick test_fewer_memops_faster;
+    Alcotest.test_case "decode: unknown label is SAF021" `Quick
+      test_decode_unknown_label;
+    Alcotest.test_case "memory: many allocations resolve" `Quick
+      test_memory_many_allocs;
+    Alcotest.test_case "memory: padding gaps rejected" `Quick
+      test_memory_gap_rejected;
+    Alcotest.test_case "memory: duplicate name rejected" `Quick
+      test_memory_duplicate_name;
+    Alcotest.test_case "memory: alternating arrays" `Quick
+      test_memory_alternating_arrays;
   ]
+  @ List.map
+      (fun (w : Safara_suites.Workload.t) ->
+        Alcotest.test_case
+          (w.Safara_suites.Workload.id ^ " engines agree (Full)")
+          `Slow
+          (check_engines_agree Safara_core.Compiler.Full w))
+      Safara_suites.Registry.all
+  @ List.map
+      (fun (w : Safara_suites.Workload.t) ->
+        Alcotest.test_case
+          (w.Safara_suites.Workload.id ^ " engines agree (Base)")
+          `Slow
+          (check_engines_agree Safara_core.Compiler.Base w))
+      [ Safara_suites.Registry.find "303.ostencil"; Safara_suites.Registry.find "EP" ]
