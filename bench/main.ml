@@ -415,6 +415,12 @@ let engine_json eng =
            ("misses", j_int s.Eval.st_sim_misses) ]);
       ("compile_s", j_float s.Eval.st_compile_s);
       ("sim_s", j_float s.Eval.st_sim_s);
+      ("passes",
+       j_obj
+         (List.map
+            (fun (name, runs, secs) ->
+              (name, j_obj [ ("runs", j_int runs); ("seconds", j_float secs) ]))
+            s.Eval.st_pass_s));
       ("wall_s", j_float s.Eval.st_wall_s) ]
 
 let run_json ~eng () =

@@ -228,22 +228,50 @@ let analyze_cmd =
 (* --- compile --------------------------------------------------------- *)
 
 let compile_cmd =
-  let run file arch_name profile_name quiet maxrreg pressure =
+  let run file arch_name profile_name quiet maxrreg pressure time_passes json
+      dumps disables =
     wrap (fun () ->
         let arch = arch_of arch_name in
         let profile = profile_of profile_name in
-        let c = Safara_core.Compiler.compile ~arch profile (load file) in
-        List.iter
-          (fun (k, report) ->
-            let k, report =
-              match maxrreg with
-              | None -> (k, report)
-              | Some cap -> Safara_ptxas.Assemble.assemble ~max_regs:cap ~arch k
-            in
-            if pressure then Format.printf "%a@." Safara_ptxas.Pressure.pp_listing k
-            else if not quiet then Format.printf "%a@." Safara_vir.Kernel.pp k;
-            Format.printf "%a@.@." Safara_ptxas.Assemble.pp_report report)
-          c.Safara_core.Compiler.c_kernels)
+        let options =
+          {
+            Safara_core.Pipeline.default_options with
+            Safara_core.Pipeline.o_disable = disables;
+            o_dump =
+              (match dumps with
+              | [] -> `None
+              | l when List.mem "all" l -> `All
+              | l -> `Passes l);
+            o_precise_stats = time_passes;
+          }
+        in
+        let c, trace =
+          Safara_core.Compiler.compile_with ~arch ~options profile (load file)
+        in
+        if time_passes && json then
+          (* machine mode: the timing object is the whole output *)
+          print_endline (Safara_core.Pipeline.trace_to_json trace)
+        else begin
+          List.iter
+            (fun (pass, text) ->
+              Printf.printf "=== after %s ===\n%s\n" pass text)
+            trace.Safara_core.Pipeline.tr_dumps;
+          List.iter
+            (fun (k, report) ->
+              let k, report =
+                match maxrreg with
+                | None -> (k, report)
+                | Some cap ->
+                    Safara_ptxas.Assemble.assemble ~max_regs:cap ~arch k
+              in
+              if pressure then
+                Format.printf "%a@." Safara_ptxas.Pressure.pp_listing k
+              else if not quiet then Format.printf "%a@." Safara_vir.Kernel.pp k;
+              Format.printf "%a@.@." Safara_ptxas.Assemble.pp_report report)
+            c.Safara_core.Compiler.c_kernels;
+          if time_passes then
+            Format.printf "%a" Safara_core.Pipeline.pp_trace trace
+        end)
   in
   let quiet_arg =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"only print the ptxas reports")
@@ -258,11 +286,47 @@ let compile_cmd =
   let pressure_arg =
     Arg.(value & flag & info [ "pressure" ] ~doc:"annotate the listing with live register counts")
   in
+  let time_passes_arg =
+    Arg.(
+      value & flag
+      & info [ "time-passes" ]
+          ~doc:
+            "report per-pass wall time and before/after size statistics \
+             (statements, instructions, virtual registers, estimated \
+             hardware registers) for the profile's pipeline")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "with $(b,--time-passes): emit the pass report as a single JSON \
+             object and nothing else (for CI artifacts)")
+  in
+  let dump_ir_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "dump-ir" ] ~docv:"PASS"
+          ~doc:
+            "print a snapshot of the staged value after this pass \
+             (repeatable; $(b,all) dumps after every pass)")
+  in
+  let disable_pass_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "disable-pass" ] ~docv:"PASS"
+          ~doc:
+            "skip this pipeline pass (repeatable; only passes that do not \
+             change IR stage, e.g. safara or peephole, can be disabled)")
+  in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile to the PTX-like virtual ISA with register reports")
     Term.(
       ret (const run $ file_arg $ arch_arg $ profile_arg $ quiet_arg $ maxrreg_arg
-           $ pressure_arg))
+           $ pressure_arg $ time_passes_arg $ json_arg $ dump_ir_arg
+           $ disable_pass_arg))
 
 (* --- emit ------------------------------------------------------------ *)
 

@@ -1,4 +1,3 @@
-module R = Safara_ir.Region
 module P = Safara_ir.Program
 
 type profile = Base | Safara_only | Small_only | Clauses_only | Full | Pgi_like
@@ -22,75 +21,56 @@ let profile_name = function
 
 let all_profiles = [ Base; Safara_only; Small_only; Clauses_only; Full; Pgi_like ]
 
-let strip_for profile (r : R.t) =
-  match profile with
-  | Base | Safara_only | Pgi_like -> { r with R.dim_groups = []; small = [] }
-  | Small_only -> { r with R.dim_groups = [] }
-  | Clauses_only | Full -> r
+(* each profile is a declarative pipeline description: which clauses
+   survive, whether/how SAFARA runs, and the arch deltas the modelled
+   vendor implies — the pipeline elaborates and runs it *)
+let desc_of_profile : profile -> Pipeline.desc = function
+  | Base ->
+      { Pipeline.d_name = "base"; d_keep_small = false; d_keep_dim = false;
+        d_safara = None; d_read_only_cache = true }
+  | Safara_only ->
+      { Pipeline.d_name = "safara"; d_keep_small = false; d_keep_dim = false;
+        d_safara = Some Pipeline.Feedback; d_read_only_cache = true }
+  | Small_only ->
+      { Pipeline.d_name = "small"; d_keep_small = true; d_keep_dim = false;
+        d_safara = None; d_read_only_cache = true }
+  | Clauses_only ->
+      { Pipeline.d_name = "clauses"; d_keep_small = true; d_keep_dim = true;
+        d_safara = None; d_read_only_cache = true }
+  | Full ->
+      { Pipeline.d_name = "full"; d_keep_small = true; d_keep_dim = true;
+        d_safara = Some Pipeline.Feedback; d_read_only_cache = true }
+  | Pgi_like ->
+      (* a different vendor: ignores the proposed clauses and does not
+         route loads through the read-only data cache *)
+      { Pipeline.d_name = "pgi"; d_keep_small = false; d_keep_dim = false;
+        d_safara = Some Pipeline.Exhaustive; d_read_only_cache = false }
 
-let uses_safara = function
-  | Safara_only | Full | Pgi_like -> true
-  | Base | Small_only | Clauses_only -> false
+let pipeline_signature ?safara_config ?disable profile =
+  Pipeline.signature ?safara_config ?disable (desc_of_profile profile)
 
-let compile ?(arch = Safara_gpu.Arch.kepler_k20xm)
-    ?(latency = Safara_gpu.Latency.kepler) ?safara_config profile prog =
-  (* the PGI-like vendor does not route loads through the read-only
-     data cache *)
-  let arch =
-    if profile = Pgi_like then { arch with Safara_gpu.Arch.has_read_only_cache = false }
-    else arch
+let compile_with ?(arch = Safara_gpu.Arch.kepler_k20xm)
+    ?(latency = Safara_gpu.Latency.kepler) ?safara_config
+    ?(options = Pipeline.default_options) profile prog =
+  let desc = desc_of_profile profile in
+  let arch = Pipeline.effective_arch arch desc in
+  let ctx = Pass.make_ctx ~arch ~latency in
+  let passes = Pipeline.build ?safara_config desc in
+  let final, trace =
+    Pipeline.run ~options ~name:desc.Pipeline.d_name ctx passes prog
   in
-  let prog =
-    { prog with P.regions = List.map (strip_for profile) prog.P.regions }
-  in
-  let prog = Safara_analysis.Schedule.resolve_program prog in
-  let config =
-    match safara_config with
-    | Some c -> c
-    | None ->
-        if profile = Pgi_like then
-          {
-            (Safara_transform.Safara.default_config ~arch) with
-            Safara_transform.Safara.use_feedback = false;
-            cost_model = `Count_only;
-            assumed_free_regs = 4096;
-            policy =
-              {
-                Safara_analysis.Reuse.default_policy with
-                Safara_analysis.Reuse.skip_coalesced_read_only = false;
-              };
-          }
-        else Safara_transform.Safara.default_config ~arch
-  in
-  let prog, logs =
-    if uses_safara profile then
-      Safara_transform.Safara.optimize_program ~config ~arch ~latency prog
-    else (prog, [])
-  in
-  let kernels =
-    List.map
-      (fun r ->
-        let k = Safara_vir.Codegen.compile_region ~arch prog r in
-        (* debug builds prove every kernel well-formed, both straight
-           out of codegen and after assembly (spill insertion) *)
-        assert (
-          Safara_vir.Verify.verify_exn k;
-          true);
-        let assembled = Safara_ptxas.Assemble.assemble ~arch k in
-        assert (
-          Safara_vir.Verify.verify_exn (fst assembled);
-          true);
-        assembled)
-      prog.P.regions
-  in
-  {
-    c_profile = profile;
-    c_arch = arch;
-    c_latency = latency;
-    c_prog = prog;
-    c_kernels = kernels;
-    c_logs = logs;
-  }
+  ( {
+      c_profile = profile;
+      c_arch = arch;
+      c_latency = latency;
+      c_prog = final.Pass.a_prog;
+      c_kernels = final.Pass.a_kernels;
+      c_logs = ctx.Pass.logs;
+    },
+    trace )
+
+let compile ?arch ?latency ?safara_config profile prog =
+  fst (compile_with ?arch ?latency ?safara_config profile prog)
 
 let compile_for_env ?arch ?latency profile ~scalars prog =
   let env =
@@ -99,16 +79,14 @@ let compile_for_env ?arch ?latency profile ~scalars prog =
         match v with Safara_sim.Value.I x -> Some (n, x) | _ -> None)
       scalars
   in
-  let violations = ref [] in
-  let regions =
-    List.map
-      (fun r ->
-        let r', v = Safara_transform.Clause_check.choose_version ~env prog r in
-        violations := !violations @ v;
-        r')
-      prog.P.regions
+  (* per-region violation lists, concatenated once at the end *)
+  let regions, violations =
+    List.split
+      (List.map
+         (fun r -> Safara_transform.Clause_check.choose_version ~env prog r)
+         prog.P.regions)
   in
-  (compile ?arch ?latency profile { prog with P.regions }, !violations)
+  (compile ?arch ?latency profile { prog with P.regions }, List.concat violations)
 
 let compile_src ?arch ?latency ?safara_config profile src =
   compile ?arch ?latency ?safara_config profile

@@ -32,6 +32,21 @@ type compiled = {
 val profile_name : profile -> string
 val all_profiles : profile list
 
+val desc_of_profile : profile -> Pipeline.desc
+(** The declarative pipeline a profile elaborates to. Every profile is
+    expressed this way — which clauses survive, whether/how SAFARA
+    runs, the arch deltas the modelled vendor implies — and
+    {!compile} is nothing but {!Pipeline.run} over {!Pipeline.build}
+    of this value. *)
+
+val pipeline_signature :
+  ?safara_config:Safara_transform.Safara.config ->
+  ?disable:string list ->
+  profile ->
+  string
+(** {!Pipeline.signature} of the profile's descriptor; the evaluation
+    engine folds it into compile-cache keys. *)
+
 val compile :
   ?arch:Safara_gpu.Arch.t ->
   ?latency:Safara_gpu.Latency.table ->
@@ -39,6 +54,19 @@ val compile :
   profile ->
   Safara_ir.Program.t ->
   compiled
+
+val compile_with :
+  ?arch:Safara_gpu.Arch.t ->
+  ?latency:Safara_gpu.Latency.table ->
+  ?safara_config:Safara_transform.Safara.config ->
+  ?options:Pipeline.options ->
+  profile ->
+  Safara_ir.Program.t ->
+  compiled * Pipeline.trace
+(** [compile] plus pipeline instrumentation: per-pass wall time and
+    before/after statistics (always), IR snapshots and disabled
+    passes per [options]. [compile] is [fst] of this with
+    {!Pipeline.default_options}. *)
 
 val compile_for_env :
   ?arch:Safara_gpu.Arch.t ->

@@ -1,0 +1,317 @@
+module P = Safara_ir.Program
+module R = Safara_ir.Region
+module K = Safara_vir.Kernel
+
+type safara_mode = Feedback | Exhaustive
+
+type desc = {
+  d_name : string;
+  d_keep_small : bool;
+  d_keep_dim : bool;
+  d_safara : safara_mode option;
+  d_read_only_cache : bool;
+}
+
+let effective_arch arch d =
+  if d.d_read_only_cache then arch
+  else { arch with Safara_gpu.Arch.has_read_only_cache = false }
+
+let safara_config_of ?override ~arch mode =
+  match override with
+  | Some c -> c
+  | None -> (
+      match mode with
+      | Feedback -> Safara_transform.Safara.default_config ~arch
+      | Exhaustive ->
+          (* the PGI-like vendor: single-shot exhaustive replacement
+             under a count-only cost model *)
+          {
+            (Safara_transform.Safara.default_config ~arch) with
+            Safara_transform.Safara.use_feedback = false;
+            cost_model = `Count_only;
+            assumed_free_regs = 4096;
+            policy =
+              {
+                Safara_analysis.Reuse.default_policy with
+                Safara_analysis.Reuse.skip_coalesced_read_only = false;
+              };
+          })
+
+(* ------------------------------------------------------------------ *)
+(* The pass catalog                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let strip_clauses ~keep_small ~keep_dim =
+  Pass.make ~name:"strip-clauses" ~input:Pass.Ir ~output:Pass.Ir
+    ~identity:Fun.id (fun _ prog ->
+      let strip (r : R.t) =
+        {
+          r with
+          R.dim_groups = (if keep_dim then r.R.dim_groups else []);
+          small = (if keep_small then r.R.small else []);
+        }
+      in
+      { prog with P.regions = List.map strip prog.P.regions })
+
+(* no identity: resolution is codegen's precondition (every loop must
+   end up parallel or Seq), so it cannot be disabled *)
+let resolve_schedules =
+  Pass.make ~name:"resolve-schedules" ~input:Pass.Ir ~output:Pass.Ir (fun _ ->
+      Safara_analysis.Schedule.resolve_program)
+
+let safara ?override mode =
+  Pass.make ~name:"safara" ~input:Pass.Ir ~output:Pass.Ir ~identity:Fun.id
+    (fun ctx prog ->
+      let config = safara_config_of ?override ~arch:ctx.Pass.arch mode in
+      let prog', logs =
+        Safara_transform.Safara.optimize_program ~resolve_first:false ~config
+          ~arch:ctx.Pass.arch ~latency:ctx.Pass.latency prog
+      in
+      ctx.Pass.logs <- logs;
+      prog')
+
+let codegen =
+  Pass.make ~name:"codegen" ~input:Pass.Ir ~output:Pass.Vir (fun ctx prog ->
+      {
+        Pass.v_prog = prog;
+        v_kernels =
+          List.map
+            (Safara_vir.Codegen.compile_region ~peephole:false
+               ~arch:ctx.Pass.arch prog)
+            prog.P.regions;
+      })
+
+let peephole =
+  Pass.make ~name:"peephole" ~input:Pass.Vir ~output:Pass.Vir ~identity:Fun.id
+    (fun _ s ->
+      {
+        s with
+        Pass.v_kernels =
+          List.map
+            (fun k ->
+              { k with K.code = Safara_vir.Peephole.optimize k.K.code })
+            s.Pass.v_kernels;
+      })
+
+let assemble =
+  Pass.make ~name:"assemble" ~input:Pass.Vir ~output:Pass.Asm (fun ctx s ->
+      {
+        Pass.a_prog = s.Pass.v_prog;
+        a_kernels =
+          List.map
+            (Safara_ptxas.Assemble.assemble ~arch:ctx.Pass.arch)
+            s.Pass.v_kernels;
+      })
+
+(* ------------------------------------------------------------------ *)
+(* Pipelines                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type ('a, 'b) seq =
+  | Done : ('a, 'a) seq
+  | Step : ('a, 'b) Pass.t * ('b, 'c) seq -> ('a, 'c) seq
+
+let build ?safara_config d =
+  let tail = Step (codegen, Step (peephole, Step (assemble, Done))) in
+  let tail =
+    match d.d_safara with
+    | None -> tail
+    | Some mode -> Step (safara ?override:safara_config mode, tail)
+  in
+  Step
+    ( strip_clauses ~keep_small:d.d_keep_small ~keep_dim:d.d_keep_dim,
+      Step (resolve_schedules, tail) )
+
+let rec seq_names : type a b. (a, b) seq -> string list = function
+  | Done -> []
+  | Step (p, rest) -> p.Pass.name :: seq_names rest
+
+let pass_names ?safara_config d = seq_names (build ?safara_config d)
+
+(* descriptors, pass lists, SAFARA configs and disable sets are plain
+   immutable data, so marshalling them is a faithful content address *)
+let digest_of v = Digest.to_hex (Digest.string (Marshal.to_string v []))
+
+let signature ?safara_config ?(disable = []) d =
+  digest_of
+    (d, pass_names ?safara_config d, safara_config, List.sort compare disable)
+
+(* ------------------------------------------------------------------ *)
+(* Instrumented execution                                              *)
+(* ------------------------------------------------------------------ *)
+
+type options = {
+  o_disable : string list;
+  o_dump : [ `None | `Passes of string list | `All ];
+  o_precise_stats : bool;
+  o_verify : bool;
+}
+
+let default_options =
+  {
+    o_disable = [];
+    o_dump = `None;
+    o_precise_stats = false;
+    o_verify = Pass.assertions_enabled;
+  }
+
+type report = {
+  pr_pass : string;
+  pr_stage : string;
+  pr_s : float;
+  pr_disabled : bool;
+  pr_before : Pass.stats;
+  pr_after : Pass.stats;
+}
+
+type trace = {
+  tr_pipeline : string;
+  tr_reports : report list;
+  tr_dumps : (string * string) list;
+}
+
+let check_known what names =
+  List.iter
+    (fun n ->
+      if not (Pass.is_registered n) then
+        invalid_arg
+          (Printf.sprintf "%s: unknown pass %S (known: %s)" what n
+             (String.concat ", " (Pass.registered ()))))
+    names
+
+let run ?(options = default_options) ~name ctx pipe input =
+  check_known "--disable-pass" options.o_disable;
+  (match options.o_dump with
+  | `Passes l -> check_known "--dump-ir" l
+  | `None | `All -> ());
+  let wants_dump n =
+    match options.o_dump with
+    | `None -> false
+    | `All -> true
+    | `Passes l -> List.mem n l
+  in
+  let precise = options.o_precise_stats in
+  let reports = ref [] and dumps = ref [] in
+  let rec go : type x y. (x, y) seq -> x -> Pass.stats option -> y =
+   fun s v before ->
+    match s with
+    | Done -> v
+    | Step (p, rest) ->
+        let before =
+          match before with
+          | Some st -> st
+          | None -> Pass.measure ~precise p.Pass.input v
+        in
+        let disabled = List.mem p.Pass.name options.o_disable in
+        let t0 = Unix.gettimeofday () in
+        let v' =
+          if disabled then
+            match p.Pass.identity with
+            | Some f -> f v
+            | None ->
+                invalid_arg
+                  (Printf.sprintf
+                     "pass %s changes the IR stage and cannot be disabled"
+                     p.Pass.name)
+          else p.Pass.run ctx v
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        if options.o_verify && not disabled then Pass.verify p.Pass.output v';
+        let after = Pass.measure ~precise p.Pass.output v' in
+        reports :=
+          {
+            pr_pass = p.Pass.name;
+            pr_stage = Pass.stage_name p.Pass.output;
+            (* clamp below the clock's resolution floor so a pass that
+               ran is never reported as exactly zero *)
+            pr_s = (if dt > 0. then dt else 1e-9);
+            pr_disabled = disabled;
+            pr_before = before;
+            pr_after = after;
+          }
+          :: !reports;
+        if wants_dump p.Pass.name then
+          dumps := (p.Pass.name, Pass.dump p.Pass.output v') :: !dumps;
+        go rest v' (Some after)
+  in
+  let result = go pipe input None in
+  ( result,
+    {
+      tr_pipeline = name;
+      tr_reports = List.rev !reports;
+      tr_dumps = List.rev !dumps;
+    } )
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_trace ppf t =
+  let total =
+    List.fold_left (fun acc r -> acc +. r.pr_s) 0. t.tr_reports
+  in
+  Format.fprintf ppf "pass timings (pipeline %s)@." t.tr_pipeline;
+  Format.fprintf ppf "  %-18s %-5s %12s %8s %8s %8s %8s %6s@." "pass" "stage"
+    "seconds" "units" "stmts" "instrs" "vregs" "regs";
+  List.iter
+    (fun r ->
+      let s = r.pr_after in
+      Format.fprintf ppf "  %-18s %-5s %12.6f %8d %8d %8d %8d %6d%s@."
+        r.pr_pass r.pr_stage r.pr_s s.Pass.s_units s.Pass.s_stmts
+        s.Pass.s_instrs s.Pass.s_vregs s.Pass.s_regs
+        (if r.pr_disabled then "  (disabled)" else ""))
+    t.tr_reports;
+  Format.fprintf ppf "  %-18s %-5s %12.6f@." "total" "" total
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let j_str s = "\"" ^ json_escape s ^ "\""
+
+let j_obj fields =
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> j_str k ^ ":" ^ v) fields)
+  ^ "}"
+
+let stats_json (s : Pass.stats) =
+  j_obj
+    [
+      ("units", string_of_int s.Pass.s_units);
+      ("stmts", string_of_int s.Pass.s_stmts);
+      ("instrs", string_of_int s.Pass.s_instrs);
+      ("vregs", string_of_int s.Pass.s_vregs);
+      ("regs", string_of_int s.Pass.s_regs);
+    ]
+
+let trace_to_json t =
+  j_obj
+    [
+      ("pipeline", j_str t.tr_pipeline);
+      ( "passes",
+        "["
+        ^ String.concat ","
+            (List.map
+               (fun r ->
+                 j_obj
+                   [
+                     ("name", j_str r.pr_pass);
+                     ("stage", j_str r.pr_stage);
+                     ("seconds", Printf.sprintf "%.9f" r.pr_s);
+                     ("disabled", if r.pr_disabled then "true" else "false");
+                     ("before", stats_json r.pr_before);
+                     ("after", stats_json r.pr_after);
+                   ])
+               t.tr_reports)
+        ^ "]" );
+    ]

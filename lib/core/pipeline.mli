@@ -1,0 +1,123 @@
+(** Declarative compilation pipelines.
+
+    A {!desc} is a pure value describing one compiler configuration —
+    which clauses survive, whether/how SAFARA runs, and the
+    architecture deltas a profile implies. {!build} elaborates a
+    descriptor into the typed pass sequence
+
+    {v strip-clauses → resolve-schedules → [safara] → codegen →
+       peephole → assemble v}
+
+    and {!run} executes it with per-pass instrumentation: wall time,
+    before/after {!Pass.stats}, optional IR snapshots after any pass
+    ([--dump-ir]), optional pass disabling ([--disable-pass]), and —
+    when {!Pass.assertions_enabled} (or forced via {!options}) — the
+    stage's invariant checker after {e every} pass, not just after
+    codegen and assembly.
+
+    {!signature} is a content hash of the resolved pipeline (pass
+    list, per-pass configuration, disabled set); the evaluation
+    engine folds it into its compile-cache keys so toggling or
+    reordering passes can never alias a stale artifact. *)
+
+type safara_mode =
+  | Feedback
+      (** the paper's feedback loop: measured ptxas register counts
+          bound each round's replacement budget *)
+  | Exhaustive
+      (** the PGI-like stand-in: single-shot, count-only cost model,
+          effectively unbounded register budget *)
+
+(** One profile's pipeline, as data. *)
+type desc = {
+  d_name : string;
+  d_keep_small : bool;  (** honor [small] clauses *)
+  d_keep_dim : bool;  (** honor [dim] clauses *)
+  d_safara : safara_mode option;  (** [None]: no scalar replacement *)
+  d_read_only_cache : bool;
+      (** [false]: the target ignores the read-only data cache (the
+          PGI-like vendor); applied to the arch before any pass runs *)
+}
+
+val effective_arch : Safara_gpu.Arch.t -> desc -> Safara_gpu.Arch.t
+(** Apply the descriptor's architecture deltas. *)
+
+val safara_config_of :
+  ?override:Safara_transform.Safara.config ->
+  arch:Safara_gpu.Arch.t ->
+  safara_mode ->
+  Safara_transform.Safara.config
+(** The SAFARA configuration a mode elaborates to (the [override]
+    wins when given). *)
+
+(** A well-typed pass sequence from stage ['a] to stage ['b]. *)
+type ('a, 'b) seq =
+  | Done : ('a, 'a) seq
+  | Step : ('a, 'b) Pass.t * ('b, 'c) seq -> ('a, 'c) seq
+
+val build :
+  ?safara_config:Safara_transform.Safara.config ->
+  desc ->
+  (Safara_ir.Program.t, Pass.asm_state) seq
+
+val pass_names : ?safara_config:Safara_transform.Safara.config -> desc -> string list
+(** The pass names {!build} would produce, in order. *)
+
+val signature :
+  ?safara_config:Safara_transform.Safara.config ->
+  ?disable:string list ->
+  desc ->
+  string
+(** Content hash of the resolved pipeline description: pass list,
+    per-pass configuration (clause keeps, SAFARA mode and config,
+    arch deltas) and the disabled-pass set. *)
+
+(** {1 Running} *)
+
+type options = {
+  o_disable : string list;
+      (** passes to skip; they must exist ({!Pass.is_registered}) and
+          carry an identity, else {!run} raises [Invalid_argument].
+          Names absent from this particular pipeline are ignored, so
+          one flag can apply across profiles. *)
+  o_dump : [ `None | `Passes of string list | `All ];
+      (** snapshot the value after these passes *)
+  o_precise_stats : bool;  (** VIR-stage register estimates *)
+  o_verify : bool;  (** run the stage checker after every pass *)
+}
+
+val default_options : options
+(** No disables, no dumps, imprecise stats,
+    [o_verify = Pass.assertions_enabled]. *)
+
+type report = {
+  pr_pass : string;
+  pr_stage : string;  (** output stage: "ir", "vir" or "asm" *)
+  pr_s : float;
+      (** wall-clock seconds; clamped to the clock's resolution floor
+          so a recorded pass never reports exactly zero *)
+  pr_disabled : bool;
+  pr_before : Pass.stats;
+  pr_after : Pass.stats;
+}
+
+type trace = {
+  tr_pipeline : string;  (** the descriptor's [d_name] *)
+  tr_reports : report list;  (** in execution order *)
+  tr_dumps : (string * string) list;  (** pass name → rendered value *)
+}
+
+val run :
+  ?options:options ->
+  name:string ->
+  Pass.ctx ->
+  ('a, 'b) seq ->
+  'a ->
+  'b * trace
+
+val pp_trace : Format.formatter -> trace -> unit
+(** The [--time-passes] table. *)
+
+val trace_to_json : trace -> string
+(** The [--time-passes --json] object: pipeline name plus one record
+    per pass (name, stage, seconds, disabled, before/after stats). *)

@@ -2,14 +2,7 @@ module C = Safara_core.Compiler
 module Pool = Safara_engine.Pool
 module Cache = Safara_engine.Cache
 
-(* [assert (Sys.opaque_identity false)] is stripped by -noassert
-   (unlike a literal [assert false], which the compiler must keep), so
-   reaching the handler means assertions are live in this build. *)
-let assertions_enabled =
-  try
-    assert (Sys.opaque_identity false);
-    false
-  with Assert_failure _ -> true
+let assertions_enabled = Safara_core.Pass.assertions_enabled
 
 let verify_kernels = ref assertions_enabled
 
@@ -27,6 +20,9 @@ type t = {
   lock : Mutex.t;
   mutable compile_s : float;
   mutable sim_s : float;
+  passes : (string, float * int) Hashtbl.t;
+      (** per-pass cumulative wall time and run count, across every
+          compile-cache miss *)
   created_at : float;
 }
 
@@ -38,6 +34,7 @@ let create ?jobs () =
     lock = Mutex.create ();
     compile_s = 0.;
     sim_s = 0.;
+    passes = Hashtbl.create 16;
     created_at = Unix.gettimeofday ();
   }
 
@@ -56,6 +53,17 @@ let timed t phase f =
   Mutex.unlock t.lock;
   v
 
+let record_trace t (trace : Safara_core.Pipeline.trace) =
+  Mutex.lock t.lock;
+  List.iter
+    (fun (r : Safara_core.Pipeline.report) ->
+      let name = r.Safara_core.Pipeline.pr_pass in
+      let s, n = try Hashtbl.find t.passes name with Not_found -> (0., 0) in
+      Hashtbl.replace t.passes name
+        (s +. r.Safara_core.Pipeline.pr_s, n + 1))
+    trace.Safara_core.Pipeline.tr_reports;
+  Mutex.unlock t.lock
+
 (* ------------------------------------------------------------------ *)
 (* Jobs and content-addressed keys                                     *)
 (* ------------------------------------------------------------------ *)
@@ -66,23 +74,28 @@ type job = {
   jarch : Safara_gpu.Arch.t;
   jconfig : Safara_transform.Safara.config option;
   junroll : int option;
+  jdisable : string list;
 }
 
-let job ?(arch = Safara_gpu.Arch.kepler_k20xm) ?safara_config ?unroll profile w
-    =
+let job ?(arch = Safara_gpu.Arch.kepler_k20xm) ?safara_config ?unroll
+    ?(disable = []) profile w =
   { jw = w; jp = profile; jarch = arch; jconfig = safara_config;
-    junroll = unroll }
+    junroll = unroll; jdisable = disable }
 
 (* All key components are plain immutable data (strings, records,
    variants), so marshalling them is a faithful content address. *)
 let digest_of v = Digest.to_hex (Digest.string (Marshal.to_string v []))
 
-let compile_key ~src ~profile ~arch ~config ~unroll =
-  digest_of (src, profile, arch, config, unroll)
+(* the key covers the resolved pipeline description (pass list +
+   per-pass config + disabled set), not just the profile tag, so
+   toggling or reordering passes can never return a stale hit *)
+let compile_key ~src ~profile ~arch ~config ~unroll ~disable =
+  let psig = C.pipeline_signature ?safara_config:config ~disable profile in
+  digest_of (src, profile, arch, config, unroll, disable, psig)
 
 let ckey j =
   compile_key ~src:j.jw.Workload.source ~profile:j.jp ~arch:j.jarch
-    ~config:j.jconfig ~unroll:j.junroll
+    ~config:j.jconfig ~unroll:j.junroll ~disable:j.jdisable
 
 let tkey j =
   digest_of
@@ -91,6 +104,15 @@ let tkey j =
 (* ------------------------------------------------------------------ *)
 (* Memoized compile and simulate                                       *)
 (* ------------------------------------------------------------------ *)
+
+let compile_and_record t ~arch ?safara_config ~disable profile prog =
+  let options =
+    { Safara_core.Pipeline.default_options with
+      Safara_core.Pipeline.o_disable = disable }
+  in
+  let c, trace = C.compile_with ~arch ?safara_config ~options profile prog in
+  record_trace t trace;
+  verified c
 
 let compiled t j =
   Cache.find_or_compute t.cc ~key:(ckey j) (fun () ->
@@ -101,18 +123,19 @@ let compiled t j =
             | None -> prog
             | Some factor -> Safara_transform.Unroll.unroll_program ~factor prog
           in
-          verified (C.compile ~arch:j.jarch ?safara_config:j.jconfig j.jp prog)))
+          compile_and_record t ~arch:j.jarch ?safara_config:j.jconfig
+            ~disable:j.jdisable j.jp prog))
 
 let compile_src t ?(arch = Safara_gpu.Arch.kepler_k20xm) ?safara_config profile
     src =
   let key =
     compile_key ~src ~profile ~arch ~config:safara_config ~unroll:None
+      ~disable:[]
   in
   Cache.find_or_compute t.cc ~key (fun () ->
       timed t `Compile (fun () ->
-          verified
-            (C.compile ~arch ?safara_config profile
-               (Safara_lang.Frontend.compile src))))
+          compile_and_record t ~arch ?safara_config ~disable:[] profile
+            (Safara_lang.Frontend.compile src)))
 
 let time_job t j =
   Cache.find_or_compute t.tc ~key:(tkey j) (fun () ->
@@ -141,12 +164,17 @@ type stats = {
   st_sim_misses : int;
   st_compile_s : float;
   st_sim_s : float;
+  st_pass_s : (string * int * float) list;
   st_wall_s : float;
 }
 
 let stats t =
   Mutex.lock t.lock;
   let compile_s = t.compile_s and sim_s = t.sim_s in
+  let pass_s =
+    List.sort compare
+      (Hashtbl.fold (fun name (s, n) acc -> (name, n, s) :: acc) t.passes [])
+  in
   Mutex.unlock t.lock;
   {
     st_jobs = jobs t;
@@ -157,6 +185,7 @@ let stats t =
     st_sim_misses = Cache.misses t.tc;
     st_compile_s = compile_s;
     st_sim_s = sim_s;
+    st_pass_s = pass_s;
     st_wall_s = Unix.gettimeofday () -. t.created_at;
   }
 
@@ -185,6 +214,14 @@ let render_stats t =
     (Printf.sprintf
        "  phase wall-clock: compile %.2fs, simulate %.2fs, total %.2fs\n"
        s.st_compile_s s.st_sim_s s.st_wall_s);
+  if s.st_pass_s <> [] then begin
+    Buffer.add_string b "  compile passes (cumulative over cache misses):\n";
+    List.iter
+      (fun (name, runs, secs) ->
+        Buffer.add_string b
+          (Printf.sprintf "    %-18s %6d runs %10.4fs\n" name runs secs))
+      s.st_pass_s
+  end;
   Buffer.contents b
 
 let self_check t w =

@@ -37,12 +37,17 @@ val job :
   ?arch:Safara_gpu.Arch.t ->
   ?safara_config:Safara_transform.Safara.config ->
   ?unroll:int ->
+  ?disable:string list ->
   Safara_core.Compiler.profile ->
   Workload.t ->
   job
 (** [unroll], when given, applies {!Safara_transform.Unroll} with that
     factor to the front-end IR before profile compilation (the §VII
-    study passes 1, 2, 4 — factor 1 still runs the pass). *)
+    study passes 1, 2, 4 — factor 1 still runs the pass). [disable]
+    names pipeline passes to skip ({!Safara_core.Pipeline.options}).
+    Compile-cache keys cover the resolved pipeline description — pass
+    list, per-pass config and the disabled set — so toggling or
+    reordering passes can never return a stale artifact. *)
 
 val compiled : t -> job -> Safara_core.Compiler.compiled
 (** Memoized compile; repeated calls with an equal key return the
@@ -86,6 +91,9 @@ type stats = {
   st_sim_misses : int;
   st_compile_s : float;  (** wall-clock spent in compile misses *)
   st_sim_s : float;  (** wall-clock spent in simulation misses *)
+  st_pass_s : (string * int * float) list;
+      (** per-pipeline-pass (name, runs, cumulative seconds) across
+          every compile-cache miss, sorted by name *)
   st_wall_s : float;  (** wall-clock since [create] *)
 }
 

@@ -93,9 +93,12 @@ let optimize_region ?config ~arch ~latency prog region =
   in
   loop region [] 1
 
-let optimize_program ?config ~arch ~latency prog =
+let optimize_program ?config ?(resolve_first = true) ~arch ~latency prog =
   Scalar_replacement.reset_fresh ();
-  let prog = Safara_analysis.Schedule.resolve_program prog in
+  let prog =
+    if resolve_first then Safara_analysis.Schedule.resolve_program prog
+    else prog
+  in
   let logs = ref [] in
   let regions =
     List.map

@@ -49,10 +49,14 @@ val optimize_region :
 
 val optimize_program :
   ?config:config ->
+  ?resolve_first:bool ->
   arch:Safara_gpu.Arch.t ->
   latency:Safara_gpu.Latency.table ->
   Safara_ir.Program.t ->
   Safara_ir.Program.t * (string * round list) list
-(** Schedule-resolves, then optimizes every region. *)
+(** Schedule-resolves, then optimizes every region. Pass
+    [~resolve_first:false] when the program is already resolved
+    (resolution is idempotent, so this is purely a saving — the staged
+    pipeline runs resolution as its own pass). *)
 
 val pp_round : Format.formatter -> round -> unit

@@ -15,6 +15,10 @@ type mode = {
 
 type cache_key = string * E.t list
 
+(* scoped cache entries: expression keys live in offsets/addrs, stride
+   products in dopes (negative indices) *)
+type log_entry = L_expr of cache_key | L_stride of (string * int)
+
 type t = {
   b : Builder.t;
   modes : (string * mode) list;
@@ -22,7 +26,7 @@ type t = {
   dopes : (string * int, Vreg.t) Hashtbl.t;
   offsets : (cache_key, Vreg.t) Hashtbl.t;
   addrs : (cache_key, Vreg.t) Hashtbl.t;
-  mutable log : cache_key list;  (** undo log for offsets/addrs *)
+  mutable log : log_entry list;  (** undo log for scoped entries *)
   mutable emitted : int;
   mutable reused : int;
 }
@@ -290,6 +294,14 @@ let stride_operand t md d =
           (match acc with
           | Some (Instr.Reg r) ->
               Hashtbl.replace t.dopes key r;
+              (* unlike bases/extents/lowers, which [preload]
+                 materializes at kernel entry, the stride product is
+                 emitted lazily at first use — possibly inside a
+                 branch or zero-trip loop body that does not dominate
+                 later references, so the entry must be scoped like
+                 offsets/addrs (caught by verify-between-passes on
+                 unrolled stencils) *)
+              t.log <- L_stride key :: t.log;
               Instr.Reg r
           | Some imm -> imm
           | None -> Instr.Imm 1))
@@ -357,7 +369,7 @@ let offset_reg t ~compile_sub md subs =
             dst
       in
       Hashtbl.replace t.offsets key r;
-      t.log <- key :: t.log;
+      t.log <- L_expr key :: t.log;
       r
   | None ->
       t.emitted <- t.emitted + 1;
@@ -396,7 +408,7 @@ let offset_reg t ~compile_sub md subs =
       let final = horner 1 acc rest in
       let r = as_reg t width final in
       Hashtbl.replace t.offsets key r;
-      t.log <- key :: t.log;
+      t.log <- L_expr key :: t.log;
       r
 
 let address_of t ~compile_sub name subs =
@@ -430,7 +442,7 @@ let address_of t ~compile_sub name subs =
         (Instr.Bin
            { op = Instr.Add; dst = addr; a = Instr.Reg base; b = Instr.Reg wide });
       Hashtbl.replace t.addrs key addr;
-      t.log <- key :: t.log;
+      t.log <- L_expr key :: t.log;
       addr
 
 let mark t = List.length t.log
@@ -441,9 +453,12 @@ let release t m =
     else
       match log with
       | [] -> []
-      | key :: rest ->
+      | L_expr key :: rest ->
           Hashtbl.remove t.offsets key;
           Hashtbl.remove t.addrs key;
+          drop rest (n - 1)
+      | L_stride key :: rest ->
+          Hashtbl.remove t.dopes key;
           drop rest (n - 1)
   in
   let excess = List.length t.log - m in

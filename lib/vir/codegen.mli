@@ -20,11 +20,15 @@
 exception Error of string
 
 val compile_region :
+  ?peephole:bool ->
   arch:Safara_gpu.Arch.t ->
   Safara_ir.Program.t ->
   Safara_ir.Region.t ->
   Kernel.t
-(** @raise Error on unsupported shapes: parallel loops that are not a
+(** [peephole] (default [true]) runs {!Peephole.optimize} on the
+    generated code; the staged pipeline passes [false] and runs the
+    peephole as its own instrumented pass instead.
+    @raise Error on unsupported shapes: parallel loops that are not a
     perfectly nested chain, more than three parallel loops, or a
     reduction clause without the store pattern. *)
 

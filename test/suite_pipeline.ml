@@ -1,0 +1,317 @@
+(* Pass-manager tests: registration, declarative pipeline shapes,
+   signatures, --disable-pass semantics, verify-between-every-pass,
+   per-pass instrumentation, and a golden snapshot of the pipeline
+   order plus one IR dump (guards against accidental reordering). *)
+
+open Safara_suites
+module C = Safara_core.Compiler
+module Pl = Safara_core.Pipeline
+module Pass = Safara_core.Pass
+
+(* the paper's Fig-5 running example, inlined so the test does not
+   depend on the example files' path *)
+let fig5_src =
+  {|
+param int jsize;
+param int isize;
+double a[isize][jsize];
+in double b[jsize][isize];
+double c[jsize];
+double d[jsize];
+
+#pragma acc kernels name(fig5)
+{
+  #pragma acc loop gang vector(128)
+  for (j = 1; j <= jsize - 2; j++) {
+    c[j] = b[j][0] + b[j][1];
+    d[j] = c[j] * b[j][0];
+    #pragma acc loop seq
+    for (i = 1; i <= isize - 2; i++) {
+      a[i][j] = a[i-1][j] + b[j][i-1] + a[i+1][j] + b[j][i+1];
+    }
+  }
+}
+|}
+
+let fig5 () = Safara_lang.Frontend.compile fig5_src
+let checksum v = Digest.to_hex (Digest.string (Marshal.to_string v []))
+let instrs_of (c : C.compiled) =
+  List.fold_left
+    (fun acc (k, _) -> acc + Array.length k.Safara_vir.Kernel.code)
+    0 c.C.c_kernels
+
+let base_passes =
+  [ "strip-clauses"; "resolve-schedules"; "codegen"; "peephole"; "assemble" ]
+
+let safara_passes =
+  [ "strip-clauses"; "resolve-schedules"; "safara"; "codegen"; "peephole";
+    "assemble" ]
+
+let test_registration () =
+  (* building any pipeline registers its passes in the global name
+     registry (used to reject --disable-pass/--dump-ir typos) *)
+  List.iter (fun p -> ignore (Pl.build (C.desc_of_profile p))) C.all_profiles;
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " registered") true (Pass.is_registered n))
+    safara_passes;
+  Alcotest.(check bool) "typos are not registered" false
+    (Pass.is_registered "peepole");
+  let reg = Pass.registered () in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " listed") true (List.mem n reg))
+    safara_passes
+
+let test_pipeline_shapes () =
+  let expect p names =
+    Alcotest.(check (list string))
+      (C.profile_name p)
+      names
+      (Pl.pass_names (C.desc_of_profile p))
+  in
+  expect C.Base base_passes;
+  expect C.Small_only base_passes;
+  expect C.Clauses_only base_passes;
+  expect C.Safara_only safara_passes;
+  expect C.Full safara_passes;
+  expect C.Pgi_like safara_passes
+
+let test_signatures_distinct () =
+  let sigs = List.map (fun p -> C.pipeline_signature p) C.all_profiles in
+  let uniq = List.sort_uniq compare sigs in
+  Alcotest.(check int) "six profiles, six signatures" (List.length sigs)
+    (List.length uniq);
+  (* toggling a pass must change the signature (the engine folds it
+     into compile-cache keys, so a stale hit is impossible) *)
+  Alcotest.(check bool) "disable changes signature" false
+    (C.pipeline_signature C.Full
+    = C.pipeline_signature ~disable:[ "peephole" ] C.Full);
+  (* ... deterministically: the disable set is order-insensitive *)
+  Alcotest.(check string) "disable set is unordered"
+    (C.pipeline_signature ~disable:[ "peephole"; "safara" ] C.Full)
+    (C.pipeline_signature ~disable:[ "safara"; "peephole" ] C.Full);
+  Alcotest.(check string) "signatures are stable"
+    (C.pipeline_signature C.Full)
+    (C.pipeline_signature C.Full)
+
+let compile_with_disable profile disable prog =
+  let options = { Pl.default_options with Pl.o_disable = disable } in
+  C.compile_with ~options profile prog
+
+let test_disable_peephole () =
+  let prog = fig5 () in
+  let on = C.compile C.Full prog in
+  let off, trace = compile_with_disable C.Full [ "peephole" ] prog in
+  let r =
+    List.find (fun r -> r.Pl.pr_pass = "peephole") trace.Pl.tr_reports
+  in
+  Alcotest.(check bool) "peephole marked disabled" true r.Pl.pr_disabled;
+  if not (instrs_of off > instrs_of on) then
+    Alcotest.fail
+      (Printf.sprintf
+         "disabling peephole did not grow the kernels (%d vs %d instrs)"
+         (instrs_of off) (instrs_of on))
+
+let test_disable_safara_equals_clauses_only () =
+  (* Full minus SAFARA is exactly Clauses_only: same strips, same
+     arch, same codegen — the declarative pipeline makes this a
+     one-line identity *)
+  let prog = fig5 () in
+  let clauses = C.compile C.Clauses_only prog in
+  let full_off, _ = compile_with_disable C.Full [ "safara" ] prog in
+  Alcotest.(check string) "kernels identical"
+    (checksum (clauses.C.c_prog, clauses.C.c_kernels))
+    (checksum (full_off.C.c_prog, full_off.C.c_kernels));
+  Alcotest.(check int) "no SAFARA logs" 0 (List.length full_off.C.c_logs)
+
+let test_disable_errors () =
+  let prog = fig5 () in
+  Alcotest.check_raises "stage-changing pass refuses to be disabled"
+    (Invalid_argument "pass codegen changes the IR stage and cannot be disabled")
+    (fun () -> ignore (compile_with_disable C.Full [ "codegen" ] prog));
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+    at 0
+  in
+  (match compile_with_disable C.Full [ "no-such-pass" ] prog with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "message names the bad pass" true
+        (contains ~sub:"no-such-pass" msg)
+  | _ -> Alcotest.fail "unknown pass name was accepted");
+  (* a disable that names a real pass absent from this pipeline is
+     ignored, so one flag can apply across profiles *)
+  let c, _ = compile_with_disable C.Base [ "safara" ] prog in
+  Alcotest.(check string) "absent pass ignored"
+    (checksum (C.compile C.Base prog).C.c_kernels)
+    (checksum c.C.c_kernels)
+
+(* a deliberately broken Ir -> Ir pass: duplicates every region, which
+   Validate rejects (duplicate region names) *)
+let broken_pass =
+  Pass.make ~name:"test-break-ir" ~input:Pass.Ir ~output:Pass.Ir
+    ~identity:Fun.id (fun _ (prog : Safara_ir.Program.t) ->
+      { prog with Safara_ir.Program.regions =
+          prog.Safara_ir.Program.regions @ prog.Safara_ir.Program.regions })
+
+let test_verify_catches_broken_pass () =
+  let prog = fig5 () in
+  let ctx =
+    Pass.make_ctx ~arch:Safara_gpu.Arch.kepler_k20xm
+      ~latency:Safara_gpu.Latency.kepler
+  in
+  let pipe = Pl.Step (broken_pass, Pl.Done) in
+  let opts verify = { Pl.default_options with Pl.o_verify = verify } in
+  (match Pl.run ~options:(opts true) ~name:"broken" ctx pipe prog with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "verify-between-passes missed a duplicated region");
+  (* without verification the bad value flows through untouched *)
+  let out, trace = Pl.run ~options:(opts false) ~name:"broken" ctx pipe prog in
+  Alcotest.(check int) "broken output kept" 2
+    (List.length out.Safara_ir.Program.regions);
+  Alcotest.(check int) "one report" 1 (List.length trace.Pl.tr_reports)
+
+let test_every_pass_timed () =
+  let prog = fig5 () in
+  List.iter
+    (fun p ->
+      let options = { Pl.default_options with Pl.o_precise_stats = true } in
+      let _, trace = C.compile_with ~options p prog in
+      List.iter
+        (fun r ->
+          if not (r.Pl.pr_s > 0.) then
+            Alcotest.fail
+              (Printf.sprintf "%s/%s reported zero seconds" (C.profile_name p)
+                 r.Pl.pr_pass))
+        trace.Pl.tr_reports;
+      Alcotest.(check (list string))
+        (C.profile_name p ^ " reports in pipeline order")
+        (Pl.pass_names (C.desc_of_profile p))
+        (List.map (fun r -> r.Pl.pr_pass) trace.Pl.tr_reports))
+    C.all_profiles
+
+let test_dump_all () =
+  let prog = fig5 () in
+  let options = { Pl.default_options with Pl.o_dump = `All } in
+  let _, trace = C.compile_with ~options C.Full prog in
+  Alcotest.(check (list string))
+    "one dump per pass" safara_passes
+    (List.map fst trace.Pl.tr_dumps);
+  List.iter
+    (fun (n, d) ->
+      if String.length d = 0 then Alcotest.fail (n ^ ": empty dump"))
+    trace.Pl.tr_dumps
+
+let test_eval_cache_respects_disable () =
+  (* toggling a pass must be a distinct compile-cache entry, never a
+     stale hit (the pipeline signature is folded into the key) *)
+  let eng = Eval.create ~jobs:1 () in
+  Fun.protect ~finally:(fun () -> Eval.shutdown eng) @@ fun () ->
+  let w = Registry.find "355.seismic" in
+  let on = Eval.compiled eng (Eval.job C.Full w) in
+  let off = Eval.compiled eng (Eval.job ~disable:[ "peephole" ] C.Full w) in
+  let s = Eval.stats eng in
+  Alcotest.(check int) "two distinct compiles" 2 s.Eval.st_compile_misses;
+  Alcotest.(check bool) "distinct artifacts" false
+    (checksum on.C.c_kernels = checksum off.C.c_kernels);
+  let on' = Eval.compiled eng (Eval.job C.Full w) in
+  let s = Eval.stats eng in
+  Alcotest.(check int) "repeat is a hit" 1 s.Eval.st_compile_hits;
+  Alcotest.(check bool) "hit is the same artifact" true (on == on');
+  (* pass timings accumulated over both misses: every Full pass ran
+     twice (the disabled peephole still reports) *)
+  List.iter
+    (fun n ->
+      match List.find_opt (fun (m, _, _) -> m = n) s.Eval.st_pass_s with
+      | Some (_, runs, secs) ->
+          Alcotest.(check int) (n ^ " runs") 2 runs;
+          Alcotest.(check bool) (n ^ " time > 0") true (secs > 0.)
+      | None -> Alcotest.fail ("no accumulated timing for " ^ n))
+    safara_passes
+
+let test_unrolled_programs_verify () =
+  (* regression: the addressing cache leaked lazily-emitted stride
+     registers across sibling branches; unrolling duplicates the
+     remainder-guard [if], so the second copy read a register the
+     first copy's (skippable) branch defined. Caught by
+     verify-between-every-pass, fixed by scoping stride cache entries
+     like offsets/addrs. *)
+  List.iter
+    (fun id ->
+      let w = Registry.find id in
+      let prog = Safara_lang.Frontend.compile w.Workload.source in
+      List.iter
+        (fun factor ->
+          let prog = Safara_transform.Unroll.unroll_program ~factor prog in
+          let options = { Pl.default_options with Pl.o_verify = true } in
+          ignore (C.compile_with ~options C.Full prog))
+        [ 2; 4 ])
+    [ "303.ostencil"; "355.seismic"; "370.bt" ]
+
+(* --- golden snapshot -----------------------------------------------
+
+   The checked-in file guards the pipeline order per profile and the
+   IR shape entering codegen. Regenerate after an intentional change
+   with:  SAFARA_BLESS_GOLDEN=1 dune runtest  (then copy the file the
+   failure message points at back into test/golden/). *)
+
+(* dune runtest runs with cwd = _build/.../test (where the dune deps
+   glob copies golden/); a manual `dune exec test/test_main.exe` runs
+   from the project root *)
+let golden_path =
+  if Sys.file_exists "golden" then Filename.concat "golden" "pipeline.golden"
+  else Filename.concat (Filename.concat "test" "golden") "pipeline.golden"
+
+let golden_content () =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun p ->
+      Buffer.add_string b
+        (Printf.sprintf "pipeline %-12s %s\n" (C.profile_name p)
+           (String.concat " -> " (Pl.pass_names (C.desc_of_profile p)))))
+    C.all_profiles;
+  let options =
+    { Pl.default_options with Pl.o_dump = `Passes [ "resolve-schedules" ] }
+  in
+  let _, trace = C.compile_with ~options C.Full (fig5 ()) in
+  Buffer.add_string b "\n=== fig5 after resolve-schedules (full) ===\n";
+  Buffer.add_string b (List.assoc "resolve-schedules" trace.Pl.tr_dumps);
+  Buffer.contents b
+
+let test_golden () =
+  let got = golden_content () in
+  if Sys.getenv_opt "SAFARA_BLESS_GOLDEN" <> None then begin
+    let oc = open_out golden_path in
+    output_string oc got;
+    close_out oc;
+    Alcotest.fail
+      (Printf.sprintf "blessed: copy %s back into test/golden/"
+         (Filename.concat (Sys.getcwd ()) golden_path))
+  end;
+  let ic = open_in_bin golden_path in
+  let expected = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check string) "pipeline order and IR snapshot" expected got
+
+let suite =
+  [
+    Alcotest.test_case "pass registration" `Quick test_registration;
+    Alcotest.test_case "declarative pipeline shapes" `Quick test_pipeline_shapes;
+    Alcotest.test_case "signatures distinct and stable" `Quick
+      test_signatures_distinct;
+    Alcotest.test_case "--disable-pass peephole" `Quick test_disable_peephole;
+    Alcotest.test_case "Full - safara = Clauses_only" `Quick
+      test_disable_safara_equals_clauses_only;
+    Alcotest.test_case "disable errors" `Quick test_disable_errors;
+    Alcotest.test_case "verify between passes catches a broken pass" `Quick
+      test_verify_catches_broken_pass;
+    Alcotest.test_case "every pass reports nonzero time" `Quick
+      test_every_pass_timed;
+    Alcotest.test_case "--dump-ir=all" `Quick test_dump_all;
+    Alcotest.test_case "eval cache keyed by pipeline" `Quick
+      test_eval_cache_respects_disable;
+    Alcotest.test_case "unrolled programs verify between passes" `Quick
+      test_unrolled_programs_verify;
+    Alcotest.test_case "golden pipeline snapshot" `Quick test_golden;
+  ]

@@ -124,6 +124,91 @@ let test_npb_small_is_noop () =
         cb.Safara_core.Compiler.c_kernels cs.Safara_core.Compiler.c_kernels)
     Registry.npb
 
+(* --- pass-manager byte-identity harness ----------------------------
+
+   The declarative pipeline (Safara_core.Pipeline) must reproduce the
+   pre-refactor monolithic driver bit for bit. [reference_compile] is
+   a transcription of that driver — the strip_for/uses_safara
+   conditionals and the Pgi_like arch/config special cases, calling
+   the underlying phases directly — and every registered workload
+   under every profile must yield Marshal-checksum-identical
+   transformed IR, kernels, ptxas reports and SAFARA logs. *)
+
+let reference_compile ?(arch = Safara_gpu.Arch.kepler_k20xm)
+    ?(latency = Safara_gpu.Latency.kepler) profile prog =
+  let module C = Safara_core.Compiler in
+  let module R = Safara_ir.Region in
+  let module P = Safara_ir.Program in
+  let strip_for profile (r : R.t) =
+    match profile with
+    | C.Base | C.Safara_only | C.Pgi_like ->
+        { r with R.dim_groups = []; small = [] }
+    | C.Small_only -> { r with R.dim_groups = [] }
+    | C.Clauses_only | C.Full -> r
+  in
+  let uses_safara = function
+    | C.Safara_only | C.Full | C.Pgi_like -> true
+    | C.Base | C.Small_only | C.Clauses_only -> false
+  in
+  let arch =
+    if profile = C.Pgi_like then
+      { arch with Safara_gpu.Arch.has_read_only_cache = false }
+    else arch
+  in
+  let prog =
+    { prog with P.regions = List.map (strip_for profile) prog.P.regions }
+  in
+  let prog = Safara_analysis.Schedule.resolve_program prog in
+  let config =
+    if profile = C.Pgi_like then
+      {
+        (Safara_transform.Safara.default_config ~arch) with
+        Safara_transform.Safara.use_feedback = false;
+        cost_model = `Count_only;
+        assumed_free_regs = 4096;
+        policy =
+          {
+            Safara_analysis.Reuse.default_policy with
+            Safara_analysis.Reuse.skip_coalesced_read_only = false;
+          };
+      }
+    else Safara_transform.Safara.default_config ~arch
+  in
+  let prog, logs =
+    if uses_safara profile then
+      Safara_transform.Safara.optimize_program ~config ~arch ~latency prog
+    else (prog, [])
+  in
+  let kernels =
+    List.map
+      (fun r ->
+        Safara_ptxas.Assemble.assemble ~arch
+          (Safara_vir.Codegen.compile_region ~arch prog r))
+      prog.P.regions
+  in
+  (prog, kernels, logs)
+
+let checksum v = Digest.to_hex (Digest.string (Marshal.to_string v []))
+
+let test_pipeline_matches_reference () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let prog = Safara_lang.Frontend.compile w.Workload.source in
+      List.iter
+        (fun p ->
+          let rprog, rkernels, rlogs = reference_compile p prog in
+          let c = Safara_core.Compiler.compile p prog in
+          Alcotest.(check string)
+            (Printf.sprintf "%s under %s" w.Workload.id
+               (Safara_core.Compiler.profile_name p))
+            (checksum (rprog, rkernels, rlogs))
+            (checksum
+               ( c.Safara_core.Compiler.c_prog,
+                 c.Safara_core.Compiler.c_kernels,
+                 c.Safara_core.Compiler.c_logs )))
+        Safara_core.Compiler.all_profiles)
+    Registry.all
+
 let test_no_spills_anywhere () =
   (* the paper reports SAFARA induced no spilling; our feedback-driven
      budget must reproduce that *)
@@ -151,4 +236,6 @@ let suite =
       Alcotest.test_case "table II NA rows" `Quick test_sp_table2_na_rows;
       Alcotest.test_case "NAS small is a no-op" `Quick test_npb_small_is_noop;
       Alcotest.test_case "no spills under Full" `Quick test_no_spills_anywhere;
+      Alcotest.test_case "pipeline is byte-identical to the reference driver"
+        `Slow test_pipeline_matches_reference;
     ]

@@ -17,6 +17,7 @@ let () =
       ("timing", Suite_timing.suite);
       ("experiments", Suite_experiments.suite);
       ("engine", Suite_engine.suite);
+      ("pipeline", Suite_pipeline.suite);
       ("shapes", Suite_shapes.suite);
       ("check", Suite_check.suite);
     ]
