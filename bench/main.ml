@@ -182,17 +182,86 @@ let sim_check_identical c (w : Workload.t) =
     Printf.eprintf "bench sim: engines diverge on %s\n" w.Workload.id;
     exit 1)
 
-let run_sim ~smoke () =
+(* block-parallel legality, judged once per kernel so repeated
+   measurement runs skip the dependence analysis *)
+let sim_kernel_verdicts c =
+  List.map
+    (fun (k, _) ->
+      (k, Safara_sim.Blockpar.analyze ~prog:c.Safara_core.Compiler.c_prog k))
+    c.Safara_core.Compiler.c_kernels
+
+let sim_functional_run_par c (w : Workload.t) ~pool ~verdicts () =
+  let env = Workload.prepare c w in
+  let counters = Safara_sim.Interp.fresh_counters () in
+  List.iter
+    (fun (k, verdict) ->
+      let grid =
+        Safara_sim.Launch.grid_of ~env:env.Safara_sim.Interp.scalars k
+      in
+      Safara_sim.Interp.run_kernel ~counters ~pool ~verdict
+        ~prog:c.Safara_core.Compiler.c_prog ~env ~grid k)
+    verdicts;
+  counters.Safara_sim.Interp.c_instructions
+
+let sim_check_parallel c (w : Workload.t) ~pool ~verdicts =
+  (* the bit-identity gate of the block-parallel engine: final memory
+     (every program array) and summed counters must equal the
+     sequential decoded walk exactly, at any -j *)
+  let snapshot run =
+    let env = Workload.prepare c w in
+    let counters = Safara_sim.Interp.fresh_counters () in
+    run env counters;
+    let sums =
+      List.map
+        (fun (a : Safara_ir.Array_info.t) ->
+          ( a.Safara_ir.Array_info.name,
+            Int64.bits_of_float
+              (Safara_sim.Memory.checksum env.Safara_sim.Interp.mem
+                 a.Safara_ir.Array_info.name) ))
+        c.Safara_core.Compiler.c_prog.Safara_ir.Program.arrays
+    in
+    (sums, counters)
+  in
+  let seq =
+    snapshot (fun env counters ->
+        List.iter
+          (fun (k, _) ->
+            let grid =
+              Safara_sim.Launch.grid_of ~env:env.Safara_sim.Interp.scalars k
+            in
+            Safara_sim.Interp.run_kernel ~counters
+              ~prog:c.Safara_core.Compiler.c_prog ~env ~grid k)
+          c.Safara_core.Compiler.c_kernels)
+  in
+  let par =
+    snapshot (fun env counters ->
+        List.iter
+          (fun (k, verdict) ->
+            let grid =
+              Safara_sim.Launch.grid_of ~env:env.Safara_sim.Interp.scalars k
+            in
+            Safara_sim.Interp.run_kernel ~counters ~pool ~verdict
+              ~prog:c.Safara_core.Compiler.c_prog ~env ~grid k)
+          verdicts)
+  in
+  if seq <> par then (
+    Printf.eprintf "bench sim: parallel interp diverges from serial on %s\n"
+      w.Workload.id;
+    exit 1)
+
+let run_sim ~smoke ~pool () =
   let workloads =
     if smoke then List.map Registry.find sim_smoke_ids else Registry.all
   in
   let min_time = if smoke then 0.05 else 0.3 in
+  let jobs = Safara_engine.Pool.size pool in
   Printf.printf
     "Simulator throughput: decoded unboxed core vs boxed reference engine\n\
-     profile Full, %s; simulated warp-instructions per second\n\n"
-    Safara_gpu.Arch.kepler_k20xm.Safara_gpu.Arch.name;
-  Printf.printf "%-16s %14s %14s %8s %14s %14s %8s\n" "workload" "interp-ref"
-    "interp-dec" "x" "timing-ref" "timing-dec" "x";
+     profile Full, %s; simulated warp-instructions per second; -j %d\n\n"
+    Safara_gpu.Arch.kepler_k20xm.Safara_gpu.Arch.name jobs;
+  Printf.printf "%-16s %14s %14s %8s %14s %8s %14s %14s %8s\n" "workload"
+    "interp-ref" "interp-dec" "x" "interp-par" "x" "timing-ref" "timing-dec"
+    "x";
   let rows =
     List.map
       (fun (w : Workload.t) ->
@@ -201,6 +270,8 @@ let run_sim ~smoke () =
             w.Workload.source
         in
         sim_check_identical c w;
+        let verdicts = sim_kernel_verdicts c in
+        sim_check_parallel c w ~pool ~verdicts;
         let fr =
           sim_with_engine true (fun () ->
               sim_measure ~min_time (sim_functional_run c w))
@@ -208,6 +279,11 @@ let run_sim ~smoke () =
         let fd =
           sim_with_engine false (fun () ->
               sim_measure ~min_time (sim_functional_run c w))
+        in
+        let fp =
+          sim_with_engine false (fun () ->
+              sim_measure ~min_time
+                (sim_functional_run_par c w ~pool ~verdicts))
         in
         let tr =
           sim_with_engine true (fun () ->
@@ -217,12 +293,24 @@ let run_sim ~smoke () =
           sim_with_engine false (fun () ->
               sim_measure ~min_time (sim_timing_run c w))
         in
-        Printf.printf "%-16s %14.3e %14.3e %7.2fx %14.3e %14.3e %7.2fx\n%!"
+        Printf.printf
+          "%-16s %14.3e %14.3e %7.2fx %14.3e %7.2fx %14.3e %14.3e %7.2fx\n%!"
           w.Workload.id fr.sm_ips fd.sm_ips
           (fd.sm_ips /. fr.sm_ips)
+          fp.sm_ips
+          (fp.sm_ips /. fd.sm_ips)
           tr.sm_ips td.sm_ips
           (td.sm_ips /. tr.sm_ips);
-        (w.Workload.id, fr, fd, tr, td))
+        List.iter
+          (fun (k, v) ->
+            match v with
+            | Safara_sim.Blockpar.Block_parallel -> ()
+            | Safara_sim.Blockpar.Serial r ->
+                Printf.printf "  %s/%s: serial fallback — %s\n%!"
+                  w.Workload.id k.Safara_vir.Kernel.kname
+                  (Safara_sim.Blockpar.reason_message r))
+          verdicts;
+        (w.Workload.id, fr, fd, fp, tr, td, verdicts))
       workloads
   in
   let total f =
@@ -232,10 +320,14 @@ let run_sim ~smoke () =
     let i, s = total f in
     float_of_int i /. s
   in
-  let fr = agg (fun (_, x, _, _, _) -> x) and fd = agg (fun (_, _, x, _, _) -> x) in
-  let tr = agg (fun (_, _, _, x, _) -> x) and td = agg (fun (_, _, _, _, x) -> x) in
-  Printf.printf "\n%-16s %14.3e %14.3e %7.2fx %14.3e %14.3e %7.2fx\n" "aggregate"
-    fr fd (fd /. fr) tr td (td /. tr);
+  let fr = agg (fun (_, x, _, _, _, _, _) -> x)
+  and fd = agg (fun (_, _, x, _, _, _, _) -> x)
+  and fp = agg (fun (_, _, _, x, _, _, _) -> x) in
+  let tr = agg (fun (_, _, _, _, x, _, _) -> x)
+  and td = agg (fun (_, _, _, _, _, x, _) -> x) in
+  Printf.printf
+    "\n%-16s %14.3e %14.3e %7.2fx %14.3e %7.2fx %14.3e %14.3e %7.2fx\n"
+    "aggregate" fr fd (fd /. fr) fp (fp /. fd) tr td (td /. tr);
   let meas_json (m : sim_meas) =
     j_obj
       [ ("ips", j_float m.sm_ips);
@@ -243,20 +335,35 @@ let run_sim ~smoke () =
         ("seconds", j_float m.sm_s);
         ("runs", j_int m.sm_runs) ]
   in
+  let verdict_json (k, v) =
+    j_obj
+      (("name", j_str k.Safara_vir.Kernel.kname)
+      ::
+      (match v with
+      | Safara_sim.Blockpar.Block_parallel -> [ ("block_parallel", "true") ]
+      | Safara_sim.Blockpar.Serial r ->
+          [ ("block_parallel", "false");
+            ("fallback_reason",
+             j_str (Safara_sim.Blockpar.reason_message r)) ]))
+  in
   let json =
     j_obj
       [ ("arch", j_str Safara_gpu.Arch.kepler_k20xm.Safara_gpu.Arch.name);
         ("profile", j_str "full");
         ("mode", j_str (if smoke then "smoke" else "full"));
+        ("jobs", j_int jobs);
         ("workloads",
          j_list
            (List.map
-              (fun (id, fr, fd, tr, td) ->
+              (fun (id, fr, fd, fp, tr, td, verdicts) ->
                 j_obj
                   [ ("id", j_str id);
                     ("interp_reference", meas_json fr);
                     ("interp_decoded", meas_json fd);
                     ("interp_speedup", j_float (fd.sm_ips /. fr.sm_ips));
+                    ("interp_parallel", meas_json fp);
+                    ("parallel_speedup", j_float (fp.sm_ips /. fd.sm_ips));
+                    ("kernels", j_list (List.map verdict_json verdicts));
                     ("timing_reference", meas_json tr);
                     ("timing_decoded", meas_json td);
                     ("timing_speedup", j_float (td.sm_ips /. tr.sm_ips)) ])
@@ -266,6 +373,8 @@ let run_sim ~smoke () =
            [ ("interp_reference_ips", j_float fr);
              ("interp_decoded_ips", j_float fd);
              ("interp_speedup", j_float (fd /. fr));
+             ("interp_parallel_ips", j_float fp);
+             ("parallel_speedup", j_float (fp /. fd));
              ("timing_reference_ips", j_float tr);
              ("timing_decoded_ips", j_float td);
              ("timing_speedup", j_float (td /. tr)) ]) ]
@@ -547,7 +656,7 @@ let () =
   | "crossarch" -> run_crossarch ~eng ()
   | "unroll" -> run_unroll ~eng ()
   | "micro" -> run_micro ()
-  | "sim" -> run_sim ~smoke:!smoke ()
+  | "sim" -> run_sim ~smoke:!smoke ~pool:(Eval.pool eng) ()
   | "json" -> run_json ~eng ()
   | "all" -> all ~eng ()
   | other ->

@@ -419,14 +419,35 @@ let occupancy_cmd =
 (* --- run ------------------------------------------------------------- *)
 
 let run_cmd =
-  let run file profile_name defs =
+  let run file profile_name defs jobs =
     wrap (fun () ->
         let profile = profile_of profile_name in
         let prog = load file in
         let c = Safara_core.Compiler.compile profile prog in
         let scalars = parse_scalars prog defs in
         let env = Safara_core.Compiler.make_env c ~scalars in
-        Safara_core.Compiler.run_functional c env;
+        let pool =
+          match jobs with
+          | Some n when n > 1 -> Some (Safara_engine.Pool.create ~size:n ())
+          | _ -> None
+        in
+        let modes = Safara_core.Compiler.run_functional_m ?pool c env in
+        Option.iter Safara_engine.Pool.shutdown pool;
+        (* execution-mode report on stderr: stdout (the checksums) is
+           byte-identical at any -j *)
+        if pool <> None then
+          List.iter
+            (fun (kname, mode) ->
+              match mode with
+              | Safara_sim.Interp.Parallel { chunks } ->
+                  Printf.eprintf "%s: block-parallel (%d chunks)\n" kname
+                    chunks
+              | Safara_sim.Interp.Sequential (Some r) ->
+                  Printf.eprintf "%s: sequential — %s\n" kname
+                    (Safara_sim.Blockpar.reason_message r)
+              | Safara_sim.Interp.Sequential None ->
+                  Printf.eprintf "%s: sequential\n" kname)
+            modes;
         List.iter
           (fun (a : Safara_ir.Array_info.t) ->
             Printf.printf "%-16s checksum % .10e\n" a.Safara_ir.Array_info.name
@@ -434,10 +455,21 @@ let run_cmd =
                  a.Safara_ir.Array_info.name))
           prog.Safara_ir.Program.arrays)
   in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "simulator domain-pool size: thread-blocks of provably \
+             block-disjoint kernels run concurrently (results are \
+             bit-identical at any N; kernels that cannot be proven safe \
+             fall back to the sequential walker, see diagnostic SAF034)")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Execute the program on the functional simulator and print checksums")
-    Term.(ret (const run $ file_arg $ profile_arg $ scalars_arg))
+    Term.(ret (const run $ file_arg $ profile_arg $ scalars_arg $ jobs_arg))
 
 (* --- bench ------------------------------------------------------------ *)
 

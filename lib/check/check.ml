@@ -55,7 +55,17 @@ let backend_checks ~map ~arch ~profile prog =
       List.concat_map
         (fun ((k, _) as kr) ->
           List.map (locate map) (Safara_vir.Verify.verify k)
-          @ Lint.kernel_lints ~map ~arch kr)
+          @ Lint.kernel_lints ~map ~arch kr
+          @
+          (* SAF034: where the simulator's block-parallel engine must
+             fall back to the sequential walk, and why — judged on the
+             post-transform IR actually fed to codegen *)
+          match
+            Safara_sim.Blockpar.analyze ~prog:c.Safara_core.Compiler.c_prog k
+          with
+          | Safara_sim.Blockpar.Block_parallel -> []
+          | Safara_sim.Blockpar.Serial r ->
+              [ locate map (Safara_sim.Blockpar.diagnostic k r) ])
         c.Safara_core.Compiler.c_kernels
 
 let run ?(file = "<input>") ?(arch = Safara_gpu.Arch.kepler_k20xm)

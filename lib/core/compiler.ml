@@ -112,8 +112,12 @@ let make_env c ~scalars =
   Safara_sim.Memory.alloc_program mem ~env:int_env c.c_prog;
   { Safara_sim.Interp.scalars; mem }
 
-let run_functional c env =
-  Safara_sim.Launch.run_functional ~prog:c.c_prog ~env
+let run_functional ?counters ?pool c env =
+  Safara_sim.Launch.run_functional ?counters ?pool ~prog:c.c_prog ~env
+    (List.map fst c.c_kernels)
+
+let run_functional_m ?counters ?pool c env =
+  Safara_sim.Launch.run_functional_m ?counters ?pool ~prog:c.c_prog ~env
     (List.map fst c.c_kernels)
 
 let time c env =

@@ -98,8 +98,25 @@ val make_env :
 (** Allocate device memory for the program's arrays (sized from the
     integer scalars) and package the environment. *)
 
-val run_functional : compiled -> Safara_sim.Interp.env -> unit
-(** Execute all kernels in order against the environment's memory. *)
+val run_functional :
+  ?counters:Safara_sim.Interp.counters ->
+  ?pool:Safara_engine.Pool.t ->
+  compiled ->
+  Safara_sim.Interp.env ->
+  unit
+(** Execute all kernels in order against the environment's memory.
+    With [pool], provably block-disjoint kernels fan their
+    thread-blocks across it (see {!Safara_sim.Interp.run_kernel});
+    results are bit-identical at any pool size. *)
+
+val run_functional_m :
+  ?counters:Safara_sim.Interp.counters ->
+  ?pool:Safara_engine.Pool.t ->
+  compiled ->
+  Safara_sim.Interp.env ->
+  (string * Safara_sim.Interp.mode) list
+(** [run_functional] reporting, per kernel in launch order, how it was
+    executed (parallel, or sequential with the fallback reason). *)
 
 val time : compiled -> Safara_sim.Interp.env -> Safara_sim.Launch.program_time
 (** Timed execution (uses scratch copies of memory per kernel). *)

@@ -20,7 +20,9 @@
     - [SAF030] uncoalesced global access (note)
     - [SAF031] register pressure above the architecture budget
     - [SAF032] dim/small clause declared but never exploited
-    - [SAF033] dead scalar (written but never read) *)
+    - [SAF033] dead scalar (written but never read)
+    - [SAF034] kernel not provably block-parallel: the simulator runs
+      its thread-blocks sequentially (note) *)
 
 type severity = Error | Warning | Note
 

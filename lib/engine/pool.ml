@@ -12,6 +12,15 @@ type t = {
    instead of queueing behind the task that issued them *)
 let in_worker = Domain.DLS.new_key (fun () -> false)
 
+(* which [counts] slot this domain owns: 0 for the calling domain,
+   worker i for the i-th spawned domain — lets [parallel_for] chunks
+   attribute their work to whichever domain actually ran them *)
+let worker_ix = Domain.DLS.new_key (fun () -> 0)
+
+let[@inline] tick t =
+  let i = Domain.DLS.get worker_ix in
+  t.counts.(i) <- t.counts.(i) + 1
+
 let default_size () =
   match Sys.getenv_opt "SAFARA_JOBS" with
   | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
@@ -19,6 +28,7 @@ let default_size () =
 
 let worker t i () =
   Domain.DLS.set in_worker true;
+  Domain.DLS.set worker_ix i;
   let rec next () =
     if t.stopping then None
     else
@@ -117,6 +127,82 @@ let map (type b) t (f : _ -> b) xs =
              out)
 
 let iter t f xs = ignore (map t (fun x -> f x) xs)
+
+(* Chunked index-range fan-out. Unlike [map], this is safe — and still
+   parallel — when called from inside a pool job: chunks are claimed
+   from a shared atomic counter by the *calling* domain and by helper
+   tasks offered to the queue, so the caller always makes progress on
+   its own (no waiting on an already-busy queue, hence no deadlock) and
+   idle workers join in opportunistically. Nested uses therefore share
+   the pool's one [-j] budget instead of oversubscribing the machine.
+   Chunk boundaries depend only on [n], [chunks] and the pool size, and
+   results come back in chunk order, so output is deterministic. *)
+let parallel_for (type a) t ?chunks ~n (f : lo:int -> hi:int -> a) : a list =
+  if n <= 0 then []
+  else begin
+    let nchunks =
+      let default = if t.psize <= 1 then 1 else min n (4 * t.psize) in
+      match chunks with Some c -> max 1 (min n c) | None -> default
+    in
+    (* chunk k covers [k*n/nchunks, (k+1)*n/nchunks): contiguous,
+       exhaustive, and within one element of equal size *)
+    let bounds k = (k * n / nchunks, (k + 1) * n / nchunks) in
+    if nchunks = 1 then begin
+      let v = f ~lo:0 ~hi:n in
+      tick t;
+      [ v ]
+    end
+    else begin
+      let out : (a, exn * Printexc.raw_backtrace) result option array =
+        Array.make nchunks None
+      in
+      let next = Atomic.make 0 in
+      let m = Mutex.create () in
+      let finished = Condition.create () in
+      let remaining = ref nchunks in
+      let rec run_chunks () =
+        let k = Atomic.fetch_and_add next 1 in
+        if k < nchunks then begin
+          let lo, hi = bounds k in
+          let r =
+            try Ok (f ~lo ~hi)
+            with e -> Error (e, Printexc.get_raw_backtrace ())
+          in
+          tick t;
+          Mutex.lock m;
+          out.(k) <- Some r;
+          decr remaining;
+          if !remaining = 0 then Condition.signal finished;
+          Mutex.unlock m;
+          run_chunks ()
+        end
+      in
+      (* offer helper tasks to idle workers; busy or absent workers are
+         fine — completion never depends on them being picked up *)
+      if t.psize > 1 then begin
+        Mutex.lock t.mutex;
+        if not t.stopping then
+          for _ = 2 to min t.psize nchunks do
+            Queue.add run_chunks t.queue
+          done;
+        Condition.broadcast t.nonempty;
+        Mutex.unlock t.mutex
+      end;
+      run_chunks ();
+      Mutex.lock m;
+      while !remaining > 0 do
+        Condition.wait finished m
+      done;
+      Mutex.unlock m;
+      Array.to_list
+        (Array.map
+           (function
+             | Some (Ok v) -> v
+             | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+             | None -> assert false)
+           out)
+    end
+  end
 
 let job_counts t = Array.to_list t.counts
 

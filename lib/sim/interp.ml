@@ -1,6 +1,7 @@
 module I = Safara_vir.Instr
 module V = Safara_vir.Vreg
 module K = Safara_vir.Kernel
+module Pool = Safara_engine.Pool
 
 type env = Decode.env = { scalars : (string * Value.t) list; mem : Memory.t }
 
@@ -170,6 +171,91 @@ let run_kernel_dec ~counters ~prog ~env ~grid (k : K.t) =
     done
   done
 
-let run_kernel ?(counters = null_counters) ~prog ~env ~grid (k : K.t) =
+(* --- block-parallel engine -------------------------------------------- *)
+
+type mode = Sequential of Blockpar.reason option | Parallel of { chunks : int }
+
+let add_counters ~into (c : counters) =
+  into.c_instructions <- into.c_instructions + c.c_instructions;
+  into.c_loads <- into.c_loads + c.c_loads;
+  into.c_stores <- into.c_stores + c.c_stores;
+  into.c_atomics <- into.c_atomics + c.c_atomics;
+  into.c_spill_ops <- into.c_spill_ops + c.c_spill_ops
+
+(* Fan the grid's thread-blocks across the pool in contiguous chunks.
+   Only called on kernels {!Blockpar} proved block-disjoint, so chunks
+   may share [env.mem]'s store: each gets a private {!Memory.view}
+   (its own last-hit cursors), a private register file, and a private
+   counter record. Within a chunk blocks run in ascending linear order
+   and threads in the same thread-major order as the sequential walk,
+   so per-cell store sequences — and therefore final memory — are
+   identical by disjointness, and the integer counter sums are
+   identical because addition is associative and commutative (they are
+   still merged in chunk order for good measure). *)
+let run_kernel_par ~counters ~prog ~env ~grid ~pool (k : K.t) =
+  let d = Decode.decode k in
+  let n = Array.length d.Decode.d_ops in
+  let gx, gy, gz = grid in
+  let bx, by, bz = k.K.block in
+  let nblocks = gx * gy * gz in
+  let budget = !max_steps_per_thread in
+  let fuel_free = (not d.Decode.d_has_backedge) && n <= budget in
+  let chunk_counters =
+    Pool.parallel_for pool ~n:nblocks (fun ~lo ~hi ->
+        let cnt = fresh_counters () in
+        let env_c = { env with mem = Memory.view env.mem } in
+        let st = Decode.make_state d in
+        let ps = Decode.make_params d ~env:env_c ~prog in
+        Decode.set_launch st ~ntid:(bx, by, bz) ~nctaid:(gx, gy, gz);
+        for b = lo to hi - 1 do
+          (* invert the sequential walk's cz-outer / cx-inner nesting *)
+          let cx = b mod gx in
+          let cy = b / gx mod gy in
+          let cz = b / (gx * gy) in
+          for tz = 0 to bz - 1 do
+            for ty = 0 to by - 1 do
+              for tx = 0 to bx - 1 do
+                Decode.reset_state st;
+                Decode.set_thread st ~tx ~ty ~tz ~cx ~cy ~cz;
+                if fuel_free then
+                  ignore (Decode.run d st ps cnt ~pc:0 ~fuel:max_int)
+                else if Decode.run d st ps cnt ~pc:0 ~fuel:budget < n then
+                  failwith "interp: fuel exhausted"
+              done
+            done
+          done
+        done;
+        cnt)
+  in
+  List.iter (fun c -> add_counters ~into:counters c) chunk_counters;
+  List.length chunk_counters
+
+let run_kernel_seq ~counters ~prog ~env ~grid k =
   if !Decode.use_reference then run_kernel_ref ~counters ~prog ~env ~grid k
   else run_kernel_dec ~counters ~prog ~env ~grid k
+
+let run_kernel_m ?(counters = null_counters) ?pool ?verdict ~prog ~env ~grid
+    (k : K.t) =
+  let gx, gy, gz = grid in
+  let nblocks = gx * gy * gz in
+  match pool with
+  | Some pool when (not !Decode.use_reference) && Pool.size pool > 1 && nblocks > 1
+    -> (
+      let v =
+        match verdict with
+        | Some v -> v
+        | None -> Blockpar.analyze ~prog k
+      in
+      match v with
+      | Blockpar.Block_parallel ->
+          let chunks = run_kernel_par ~counters ~prog ~env ~grid ~pool k in
+          Parallel { chunks }
+      | Blockpar.Serial r ->
+          run_kernel_seq ~counters ~prog ~env ~grid k;
+          Sequential (Some r))
+  | _ ->
+      run_kernel_seq ~counters ~prog ~env ~grid k;
+      Sequential None
+
+let run_kernel ?counters ?pool ?verdict ~prog ~env ~grid (k : K.t) =
+  ignore (run_kernel_m ?counters ?pool ?verdict ~prog ~env ~grid k : mode)

@@ -1,10 +1,13 @@
 (** Functional (untimed) kernel interpreter.
 
-    Executes every thread of the launch sequentially against the
-    simulated device memory. It is the semantic oracle of the
-    reproduction: tests compare array contents across compiler
-    configurations (base, SAFARA, clauses) to prove the
-    transformations preserve meaning.
+    Executes every thread of the launch against the simulated device
+    memory — sequentially by default, or with thread-blocks fanned
+    across a domain pool when {!Blockpar} proves the launch
+    block-disjoint (results are bit-identical either way, by
+    construction). It is the semantic oracle of the reproduction:
+    tests compare array contents across compiler configurations
+    (base, SAFARA, clauses) to prove the transformations preserve
+    meaning.
 
     Two engines share this entry point. The default runs on the
     pre-decoded, unboxed core ({!Decode}); the original boxed walker is
@@ -35,17 +38,48 @@ val param_value :
     a descriptor name like ["a.len2"] → the array's dimension extent;
     otherwise a scalar parameter. *)
 
+(** How a launch was executed. *)
+type mode =
+  | Sequential of Blockpar.reason option
+      (** one thread after another; [Some r] = a pool was offered but
+          {!Blockpar} refused parallelism for reason [r], [None] = no
+          pool / [-j 1] / reference engine / single-block grid *)
+  | Parallel of { chunks : int }
+      (** thread-blocks fanned across the pool in [chunks] contiguous
+          chunks *)
+
 val run_kernel :
   ?counters:counters ->
+  ?pool:Safara_engine.Pool.t ->
+  ?verdict:Blockpar.verdict ->
   prog:Safara_ir.Program.t ->
   env:env ->
   grid:int * int * int ->
   Safara_vir.Kernel.t ->
   unit
-(** @raise Failure when the step budget is exceeded (a guard against
+(** Execute every thread of the launch. With [pool] (of size > 1),
+    kernels that {!Blockpar} proves block-disjoint run their
+    thread-blocks concurrently — results are bit-identical to the
+    sequential walk by construction (disjoint stores, private register
+    files, private {!Memory.view} cursors, counters summed in chunk
+    order); anything unprovable falls back to the sequential engine.
+    [verdict] supplies a precomputed {!Blockpar.analyze} result so
+    repeated launches skip the analysis.
+    @raise Failure when the step budget is exceeded (a guard against
     non-terminating generated code) or a parameter is unbound.
     @raise Decode.Error on a branch to an unknown label — detected
     statically at decode time (SAF021) rather than mid-simulation. *)
+
+val run_kernel_m :
+  ?counters:counters ->
+  ?pool:Safara_engine.Pool.t ->
+  ?verdict:Blockpar.verdict ->
+  prog:Safara_ir.Program.t ->
+  env:env ->
+  grid:int * int * int ->
+  Safara_vir.Kernel.t ->
+  mode
+(** [run_kernel] returning how the launch was executed. *)
 
 val max_steps_per_thread : int ref
 (** Interpreter fuel per thread (default 10 million). *)

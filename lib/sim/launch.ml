@@ -66,12 +66,17 @@ let grid_of ~env (k : K.t) =
   in
   (axis Safara_vir.Instr.X, axis Safara_vir.Instr.Y, axis Safara_vir.Instr.Z)
 
-let run_functional ~prog ~env kernels =
-  List.iter
-    (fun k ->
+let run_functional_m ?counters ?pool ~prog ~env kernels =
+  List.map
+    (fun (k : K.t) ->
       let grid = grid_of ~env:env.Interp.scalars k in
-      Interp.run_kernel ~prog ~env ~grid k)
+      (k.K.kname, Interp.run_kernel_m ?counters ?pool ~prog ~env ~grid k))
     kernels
+
+let run_functional ?counters ?pool ~prog ~env kernels =
+  ignore
+    (run_functional_m ?counters ?pool ~prog ~env kernels
+      : (string * Interp.mode) list)
 
 let time_kernel ~arch ~latency ~prog ~env ~report (k : K.t) =
   let grid = grid_of ~env:env.Interp.scalars k in

@@ -34,11 +34,26 @@ val grid_of :
   env:(string * Value.t) list -> Safara_vir.Kernel.t -> int * int * int
 
 val run_functional :
+  ?counters:Interp.counters ->
+  ?pool:Safara_engine.Pool.t ->
   prog:Safara_ir.Program.t ->
   env:Interp.env ->
   Safara_vir.Kernel.t list ->
   unit
-(** Run all kernels in order against [env.mem] (the semantic run). *)
+(** Run all kernels in order against [env.mem] (the semantic run).
+    With [pool], each kernel that {!Blockpar} proves block-disjoint
+    fans its thread-blocks across the pool (see {!Interp.run_kernel});
+    results are bit-identical at any pool size. *)
+
+val run_functional_m :
+  ?counters:Interp.counters ->
+  ?pool:Safara_engine.Pool.t ->
+  prog:Safara_ir.Program.t ->
+  env:Interp.env ->
+  Safara_vir.Kernel.t list ->
+  (string * Interp.mode) list
+(** [run_functional] reporting, per kernel in launch order, how it was
+    executed (parallel, or sequential with the fallback reason). *)
 
 val time_kernel :
   arch:Safara_gpu.Arch.t ->

@@ -15,12 +15,23 @@ type alloc = {
    a two-entry last-hit cache for address resolution: kernels stream
    from one array into another, so alternating load/store addresses
    both stay cached and most lookups cost one or two range checks; the
-   miss path is a binary search instead of the former linear scan. *)
-type t = {
+   miss path is a binary search instead of the former linear scan.
+
+   The allocation table is split from the last-hit cursors: the table
+   ([store]) is shared and read-only during simulation, while the
+   cursors are per-[t] mutable state. [t] itself is the root view;
+   [view] derives further lightweight views over the same store so
+   concurrent thread-blocks each stream through a private cursor pair
+   instead of racing (and cache-thrashing) on a shared one. *)
+type store = {
   mutable allocs : alloc array;  (** first [n] slots used, base-ascending *)
   mutable n : int;
   index : (string, int) Hashtbl.t;  (** name → slot *)
   mutable next : int;
+}
+
+type t = {
+  s : store;  (** shared allocation table *)
   mutable last : int;  (** most-recent-hit slot for [find_by_addr], or -1 *)
   mutable last2 : int;  (** second-most-recent-hit slot, or -1 *)
 }
@@ -29,31 +40,35 @@ let dummy = { a_base = 0; a_bytes = 0; a_elem = 1; a_shift = 0; a_payload = I [|
 
 let create () =
   {
-    allocs = [||]; n = 0; index = Hashtbl.create 16; next = 0x10000;
-    last = -1; last2 = -1;
+    s = { allocs = [||]; n = 0; index = Hashtbl.create 16; next = 0x10000 };
+    last = -1;
+    last2 = -1;
   }
 
+let view t = { s = t.s; last = -1; last2 = -1 }
+
 let alloc t ~name ~elem ~length =
+  let s = t.s in
   if length <= 0 then invalid_arg ("memory: nonpositive length for " ^ name);
-  if Hashtbl.mem t.index name then invalid_arg ("memory: duplicate " ^ name);
+  if Hashtbl.mem s.index name then invalid_arg ("memory: duplicate " ^ name);
   let elem_bytes = T.size_bytes elem in
   let payload =
     if T.is_float elem then F (Array.make length 0.) else I (Array.make length 0)
   in
   let a =
-    { a_base = t.next; a_bytes = length * elem_bytes; a_elem = elem_bytes;
+    { a_base = s.next; a_bytes = length * elem_bytes; a_elem = elem_bytes;
       a_shift = (if elem_bytes = 8 then 3 else 2); a_payload = payload }
   in
-  if t.n = Array.length t.allocs then begin
-    let grown = Array.make (max 8 (2 * t.n)) dummy in
-    Array.blit t.allocs 0 grown 0 t.n;
-    t.allocs <- grown
+  if s.n = Array.length s.allocs then begin
+    let grown = Array.make (max 8 (2 * s.n)) dummy in
+    Array.blit s.allocs 0 grown 0 s.n;
+    s.allocs <- grown
   end;
-  t.allocs.(t.n) <- a;
-  Hashtbl.replace t.index name t.n;
-  t.n <- t.n + 1;
+  s.allocs.(s.n) <- a;
+  Hashtbl.replace s.index name s.n;
+  s.n <- s.n + 1;
   (* 256-byte alignment, like cudaMalloc *)
-  t.next <- t.next + ((a.a_bytes + 255) / 256 * 256)
+  s.next <- s.next + ((a.a_bytes + 255) / 256 * 256)
 
 let dim_value env (d : Safara_ir.Dim.t) =
   match d.Safara_ir.Dim.extent with
@@ -73,8 +88,8 @@ let alloc_program t ~env (p : Safara_ir.Program.t) =
     p.Safara_ir.Program.arrays
 
 let find_by_name t name =
-  match Hashtbl.find_opt t.index name with
-  | Some i -> t.allocs.(i)
+  match Hashtbl.find_opt t.s.index name with
+  | Some i -> t.s.allocs.(i)
   | None -> invalid_arg ("memory: unknown array " ^ name)
 
 let base t name = (find_by_name t name).a_base
@@ -82,28 +97,29 @@ let base t name = (find_by_name t name).a_base
 let[@inline] inside (a : alloc) addr = addr >= a.a_base && addr < a.a_base + a.a_bytes
 
 let find_idx t addr =
+  let allocs = t.s.allocs in
   let li = t.last in
-  if li >= 0 && inside t.allocs.(li) addr then li
+  if li >= 0 && inside allocs.(li) addr then li
   else begin
     let l2 = t.last2 in
-    if l2 >= 0 && inside t.allocs.(l2) addr then begin
+    if l2 >= 0 && inside allocs.(l2) addr then begin
       t.last2 <- li;
       t.last <- l2;
       l2
     end
     else begin
       (* greatest slot whose base is <= addr *)
-      let lo = ref 0 and hi = ref (t.n - 1) and found = ref (-1) in
+      let lo = ref 0 and hi = ref (t.s.n - 1) and found = ref (-1) in
       while !lo <= !hi do
         let mid = (!lo + !hi) / 2 in
-        if t.allocs.(mid).a_base <= addr then begin
+        if allocs.(mid).a_base <= addr then begin
           found := mid;
           lo := mid + 1
         end
         else hi := mid - 1
       done;
       let i = !found in
-      if i >= 0 && inside t.allocs.(i) addr then begin
+      if i >= 0 && inside allocs.(i) addr then begin
         t.last2 <- li;
         t.last <- i;
         i
@@ -112,7 +128,7 @@ let find_idx t addr =
     end
   end
 
-let find_by_addr t addr = t.allocs.(find_idx t addr)
+let find_by_addr t addr = t.s.allocs.(find_idx t addr)
 
 let load t ~addr =
   let a = find_by_addr t addr in
@@ -184,20 +200,23 @@ let int_data t name =
 
 let copy t =
   {
-    allocs =
-      Array.map
-        (fun a ->
-          {
-            a with
-            a_payload =
-              (match a.a_payload with
-              | F d -> F (Array.copy d)
-              | I d -> I (Array.copy d));
-          })
-        t.allocs;
-    n = t.n;
-    index = Hashtbl.copy t.index;
-    next = t.next;
+    s =
+      {
+        allocs =
+          Array.map
+            (fun a ->
+              {
+                a with
+                a_payload =
+                  (match a.a_payload with
+                  | F d -> F (Array.copy d)
+                  | I d -> I (Array.copy d));
+              })
+            t.s.allocs;
+        n = t.s.n;
+        index = Hashtbl.copy t.s.index;
+        next = t.s.next;
+      };
     last = t.last;
     last2 = t.last2;
   }

@@ -12,6 +12,14 @@ type t
 
 val create : unit -> t
 
+val view : t -> t
+(** A lightweight view over the same memory: the allocation table (and
+    every payload) is shared, but the last-hit address-resolution
+    cursors are private to the view. Concurrent thread-blocks each
+    resolve addresses through their own view so the cursors are
+    neither a data race nor a cache-thrash point; the sequential path
+    simply uses the root [t], whose behaviour is unchanged. *)
+
 val alloc :
   t -> name:string -> elem:Safara_ir.Types.dtype -> length:int -> unit
 (** Allocate [length] zero-initialized elements.

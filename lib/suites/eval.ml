@@ -13,10 +13,17 @@ let verified (c : C.compiled) =
     List.iter (fun (k, _) -> Safara_vir.Verify.verify_exn k) c.C.c_kernels;
   c
 
+type sim_result = {
+  sr_checksums : (string * float) list;
+  sr_counters : int * int * int * int * int;
+  sr_modes : (string * string) list;
+}
+
 type t = {
   epool : Pool.t;
   cc : C.compiled Cache.t;  (** compile cache *)
-  tc : Safara_sim.Launch.program_time Cache.t;  (** simulation cache *)
+  tc : Safara_sim.Launch.program_time Cache.t;  (** timing-sim cache *)
+  fc : sim_result Cache.t;  (** functional-sim cache *)
   lock : Mutex.t;
   mutable compile_s : float;
   mutable sim_s : float;
@@ -31,6 +38,7 @@ let create ?jobs () =
     epool = Pool.create ?size:jobs ();
     cc = Cache.create ~name:"compile" ();
     tc = Cache.create ~name:"simulate" ();
+    fc = Cache.create ~name:"functional" ();
     lock = Mutex.create ();
     compile_s = 0.;
     sim_s = 0.;
@@ -40,6 +48,16 @@ let create ?jobs () =
 
 let jobs t = Pool.size t.epool
 let pool t = t.epool
+
+(* the simulation parallelism mode this engine would use: folded into
+   every sim cache key so a key can never alias values produced under
+   a different execution strategy (they are bit-identical by
+   construction — the differential suite proves it — but the cache
+   must not be the thing relying on that) *)
+let sim_mode t =
+  if Pool.size t.epool > 1 && not !Safara_sim.Decode.use_reference then
+    "sim:blockpar"
+  else "sim:seq"
 let shutdown t = Pool.shutdown t.epool
 
 let timed t phase f =
@@ -97,9 +115,12 @@ let ckey j =
   compile_key ~src:j.jw.Workload.source ~profile:j.jp ~arch:j.jarch
     ~config:j.jconfig ~unroll:j.junroll ~disable:j.jdisable
 
-let tkey j =
+let tkey t j =
   digest_of
-    (ckey j, j.jw.Workload.id, j.jw.Workload.seed, j.jw.Workload.scalars)
+    ( ckey j, j.jw.Workload.id, j.jw.Workload.seed, j.jw.Workload.scalars,
+      sim_mode t )
+
+let fkey t j = digest_of ("functional", tkey t j)
 
 (* ------------------------------------------------------------------ *)
 (* Memoized compile and simulate                                       *)
@@ -138,7 +159,7 @@ let compile_src t ?(arch = Safara_gpu.Arch.kepler_k20xm) ?safara_config profile
             (Safara_lang.Frontend.compile src)))
 
 let time_job t j =
-  Cache.find_or_compute t.tc ~key:(tkey j) (fun () ->
+  Cache.find_or_compute t.tc ~key:(tkey t j) (fun () ->
       let c = compiled t j in
       timed t `Sim (fun () ->
           (* private simulation instance: fresh memory per miss *)
@@ -146,6 +167,35 @@ let time_job t j =
           C.time c env))
 
 let total_ms t j = (time_job t j).Safara_sim.Launch.total_ms
+
+let mode_label = function
+  | Safara_sim.Interp.Parallel _ -> "parallel"
+  | Safara_sim.Interp.Sequential None -> "sequential"
+  | Safara_sim.Interp.Sequential (Some r) ->
+      "serial fallback: " ^ Safara_sim.Blockpar.reason_message r
+
+let simulate t j =
+  Cache.find_or_compute t.fc ~key:(fkey t j) (fun () ->
+      let c = compiled t j in
+      timed t `Sim (fun () ->
+          let env = Workload.prepare c j.jw in
+          let cnt = Safara_sim.Interp.fresh_counters () in
+          let pool = if Pool.size t.epool > 1 then Some t.epool else None in
+          let modes = C.run_functional_m ~counters:cnt ?pool c env in
+          {
+            sr_checksums =
+              List.map
+                (fun a ->
+                  (a, Safara_sim.Memory.checksum env.Safara_sim.Interp.mem a))
+                j.jw.Workload.check_arrays;
+            sr_counters =
+              ( cnt.Safara_sim.Interp.c_instructions,
+                cnt.Safara_sim.Interp.c_loads,
+                cnt.Safara_sim.Interp.c_stores,
+                cnt.Safara_sim.Interp.c_atomics,
+                cnt.Safara_sim.Interp.c_spill_ops );
+            sr_modes = List.map (fun (k, m) -> (k, mode_label m)) modes;
+          }))
 
 let warm t js = Pool.iter t.epool (fun j -> ignore (time_job t j)) js
 let warm_compiled t js = Pool.iter t.epool (fun j -> ignore (compiled t j)) js

@@ -55,7 +55,33 @@ val compiled : t -> job -> Safara_core.Compiler.compiled
 
 val time_job : t -> job -> Safara_sim.Launch.program_time
 (** Memoized compile + simulate; the simulation environment is
-    per-miss and never shared. *)
+    per-miss and never shared. Sim-cache keys fold in {!sim_mode}, so
+    values produced under different execution strategies never alias
+    (they are bit-identical by construction, but the cache must not be
+    the thing relying on that). *)
+
+(** Result of a memoized functional (semantic) run. *)
+type sim_result = {
+  sr_checksums : (string * float) list;
+      (** per [check_arrays] entry, order-independent digest *)
+  sr_counters : int * int * int * int * int;
+      (** instructions, loads, stores, atomics, spill ops — summed
+          over all threads, exact at any [-j] *)
+  sr_modes : (string * string) list;
+      (** per kernel: ["parallel"], ["sequential"], or
+          ["serial fallback: <reason>"] (the SAF034 condition) *)
+}
+
+val simulate : t -> job -> sim_result
+(** Memoized compile + functional run. At [-j] > 1 the run fans each
+    provably block-disjoint kernel's thread-blocks across the engine's
+    own pool (one shared [-j] budget with the job-level parallelism);
+    checksums and counters are bit-identical at any [-j]. *)
+
+val sim_mode : t -> string
+(** The simulation parallelism strategy this engine uses
+    (["sim:blockpar"] or ["sim:seq"]); a component of every sim cache
+    key. *)
 
 val total_ms : t -> job -> float
 

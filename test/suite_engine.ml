@@ -52,6 +52,95 @@ let test_pool_exception () =
     (Pool.map pool (fun i -> 2 * i) [ 0; 1; 2 ]);
   Pool.shutdown pool
 
+let test_parallel_for_order () =
+  let pool = Pool.create ~size:4 () in
+  let n = 1000 in
+  (* chunk results come back in ascending chunk order, covering [0, n)
+     exactly once, whatever the claiming order was *)
+  let chunks =
+    Pool.parallel_for pool ~chunks:16 ~n (fun ~lo ~hi -> (lo, hi))
+  in
+  Alcotest.(check int) "16 chunks" 16 (List.length chunks);
+  let rec contiguous prev = function
+    | [] -> Alcotest.(check int) "covers to n" n prev
+    | (lo, hi) :: rest ->
+        Alcotest.(check int) "contiguous" prev lo;
+        Alcotest.(check bool) "nonempty chunk" true (hi > lo);
+        contiguous hi rest
+  in
+  contiguous 0 chunks;
+  let sums =
+    Pool.parallel_for pool ~n (fun ~lo ~hi ->
+        let acc = ref 0 in
+        for i = lo to hi - 1 do
+          acc := !acc + i
+        done;
+        !acc)
+  in
+  Alcotest.(check int) "chunked sum = serial sum"
+    (n * (n - 1) / 2)
+    (List.fold_left ( + ) 0 sums);
+  Pool.shutdown pool
+
+let test_parallel_for_serial_fallback () =
+  let pool = Pool.create ~size:1 () in
+  let calls = ref [] in
+  let out =
+    Pool.parallel_for pool ~n:10 (fun ~lo ~hi ->
+        calls := (lo, hi) :: !calls;
+        hi - lo)
+  in
+  Alcotest.(check (list int)) "one serial chunk" [ 10 ] out;
+  Alcotest.(check (list (pair int int))) "exactly f ~lo:0 ~hi:n" [ (0, 10) ]
+    !calls;
+  Alcotest.(check (list int)) "n = 0 is empty" []
+    (Pool.parallel_for pool ~n:0 (fun ~lo:_ ~hi:_ -> 1));
+  Pool.shutdown pool
+
+let test_parallel_for_nested () =
+  (* parallel_for from inside a pool job must not deadlock and must
+     still produce deterministic chunk-ordered results *)
+  let pool = Pool.create ~size:4 () in
+  let outer =
+    Pool.map pool
+      (fun j ->
+        let inner =
+          Pool.parallel_for pool ~chunks:8 ~n:100 (fun ~lo ~hi ->
+              let acc = ref 0 in
+              for i = lo to hi - 1 do
+                acc := !acc + (i * j)
+              done;
+              !acc)
+        in
+        List.fold_left ( + ) 0 inner)
+      [ 1; 2; 3; 4; 5; 6 ]
+  in
+  Pool.shutdown pool;
+  let expect j = j * (100 * 99 / 2) in
+  Alcotest.(check (list int))
+    "nested fan-outs complete with exact sums"
+    (List.map expect [ 1; 2; 3; 4; 5; 6 ])
+    outer
+
+let test_parallel_for_exception () =
+  let pool = Pool.create ~size:4 () in
+  (try
+     ignore
+       (Pool.parallel_for pool ~chunks:8 ~n:64 (fun ~lo ~hi:_ ->
+            if lo >= 32 then failwith "chunk-boom" else lo));
+     Alcotest.fail "expected exception"
+   with Failure msg ->
+     Alcotest.(check string) "chunk failure surfaces" "chunk-boom" msg);
+  Alcotest.(check int) "pool still works" 6
+    (List.fold_left ( + ) 0
+       (Pool.parallel_for pool ~n:4 (fun ~lo ~hi ->
+            let acc = ref 0 in
+            for i = lo to hi - 1 do
+              acc := !acc + i
+            done;
+            !acc)));
+  Pool.shutdown pool
+
 let test_cache_computes_once () =
   let cache = Cache.create ~name:"t" () in
   let pool = Pool.create ~size:4 () in
@@ -161,6 +250,14 @@ let suite =
       test_pool_serial_fallback;
     Alcotest.test_case "pool: task exception surfaces" `Quick
       test_pool_exception;
+    Alcotest.test_case "pool: parallel_for chunk order" `Quick
+      test_parallel_for_order;
+    Alcotest.test_case "pool: parallel_for -j 1 serial fallback" `Quick
+      test_parallel_for_serial_fallback;
+    Alcotest.test_case "pool: parallel_for nested in pool job" `Quick
+      test_parallel_for_nested;
+    Alcotest.test_case "pool: parallel_for chunk exception surfaces" `Quick
+      test_parallel_for_exception;
     Alcotest.test_case "cache: concurrent requests compute once" `Quick
       test_cache_computes_once;
     Alcotest.test_case "cache: failed compute retries" `Quick

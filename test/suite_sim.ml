@@ -500,6 +500,244 @@ let test_memory_alternating_arrays () =
     (V.to_float (Memory.load m ~addr:(bd + (8 * 21))));
   Alcotest.(check int) "aux mid" 21 (V.to_int (Memory.load m ~addr:(ba + (4 * 21))))
 
+(* --- block-parallel engine ------------------------------------------ *)
+
+let with_pool size f =
+  let pool = Safara_engine.Pool.create ~size () in
+  Fun.protect ~finally:(fun () -> Safara_engine.Pool.shutdown pool) (fun () ->
+      f pool)
+
+(* final memory + summed counters + per-kernel modes of a functional
+   run on the decoded core, sequential ([jobs = 1]: no pool) or
+   block-parallel *)
+let parallel_snapshot profile (w : Safara_suites.Workload.t) ~jobs =
+  let run pool =
+    let c =
+      Safara_core.Compiler.compile_src profile w.Safara_suites.Workload.source
+    in
+    let env = Safara_suites.Workload.prepare c w in
+    let counters = Interp.fresh_counters () in
+    let modes = Safara_core.Compiler.run_functional_m ~counters ?pool c env in
+    let grids =
+      List.map
+        (fun (k, _) -> Launch.grid_of ~env:env.Interp.scalars k)
+        c.Safara_core.Compiler.c_kernels
+    in
+    let sums =
+      List.map
+        (fun (a : Safara_ir.Array_info.t) ->
+          ( a.Safara_ir.Array_info.name,
+            Int64.bits_of_float
+              (Memory.checksum env.Interp.mem a.Safara_ir.Array_info.name) ))
+        c.Safara_core.Compiler.c_prog.Safara_ir.Program.arrays
+    in
+    let cnt =
+      ( counters.Interp.c_instructions,
+        counters.Interp.c_loads,
+        counters.Interp.c_stores,
+        counters.Interp.c_atomics,
+        counters.Interp.c_spill_ops )
+    in
+    (sums, cnt, List.combine modes grids)
+  in
+  if jobs <= 1 then run None else with_pool jobs (fun pool -> run (Some pool))
+
+let check_parallel_agrees profile (w : Safara_suites.Workload.t) () =
+  let w = Suite_workloads.shrink w in
+  let s_sums, s_cnt, _ = parallel_snapshot profile w ~jobs:1 in
+  let p_sums, p_cnt, p_modes = parallel_snapshot profile w ~jobs:4 in
+  List.iter2
+    (fun (name, s) (_, p) ->
+      if s <> p then
+        Alcotest.fail
+          (Printf.sprintf "%s: array %s differs between -j 1 and -j 4"
+             w.Safara_suites.Workload.id name))
+    s_sums p_sums;
+  if s_cnt <> p_cnt then
+    Alcotest.fail
+      (w.Safara_suites.Workload.id ^ ": summed counters differ at -j 4");
+  (* with a parallel pool every multi-block launch must either run
+     block-parallel or carry an explicit fallback reason (single-block
+     grids skip the prover: there is nothing to fan out) *)
+  List.iter
+    (fun ((kname, mode), (gx, gy, gz)) ->
+      match mode with
+      | Interp.Parallel _ | Interp.Sequential (Some _) -> ()
+      | Interp.Sequential None ->
+          if gx * gy * gz > 1 then
+            Alcotest.fail
+              (Printf.sprintf "%s/%s: no block-parallel decision was made"
+                 w.Safara_suites.Workload.id kname))
+    p_modes
+
+let test_blockpar_saxpy_parallel () =
+  let src =
+    {|
+param int n;
+in double x[n];
+double y[n];
+#pragma acc kernels name(saxpy)
+{
+  #pragma acc loop gang vector(32)
+  for (i = 0; i <= n - 1; i++) {
+    y[i] = 2.0 * x[i] + y[i];
+  }
+}
+|}
+  in
+  let n = 1000 in
+  let prog, kernels = compile_pipeline src in
+  let k = fst (List.hd kernels) in
+  (match Blockpar.analyze ~prog k with
+  | Blockpar.Block_parallel -> ()
+  | Blockpar.Serial r ->
+      Alcotest.fail ("saxpy judged serial: " ^ Blockpar.reason_message r));
+  let mem = Memory.create () in
+  Memory.alloc_program mem ~env:[ ("n", n) ] prog;
+  let x = Memory.float_data mem "x" in
+  Array.iteri (fun i _ -> x.(i) <- float_of_int i) x;
+  let env = { Interp.scalars = [ ("n", V.I n) ]; mem } in
+  let grid = Launch.grid_of ~env:env.Interp.scalars k in
+  let mode =
+    with_pool 4 (fun pool ->
+        Interp.run_kernel_m ~pool ~prog ~env ~grid k)
+  in
+  (match mode with
+  | Interp.Parallel { chunks } ->
+      Alcotest.(check bool) "fanned into several chunks" true (chunks > 1)
+  | Interp.Sequential _ -> Alcotest.fail "saxpy did not run block-parallel");
+  let y = Memory.float_data mem "y" in
+  let ok = ref true in
+  Array.iteri (fun i v -> if v <> 2.0 *. float_of_int i then ok := false) y;
+  Alcotest.(check bool) "parallel saxpy result correct" true !ok
+
+let test_blockpar_refuses_cross_block () =
+  (* recurrence across the gang-distributed index: the write y[i] and
+     the read y[i-1] are one apart, so a block could consume a cell
+     another block produces — must be refused and still match the
+     boxed reference walker exactly *)
+  let src =
+    {|
+param int n;
+in double x[n];
+double y[n];
+#pragma acc kernels name(scan)
+{
+  #pragma acc loop gang vector(32)
+  for (i = 1; i <= n - 1; i++) {
+    y[i] = y[i-1] + x[i];
+  }
+}
+|}
+  in
+  let n = 500 in
+  let prog, kernels = compile_pipeline src in
+  let k = fst (List.hd kernels) in
+  (match Blockpar.analyze ~prog k with
+  | Blockpar.Serial (Blockpar.Blocking_dep _) -> ()
+  | Blockpar.Block_parallel ->
+      Alcotest.fail "cross-block recurrence was judged block-parallel"
+  | Blockpar.Serial r ->
+      Alcotest.fail ("unexpected reason: " ^ Blockpar.reason_message r));
+  let run ~use_ref ~pool =
+    with_engine use_ref (fun () ->
+        let mem = Memory.create () in
+        Memory.alloc_program mem ~env:[ ("n", n) ] prog;
+        let x = Memory.float_data mem "x" in
+        Array.iteri (fun i _ -> x.(i) <- 1.0) x;
+        let env = { Interp.scalars = [ ("n", V.I n) ]; mem } in
+        let grid = Launch.grid_of ~env:env.Interp.scalars k in
+        let mode = Interp.run_kernel_m ?pool ~prog ~env ~grid k in
+        (mode, Int64.bits_of_float (Memory.checksum mem "y")))
+  in
+  let ref_mode, ref_sum = run ~use_ref:true ~pool:None in
+  Alcotest.(check bool) "reference walk is sequential" true
+    (ref_mode = Interp.Sequential None);
+  let par_mode, par_sum =
+    with_pool 4 (fun pool -> run ~use_ref:false ~pool:(Some pool))
+  in
+  (match par_mode with
+  | Interp.Sequential (Some (Blockpar.Blocking_dep _)) -> ()
+  | _ -> Alcotest.fail "pooled run did not fall back with the dep reason");
+  Alcotest.(check int64 ) "fallback matches the reference walker" ref_sum
+    par_sum
+
+let test_blockpar_atomics_fall_back () =
+  let src =
+    {|
+param int n;
+in double x[n];
+double s[1];
+#pragma acc kernels name(total)
+{
+  double sum = 0.0;
+  #pragma acc loop gang vector(32) reduction(+:sum)
+  for (i = 0; i <= n - 1; i++) {
+    sum += x[i];
+  }
+  s[0] = sum;
+}
+|}
+  in
+  let prog, kernels = compile_pipeline src in
+  let k = fst (List.hd kernels) in
+  match Blockpar.analyze ~prog k with
+  | Blockpar.Serial (Blockpar.Atomics 1) -> ()
+  | Blockpar.Block_parallel -> Alcotest.fail "reduction judged block-parallel"
+  | Blockpar.Serial r ->
+      Alcotest.fail ("unexpected reason: " ^ Blockpar.reason_message r)
+
+let test_blockpar_unmapped_write_refused () =
+  (* a write outside the grid-mapped loop executes in *every* block,
+     and the race detector is silent about it (no common nest with the
+     loop's refs, and [self_output_race] only judges writes inside the
+     parallel loop) — the block-parallel pass must still refuse it,
+     via the every-write-pinned-by-every-axis condition *)
+  let src =
+    {|
+param int n;
+double y[n];
+#pragma acc kernels name(edge)
+{
+  #pragma acc loop gang vector(32)
+  for (i = 0; i <= n - 1; i++) {
+    y[i] = 1.0;
+  }
+  y[0] = 2.0;
+}
+|}
+  in
+  let prog, kernels = compile_pipeline src in
+  let k = fst (List.hd kernels) in
+  match Blockpar.analyze ~prog k with
+  | Blockpar.Serial (Blockpar.Unproven_write _) -> ()
+  | Blockpar.Block_parallel ->
+      Alcotest.fail "unmapped boundary write was judged block-parallel"
+  | Blockpar.Serial r ->
+      Alcotest.fail ("unexpected reason: " ^ Blockpar.reason_message r)
+
+let test_memory_view_cursors () =
+  let m = Memory.create () in
+  Memory.alloc m ~name:"a" ~elem:Safara_ir.Types.F64 ~length:8;
+  Memory.alloc m ~name:"b" ~elem:Safara_ir.Types.F64 ~length:8;
+  let v1 = Memory.view m and v2 = Memory.view m in
+  let ba = Memory.base m "a" and bb = Memory.base m "b" in
+  (* payloads are shared: a store through one view is visible in every
+     other view and in the root *)
+  Memory.store v1 ~addr:(ba + 16) (V.F 7.5);
+  Alcotest.(check (float 0.)) "store via view visible in root" 7.5
+    (V.to_float (Memory.load m ~addr:(ba + 16)));
+  (* interleaved resolution through different arrays: each view keeps
+     its own last-hit cursors, so alternation stays correct *)
+  for i = 0 to 7 do
+    Memory.store v1 ~addr:(ba + (8 * i)) (V.F (float_of_int i));
+    Memory.store v2 ~addr:(bb + (8 * i)) (V.F (float_of_int (10 * i)))
+  done;
+  Alcotest.(check (float 0.)) "view 1 stream" 5.0
+    (V.to_float (Memory.load v2 ~addr:(ba + 40)));
+  Alcotest.(check (float 0.)) "view 2 stream" 50.0
+    (V.to_float (Memory.load v1 ~addr:(bb + 40)))
+
 let suite =
   [
     Alcotest.test_case "memory roundtrip" `Quick test_memory_roundtrip;
@@ -525,6 +763,16 @@ let suite =
       test_memory_duplicate_name;
     Alcotest.test_case "memory: alternating arrays" `Quick
       test_memory_alternating_arrays;
+    Alcotest.test_case "memory: views share store, not cursors" `Quick
+      test_memory_view_cursors;
+    Alcotest.test_case "blockpar: saxpy proves and runs parallel" `Quick
+      test_blockpar_saxpy_parallel;
+    Alcotest.test_case "blockpar: cross-block recurrence refused" `Quick
+      test_blockpar_refuses_cross_block;
+    Alcotest.test_case "blockpar: reduction atomics fall back" `Quick
+      test_blockpar_atomics_fall_back;
+    Alcotest.test_case "blockpar: unmapped boundary write refused" `Quick
+      test_blockpar_unmapped_write_refused;
   ]
   @ List.map
       (fun (w : Safara_suites.Workload.t) ->
@@ -540,3 +788,16 @@ let suite =
           `Slow
           (check_engines_agree Safara_core.Compiler.Base w))
       [ Safara_suites.Registry.find "303.ostencil"; Safara_suites.Registry.find "EP" ]
+  @ List.concat_map
+      (fun (w : Safara_suites.Workload.t) ->
+        [
+          Alcotest.test_case
+            (w.Safara_suites.Workload.id ^ " parallel ≡ serial (Full)")
+            `Slow
+            (check_parallel_agrees Safara_core.Compiler.Full w);
+          Alcotest.test_case
+            (w.Safara_suites.Workload.id ^ " parallel ≡ serial (Base)")
+            `Slow
+            (check_parallel_agrees Safara_core.Compiler.Base w);
+        ])
+      Safara_suites.Registry.all
