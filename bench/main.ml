@@ -11,8 +11,11 @@
    -j. Engine statistics go to stderr so stdout stays comparable.
 
    Usage: main.exe [fig7|fig9|fig10|fig11|fig12|table1|table2|offsets|
-                    ablations|crossarch|unroll|micro|json|all] [-j N]
-   (default: all)                                                     *)
+                    ablations|crossarch|unroll|micro|sim|json|all] [-j N]
+                   [--smoke] [--min-runs N] [--engine NAME]
+   (default: all). --engine selects the simulator execution engine
+   (reference|decoded|threaded, default threaded) for the experiment
+   modes; bench sim always measures all three.                        *)
 
 open Safara_suites
 
@@ -98,65 +101,128 @@ let j_obj fields =
 let j_assoc to_v kvs = j_obj (List.map (fun (k, v) -> (k, to_v v)) kvs)
 
 (* --- sim: simulator-throughput microbenchmark ------------------------ *)
-(* Measures simulated instructions per second of both simulator engines
-   — the pre-decoded unboxed core (default) and the boxed reference
-   walker (Decode.use_reference) — over the evaluation workload mix,
-   for the functional interpreter and the timing model separately.
-   Before measuring, each workload is run once under both engines and
-   the results (array checksums, dynamic counters, timing stats) are
-   required to match exactly. Results go to BENCH_sim.json. *)
+(* Measures simulated instructions per second of all three simulator
+   engines — the closure-threaded compiler (default), the pre-decoded
+   unboxed core, and the boxed reference walker — over the evaluation
+   workload mix, for the functional interpreter and the timing model
+   separately, plus the block-parallel path at the given -j. Before
+   measuring, each workload is run once under every engine pair and at
+   every parallelism level and the results (array checksums, dynamic
+   counters, timing stats) are required to match exactly — the
+   bit-identity gate; any divergence exits 1. Results go to
+   BENCH_sim.json. *)
 
 let sim_smoke_ids = [ "303.ostencil"; "355.seismic"; "EP" ]
 
-type sim_meas = { sm_ips : float; sm_instr : int; sm_s : float; sm_runs : int }
+type sim_meas = {
+  sm_ips : float;  (** total instructions / total wall seconds *)
+  sm_best : float;
+      (** best single-run ips on the process-CPU clock — the speedup
+          basis for serial engine ratios. Wall time charges the engine
+          for every preemption by unrelated load; CPU time measures
+          the work itself, so serial-vs-serial ratios survive a busy
+          machine. *)
+  sm_best_wall : float;
+      (** best single-run wall-clock ips — the basis for parallel
+          ratios, where CPU time would double-count the domains *)
+  sm_instr : int;
+  sm_s : float;
+  sm_runs : int;
+}
 
-let sim_measure ~min_time run =
-  ignore (run ());
-  (* warm-up: decoder, allocator *)
-  let t0 = Unix.gettimeofday () in
-  let instr = ref 0 and runs = ref 0 in
-  let rec loop () =
-    instr := !instr + run ();
-    incr runs;
-    if Unix.gettimeofday () -. t0 < min_time then loop ()
+let sim_with_engine = Safara_sim.Decode.with_engine
+
+(* On a machine shared with background load, measuring the engines one
+   after another lets a single load spike poison one engine's window —
+   and every ratio computed from it. The engines are therefore
+   measured in interleaved rounds, one run of each per round, so any
+   noise burst degrades all of them alike; each engine's best-observed
+   rate then comes from the same weather, and best-of-K stays an
+   apples-to-apples speedup basis. *)
+let sim_measure_group ~min_time ~min_runs
+    (entries : (Safara_sim.Decode.engine * (unit -> int)) array) :
+    sim_meas array =
+  let n = Array.length entries in
+  (* warm-up round: decoder, closure compiler, allocator *)
+  Array.iter
+    (fun (e, run) -> sim_with_engine e (fun () -> ignore (run ())))
+    entries;
+  let instr = Array.make n 0 and secs = Array.make n 0. in
+  let best_cpu = Array.make n 0. and best_wall = Array.make n 0. in
+  let runs = Array.make n 0 in
+  let rec round () =
+    Array.iteri
+      (fun i (e, run) ->
+        let c0 = Sys.time () in
+        let r0 = Unix.gettimeofday () in
+        let k = sim_with_engine e run in
+        let r1 = Unix.gettimeofday () in
+        let c1 = Sys.time () in
+        if r1 > r0 then
+          best_wall.(i) <-
+            Float.max best_wall.(i) (float_of_int k /. (r1 -. r0));
+        if c1 > c0 then
+          best_cpu.(i) <- Float.max best_cpu.(i) (float_of_int k /. (c1 -. c0));
+        instr.(i) <- instr.(i) + k;
+        secs.(i) <- secs.(i) +. (r1 -. r0);
+        runs.(i) <- runs.(i) + 1)
+      entries;
+    let continue = ref false in
+    for i = 0 to n - 1 do
+      if secs.(i) < min_time || runs.(i) < min_runs then continue := true
+    done;
+    if !continue then round ()
   in
-  loop ();
-  let dt = Unix.gettimeofday () -. t0 in
-  {
-    sm_ips = float_of_int !instr /. dt;
-    sm_instr = !instr;
-    sm_s = dt;
-    sm_runs = !runs;
-  }
+  round ();
+  Array.init n (fun i ->
+      let ips = float_of_int instr.(i) /. secs.(i) in
+      {
+        sm_ips = ips;
+        sm_best = Float.max best_cpu.(i) ips;
+        sm_best_wall = Float.max best_wall.(i) ips;
+        sm_instr = instr.(i);
+        sm_s = secs.(i);
+        sm_runs = runs.(i);
+      })
 
-let sim_with_engine use_ref f =
-  let saved = !Safara_sim.Decode.use_reference in
-  Safara_sim.Decode.use_reference := use_ref;
-  Fun.protect ~finally:(fun () -> Safara_sim.Decode.use_reference := saved) f
+(* Measurement closures prepare memory once and reuse it across runs:
+   input generation is engine-independent work that would otherwise
+   dilute every engine ratio toward 1. Counters measure the work each
+   run actually did, so re-running over mutated arrays remains an
+   honest instructions-per-second. The bit-identity gates below use
+   fresh memory every time. *)
 
-let sim_functional_run c (w : Workload.t) () =
+let sim_functional_run c (w : Workload.t) =
   let env = Workload.prepare c w in
-  let counters = Safara_sim.Interp.fresh_counters () in
-  List.iter
-    (fun (k, _) ->
-      let grid = Safara_sim.Launch.grid_of ~env:env.Safara_sim.Interp.scalars k in
-      Safara_sim.Interp.run_kernel ~counters ~prog:c.Safara_core.Compiler.c_prog
-        ~env ~grid k)
-    c.Safara_core.Compiler.c_kernels;
-  counters.Safara_sim.Interp.c_instructions
+  let kgrids =
+    List.map
+      (fun (k, _) ->
+        (k, Safara_sim.Launch.grid_of ~env:env.Safara_sim.Interp.scalars k))
+      c.Safara_core.Compiler.c_kernels
+  in
+  fun () ->
+    let counters = Safara_sim.Interp.fresh_counters () in
+    List.iter
+      (fun (k, grid) ->
+        Safara_sim.Interp.run_kernel ~counters
+          ~prog:c.Safara_core.Compiler.c_prog ~env ~grid k)
+      kgrids;
+    counters.Safara_sim.Interp.c_instructions
 
-let sim_timing_run c (w : Workload.t) () =
+let sim_timing_run c (w : Workload.t) =
   let env = Workload.prepare c w in
-  let pt = Safara_core.Compiler.time c env in
-  List.fold_left
-    (fun acc kt -> acc + kt.Safara_sim.Launch.kt_instructions)
-    0 pt.Safara_sim.Launch.ptk
+  fun () ->
+    let pt = Safara_core.Compiler.time c env in
+    List.fold_left
+      (fun acc kt -> acc + kt.Safara_sim.Launch.kt_instructions)
+      0 pt.Safara_sim.Launch.ptk
 
 let sim_check_identical c (w : Workload.t) =
-  (* the two engines must agree bit-for-bit before throughput means
-     anything *)
-  let snapshot use_ref =
-    sim_with_engine use_ref (fun () ->
+  (* every engine must agree bit-for-bit — functional results (array
+     checksums compared as raw float bits, dynamic counters) and
+     timing-model output — before throughput means anything *)
+  let snapshot e =
+    sim_with_engine e (fun () ->
         let env = Workload.prepare c w in
         let counters = Safara_sim.Interp.fresh_counters () in
         List.iter
@@ -171,16 +237,23 @@ let sim_check_identical c (w : Workload.t) =
           List.map
             (fun (a : Safara_ir.Array_info.t) ->
               ( a.Safara_ir.Array_info.name,
-                Safara_sim.Memory.checksum env.Safara_sim.Interp.mem
-                  a.Safara_ir.Array_info.name ))
+                Int64.bits_of_float
+                  (Safara_sim.Memory.checksum env.Safara_sim.Interp.mem
+                     a.Safara_ir.Array_info.name) ))
             c.Safara_core.Compiler.c_prog.Safara_ir.Program.arrays
         in
         let timing = Safara_core.Compiler.time c (Workload.prepare c w) in
         (sums, counters, timing))
   in
-  if snapshot true <> snapshot false then (
-    Printf.eprintf "bench sim: engines diverge on %s\n" w.Workload.id;
-    exit 1)
+  let base = snapshot Safara_sim.Decode.Reference in
+  List.iter
+    (fun e ->
+      if e <> Safara_sim.Decode.Reference && snapshot e <> base then (
+        Printf.eprintf "bench sim: %s engine diverges from reference on %s\n"
+          (Safara_sim.Decode.engine_name e)
+          w.Workload.id;
+        exit 1))
+    Safara_sim.Decode.all_engines
 
 (* block-parallel legality, judged once per kernel so repeated
    measurement runs skip the dependence analysis *)
@@ -190,23 +263,32 @@ let sim_kernel_verdicts c =
       (k, Safara_sim.Blockpar.analyze ~prog:c.Safara_core.Compiler.c_prog k))
     c.Safara_core.Compiler.c_kernels
 
-let sim_functional_run_par c (w : Workload.t) ~pool ~verdicts () =
+let sim_functional_run_par c (w : Workload.t) ~pool ~verdicts =
   let env = Workload.prepare c w in
-  let counters = Safara_sim.Interp.fresh_counters () in
-  List.iter
-    (fun (k, verdict) ->
-      let grid =
-        Safara_sim.Launch.grid_of ~env:env.Safara_sim.Interp.scalars k
-      in
-      Safara_sim.Interp.run_kernel ~counters ~pool ~verdict
-        ~prog:c.Safara_core.Compiler.c_prog ~env ~grid k)
-    verdicts;
-  counters.Safara_sim.Interp.c_instructions
+  let kgrids =
+    List.map
+      (fun (k, verdict) ->
+        ( k,
+          verdict,
+          Safara_sim.Launch.grid_of ~env:env.Safara_sim.Interp.scalars k ))
+      verdicts
+  in
+  fun () ->
+    let counters = Safara_sim.Interp.fresh_counters () in
+    List.iter
+      (fun (k, verdict, grid) ->
+        Safara_sim.Interp.run_kernel ~counters ~pool ~verdict
+          ~prog:c.Safara_core.Compiler.c_prog ~env ~grid k)
+      kgrids;
+    counters.Safara_sim.Interp.c_instructions
 
 let sim_check_parallel c (w : Workload.t) ~pool ~verdicts =
-  (* the bit-identity gate of the block-parallel engine: final memory
+  (* the bit-identity gate of the block-parallel path: final memory
      (every program array) and summed counters must equal the
-     sequential decoded walk exactly, at any -j *)
+     sequential walk of the same engine exactly, at any -j, for both
+     engines that can fan blocks out. The cost model is forced open
+     (threshold 0) so the gate actually exercises the parallel path
+     even on tiny launches. *)
   let snapshot run =
     let env = Workload.prepare c w in
     let counters = Safara_sim.Interp.fresh_counters () in
@@ -222,46 +304,96 @@ let sim_check_parallel c (w : Workload.t) ~pool ~verdicts =
     in
     (sums, counters)
   in
-  let seq =
-    snapshot (fun env counters ->
-        List.iter
-          (fun (k, _) ->
-            let grid =
-              Safara_sim.Launch.grid_of ~env:env.Safara_sim.Interp.scalars k
-            in
-            Safara_sim.Interp.run_kernel ~counters
-              ~prog:c.Safara_core.Compiler.c_prog ~env ~grid k)
-          c.Safara_core.Compiler.c_kernels)
-  in
-  let par =
-    snapshot (fun env counters ->
-        List.iter
-          (fun (k, verdict) ->
-            let grid =
-              Safara_sim.Launch.grid_of ~env:env.Safara_sim.Interp.scalars k
-            in
-            Safara_sim.Interp.run_kernel ~counters ~pool ~verdict
-              ~prog:c.Safara_core.Compiler.c_prog ~env ~grid k)
-          verdicts)
-  in
-  if seq <> par then (
-    Printf.eprintf "bench sim: parallel interp diverges from serial on %s\n"
-      w.Workload.id;
-    exit 1)
+  List.iter
+    (fun e ->
+      sim_with_engine e (fun () ->
+          let seq =
+            snapshot (fun env counters ->
+                List.iter
+                  (fun (k, _) ->
+                    let grid =
+                      Safara_sim.Launch.grid_of
+                        ~env:env.Safara_sim.Interp.scalars k
+                    in
+                    Safara_sim.Interp.run_kernel ~counters
+                      ~prog:c.Safara_core.Compiler.c_prog ~env ~grid k)
+                  c.Safara_core.Compiler.c_kernels)
+          in
+          let par =
+            let saved = !Safara_sim.Interp.parallel_threshold in
+            Safara_sim.Interp.parallel_threshold := 0;
+            Fun.protect
+              ~finally:(fun () ->
+                Safara_sim.Interp.parallel_threshold := saved)
+              (fun () ->
+                snapshot (fun env counters ->
+                    List.iter
+                      (fun (k, verdict) ->
+                        let grid =
+                          Safara_sim.Launch.grid_of
+                            ~env:env.Safara_sim.Interp.scalars k
+                        in
+                        Safara_sim.Interp.run_kernel ~counters ~pool ~verdict
+                          ~prog:c.Safara_core.Compiler.c_prog ~env ~grid k)
+                      verdicts))
+          in
+          if seq <> par then (
+            Printf.eprintf
+              "bench sim: %s block-parallel interp diverges from serial on %s\n"
+              (Safara_sim.Decode.engine_name e)
+              w.Workload.id;
+            exit 1)))
+    [ Safara_sim.Decode.Decoded; Safara_sim.Decode.Threaded ]
 
-let run_sim ~smoke ~pool () =
+(* one instrumented pass per workload recording how each launch
+   actually executed — chosen chunk count, or the runtime fallback
+   reason (cost model, -j 1, single block) *)
+let sim_kernel_modes c (w : Workload.t) ~pool ~verdicts =
+  sim_with_engine Safara_sim.Decode.Threaded (fun () ->
+      let env = Workload.prepare c w in
+      List.map
+        (fun (k, verdict) ->
+          let grid =
+            Safara_sim.Launch.grid_of ~env:env.Safara_sim.Interp.scalars k
+          in
+          let m =
+            Safara_sim.Interp.run_kernel_m ~pool ~verdict
+              ~prog:c.Safara_core.Compiler.c_prog ~env ~grid k
+          in
+          (k.Safara_vir.Kernel.kname, m))
+        verdicts)
+
+type sim_row = {
+  r_id : string;
+  r_fr : sim_meas;  (** interp, reference walker *)
+  r_fd : sim_meas;  (** interp, decoded core *)
+  r_ft : sim_meas;  (** interp, threaded closures *)
+  r_fp : sim_meas;  (** interp, block-parallel (threaded) *)
+  r_tr : sim_meas;  (** timing, reference walker *)
+  r_td : sim_meas;  (** timing, decoded core *)
+  r_tt : sim_meas;  (** timing, threaded closures *)
+  r_verdicts : (Safara_vir.Kernel.t * Safara_sim.Blockpar.verdict) list;
+  r_modes : (string * Safara_sim.Interp.mode) list;
+}
+
+let run_sim ~smoke ~min_runs ~pool () =
   let workloads =
     if smoke then List.map Registry.find sim_smoke_ids else Registry.all
   in
   let min_time = if smoke then 0.05 else 0.3 in
+  let min_runs =
+    match min_runs with Some n -> n | None -> if smoke then 1 else 3
+  in
   let jobs = Safara_engine.Pool.size pool in
   Printf.printf
-    "Simulator throughput: decoded unboxed core vs boxed reference engine\n\
-     profile Full, %s; simulated warp-instructions per second; -j %d\n\n"
-    Safara_gpu.Arch.kepler_k20xm.Safara_gpu.Arch.name jobs;
-  Printf.printf "%-16s %14s %14s %8s %14s %8s %14s %14s %8s\n" "workload"
-    "interp-ref" "interp-dec" "x" "interp-par" "x" "timing-ref" "timing-dec"
-    "x";
+    "Simulator throughput: reference walker vs decoded core vs threaded \
+     closures\n\
+     profile Full, %s; simulated warp-instructions per second; -j %d, \
+     min-runs %d\n\n"
+    Safara_gpu.Arch.kepler_k20xm.Safara_gpu.Arch.name jobs min_runs;
+  Printf.printf "%-16s %11s %11s %11s %6s %11s %6s %11s %11s %11s %6s\n"
+    "workload" "interp-ref" "interp-dec" "interp-thr" "thr-x" "interp-par"
+    "par-x" "timing-ref" "timing-dec" "timing-thr" "thr-x";
   let rows =
     List.map
       (fun (w : Workload.t) ->
@@ -272,79 +404,123 @@ let run_sim ~smoke ~pool () =
         sim_check_identical c w;
         let verdicts = sim_kernel_verdicts c in
         sim_check_parallel c w ~pool ~verdicts;
-        let fr =
-          sim_with_engine true (fun () ->
-              sim_measure ~min_time (sim_functional_run c w))
+        let modes = sim_kernel_modes c w ~pool ~verdicts in
+        let fg =
+          sim_measure_group ~min_time ~min_runs
+            [|
+              (Safara_sim.Decode.Reference, sim_functional_run c w);
+              (Safara_sim.Decode.Decoded, sim_functional_run c w);
+              (Safara_sim.Decode.Threaded, sim_functional_run c w);
+              ( Safara_sim.Decode.Threaded,
+                sim_functional_run_par c w ~pool ~verdicts );
+            |]
         in
-        let fd =
-          sim_with_engine false (fun () ->
-              sim_measure ~min_time (sim_functional_run c w))
+        let fr = fg.(0) and fd = fg.(1) and ft = fg.(2) and fp = fg.(3) in
+        let tg =
+          sim_measure_group ~min_time ~min_runs
+            [|
+              (Safara_sim.Decode.Reference, sim_timing_run c w);
+              (Safara_sim.Decode.Decoded, sim_timing_run c w);
+              (Safara_sim.Decode.Threaded, sim_timing_run c w);
+            |]
         in
-        let fp =
-          sim_with_engine false (fun () ->
-              sim_measure ~min_time
-                (sim_functional_run_par c w ~pool ~verdicts))
-        in
-        let tr =
-          sim_with_engine true (fun () ->
-              sim_measure ~min_time (sim_timing_run c w))
-        in
-        let td =
-          sim_with_engine false (fun () ->
-              sim_measure ~min_time (sim_timing_run c w))
-        in
+        let tr = tg.(0) and td = tg.(1) and tt = tg.(2) in
         Printf.printf
-          "%-16s %14.3e %14.3e %7.2fx %14.3e %7.2fx %14.3e %14.3e %7.2fx\n%!"
-          w.Workload.id fr.sm_ips fd.sm_ips
-          (fd.sm_ips /. fr.sm_ips)
+          "%-16s %11.3e %11.3e %11.3e %5.2fx %11.3e %5.2fx %11.3e %11.3e \
+           %11.3e %5.2fx\n\
+           %!"
+          w.Workload.id fr.sm_ips fd.sm_ips ft.sm_ips
+          (ft.sm_best /. fd.sm_best)
           fp.sm_ips
-          (fp.sm_ips /. fd.sm_ips)
-          tr.sm_ips td.sm_ips
-          (td.sm_ips /. tr.sm_ips);
+          (fp.sm_best_wall /. fd.sm_best_wall)
+          tr.sm_ips td.sm_ips tt.sm_ips
+          (tt.sm_best /. td.sm_best);
         List.iter
-          (fun (k, v) ->
-            match v with
-            | Safara_sim.Blockpar.Block_parallel -> ()
-            | Safara_sim.Blockpar.Serial r ->
+          (fun (kname, m) ->
+            match m with
+            | Safara_sim.Interp.Parallel { chunks } ->
+                Printf.printf "  %s/%s: threaded, parallel in %d chunks\n%!"
+                  w.Workload.id kname chunks
+            | Safara_sim.Interp.Sequential None -> ()
+            | Safara_sim.Interp.Sequential (Some r) ->
                 Printf.printf "  %s/%s: serial fallback — %s\n%!"
-                  w.Workload.id k.Safara_vir.Kernel.kname
+                  w.Workload.id kname
                   (Safara_sim.Blockpar.reason_message r))
-          verdicts;
-        (w.Workload.id, fr, fd, fp, tr, td, verdicts))
+          modes;
+        { r_id = w.Workload.id; r_fr = fr; r_fd = fd; r_ft = ft; r_fp = fp;
+          r_tr = tr; r_td = td; r_tt = tt; r_verdicts = verdicts;
+          r_modes = modes })
       workloads
   in
-  let total f =
-    List.fold_left (fun (i, s) r -> (i + (f r).sm_instr, s +. (f r).sm_s)) (0, 0.) rows
+  (* The aggregate combines each workload's best-of-K rate,
+     instruction-weighted: per-workload time = one run's instructions
+     at the best observed rate, summed across workloads. Mean rates
+     fold scheduler noise into every engine ratio (this box runs the
+     bench alongside background load on few cores); the best run is
+     the closest observation of an engine's actual cost, and using it
+     consistently for every engine keeps the ratios honest. *)
+  let agg_on basis f =
+    let i, s =
+      List.fold_left
+        (fun (i, s) r ->
+          let m = f r in
+          let per_run =
+            float_of_int m.sm_instr /. float_of_int (max 1 m.sm_runs)
+          in
+          (i +. per_run, s +. (per_run /. basis m)))
+        (0., 0.) rows
+    in
+    i /. s
   in
-  let agg f =
-    let i, s = total f in
-    float_of_int i /. s
-  in
-  let fr = agg (fun (_, x, _, _, _, _, _) -> x)
-  and fd = agg (fun (_, _, x, _, _, _, _) -> x)
-  and fp = agg (fun (_, _, _, x, _, _, _) -> x) in
-  let tr = agg (fun (_, _, _, _, x, _, _) -> x)
-  and td = agg (fun (_, _, _, _, _, x, _) -> x) in
+  let agg = agg_on (fun m -> m.sm_best) in
+  let agg_wall = agg_on (fun m -> m.sm_best_wall) in
+  let fr = agg (fun r -> r.r_fr)
+  and fd = agg (fun r -> r.r_fd)
+  and ft = agg (fun r -> r.r_ft) in
+  (* parallel ratios compare wall time to wall time *)
+  let fdw = agg_wall (fun r -> r.r_fd)
+  and ftw = agg_wall (fun r -> r.r_ft)
+  and fp = agg_wall (fun r -> r.r_fp) in
+  let tr = agg (fun r -> r.r_tr)
+  and td = agg (fun r -> r.r_td)
+  and tt = agg (fun r -> r.r_tt) in
   Printf.printf
-    "\n%-16s %14.3e %14.3e %7.2fx %14.3e %7.2fx %14.3e %14.3e %7.2fx\n"
-    "aggregate" fr fd (fd /. fr) fp (fp /. fd) tr td (td /. tr);
+    "\n\
+     %-16s %11.3e %11.3e %11.3e %5.2fx %11.3e %5.2fx %11.3e %11.3e %11.3e \
+     %5.2fx\n"
+    "aggregate" fr fd ft (ft /. fd) fp (fp /. fdw) tr td tt (tt /. td);
   let meas_json (m : sim_meas) =
     j_obj
       [ ("ips", j_float m.sm_ips);
+        ("best_ips", j_float m.sm_best);
+        ("best_wall_ips", j_float m.sm_best_wall);
         ("instructions", j_int m.sm_instr);
         ("seconds", j_float m.sm_s);
         ("runs", j_int m.sm_runs) ]
   in
-  let verdict_json (k, v) =
+  let verdict_json modes (k, v) =
+    let kname = k.Safara_vir.Kernel.kname in
+    let mode_fields =
+      match List.assoc_opt kname modes with
+      | Some (Safara_sim.Interp.Parallel { chunks }) ->
+          [ ("mode", j_str "parallel"); ("chunks", j_int chunks) ]
+      | Some (Safara_sim.Interp.Sequential None) ->
+          [ ("mode", j_str "sequential") ]
+      | Some (Safara_sim.Interp.Sequential (Some r)) ->
+          [ ("mode", j_str "sequential");
+            ("mode_reason", j_str (Safara_sim.Blockpar.reason_message r)) ]
+      | None -> []
+    in
     j_obj
-      (("name", j_str k.Safara_vir.Kernel.kname)
+      (("name", j_str kname)
       ::
       (match v with
       | Safara_sim.Blockpar.Block_parallel -> [ ("block_parallel", "true") ]
       | Safara_sim.Blockpar.Serial r ->
           [ ("block_parallel", "false");
-            ("fallback_reason",
-             j_str (Safara_sim.Blockpar.reason_message r)) ]))
+            ("fallback_reason", j_str (Safara_sim.Blockpar.reason_message r))
+          ])
+      @ mode_fields)
   in
   let json =
     j_obj
@@ -352,32 +528,56 @@ let run_sim ~smoke ~pool () =
         ("profile", j_str "full");
         ("mode", j_str (if smoke then "smoke" else "full"));
         ("jobs", j_int jobs);
+        ("min_runs", j_int min_runs);
+        ("default_engine",
+         j_str (Safara_sim.Decode.engine_name !Safara_sim.Decode.engine));
         ("workloads",
          j_list
            (List.map
-              (fun (id, fr, fd, fp, tr, td, verdicts) ->
+              (fun r ->
                 j_obj
-                  [ ("id", j_str id);
-                    ("interp_reference", meas_json fr);
-                    ("interp_decoded", meas_json fd);
-                    ("interp_speedup", j_float (fd.sm_ips /. fr.sm_ips));
-                    ("interp_parallel", meas_json fp);
-                    ("parallel_speedup", j_float (fp.sm_ips /. fd.sm_ips));
-                    ("kernels", j_list (List.map verdict_json verdicts));
-                    ("timing_reference", meas_json tr);
-                    ("timing_decoded", meas_json td);
-                    ("timing_speedup", j_float (td.sm_ips /. tr.sm_ips)) ])
+                  [ ("id", j_str r.r_id);
+                    ("engine",
+                     j_str
+                       (Safara_sim.Decode.engine_name
+                          !Safara_sim.Decode.engine));
+                    ("interp_reference", meas_json r.r_fr);
+                    ("interp_decoded", meas_json r.r_fd);
+                    ("interp_threaded", meas_json r.r_ft);
+                    ("interp_speedup",
+                     j_float (r.r_fd.sm_best /. r.r_fr.sm_best));
+                    ("interp_threaded_speedup",
+                     j_float (r.r_ft.sm_best /. r.r_fd.sm_best));
+                    ("interp_parallel", meas_json r.r_fp);
+                    ("parallel_speedup",
+                     j_float (r.r_fp.sm_best_wall /. r.r_fd.sm_best_wall));
+                    ("parallel_vs_threaded",
+                     j_float (r.r_fp.sm_best_wall /. r.r_ft.sm_best_wall));
+                    ("kernels",
+                     j_list (List.map (verdict_json r.r_modes) r.r_verdicts));
+                    ("timing_reference", meas_json r.r_tr);
+                    ("timing_decoded", meas_json r.r_td);
+                    ("timing_threaded", meas_json r.r_tt);
+                    ("timing_speedup",
+                     j_float (r.r_td.sm_best /. r.r_tr.sm_best));
+                    ("timing_threaded_speedup",
+                     j_float (r.r_tt.sm_best /. r.r_td.sm_best)) ])
               rows));
         ("aggregate",
          j_obj
            [ ("interp_reference_ips", j_float fr);
              ("interp_decoded_ips", j_float fd);
+             ("interp_threaded_ips", j_float ft);
              ("interp_speedup", j_float (fd /. fr));
+             ("interp_threaded_speedup", j_float (ft /. fd));
              ("interp_parallel_ips", j_float fp);
-             ("parallel_speedup", j_float (fp /. fd));
+             ("parallel_speedup", j_float (fp /. fdw));
+             ("parallel_vs_threaded", j_float (fp /. ftw));
              ("timing_reference_ips", j_float tr);
              ("timing_decoded_ips", j_float td);
-             ("timing_speedup", j_float (td /. tr)) ]) ]
+             ("timing_threaded_ips", j_float tt);
+             ("timing_speedup", j_float (td /. tr));
+             ("timing_threaded_speedup", j_float (tt /. td)) ]) ]
   in
   let oc = open_out "BENCH_sim.json" in
   output_string oc json;
@@ -612,12 +812,13 @@ let usage () =
   Printf.eprintf
     "usage: main.exe \
      [fig7|fig9|fig10|fig11|fig12|table1|table2|offsets|ablations|crossarch|unroll|micro|sim|json|all] \
-     [-j N] [--smoke]\n";
+     [-j N] [--smoke] [--min-runs N] [--engine reference|decoded|threaded]\n";
   exit 2
 
 let () =
   let jobs = ref None in
   let smoke = ref false in
+  let min_runs = ref None in
   let cmds = ref [] in
   let rec parse i =
     if i < Array.length Sys.argv then begin
@@ -631,6 +832,22 @@ let () =
       | "--smoke" ->
           smoke := true;
           parse (i + 1)
+      | "--min-runs" ->
+          if i + 1 >= Array.length Sys.argv then usage ();
+          (match int_of_string_opt Sys.argv.(i + 1) with
+          | Some n when n >= 1 -> min_runs := Some n
+          | _ -> usage ());
+          parse (i + 2)
+      | "--engine" ->
+          if i + 1 >= Array.length Sys.argv then usage ();
+          (* registry-checked: an unknown engine name is rejected with
+             the list of valid ones, like --disable-pass in saraccc *)
+          (match Safara_sim.Decode.engine_of_string Sys.argv.(i + 1) with
+          | e -> Safara_sim.Decode.engine := e
+          | exception Failure msg ->
+              Printf.eprintf "main.exe: %s\n" msg;
+              exit 2);
+          parse (i + 2)
       | arg when String.length arg > 0 && arg.[0] = '-' -> usage ()
       | arg ->
           cmds := arg :: !cmds;
@@ -656,7 +873,7 @@ let () =
   | "crossarch" -> run_crossarch ~eng ()
   | "unroll" -> run_unroll ~eng ()
   | "micro" -> run_micro ()
-  | "sim" -> run_sim ~smoke:!smoke ~pool:(Eval.pool eng) ()
+  | "sim" -> run_sim ~smoke:!smoke ~min_runs:!min_runs ~pool:(Eval.pool eng) ()
   | "json" -> run_json ~eng ()
   | "all" -> all ~eng ()
   | other ->

@@ -64,6 +64,24 @@ let scalars_arg =
     & opt_all (pair ~sep:'=' string string) []
     & info [ "D"; "define" ] ~docv:"NAME=VALUE" ~doc:"bind a scalar program parameter")
 
+let engine_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "simulator execution engine: reference, decoded or threaded \
+           (default threaded). All three are bit-identical; the slower \
+           engines exist as differential oracles and for speedup \
+           measurement.")
+
+(* checked against Decode.all_engines the same way --disable-pass is
+   checked against the pass registry: an unknown name fails with the
+   valid names listed *)
+let set_engine = function
+  | None -> ()
+  | Some name -> Safara_sim.Decode.engine := Safara_sim.Decode.engine_of_string name
+
 let parse_scalars prog defs =
   List.map
     (fun (name, value) ->
@@ -419,8 +437,9 @@ let occupancy_cmd =
 (* --- run ------------------------------------------------------------- *)
 
 let run_cmd =
-  let run file profile_name defs jobs =
+  let run file profile_name defs jobs engine =
     wrap (fun () ->
+        set_engine engine;
         let profile = profile_of profile_name in
         let prog = load file in
         let c = Safara_core.Compiler.compile profile prog in
@@ -469,13 +488,14 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Execute the program on the functional simulator and print checksums")
-    Term.(ret (const run $ file_arg $ profile_arg $ scalars_arg $ jobs_arg))
+    Term.(ret (const run $ file_arg $ profile_arg $ scalars_arg $ jobs_arg $ engine_arg))
 
 (* --- bench ------------------------------------------------------------ *)
 
 let bench_cmd =
-  let run id jobs show_stats =
+  let run id jobs show_stats engine =
     wrap (fun () ->
+        set_engine engine;
         let w =
           try Safara_suites.Registry.find id
           with Not_found ->
@@ -539,13 +559,14 @@ let bench_cmd =
   Cmd.v
     (Cmd.info "bench"
        ~doc:"Run one of the paper's benchmarks under every compiler profile")
-    Term.(ret (const run $ id_arg $ jobs_arg $ stats_arg))
+    Term.(ret (const run $ id_arg $ jobs_arg $ stats_arg $ engine_arg))
 
 (* --- time ------------------------------------------------------------ *)
 
 let time_cmd =
-  let run file arch_name profile_name defs =
+  let run file arch_name profile_name defs engine =
     wrap (fun () ->
+        set_engine engine;
         let arch = arch_of arch_name in
         let profile = profile_of profile_name in
         let prog = load file in
@@ -559,7 +580,7 @@ let time_cmd =
         Printf.printf "total: %.4f ms\n" t.Safara_sim.Launch.total_ms)
   in
   Cmd.v (Cmd.info "time" ~doc:"Cycle-level timing estimate per kernel")
-    Term.(ret (const run $ file_arg $ arch_arg $ profile_arg $ scalars_arg))
+    Term.(ret (const run $ file_arg $ arch_arg $ profile_arg $ scalars_arg $ engine_arg))
 
 let main =
   Cmd.group

@@ -137,11 +137,21 @@ let iter t f xs = ignore (map t (fun x -> f x) xs)
    the pool's one [-j] budget instead of oversubscribing the machine.
    Chunk boundaries depend only on [n], [chunks] and the pool size, and
    results come back in chunk order, so output is deterministic. *)
-let parallel_for (type a) t ?chunks ~n (f : lo:int -> hi:int -> a) : a list =
+let parallel_for (type a) t ?chunks ?min_chunk ~n (f : lo:int -> hi:int -> a)
+    : a list =
   if n <= 0 then []
   else begin
     let nchunks =
-      let default = if t.psize <= 1 then 1 else min n (4 * t.psize) in
+      (* adaptive sizing: never create more chunks than [n / min_chunk],
+         so small ranges aren't shredded into per-chunk overhead *)
+      let cap =
+        match min_chunk with
+        | None -> n
+        | Some m -> max 1 (n / max 1 m)
+      in
+      let default =
+        if t.psize <= 1 then 1 else min (min n (4 * t.psize)) cap
+      in
       match chunks with Some c -> max 1 (min n c) | None -> default
     in
     (* chunk k covers [k*n/nchunks, (k+1)*n/nchunks): contiguous,

@@ -33,19 +33,24 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 val iter : t -> ('a -> unit) -> 'a list -> unit
 
 val parallel_for :
-  t -> ?chunks:int -> n:int -> (lo:int -> hi:int -> 'a) -> 'a list
+  t -> ?chunks:int -> ?min_chunk:int -> n:int -> (lo:int -> hi:int -> 'a) ->
+  'a list
 (** [parallel_for t ~n f] splits the index range [\[0, n)] into
     contiguous chunks and evaluates [f ~lo ~hi] over them, returning
     the per-chunk results in ascending chunk order. Chunk boundaries
-    are deterministic (they depend only on [n], [chunks] and the pool
-    size), and — unlike {!map} — the call stays parallel when issued
-    from inside a pool job: the calling domain claims chunks itself
-    while idle workers help, so nested fan-outs share the pool's one
-    [-j] budget and can never deadlock. With a pool of size 1 (and
-    [chunks] unset) this is exactly one serial [f ~lo:0 ~hi:n] call.
-    [chunks] caps the number of chunks (default: [4 × size], clamped
-    to [n]). If any chunk raised, the first such exception in chunk
-    order is re-raised after all chunks finished. *)
+    are deterministic (they depend only on [n], [chunks], [min_chunk]
+    and the pool size), and — unlike {!map} — the call stays parallel
+    when issued from inside a pool job: the calling domain claims
+    chunks itself while idle workers help, so nested fan-outs share
+    the pool's one [-j] budget and can never deadlock. With a pool of
+    size 1 (and [chunks] unset) this is exactly one serial
+    [f ~lo:0 ~hi:n] call. [chunks] caps the number of chunks
+    (default: [4 × size], clamped to [n]); [min_chunk] additionally
+    caps the default at [n / min_chunk] chunks, so every chunk
+    carries at least [min_chunk] indices — the adaptive-granularity
+    knob ([chunks], when given explicitly, wins). If any chunk
+    raised, the first such exception in chunk order is re-raised
+    after all chunks finished. *)
 
 val job_counts : t -> int list
 (** Jobs executed so far, per executor: the head is the calling

@@ -12,6 +12,7 @@ type reason =
   | No_parallel_axis
   | Unproven_write of string
   | Blocking_dep of string
+  | Below_threshold of { est_ops : int; threshold : int }
 
 type verdict = Block_parallel | Serial of reason
 
@@ -25,6 +26,10 @@ let reason_message = function
       Printf.sprintf "write %s is not provably pinned to one block" w
   | Blocking_dep d ->
       Printf.sprintf "dependence %s may cross thread-blocks" d
+  | Below_threshold { est_ops; threshold } ->
+      Printf.sprintf
+        "estimated work (%d ops) is below the parallel threshold (%d)" est_ops
+        threshold
 
 let subs_to_string subs =
   String.concat ""

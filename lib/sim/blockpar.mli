@@ -35,10 +35,18 @@ type reason =
       (** this write is not provably pinned to one block *)
   | Blocking_dep of string
       (** this dependence may cross thread-blocks *)
+  | Below_threshold of { est_ops : int; threshold : int }
+      (** legality proved, but the runtime granularity cost model
+          ([Interp.parallel_threshold]) judged the launch too small
+          for the parallel path to pay for its chunk setup. Never
+          returned by {!analyze} — only the interpreter's launch-time
+          decision produces it. *)
 
 type verdict = Block_parallel | Serial of reason
 
 val analyze : prog:Safara_ir.Program.t -> Safara_vir.Kernel.t -> verdict
+(** Static legality only; the launch-size cost model is applied later,
+    per launch, by the interpreter. *)
 
 val reason_message : reason -> string
 

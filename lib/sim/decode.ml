@@ -25,10 +25,37 @@ exception Error of Safara_diag.Diagnostic.t
 (** Raised at decode time for kernels the reference engine would only
     fault on mid-simulation (SAF021: branch to an unknown label). *)
 
-(* Engine selector: [true] routes Interp.run_kernel and
-   Timing.simulate_resident_set through the preserved boxed reference
-   walkers — the differential tests and `bench sim` baseline. *)
-let use_reference = ref false
+(* Engine selector: routes Interp.run_kernel and
+   Timing.simulate_resident_set through one of the three execution
+   engines. [Reference] is the preserved boxed walker (the semantic
+   oracle), [Decoded] the pre-decoded unboxed core (the differential
+   oracle for the threaded engine and the `bench sim` speedup
+   baseline), [Threaded] the closure-threaded compiler (default). *)
+type engine = Reference | Decoded | Threaded
+
+let engine = ref Threaded
+
+let engine_name = function
+  | Reference -> "reference"
+  | Decoded -> "decoded"
+  | Threaded -> "threaded"
+
+let all_engines = [ Reference; Decoded; Threaded ]
+
+let engine_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "reference" | "ref" -> Reference
+  | "decoded" | "dec" -> Decoded
+  | "threaded" | "thr" -> Threaded
+  | other ->
+      failwith
+        (Printf.sprintf "unknown engine %S (expected %s)" other
+           (String.concat "|" (List.map engine_name all_engines)))
+
+let with_engine e f =
+  let saved = !engine in
+  engine := e;
+  Fun.protect ~finally:(fun () -> engine := saved) f
 
 type env = { scalars : (string * Value.t) list; mem : Memory.t }
 
@@ -399,6 +426,22 @@ let ensure_param d ps slot =
     ps.pv_i.(slot) <- Value.to_int v;
     ps.pv_ok.(slot) <- true
   end
+
+(* Eagerly resolve every parameter slot, so a params record can be
+   shared read-only across concurrent chunks. Resolution failures are
+   swallowed: a slot left unresolved keeps its lazy [ensure_param]
+   fault, which only fires if a thread actually executes its Ldp —
+   preserving the semantics of guarded references to unbound
+   parameters. Returns whether every slot resolved (callers must not
+   share the record across domains otherwise, or the in-chunk lazy
+   fill would race). *)
+let resolve_all d ps =
+  let n = Array.length d.d_params in
+  let ok = ref true in
+  for slot = 0 to n - 1 do
+    try ensure_param d ps slot with Failure _ -> ok := false
+  done;
+  !ok
 
 (* --- operand access --------------------------------------------------- *)
 

@@ -20,11 +20,33 @@ exception Error of Safara_diag.Diagnostic.t
 (** Decode-time fault (SAF021: branch to an unknown label) — caught by
     callers that prefer the reference engine's [Failure]. *)
 
-val use_reference : bool ref
-(** When [true], {!Interp.run_kernel} and
-    {!Timing.simulate_resident_set} run the preserved boxed reference
-    walkers instead of the decoded core. Differential tests and
-    [bench sim] flip this to compare the two engines. *)
+(** Which execution engine {!Interp.run_kernel} and
+    {!Timing.simulate_resident_set} dispatch to. *)
+type engine =
+  | Reference  (** the preserved boxed walkers: the semantic oracle *)
+  | Decoded  (** the pre-decoded unboxed core: the differential oracle
+                 and the [bench sim] speedup baseline *)
+  | Threaded  (** the closure-threaded compiler ({!Threaded}) *)
+
+val engine : engine ref
+(** Current engine (default [Threaded]). Differential tests and
+    [bench sim] flip this to compare the engines; all three are
+    bit-identical on verifier-clean kernels. *)
+
+val engine_name : engine -> string
+(** ["reference"] / ["decoded"] / ["threaded"]. *)
+
+val all_engines : engine list
+
+val engine_of_string : string -> engine
+(** Accepts the {!engine_name} spellings (and their 3-letter prefixes),
+    case-insensitively.
+    @raise Failure listing the valid names otherwise — the CLI
+    [--engine] flag surfaces that message directly. *)
+
+val with_engine : engine -> (unit -> 'a) -> 'a
+(** Run [f] with {!engine} set to [e], restoring the previous engine
+    on exit (including exceptional exit). *)
 
 (** {1 Shared launch types} *)
 
@@ -157,6 +179,18 @@ type params = {
 }
 
 val make_params : t -> env:env -> prog:Safara_ir.Program.t -> params
+
+val ensure_param : t -> params -> int -> unit
+(** Resolve parameter slot [slot] if it isn't cached yet, writing both
+    register-class views.
+    @raise Failure on an unbound parameter (like the reference
+    engine's first [Ldp] of that name). *)
+
+val resolve_all : t -> params -> bool
+(** Eagerly resolve every slot, swallowing resolution failures (the
+    slot keeps its lazy fault for threads that actually read it).
+    Returns [true] iff every slot resolved — the precondition for
+    sharing the record read-only across concurrent chunks. *)
 
 val getf : state -> src -> float
 val geti : state -> src -> int

@@ -23,9 +23,9 @@ let param_value env prog name =
 
 (* --- boxed reference walker ------------------------------------------ *)
 (* The original Value.t-based interpreter, kept as the semantic oracle:
-   the differential suite runs every workload through both engines and
-   [bench sim] measures the decoded core's speedup against this one.
-   Selected via [Decode.use_reference]. *)
+   the differential suite runs every workload through all engines and
+   [bench sim] measures the compiled cores' speedups against this one.
+   Selected via [Decode.engine := Decode.Reference]. *)
 
 let run_kernel_ref ~counters ~prog ~env ~grid (k : K.t) =
   let code = k.K.code in
@@ -171,9 +171,75 @@ let run_kernel_dec ~counters ~prog ~env ~grid (k : K.t) =
     done
   done
 
+(* --- threaded engine -------------------------------------------------- *)
+
+(* Per-domain pool of decode states keyed by the decoded kernel
+   (physical identity): repeated launches and per-chunk workers reuse
+   the register arrays instead of allocating fresh ones. Correct to
+   reuse without re-zeroing because [reset_state] already restores
+   the only observable state a previous thread could leak (the
+   [d_zero] registers and local memory) — the same invariant the
+   sequential walk relies on between threads. *)
+let state_pool_limit = 64
+
+let state_pool : (Decode.t * Decode.state) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let pooled_state (d : Decode.t) =
+  let c = Domain.DLS.get state_pool in
+  match List.find_opt (fun (d', _) -> d' == d) !c with
+  | Some (_, st) -> st
+  | None ->
+      let st = Decode.make_state d in
+      let rest = if List.length !c >= state_pool_limit then [] else !c in
+      c := (d, st) :: rest;
+      st
+
+let run_kernel_thr ~counters ~prog ~env ~grid (k : K.t) =
+  let th = Threaded.of_kernel k in
+  let d = Threaded.decoded th in
+  let st = pooled_state d in
+  let ps = Decode.make_params d ~env ~prog in
+  let gx, gy, gz = grid in
+  let bx, by, bz = k.K.block in
+  Decode.set_launch st ~ntid:(bx, by, bz) ~nctaid:(gx, gy, gz);
+  (* fuel is one subtraction per block here, so no fuel-free special
+     case is needed: straightline kernels can't trip the budget *)
+  let budget = !max_steps_per_thread in
+  for cz = 0 to gz - 1 do
+    for cy = 0 to gy - 1 do
+      for cx = 0 to gx - 1 do
+        for tz = 0 to bz - 1 do
+          for ty = 0 to by - 1 do
+            for tx = 0 to bx - 1 do
+              Decode.reset_state st;
+              Decode.set_thread st ~tx ~ty ~tz ~cx ~cy ~cz;
+              Threaded.run_thread th st ps counters ~fuel:budget
+            done
+          done
+        done
+      done
+    done
+  done
+
 (* --- block-parallel engine -------------------------------------------- *)
 
 type mode = Sequential of Blockpar.reason option | Parallel of { chunks : int }
+
+(* Granularity cost model for the parallel path. A launch whose total
+   estimated work (decoded ops × threads per block × blocks) is below
+   [parallel_threshold] runs serially — chunk setup, queue wakeups
+   and cross-domain cache traffic would swamp it. Above it, chunks
+   are sized to at least [parallel_min_chunk_ops] estimated ops each,
+   so huge pools can't shred a moderate launch into overhead. Both
+   are calibrated on `bench sim` (see docs/BENCHMARKS.md). *)
+let parallel_threshold = ref 500_000
+let parallel_min_chunk_ops = ref 250_000
+
+let estimated_ops ~grid (k : K.t) =
+  let gx, gy, gz = grid in
+  let bx, by, bz = k.K.block in
+  Array.length k.K.code * (bx * by * bz) * (gx * gy * gz)
 
 let add_counters ~into (c : counters) =
   into.c_instructions <- into.c_instructions + c.c_instructions;
@@ -193,19 +259,47 @@ let add_counters ~into (c : counters) =
    identical because addition is associative and commutative (they are
    still merged in chunk order for good measure). *)
 let run_kernel_par ~counters ~prog ~env ~grid ~pool (k : K.t) =
-  let d = Decode.decode k in
+  let engine = !Decode.engine in
+  let th =
+    if engine = Decode.Threaded then Some (Threaded.of_kernel k) else None
+  in
+  let d =
+    match th with Some th -> Threaded.decoded th | None -> Decode.decode k
+  in
   let n = Array.length d.Decode.d_ops in
   let gx, gy, gz = grid in
   let bx, by, bz = k.K.block in
   let nblocks = gx * gy * gz in
   let budget = !max_steps_per_thread in
   let fuel_free = (not d.Decode.d_has_backedge) && n <= budget in
+  (* resolve every parameter slot up front (the parallel_for mutex
+     publishes the arrays to the workers), so chunks share one params
+     record read-only instead of re-resolving per chunk; if a slot is
+     unbound, fall back to private per-chunk records and let the lazy
+     fault fire only for threads that actually read it *)
+  let ps0 = Decode.make_params d ~env ~prog in
+  let shared_params = Decode.resolve_all d ps0 in
+  let min_chunk =
+    max 1 (!parallel_min_chunk_ops / max 1 (n * bx * by * bz))
+  in
+  let exec_thread =
+    match th with
+    | Some th -> fun st ps cnt -> Threaded.run_thread th st ps cnt ~fuel:budget
+    | None ->
+        fun st ps cnt ->
+          if fuel_free then ignore (Decode.run d st ps cnt ~pc:0 ~fuel:max_int)
+          else if Decode.run d st ps cnt ~pc:0 ~fuel:budget < n then
+            failwith "interp: fuel exhausted"
+  in
   let chunk_counters =
-    Pool.parallel_for pool ~n:nblocks (fun ~lo ~hi ->
+    Pool.parallel_for pool ~min_chunk ~n:nblocks (fun ~lo ~hi ->
         let cnt = fresh_counters () in
         let env_c = { env with mem = Memory.view env.mem } in
-        let st = Decode.make_state d in
-        let ps = Decode.make_params d ~env:env_c ~prog in
+        let st = pooled_state d in
+        let ps =
+          if shared_params then { ps0 with Decode.p_env = env_c }
+          else Decode.make_params d ~env:env_c ~prog
+        in
         Decode.set_launch st ~ntid:(bx, by, bz) ~nctaid:(gx, gy, gz);
         for b = lo to hi - 1 do
           (* invert the sequential walk's cz-outer / cx-inner nesting *)
@@ -217,10 +311,7 @@ let run_kernel_par ~counters ~prog ~env ~grid ~pool (k : K.t) =
               for tx = 0 to bx - 1 do
                 Decode.reset_state st;
                 Decode.set_thread st ~tx ~ty ~tz ~cx ~cy ~cz;
-                if fuel_free then
-                  ignore (Decode.run d st ps cnt ~pc:0 ~fuel:max_int)
-                else if Decode.run d st ps cnt ~pc:0 ~fuel:budget < n then
-                  failwith "interp: fuel exhausted"
+                exec_thread st ps cnt
               done
             done
           done
@@ -231,16 +322,19 @@ let run_kernel_par ~counters ~prog ~env ~grid ~pool (k : K.t) =
   List.length chunk_counters
 
 let run_kernel_seq ~counters ~prog ~env ~grid k =
-  if !Decode.use_reference then run_kernel_ref ~counters ~prog ~env ~grid k
-  else run_kernel_dec ~counters ~prog ~env ~grid k
+  match !Decode.engine with
+  | Decode.Reference -> run_kernel_ref ~counters ~prog ~env ~grid k
+  | Decode.Decoded -> run_kernel_dec ~counters ~prog ~env ~grid k
+  | Decode.Threaded -> run_kernel_thr ~counters ~prog ~env ~grid k
 
 let run_kernel_m ?(counters = null_counters) ?pool ?verdict ~prog ~env ~grid
     (k : K.t) =
   let gx, gy, gz = grid in
   let nblocks = gx * gy * gz in
   match pool with
-  | Some pool when (not !Decode.use_reference) && Pool.size pool > 1 && nblocks > 1
-    -> (
+  | Some pool
+    when !Decode.engine <> Decode.Reference
+         && Pool.size pool > 1 && nblocks > 1 -> (
       let v =
         match verdict with
         | Some v -> v
@@ -248,8 +342,17 @@ let run_kernel_m ?(counters = null_counters) ?pool ?verdict ~prog ~env ~grid
       in
       match v with
       | Blockpar.Block_parallel ->
-          let chunks = run_kernel_par ~counters ~prog ~env ~grid ~pool k in
-          Parallel { chunks }
+          let est = estimated_ops ~grid k in
+          if est < !parallel_threshold then begin
+            run_kernel_seq ~counters ~prog ~env ~grid k;
+            Sequential
+              (Some
+                 (Blockpar.Below_threshold
+                    { est_ops = est; threshold = !parallel_threshold }))
+          end
+          else
+            let chunks = run_kernel_par ~counters ~prog ~env ~grid ~pool k in
+            Parallel { chunks }
       | Blockpar.Serial r ->
           run_kernel_seq ~counters ~prog ~env ~grid k;
           Sequential (Some r))

@@ -9,11 +9,11 @@
     (base, SAFARA, clauses) to prove the transformations preserve
     meaning.
 
-    Two engines share this entry point. The default runs on the
-    pre-decoded, unboxed core ({!Decode}); the original boxed walker is
-    preserved behind [Decode.use_reference] as the semantic oracle for
-    the differential tests and the [bench sim] baseline. The two are
-    bit-identical on verifier-clean kernels. *)
+    Three engines share this entry point, selected by [Decode.engine]:
+    the closure-threaded compiler ({!Threaded}, the default), the
+    pre-decoded unboxed core ({!Decode}, the differential oracle and
+    [bench sim] baseline), and the original boxed walker (the semantic
+    oracle). All three are bit-identical on verifier-clean kernels. *)
 
 type env = Decode.env = {
   scalars : (string * Value.t) list;
@@ -42,8 +42,9 @@ val param_value :
 type mode =
   | Sequential of Blockpar.reason option
       (** one thread after another; [Some r] = a pool was offered but
-          {!Blockpar} refused parallelism for reason [r], [None] = no
-          pool / [-j 1] / reference engine / single-block grid *)
+          {!Blockpar} refused parallelism (or the granularity cost
+          model judged the launch too small) for reason [r], [None] =
+          no pool / [-j 1] / reference engine / single-block grid *)
   | Parallel of { chunks : int }
       (** thread-blocks fanned across the pool in [chunks] contiguous
           chunks *)
@@ -83,3 +84,21 @@ val run_kernel_m :
 
 val max_steps_per_thread : int ref
 (** Interpreter fuel per thread (default 10 million). *)
+
+(** {2 Parallel granularity cost model}
+
+    Knobs for the block-parallel path; both measured in *estimated
+    ops* ([Array.length code × threads per block × blocks]). A
+    provably block-parallel launch still runs serially below
+    {!parallel_threshold} (reported as
+    [Sequential (Some (Blockpar.Below_threshold _))]), and chunks
+    never carry fewer than {!parallel_min_chunk_ops} estimated ops,
+    so deep pools cannot shred moderate launches into wakeup
+    overhead. *)
+
+val parallel_threshold : int ref
+
+val parallel_min_chunk_ops : int ref
+
+val estimated_ops : grid:int * int * int -> Safara_vir.Kernel.t -> int
+(** The cost model's work estimate for a launch. *)

@@ -188,6 +188,48 @@ let store_int t ~addr n =
 let is_float_at t ~addr =
   match (find_by_addr t addr).a_payload with F _ -> true | I _ -> false
 
+(* --- per-site slot accessors (threaded engine) ----------------------- *)
+(* See the .mli: one cursor per compiled memory site instead of the
+   shared two-entry cache. [slot_contains]'s range check is the bounds
+   proof for the unsafe payload access, exactly as in the unboxed
+   accessors above. *)
+
+let find_slot t ~addr = find_idx t addr
+
+let[@inline] slot_contains t ~slot ~addr =
+  slot >= 0 && slot < t.s.n && inside (Array.unsafe_get t.s.allocs slot) addr
+
+let slot_is_float t ~slot =
+  match t.s.allocs.(slot).a_payload with F _ -> true | I _ -> false
+
+let[@inline] load_float_slot t ~slot ~addr =
+  let a = Array.unsafe_get t.s.allocs slot in
+  let idx = (addr - a.a_base) lsr a.a_shift in
+  match a.a_payload with
+  | F data -> Array.unsafe_get data idx
+  | I data -> float_of_int (Array.unsafe_get data idx)
+
+let[@inline] load_int_slot t ~slot ~addr =
+  let a = Array.unsafe_get t.s.allocs slot in
+  let idx = (addr - a.a_base) lsr a.a_shift in
+  match a.a_payload with
+  | F data -> int_of_float (Array.unsafe_get data idx)
+  | I data -> Array.unsafe_get data idx
+
+let[@inline] store_float_slot t ~slot ~addr f =
+  let a = Array.unsafe_get t.s.allocs slot in
+  let idx = (addr - a.a_base) lsr a.a_shift in
+  match a.a_payload with
+  | F data -> Array.unsafe_set data idx f
+  | I data -> Array.unsafe_set data idx (int_of_float f)
+
+let[@inline] store_int_slot t ~slot ~addr n =
+  let a = Array.unsafe_get t.s.allocs slot in
+  let idx = (addr - a.a_base) lsr a.a_shift in
+  match a.a_payload with
+  | F data -> Array.unsafe_set data idx (float_of_int n)
+  | I data -> Array.unsafe_set data idx n
+
 let float_data t name =
   match (find_by_name t name).a_payload with
   | F data -> data

@@ -53,6 +53,36 @@ val is_float_at : t -> addr:int -> bool
 (** Whether the allocation containing [addr] has a float payload
     (drives the atomics' evaluation domain, like the boxed [rmw]). *)
 
+(** {2 Per-site slot access}
+
+    Used by the threaded engine: a static memory instruction nearly
+    always streams through a single allocation, but the shared
+    last-hit cache thrashes when a kernel alternates several arrays
+    (every stencil does), paying the binary search on each access. A
+    compiled memory site instead keeps its own cursor — the slot
+    index of the allocation it last touched — revalidated with one
+    range check. Slot indices are stable across {!view}s and
+    {!copy}s, so a site cursor survives chunks, launches and
+    measurement repetitions. *)
+
+val find_slot : t -> addr:int -> int
+(** Slot index of the allocation containing [addr].
+    @raise Invalid_argument on a wild address. *)
+
+val slot_contains : t -> slot:int -> addr:int -> bool
+(** Whether [addr] falls inside slot [slot]; false for any
+    out-of-range [slot] (in particular the initial cursor [-1]). *)
+
+val slot_is_float : t -> slot:int -> bool
+
+val load_float_slot : t -> slot:int -> addr:int -> float
+val load_int_slot : t -> slot:int -> addr:int -> int
+val store_float_slot : t -> slot:int -> addr:int -> float -> unit
+val store_int_slot : t -> slot:int -> addr:int -> int -> unit
+(** Unboxed access to a cell of a known slot. The caller must have
+    proved [slot_contains t ~slot ~addr] (the range check doubles as
+    the bounds proof, as in the plain unboxed accessors). *)
+
 val float_data : t -> string -> float array
 (** Direct view of a float array's payload (shared, mutable) — used by
     workload generators and result checking. *)

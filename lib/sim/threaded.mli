@@ -1,0 +1,55 @@
+(** Closure-threaded execution engine.
+
+    Compiles a decoded kernel ({!Decode.t}) into OCaml closures once:
+    each op becomes a closure with operands resolved at compile time,
+    straight-line runs are fused into per-basic-block superop closures
+    (continuation-passing chains ending in a terminator that returns
+    the next block index), and counters/fuel collapse to one static
+    delta per block. Executing a thread is then a tight loop over
+    block closures with no per-instruction dispatch.
+
+    Semantically the engine is [Decode.run] with the operand and
+    opcode matches hoisted to compile time: the differential suite
+    holds it bit-identical to the decoded and reference engines on
+    memory checksums, dynamic counters and timing stats.
+
+    Compiled kernels capture no launch state — memory is read through
+    the [Decode.params] argument — so one compile serves every
+    launch, chunk and domain (see {!of_kernel}'s per-domain cache). *)
+
+(** A compiled run of execution. Block bodies return the next block
+    index ([-1] = thread done); step closures ({!steps}) return the
+    next pc ([Array.length d_ops] = done), exactly like
+    [Decode.exec_op]. *)
+type cl = Decode.state -> Decode.params -> int
+
+type t
+
+val decoded : t -> Decode.t
+(** The decoded core this was compiled from (for state/params
+    construction and the timing model's static tables). *)
+
+val compile : Decode.t -> t
+
+val of_kernel : Safara_vir.Kernel.t -> t
+(** [compile (Decode.decode k)] through a small per-domain cache
+    keyed by physical kernel identity: repeated launches of the same
+    compiled kernel (measurement loops, per-chunk work) reuse the
+    closures instead of recompiling.
+    @raise Decode.Error on a branch to an unknown label (SAF021). *)
+
+val run_thread :
+  t -> Decode.state -> Decode.params -> Decode.counters -> fuel:int -> unit
+(** Execute one thread from the entry block. Counter updates are
+    block-granular but sum to exactly the reference engine's per-op
+    increments (labels count as instructions). Fuel is checked per
+    block — a thread faults with [Failure "interp: fuel exhausted"]
+    before executing past its budget, like the other engines on any
+    run the differential gates cover.
+    @raise Failure when fuel runs out. *)
+
+val steps : t -> cl array
+(** Per-pc step closures for the timing model (built on demand and
+    cached): [steps t.(pc) st ps] performs op [pc]'s effect and
+    returns the next pc — a drop-in replacement for [Decode.exec_op]
+    with the dispatch and operand resolution pre-compiled. *)

@@ -46,7 +46,7 @@ let lane0_coords ~bx ~by ~warp_size w =
 (* --- boxed reference engine ------------------------------------------ *)
 (* The original per-instruction walker with an O(warps) scheduler scan,
    kept as the oracle for the differential suite and the [bench sim]
-   baseline. Selected via [Decode.use_reference]. *)
+   baseline. Selected via [Decode.engine := Decode.Reference]. *)
 
 type warp = {
   w_regs : Value.t array;
@@ -332,12 +332,16 @@ let simulate_resident_set_ref ~arch ~latency ~prog ~env ~grid ~blocks_per_sm
     issue_stall = !issue_stall;
   }
 
-(* --- decoded engine --------------------------------------------------- *)
+(* --- decoded / threaded engines --------------------------------------- *)
 (* Same machine model on the pre-decoded unboxed core: semantics run
-   through Decode.exec_op, per-pc costs/latencies are precomputed from
-   the original instructions (so every charged float is identical to the
+   through an [exec] step function (Decode.exec_op for the decoded
+   engine, a pre-compiled Threaded.steps closure for the threaded
+   one), per-pc costs/latencies are precomputed from the original
+   instructions (so every charged float is identical to the
    reference), and the scheduler picks the next warp from a binary
-   min-heap instead of scanning all warps each step. *)
+   min-heap instead of scanning all warps each step. The cost
+   bookkeeping never depends on which exec ran the op, which is what
+   keeps all engines' stats bit-identical. *)
 
 type dwarp = {
   dw_id : int;
@@ -350,9 +354,8 @@ type dwarp = {
   mutable dw_last : float;
 }
 
-let simulate_resident_set_dec ~arch ~latency ~prog ~env ~grid ~blocks_per_sm
-    (k : K.t) =
-  let d = D.decode k in
+let simulate_resident_set_core ~d ~(exec : D.state -> D.params -> int -> int)
+    ~arch ~latency ~prog ~env ~grid ~blocks_per_sm (k : K.t) =
   let ops = d.D.d_ops in
   let code = k.K.code in
   let n = Array.length ops in
@@ -494,7 +497,7 @@ let simulate_resident_set_dec ~arch ~latency ~prog ~env ~grid ~blocks_per_sm
         issue_stall := !issue_stall +. (issue -. want);
         issue_ports.(port) <- issue +. issue_step;
         let st = w.dw_st in
-        let next = D.exec_op d st ps D.null_counters pc in
+        let next = exec st ps pc in
         let complete = ref (issue +. 1.) in
         (match op with
         | D.DNop | D.DRet -> ()
@@ -620,6 +623,19 @@ let simulate_resident_set_dec ~arch ~latency ~prog ~env ~grid ~blocks_per_sm
   }
 
 let simulate_resident_set ~arch ~latency ~prog ~env ~grid ~blocks_per_sm k =
-  if !D.use_reference then
-    simulate_resident_set_ref ~arch ~latency ~prog ~env ~grid ~blocks_per_sm k
-  else simulate_resident_set_dec ~arch ~latency ~prog ~env ~grid ~blocks_per_sm k
+  match !D.engine with
+  | D.Reference ->
+      simulate_resident_set_ref ~arch ~latency ~prog ~env ~grid ~blocks_per_sm
+        k
+  | D.Decoded ->
+      let d = D.decode k in
+      let exec st ps pc = D.exec_op d st ps D.null_counters pc in
+      simulate_resident_set_core ~d ~exec ~arch ~latency ~prog ~env ~grid
+        ~blocks_per_sm k
+  | D.Threaded ->
+      let th = Threaded.of_kernel k in
+      let d = Threaded.decoded th in
+      let steps = Threaded.steps th in
+      let exec st ps pc = (Array.unsafe_get steps pc) st ps in
+      simulate_resident_set_core ~d ~exec ~arch ~latency ~prog ~env ~grid
+        ~blocks_per_sm k

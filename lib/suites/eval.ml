@@ -49,15 +49,19 @@ let create ?jobs () =
 let jobs t = Pool.size t.epool
 let pool t = t.epool
 
-(* the simulation parallelism mode this engine would use: folded into
-   every sim cache key so a key can never alias values produced under
-   a different execution strategy (they are bit-identical by
-   construction — the differential suite proves it — but the cache
-   must not be the thing relying on that) *)
+(* the simulation engine + parallelism mode this engine would use:
+   folded into every sim cache key so a key can never alias values
+   produced under a different execution strategy (they are
+   bit-identical by construction — the differential suite proves it —
+   but the cache must not be the thing relying on that) *)
 let sim_mode t =
-  if Pool.size t.epool > 1 && not !Safara_sim.Decode.use_reference then
-    "sim:blockpar"
-  else "sim:seq"
+  let e = !Safara_sim.Decode.engine in
+  let par =
+    if Pool.size t.epool > 1 && e <> Safara_sim.Decode.Reference then
+      ":blockpar"
+    else ":seq"
+  in
+  "sim:" ^ Safara_sim.Decode.engine_name e ^ par
 let shutdown t = Pool.shutdown t.epool
 
 let timed t phase f =

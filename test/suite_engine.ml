@@ -82,6 +82,31 @@ let test_parallel_for_order () =
     (List.fold_left ( + ) 0 sums);
   Pool.shutdown pool
 
+let test_parallel_for_min_chunk () =
+  let pool = Pool.create ~size:4 () in
+  (* min_chunk caps the default fan-out: 100 indices at min_chunk:40
+     leave room for at most 2 chunks, and every chunk carries at least
+     min_chunk indices (except possibly the last remainder) *)
+  let chunks =
+    Pool.parallel_for pool ~min_chunk:40 ~n:100 (fun ~lo ~hi -> (lo, hi))
+  in
+  Alcotest.(check int) "two chunks" 2 (List.length chunks);
+  List.iter
+    (fun (lo, hi) ->
+      Alcotest.(check bool) "at least min_chunk indices" true (hi - lo >= 40))
+    chunks;
+  (* a min_chunk larger than the range collapses to one serial chunk *)
+  Alcotest.(check (list (pair int int)))
+    "min_chunk > n is one chunk"
+    [ (0, 100) ]
+    (Pool.parallel_for pool ~min_chunk:1000 ~n:100 (fun ~lo ~hi -> (lo, hi)));
+  (* an explicit chunk count still wins over the default cap *)
+  Alcotest.(check int) "explicit chunks respected" 5
+    (List.length
+       (Pool.parallel_for pool ~chunks:5 ~min_chunk:1 ~n:100
+          (fun ~lo ~hi -> (lo, hi))));
+  Pool.shutdown pool
+
 let test_parallel_for_serial_fallback () =
   let pool = Pool.create ~size:1 () in
   let calls = ref [] in
@@ -252,6 +277,8 @@ let suite =
       test_pool_exception;
     Alcotest.test_case "pool: parallel_for chunk order" `Quick
       test_parallel_for_order;
+    Alcotest.test_case "pool: parallel_for min_chunk granularity" `Quick
+      test_parallel_for_min_chunk;
     Alcotest.test_case "pool: parallel_for -j 1 serial fallback" `Quick
       test_parallel_for_serial_fallback;
     Alcotest.test_case "pool: parallel_for nested in pool job" `Quick

@@ -343,19 +343,14 @@ double a[n];
   Alcotest.(check bool) "cached version faster" true
     ((time cached).Launch.kt_ms < (time redundant).Launch.kt_ms)
 
-(* --- differential: decoded engine vs boxed reference engine --------- *)
-(* The pre-decoded unboxed core is only a performance change: on every
-   workload it must produce the same array bits, the same functional
-   counters and the same timing statistics as the boxed walker it
-   replaced. *)
+(* --- differential: all three execution engines ----------------------- *)
+(* The decoded core and the closure-threaded compiler are only
+   performance changes: on every workload each must produce the same
+   array bits, the same functional counters and the same timing
+   statistics as the boxed reference walker. *)
 
-let with_engine use_ref f =
-  let saved = !Decode.use_reference in
-  Decode.use_reference := use_ref;
-  Fun.protect ~finally:(fun () -> Decode.use_reference := saved) f
-
-let engine_snapshot profile (w : Safara_suites.Workload.t) use_ref =
-  with_engine use_ref (fun () ->
+let engine_snapshot profile (w : Safara_suites.Workload.t) eng =
+  Decode.with_engine eng (fun () ->
       let c =
         Safara_core.Compiler.compile_src profile w.Safara_suites.Workload.source
       in
@@ -389,20 +384,28 @@ let engine_snapshot profile (w : Safara_suites.Workload.t) use_ref =
 
 let check_engines_agree profile (w : Safara_suites.Workload.t) () =
   let w = Suite_workloads.shrink w in
-  let r_sums, r_cnt, r_time = engine_snapshot profile w true in
-  let d_sums, d_cnt, d_time = engine_snapshot profile w false in
-  List.iter2
-    (fun (name, r) (_, d) ->
-      if r <> d then
+  let r_sums, r_cnt, r_time = engine_snapshot profile w Decode.Reference in
+  List.iter
+    (fun eng ->
+      let e_sums, e_cnt, e_time = engine_snapshot profile w eng in
+      let name = Decode.engine_name eng in
+      List.iter2
+        (fun (arr, r) (_, e) ->
+          if r <> e then
+            Alcotest.fail
+              (Printf.sprintf "%s: array %s differs between reference and %s"
+                 w.Safara_suites.Workload.id arr name))
+        r_sums e_sums;
+      if r_cnt <> e_cnt then
         Alcotest.fail
-          (Printf.sprintf "%s: array %s differs between engines" w.Safara_suites.Workload.id
-             name))
-    r_sums d_sums;
-  if r_cnt <> d_cnt then
-    Alcotest.fail (w.Safara_suites.Workload.id ^ ": functional counters differ");
-  (* [compare] rather than [=] so identical NaNs would still agree *)
-  if compare r_time d_time <> 0 then
-    Alcotest.fail (w.Safara_suites.Workload.id ^ ": timing stats differ")
+          (Printf.sprintf "%s: functional counters differ under %s"
+             w.Safara_suites.Workload.id name);
+      (* [compare] rather than [=] so identical NaNs would still agree *)
+      if compare r_time e_time <> 0 then
+        Alcotest.fail
+          (Printf.sprintf "%s: timing stats differ under %s"
+             w.Safara_suites.Workload.id name))
+    [ Decode.Decoded; Decode.Threaded ]
 
 let test_decode_unknown_label () =
   let k =
@@ -508,9 +511,10 @@ let with_pool size f =
       f pool)
 
 (* final memory + summed counters + per-kernel modes of a functional
-   run on the decoded core, sequential ([jobs = 1]: no pool) or
+   run on the given engine, sequential ([jobs = 1]: no pool) or
    block-parallel *)
-let parallel_snapshot profile (w : Safara_suites.Workload.t) ~jobs =
+let parallel_snapshot profile (w : Safara_suites.Workload.t) ~eng ~jobs =
+  Decode.with_engine eng @@ fun () ->
   let run pool =
     let c =
       Safara_core.Compiler.compile_src profile w.Safara_suites.Workload.source
@@ -542,20 +546,21 @@ let parallel_snapshot profile (w : Safara_suites.Workload.t) ~jobs =
   in
   if jobs <= 1 then run None else with_pool jobs (fun pool -> run (Some pool))
 
-let check_parallel_agrees profile (w : Safara_suites.Workload.t) () =
+let check_parallel_agrees profile eng (w : Safara_suites.Workload.t) () =
   let w = Suite_workloads.shrink w in
-  let s_sums, s_cnt, _ = parallel_snapshot profile w ~jobs:1 in
-  let p_sums, p_cnt, p_modes = parallel_snapshot profile w ~jobs:4 in
+  let s_sums, s_cnt, _ = parallel_snapshot profile w ~eng ~jobs:1 in
+  let p_sums, p_cnt, p_modes = parallel_snapshot profile w ~eng ~jobs:4 in
   List.iter2
     (fun (name, s) (_, p) ->
       if s <> p then
         Alcotest.fail
-          (Printf.sprintf "%s: array %s differs between -j 1 and -j 4"
-             w.Safara_suites.Workload.id name))
+          (Printf.sprintf "%s: array %s differs between -j 1 and -j 4 (%s)"
+             w.Safara_suites.Workload.id name (Decode.engine_name eng)))
     s_sums p_sums;
   if s_cnt <> p_cnt then
     Alcotest.fail
-      (w.Safara_suites.Workload.id ^ ": summed counters differ at -j 4");
+      (Printf.sprintf "%s: summed counters differ at -j 4 (%s)"
+         w.Safara_suites.Workload.id (Decode.engine_name eng));
   (* with a parallel pool every multi-block launch must either run
      block-parallel or carry an explicit fallback reason (single-block
      grids skip the prover: there is nothing to fan out) *)
@@ -598,9 +603,20 @@ double y[n];
   Array.iteri (fun i _ -> x.(i) <- float_of_int i) x;
   let env = { Interp.scalars = [ ("n", V.I n) ]; mem } in
   let grid = Launch.grid_of ~env:env.Interp.scalars k in
+  (* the launch is provable but small: pin both granularity knobs so
+     the test exercises the parallel path itself, not the cost model's
+     opinion of a 1000-element toy *)
+  let saved_t = !Interp.parallel_threshold
+  and saved_c = !Interp.parallel_min_chunk_ops in
+  Interp.parallel_threshold := 0;
+  Interp.parallel_min_chunk_ops := 1;
   let mode =
-    with_pool 4 (fun pool ->
-        Interp.run_kernel_m ~pool ~prog ~env ~grid k)
+    Fun.protect
+      ~finally:(fun () ->
+        Interp.parallel_threshold := saved_t;
+        Interp.parallel_min_chunk_ops := saved_c)
+      (fun () ->
+        with_pool 4 (fun pool -> Interp.run_kernel_m ~pool ~prog ~env ~grid k))
   in
   (match mode with
   | Interp.Parallel { chunks } ->
@@ -639,8 +655,8 @@ double y[n];
       Alcotest.fail "cross-block recurrence was judged block-parallel"
   | Blockpar.Serial r ->
       Alcotest.fail ("unexpected reason: " ^ Blockpar.reason_message r));
-  let run ~use_ref ~pool =
-    with_engine use_ref (fun () ->
+  let run ~eng ~pool =
+    Decode.with_engine eng (fun () ->
         let mem = Memory.create () in
         Memory.alloc_program mem ~env:[ ("n", n) ] prog;
         let x = Memory.float_data mem "x" in
@@ -650,11 +666,11 @@ double y[n];
         let mode = Interp.run_kernel_m ?pool ~prog ~env ~grid k in
         (mode, Int64.bits_of_float (Memory.checksum mem "y")))
   in
-  let ref_mode, ref_sum = run ~use_ref:true ~pool:None in
+  let ref_mode, ref_sum = run ~eng:Decode.Reference ~pool:None in
   Alcotest.(check bool) "reference walk is sequential" true
     (ref_mode = Interp.Sequential None);
   let par_mode, par_sum =
-    with_pool 4 (fun pool -> run ~use_ref:false ~pool:(Some pool))
+    with_pool 4 (fun pool -> run ~eng:Decode.Threaded ~pool:(Some pool))
   in
   (match par_mode with
   | Interp.Sequential (Some (Blockpar.Blocking_dep _)) -> ()
@@ -716,6 +732,262 @@ double y[n];
   | Blockpar.Serial r ->
       Alcotest.fail ("unexpected reason: " ^ Blockpar.reason_message r)
 
+(* --- parallel granularity cost model -------------------------------- *)
+
+let costmodel_src =
+  {|
+param int n;
+in double x[n];
+double y[n];
+#pragma acc kernels name(tiny)
+{
+  #pragma acc loop gang vector(32)
+  for (i = 0; i <= n - 1; i++) {
+    y[i] = 2.0 * x[i];
+  }
+}
+|}
+
+let costmodel_mode ~threshold ~n =
+  let prog, kernels = compile_pipeline costmodel_src in
+  let k = fst (List.hd kernels) in
+  let mem = Memory.create () in
+  Memory.alloc_program mem ~env:[ ("n", n) ] prog;
+  let env = { Interp.scalars = [ ("n", V.I n) ]; mem } in
+  let grid = Launch.grid_of ~env:env.Interp.scalars k in
+  let saved_t = !Interp.parallel_threshold
+  and saved_c = !Interp.parallel_min_chunk_ops in
+  Interp.parallel_threshold := threshold;
+  Interp.parallel_min_chunk_ops := 1;
+  Fun.protect
+    ~finally:(fun () ->
+      Interp.parallel_threshold := saved_t;
+      Interp.parallel_min_chunk_ops := saved_c)
+    (fun () ->
+      let mode =
+        with_pool 4 (fun pool -> Interp.run_kernel_m ~pool ~prog ~env ~grid k)
+      in
+      (mode, Interp.estimated_ops ~grid k))
+
+let test_costmodel_small_launch_serial () =
+  (* provably block-parallel, but far below the default threshold: the
+     cost model must refuse the pool and say why *)
+  let mode, est = costmodel_mode ~threshold:500_000 ~n:256 in
+  match mode with
+  | Interp.Sequential (Some (Blockpar.Below_threshold { est_ops; threshold }))
+    ->
+      Alcotest.(check int) "reported estimate" est est_ops;
+      Alcotest.(check int) "reported threshold" 500_000 threshold
+  | Interp.Parallel _ ->
+      Alcotest.fail "tiny launch went parallel despite the threshold"
+  | Interp.Sequential r ->
+      Alcotest.fail
+        ("tiny launch fell back for the wrong reason: "
+        ^
+        match r with
+        | None -> "no reason"
+        | Some r -> Blockpar.reason_message r)
+
+let test_costmodel_zero_threshold_parallel () =
+  (* same launch with the threshold disabled goes block-parallel *)
+  match fst (costmodel_mode ~threshold:0 ~n:256) with
+  | Interp.Parallel { chunks } ->
+      Alcotest.(check bool) "several chunks" true (chunks > 1)
+  | Interp.Sequential _ ->
+      Alcotest.fail "launch stayed serial with a zero threshold"
+
+let test_costmodel_estimate_scales () =
+  (* the estimate is linear in the grid: twice the blocks, twice the
+     estimated ops *)
+  let prog, kernels = compile_pipeline costmodel_src in
+  ignore prog;
+  let k = fst (List.hd kernels) in
+  let e1 = Interp.estimated_ops ~grid:(4, 1, 1) k in
+  let e2 = Interp.estimated_ops ~grid:(8, 1, 1) k in
+  Alcotest.(check int) "linear in blocks" (2 * e1) e2
+
+(* --- threaded engine: superop fusion boundaries ---------------------- *)
+(* Hand-built register-only kernels drive the closure compiler's fusion
+   paths directly against the decoded core, comparing final register
+   files bit-for-bit and instruction counts exactly. The shapes are
+   chosen to straddle fusion boundaries: labels inside would-be fused
+   runs, branches landing between dependent ops, and compare-and-branch
+   terminators. *)
+
+let vreg rid rty = { Safara_vir.Vreg.rid; rty }
+let freg rid = vreg rid Safara_ir.Types.F64
+let ireg rid = vreg rid Safara_ir.Types.I32
+let preg rid = vreg rid Safara_ir.Types.Bool
+
+let regonly_kernel name code =
+  {
+    Safara_vir.Kernel.kname = name;
+    params = [];
+    code;
+    block = (1, 1, 1);
+    axes = [];
+    shared_bytes = 0;
+  }
+
+(* run one thread of a parameterless kernel on each engine, returning
+   (float regs, int regs, instructions) *)
+let regonly_run k eng =
+  let d = Decode.decode k in
+  let prog = Safara_ir.Program.make "t" [] in
+  let env = { Decode.scalars = []; mem = Memory.create () } in
+  let st = Decode.make_state d in
+  let ps = Decode.make_params d ~env ~prog in
+  Decode.reset_state st;
+  let cnt = Decode.fresh_counters () in
+  (match eng with
+  | Decode.Decoded ->
+      ignore (Decode.run d st ps cnt ~pc:0 ~fuel:max_int)
+  | Decode.Threaded ->
+      Threaded.run_thread (Threaded.compile d) st ps cnt ~fuel:max_int
+  | Decode.Reference -> invalid_arg "regonly_run: decoded-family only");
+  (Array.copy st.Decode.xf, Array.copy st.Decode.xi, cnt.Decode.c_instructions)
+
+let check_regonly_agree k =
+  let d_xf, d_xi, d_n = regonly_run k Decode.Decoded in
+  let t_xf, t_xi, t_n = regonly_run k Decode.Threaded in
+  Alcotest.(check (array (float 0.)))
+    (k.Safara_vir.Kernel.kname ^ ": float registers") d_xf t_xf;
+  Alcotest.(check (array int))
+    (k.Safara_vir.Kernel.kname ^ ": int registers")
+    d_xi t_xi;
+  Alcotest.(check int) (k.Safara_vir.Kernel.kname ^ ": instructions") d_n t_n;
+  (d_xf, d_xi, d_n)
+
+let test_fusion_loop_with_dependent_chain () =
+  (* a loop whose body is a fusable dependent float pair, an int
+     increment, and a compare feeding the back-edge: exercises the
+     generic pair fuser, the Setp→Brc terminator fusion, and the label
+     op at the loop head *)
+  let module I = Safara_vir.Instr in
+  let k =
+    regonly_kernel "chainloop"
+      [|
+        I.Mov { dst = freg 1; src = I.FImm 0.0 };
+        I.Mov { dst = freg 2; src = I.FImm 1.5 };
+        I.Mov { dst = ireg 3; src = I.Imm 0 };
+        I.Label "loop";
+        I.Bin { op = I.Mul; dst = freg 2; a = I.Reg (freg 2); b = I.FImm 1.0000001 };
+        I.Bin { op = I.Add; dst = freg 1; a = I.Reg (freg 1); b = I.Reg (freg 2) };
+        I.Bin { op = I.Add; dst = ireg 3; a = I.Reg (ireg 3); b = I.Imm 1 };
+        I.Setp { cmp = I.Lt; dst = preg 4; a = I.Reg (ireg 3); b = I.Imm 40 };
+        I.Brc { pred = preg 4; if_true = true; target = "loop" };
+        I.Ret;
+      |]
+  in
+  let xf, xi, n = check_regonly_agree k in
+  (* the engines must also match a direct OCaml evaluation bit-for-bit *)
+  let acc = ref 0.0 and t = ref 1.5 in
+  for _ = 1 to 40 do
+    t := !t *. 1.0000001;
+    acc := !acc +. !t
+  done;
+  Alcotest.(check int) "accumulator bits" 0
+    (Int64.compare (Int64.bits_of_float !acc) (Int64.bits_of_float xf.(1)));
+  Alcotest.(check int) "trip count" 40 xi.(3);
+  (* 3 preamble ops + 40 × 6-op loop body (the label counts as an
+     instruction, exactly like the reference walker) + Ret *)
+  Alcotest.(check int) "instructions" (3 + (40 * 6) + 1) n
+
+let test_fusion_branch_into_straightline () =
+  (* the entry jump lands *between* two dependent float ops: the
+     closure compiler must break the would-be fused run at the block
+     leader rather than fusing across it *)
+  let module I = Safara_vir.Instr in
+  let k =
+    regonly_kernel "midjump"
+      [|
+        I.Mov { dst = freg 1; src = I.FImm 1.0 };
+        I.Mov { dst = freg 2; src = I.FImm 10.0 };
+        I.Bra "mid";
+        I.Label "top";
+        I.Bin { op = I.Mul; dst = freg 1; a = I.Reg (freg 1); b = I.FImm 3.0 };
+        I.Label "mid";
+        I.Bin { op = I.Add; dst = freg 2; a = I.Reg (freg 2); b = I.Reg (freg 1) };
+        I.Bin { op = I.Add; dst = ireg 3; a = I.Reg (ireg 3); b = I.Imm 1 };
+        I.Setp { cmp = I.Lt; dst = preg 4; a = I.Reg (ireg 3); b = I.Imm 3 };
+        I.Brc { pred = preg 4; if_true = true; target = "top" };
+        I.Ret;
+      |]
+  in
+  let xf, xi, _ = check_regonly_agree k in
+  (* entry skips the multiply once: f2 = 10+1, then 2 round trips
+     through "top": f1 = 3 then 9, f2 = 11+3 = 14 then 14+9 = 23 *)
+  Alcotest.(check (float 0.)) "f1" 9.0 xf.(1);
+  Alcotest.(check (float 0.)) "f2" 23.0 xf.(2);
+  Alcotest.(check int) "loop counter" 3 xi.(3)
+
+let test_fusion_unop_chain () =
+  (* dependent unary chains exercise the compile-time unop
+     specialization (sqrt of a product, scaled) on both fusion sides *)
+  let module I = Safara_vir.Instr in
+  let k =
+    regonly_kernel "unops"
+      [|
+        I.Mov { dst = freg 1; src = I.FImm 2.25 };
+        I.Bin { op = I.Mul; dst = freg 2; a = I.Reg (freg 1); b = I.FImm 4.0 };
+        I.Una { op = I.Sqrt; dst = freg 3; a = I.Reg (freg 2) };
+        I.Una { op = I.Floor; dst = freg 4; a = I.Reg (freg 3) };
+        I.Bin { op = I.Sub; dst = freg 5; a = I.Reg (freg 3); b = I.Reg (freg 4) };
+        I.Una { op = I.Neg; dst = freg 6; a = I.Reg (freg 5) };
+        I.Ret;
+      |]
+  in
+  let xf, _, _ = check_regonly_agree k in
+  Alcotest.(check (float 0.)) "sqrt of product" 3.0 xf.(3);
+  Alcotest.(check (float 0.)) "floor" 3.0 xf.(4);
+  Alcotest.(check (float 0.)) "negated fraction" 0.0 xf.(6)
+
+let test_fusion_addressing_chain_source () =
+  (* the full addressing idiom (scale, convert, base add, load, move)
+     as generated from real array code, across all three engines with
+     counters: a small strided gather that the quad fuser collapses *)
+  let src =
+    {|
+param int n;
+in double b[n][n];
+double y[n];
+#pragma acc kernels name(gather)
+{
+  #pragma acc loop gang vector(32)
+  for (i = 0; i <= n - 1; i++) {
+    y[i] = b[i][2] * 2.0 + b[i][3];
+  }
+}
+|}
+  in
+  let n = 64 in
+  let snapshot eng =
+    Decode.with_engine eng (fun () ->
+        let prog, kernels = compile_pipeline src in
+        let mem = Memory.create () in
+        Memory.alloc_program mem ~env:[ ("n", n) ] prog;
+        let b = Memory.float_data mem "b" in
+        Array.iteri (fun i _ -> b.(i) <- float_of_int (i mod 97)) b;
+        let env = { Interp.scalars = [ ("n", V.I n) ]; mem } in
+        let counters = Interp.fresh_counters () in
+        List.iter
+          (fun (k, _) ->
+            let grid = Launch.grid_of ~env:env.Interp.scalars k in
+            Interp.run_kernel ~counters ~prog ~env ~grid k)
+          kernels;
+        ( Int64.bits_of_float (Memory.checksum mem "y"),
+          ( counters.Interp.c_instructions,
+            counters.Interp.c_loads,
+            counters.Interp.c_stores ) ))
+  in
+  let r_sum, r_cnt = snapshot Decode.Reference in
+  let d_sum, d_cnt = snapshot Decode.Decoded in
+  let t_sum, t_cnt = snapshot Decode.Threaded in
+  Alcotest.(check int64) "decoded checksum" r_sum d_sum;
+  Alcotest.(check int64) "threaded checksum" r_sum t_sum;
+  Alcotest.(check bool) "decoded counters" true (r_cnt = d_cnt);
+  Alcotest.(check bool) "threaded counters" true (r_cnt = t_cnt)
+
 let test_memory_view_cursors () =
   let m = Memory.create () in
   Memory.alloc m ~name:"a" ~elem:Safara_ir.Types.F64 ~length:8;
@@ -773,6 +1045,20 @@ let suite =
       test_blockpar_atomics_fall_back;
     Alcotest.test_case "blockpar: unmapped boundary write refused" `Quick
       test_blockpar_unmapped_write_refused;
+    Alcotest.test_case "costmodel: small launch stays serial" `Quick
+      test_costmodel_small_launch_serial;
+    Alcotest.test_case "costmodel: zero threshold goes parallel" `Quick
+      test_costmodel_zero_threshold_parallel;
+    Alcotest.test_case "costmodel: estimate linear in grid" `Quick
+      test_costmodel_estimate_scales;
+    Alcotest.test_case "fusion: loop with dependent chain" `Quick
+      test_fusion_loop_with_dependent_chain;
+    Alcotest.test_case "fusion: branch into straight-line run" `Quick
+      test_fusion_branch_into_straightline;
+    Alcotest.test_case "fusion: unop chains specialize" `Quick
+      test_fusion_unop_chain;
+    Alcotest.test_case "fusion: addressing chain via source" `Quick
+      test_fusion_addressing_chain_source;
   ]
   @ List.map
       (fun (w : Safara_suites.Workload.t) ->
@@ -787,17 +1073,23 @@ let suite =
           (w.Safara_suites.Workload.id ^ " engines agree (Base)")
           `Slow
           (check_engines_agree Safara_core.Compiler.Base w))
-      [ Safara_suites.Registry.find "303.ostencil"; Safara_suites.Registry.find "EP" ]
+      Safara_suites.Registry.all
   @ List.concat_map
       (fun (w : Safara_suites.Workload.t) ->
-        [
-          Alcotest.test_case
-            (w.Safara_suites.Workload.id ^ " parallel ≡ serial (Full)")
-            `Slow
-            (check_parallel_agrees Safara_core.Compiler.Full w);
-          Alcotest.test_case
-            (w.Safara_suites.Workload.id ^ " parallel ≡ serial (Base)")
-            `Slow
-            (check_parallel_agrees Safara_core.Compiler.Base w);
-        ])
+        List.concat_map
+          (fun eng ->
+            let ename = Decode.engine_name eng in
+            [
+              Alcotest.test_case
+                (Printf.sprintf "%s parallel ≡ serial (Full, %s)"
+                   w.Safara_suites.Workload.id ename)
+                `Slow
+                (check_parallel_agrees Safara_core.Compiler.Full eng w);
+              Alcotest.test_case
+                (Printf.sprintf "%s parallel ≡ serial (Base, %s)"
+                   w.Safara_suites.Workload.id ename)
+                `Slow
+                (check_parallel_agrees Safara_core.Compiler.Base eng w);
+            ])
+          [ Decode.Decoded; Decode.Threaded ])
       Safara_suites.Registry.all
