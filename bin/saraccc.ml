@@ -109,7 +109,7 @@ let wrap f =
 (* --- check ----------------------------------------------------------- *)
 
 let check_cmd =
-  let run file workloads json werror wcodes arch_name profile_name =
+  let run file workloads json werror wcodes pressure arch_name profile_name =
     wrap (fun () ->
         let arch = arch_of arch_name in
         let profile = profile_of profile_name in
@@ -132,7 +132,7 @@ let check_cmd =
           (fun (name, src) ->
             let diags =
               Safara_check.Check.finalize ~werror ~codes:wcodes
-                (Safara_check.Check.run ~file:name ~arch ~profile src)
+                (Safara_check.Check.run ~file:name ~arch ~profile ~pressure src)
             in
             if Safara_diag.Diagnostic.has_errors diags then any_errors := true;
             all := !all @ diags;
@@ -175,6 +175,15 @@ let check_cmd =
             "only report warnings/notes with this SAF0xx code (repeatable; \
              errors always shown)")
   in
+  let pressure_arg =
+    Arg.(
+      value & flag
+      & info [ "pressure" ]
+          ~doc:
+            "add the SAF036 static register-pressure report: per kernel, \
+             the liveness solver's peak demand next to the allocator's \
+             assignment")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
@@ -183,7 +192,7 @@ let check_cmd =
     Term.(
       ret
         (const run $ opt_file_arg $ workloads_arg $ json_arg $ werror_arg
-        $ wcodes_arg $ arch_arg $ profile_arg))
+        $ wcodes_arg $ pressure_arg $ arch_arg $ profile_arg))
 
 (* --- ir -------------------------------------------------------------- *)
 
@@ -247,10 +256,12 @@ let analyze_cmd =
 
 let compile_cmd =
   let run file arch_name profile_name quiet maxrreg pressure time_passes json
-      dumps disables =
+      dumps annotate_live disables =
     wrap (fun () ->
         let arch = arch_of arch_name in
         let profile = profile_of profile_name in
+        if annotate_live && dumps = [] then
+          failwith "--annotate-live needs --dump-ir (it annotates the dumps)";
         let options =
           {
             Safara_core.Pipeline.default_options with
@@ -260,6 +271,7 @@ let compile_cmd =
               | [] -> `None
               | l when List.mem "all" l -> `All
               | l -> `Passes l);
+            o_annotate_live = annotate_live;
             o_precise_stats = time_passes;
           }
         in
@@ -330,6 +342,16 @@ let compile_cmd =
             "print a snapshot of the staged value after this pass \
              (repeatable; $(b,all) dumps after every pass)")
   in
+  let annotate_live_arg =
+    Arg.(
+      value & flag
+      & info [ "annotate-live" ]
+          ~doc:
+            "with $(b,--dump-ir): prefix every dumped VIR instruction with \
+             the number of live virtual registers (and 32-bit units) after \
+             it, from the liveness solver, and report each kernel's peak \
+             demand")
+  in
   let disable_pass_arg =
     Arg.(
       value
@@ -344,7 +366,7 @@ let compile_cmd =
     Term.(
       ret (const run $ file_arg $ arch_arg $ profile_arg $ quiet_arg $ maxrreg_arg
            $ pressure_arg $ time_passes_arg $ json_arg $ dump_ir_arg
-           $ disable_pass_arg))
+           $ annotate_live_arg $ disable_pass_arg))
 
 (* --- emit ------------------------------------------------------------ *)
 

@@ -44,7 +44,7 @@ let ir_checks ~map prog =
       @ List.concat_map (Lint.region_lints ~map) prog.P.regions,
       `Continue )
 
-let backend_checks ~map ~arch ~profile prog =
+let backend_checks ?(pressure = false) ~map ~arch ~profile prog =
   match Safara_core.Compiler.compile ~arch profile prog with
   | exception (Failure msg | Invalid_argument msg) ->
       [
@@ -56,6 +56,7 @@ let backend_checks ~map ~arch ~profile prog =
         (fun ((k, _) as kr) ->
           List.map (locate map) (Safara_vir.Verify.verify k)
           @ Lint.kernel_lints ~map ~arch kr
+          @ (if pressure then Lint.static_pressure ~map ~arch kr else [])
           @
           (* SAF034: where the simulator's block-parallel engine must
              fall back to the sequential walk, and why — judged on the
@@ -69,14 +70,14 @@ let backend_checks ~map ~arch ~profile prog =
         c.Safara_core.Compiler.c_kernels
 
 let run ?(file = "<input>") ?(arch = Safara_gpu.Arch.kepler_k20xm)
-    ?(profile = Safara_core.Compiler.Full) src =
+    ?(profile = Safara_core.Compiler.Full) ?pressure src =
   match front_end ~file src with
   | Error diags -> Diag.sort diags
   | Ok (prog, map) -> (
       match ir_checks ~map prog with
       | diags, `Stop -> Diag.sort diags
       | diags, `Continue ->
-          Diag.sort (diags @ backend_checks ~map ~arch ~profile prog))
+          Diag.sort (diags @ backend_checks ?pressure ~map ~arch ~profile prog))
 
 let finalize ?(werror = false) ?(codes = []) diags =
   let diags = Diag.filter_codes codes diags in

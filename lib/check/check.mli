@@ -9,8 +9,10 @@
       dependence-based race detector ([SAF010]/[SAF011]) and the IR
       lints ([SAF032]/[SAF033]);
     + backend: compiles under a profile (default [Full]), runs the
-      VIR verifier on every produced kernel ([SAF020]) and the kernel
-      lints ([SAF030]/[SAF031]).
+      VIR verifier on every produced kernel ([SAF020]), the kernel
+      lints ([SAF030]/[SAF031]/[SAF035]), the block-parallel
+      fallback note ([SAF034]) and — with [~pressure:true] — the
+      static register-pressure report ([SAF036]).
 
     Diagnostics are anchored to source positions through the
     {!Safara_lang.Srcmap} built during lowering. *)
@@ -19,10 +21,12 @@ val run :
   ?file:string ->
   ?arch:Safara_gpu.Arch.t ->
   ?profile:Safara_core.Compiler.profile ->
+  ?pressure:bool ->
   string ->
   Safara_diag.Diagnostic.t list
 (** [run src] — the full pipeline on MiniACC source text; never
-    raises. Result is sorted and unfiltered. *)
+    raises. Result is sorted and unfiltered. [?pressure] (default
+    off) adds the [SAF036] per-kernel static pressure report. *)
 
 val finalize :
   ?werror:bool ->

@@ -166,5 +166,98 @@ let pressure ?(map = Srcmap.empty) ~(arch : Safara_gpu.Arch.t)
     ]
   else []
 
+(* --- SAF035: dead store ------------------------------------------- *)
+
+(* Two stores through the same address register into the same array
+   with nothing that could observe the first make it dead. VIR memory
+   ops carry the source array name in [note], and distinct arrays are
+   distinct allocations, so only same-[note] loads/atomics can read
+   the stored value. The window is reset by those, by any control
+   flow (a label or branch means another path may read first), and by
+   a redefinition of the address register (it no longer names the
+   same location). *)
+let dead_stores ?(map = Srcmap.empty) (k : Safara_vir.Kernel.t) =
+  let code = k.Safara_vir.Kernel.code in
+  let span = Srcmap.region_span map k.Safara_vir.Kernel.kname in
+  let where = "kernel " ^ k.Safara_vir.Kernel.kname in
+  (* (addr rid, note) -> index of the as-yet-unread store *)
+  let pending : (int * string, int) Hashtbl.t = Hashtbl.create 8 in
+  let drop_note note =
+    Hashtbl.iter
+      (fun ((_, n) as key) _ -> if String.equal n note then Hashtbl.remove pending key)
+      (Hashtbl.copy pending)
+  in
+  let drop_addr (r : Safara_vir.Vreg.t) =
+    Hashtbl.iter
+      (fun ((rid, _) as key) _ -> if rid = r.Safara_vir.Vreg.rid then Hashtbl.remove pending key)
+      (Hashtbl.copy pending)
+  in
+  let diags = ref [] in
+  Array.iteri
+    (fun i ins ->
+      (match ins with
+      | I.Label _ | I.Bra _ | I.Brc _ | I.Ret -> Hashtbl.reset pending
+      | I.Ld { note; _ } | I.Atom { note; _ } -> drop_note note
+      | _ -> ());
+      List.iter drop_addr (I.defs ins);
+      match ins with
+      | I.St { addr; note; _ } ->
+          let key = (addr.Safara_vir.Vreg.rid, note) in
+          (match Hashtbl.find_opt pending key with
+          | Some at ->
+              diags :=
+                Diag.make ?span ~code:"SAF035" ~where
+                  ~hint:"delete the first store or read its value before \
+                         overwriting"
+                  Diag.Warning
+                  (Printf.sprintf
+                     "dead store to %s: instr %d stores through the same \
+                      address and is overwritten at instr %d before any read"
+                     note at i)
+                :: !diags
+          | None -> ());
+          Hashtbl.replace pending key i
+      | _ -> ())
+    code;
+  List.rev !diags
+
+(* --- SAF036: static register-pressure report ----------------------- *)
+
+(* the liveness solver's peak demand next to what linear scan actually
+   claimed; when nothing spilled, precise max-live is a lower bound on
+   the allocation (intervals over-approximate live sets, and pair
+   alignment can pad), so a static number above the allocator's is a
+   compiler bug and reported as an error *)
+let static_pressure ?(map = Srcmap.empty) ~(arch : Safara_gpu.Arch.t)
+    ((k : Safara_vir.Kernel.t), (report : Safara_ptxas.Assemble.report)) =
+  let units = Safara_vir.Dataflow.Live.max_units k.Safara_vir.Kernel.code in
+  let span = Srcmap.region_span map k.Safara_vir.Kernel.kname in
+  let where = "kernel " ^ k.Safara_vir.Kernel.kname in
+  let regs = report.Safara_ptxas.Assemble.regs_used in
+  let budget = arch.Safara_gpu.Arch.max_registers_per_thread in
+  let spilled = report.Safara_ptxas.Assemble.spill_bytes > 0 in
+  let base =
+    Diag.make ?span ~code:"SAF036" ~where Diag.Note
+      (Printf.sprintf
+         "static register pressure: peak %d 32-bit units live; allocator \
+          assigned %d of %d budget%s"
+         units regs budget
+         (if spilled then
+            Printf.sprintf " (%d bytes spilled)"
+              report.Safara_ptxas.Assemble.spill_bytes
+          else ""))
+  in
+  if (not spilled) && units > regs then
+    [
+      base;
+      Diag.make ?span ~code:"SAF036" ~where Diag.Error
+        (Printf.sprintf
+           "static max-live (%d units) exceeds the allocator's assignment \
+            (%d registers) without spilling — register allocation is \
+            unsound"
+           units regs);
+    ]
+  else [ base ]
+
 let kernel_lints ?map ~arch (k, report) =
-  uncoalesced ?map k @ pressure ?map ~arch report
+  uncoalesced ?map k @ pressure ?map ~arch report @ dead_stores ?map k

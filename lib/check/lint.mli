@@ -9,7 +9,13 @@
     - [SAF032] (warning): a [dim]/[small] clause that cannot help
       because the region never references the named arrays.
     - [SAF033] (warning): a scalar written but never read (outside
-      its own redefinitions). *)
+      its own redefinitions).
+    - [SAF035] (warning): a store overwritten through the same
+      address register, same array, before anything could read it.
+    - [SAF036] (note): per-kernel static register-pressure report —
+      the liveness solver's peak demand next to the linear-scan
+      allocator's assignment; escalates to an error if the static
+      bound ever exceeds a spill-free allocation. *)
 
 val region_lints :
   ?map:Safara_lang.Srcmap.t ->
@@ -32,7 +38,22 @@ val kernel_lints :
   arch:Safara_gpu.Arch.t ->
   Safara_vir.Kernel.t * Safara_ptxas.Assemble.report ->
   Safara_diag.Diagnostic.t list
-(** [SAF030] + [SAF031] on a compiled kernel. *)
+(** [SAF030] + [SAF031] + [SAF035] on a compiled kernel. *)
+
+val dead_stores :
+  ?map:Safara_lang.Srcmap.t ->
+  Safara_vir.Kernel.t ->
+  Safara_diag.Diagnostic.t list
+(** [SAF035] alone. *)
+
+val static_pressure :
+  ?map:Safara_lang.Srcmap.t ->
+  arch:Safara_gpu.Arch.t ->
+  Safara_vir.Kernel.t * Safara_ptxas.Assemble.report ->
+  Safara_diag.Diagnostic.t list
+(** [SAF036]: the static pressure report (on demand —
+    [saraccc check --pressure] — rather than part of
+    {!kernel_lints}). *)
 
 val uncoalesced :
   ?map:Safara_lang.Srcmap.t ->

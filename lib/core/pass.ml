@@ -125,6 +125,26 @@ let dump : type a. a stage -> a -> string =
                r)
            v.a_kernels)
 
+(* --annotate-live: VIR-bearing stages render each kernel through the
+   liveness solver, prefixing every instruction with the live-set size
+   after it (vregs, then 32-bit units); IR has no registers to
+   annotate, so it falls back to the plain dump *)
+let dump_annotated : type a. a stage -> a -> string =
+ fun stage v ->
+  let annotated k =
+    Format.asprintf "%a" Safara_vir.Dataflow.Live.pp_annotated k
+  in
+  match stage with
+  | Ir -> dump Ir v
+  | Vir -> String.concat "\n" (List.map annotated v.v_kernels)
+  | Asm ->
+      String.concat "\n"
+        (List.map
+           (fun (k, r) ->
+             Format.asprintf "%s@.%a@." (annotated k)
+               Safara_ptxas.Assemble.pp_report r)
+           v.a_kernels)
+
 (* [assert (Sys.opaque_identity false)] is stripped by -noassert
    (unlike a literal [assert false], which the compiler must keep), so
    reaching the handler means assertions are live in this build. *)

@@ -104,6 +104,13 @@ val verify : 'a stage -> 'a -> unit
 val dump : 'a stage -> 'a -> string
 (** Human-readable rendering of the staged value ([--dump-ir]). *)
 
+val dump_annotated : 'a stage -> 'a -> string
+(** Like {!dump}, but VIR-bearing stages prefix every instruction
+    with its live-set size — vregs, then 32-bit register units — from
+    {!Safara_vir.Dataflow.Live.pp_annotated}, and end each kernel with
+    its peak demand ([--dump-ir --annotate-live]). IR values fall back
+    to the plain dump. *)
+
 val assertions_enabled : bool
 (** Whether this binary keeps [assert]s (dev profile); the default for
     verify-between-passes. *)

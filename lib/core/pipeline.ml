@@ -81,17 +81,27 @@ let codegen =
             prog.P.regions;
       })
 
-let peephole =
-  Pass.make ~name:"peephole" ~input:Pass.Vir ~output:Pass.Vir ~identity:Fun.id
+(* VIR → VIR code transforms share a shape: map a code optimizer over
+   every kernel; all are disableable *)
+let vir_pass name f =
+  Pass.make ~name ~input:Pass.Vir ~output:Pass.Vir ~identity:Fun.id
     (fun _ s ->
       {
         s with
         Pass.v_kernels =
-          List.map
-            (fun k ->
-              { k with K.code = Safara_vir.Peephole.optimize k.K.code })
-            s.Pass.v_kernels;
+          List.map (fun k -> { k with K.code = f k.K.code }) s.Pass.v_kernels;
       })
+
+let peephole = vir_pass "peephole" Safara_vir.Peephole.optimize
+
+(* the dataflow catalog: global (CFG-wide) optimizations over the
+   solver framework, scheduled after the block-local peephole.
+   copy-prop exposes dead movs and strength-red's affine facts;
+   strength-red leaves the replaced multiplies' feeders dead; dce
+   sweeps up after both. *)
+let copy_prop = vir_pass "copy-prop" Safara_vir.Copyprop.optimize
+let strength_red = vir_pass "strength-red" Safara_vir.Strength.optimize
+let dce = vir_pass "dce" Safara_vir.Dce.optimize
 
 let assemble =
   Pass.make ~name:"assemble" ~input:Pass.Vir ~output:Pass.Asm (fun ctx s ->
@@ -112,7 +122,15 @@ type ('a, 'b) seq =
   | Step : ('a, 'b) Pass.t * ('b, 'c) seq -> ('a, 'c) seq
 
 let build ?safara_config d =
-  let tail = Step (codegen, Step (peephole, Step (assemble, Done))) in
+  let tail =
+    Step
+      ( codegen,
+        Step
+          ( peephole,
+            Step
+              (copy_prop, Step (strength_red, Step (dce, Step (assemble, Done))))
+          ) )
+  in
   let tail =
     match d.d_safara with
     | None -> tail
@@ -143,6 +161,7 @@ let signature ?safara_config ?(disable = []) d =
 type options = {
   o_disable : string list;
   o_dump : [ `None | `Passes of string list | `All ];
+  o_annotate_live : bool;
   o_precise_stats : bool;
   o_verify : bool;
 }
@@ -151,6 +170,7 @@ let default_options =
   {
     o_disable = [];
     o_dump = `None;
+    o_annotate_live = false;
     o_precise_stats = false;
     o_verify = Pass.assertions_enabled;
   }
@@ -230,8 +250,12 @@ let run ?(options = default_options) ~name ctx pipe input =
             pr_after = after;
           }
           :: !reports;
-        if wants_dump p.Pass.name then
-          dumps := (p.Pass.name, Pass.dump p.Pass.output v') :: !dumps;
+        if wants_dump p.Pass.name then begin
+          let render =
+            if options.o_annotate_live then Pass.dump_annotated else Pass.dump
+          in
+          dumps := (p.Pass.name, render p.Pass.output v') :: !dumps
+        end;
         go rest v' (Some after)
   in
   let result = go pipe input None in

@@ -6,7 +6,7 @@
     descriptor into the typed pass sequence
 
     {v strip-clauses → resolve-schedules → [safara] → codegen →
-       peephole → assemble v}
+       peephole → copy-prop → strength-red → dce → assemble v}
 
     and {!run} executes it with per-pass instrumentation: wall time,
     before/after {!Pass.stats}, optional IR snapshots after any pass
@@ -82,6 +82,9 @@ type options = {
           one flag can apply across profiles. *)
   o_dump : [ `None | `Passes of string list | `All ];
       (** snapshot the value after these passes *)
+  o_annotate_live : bool;
+      (** render dumps through {!Pass.dump_annotated}: per-instruction
+          live-set sizes from the liveness solver ([--annotate-live]) *)
   o_precise_stats : bool;  (** VIR-stage register estimates *)
   o_verify : bool;  (** run the stage checker after every pass *)
 }

@@ -22,7 +22,12 @@
     - [SAF032] dim/small clause declared but never exploited
     - [SAF033] dead scalar (written but never read)
     - [SAF034] kernel not provably block-parallel: the simulator runs
-      its thread-blocks sequentially (note) *)
+      its thread-blocks sequentially (note)
+    - [SAF035] dead store: overwritten through the same address before
+      any read of the array
+    - [SAF036] static register-pressure report ([--pressure]; note,
+      escalated to error when the spill-free allocation is below the
+      liveness solver's peak demand) *)
 
 type severity = Error | Warning | Note
 

@@ -1,0 +1,142 @@
+(* Basic-block control-flow graph over a kernel's instruction stream.
+
+   Leaders are instruction 0, every Label, and every instruction
+   following a branch (bra/brc/ret). Edges come from branch targets
+   and fall-through; ret and bra end a block without fall-through.
+   The graph is the substrate for every dataflow analysis in
+   [Dataflow] and for the verifier's def-before-use check — one
+   construction shared by all clients (the allocator keeps its own
+   interval-oriented copy in Safara_ptxas because that library sits
+   above this one). *)
+
+module I = Instr
+
+type block = {
+  bid : int;
+  first : int;  (* index of the first instruction *)
+  last : int;  (* index of the last instruction (inclusive) *)
+  succs : int list;  (* successor block ids, sorted *)
+  preds : int list;  (* predecessor block ids, in edge-discovery order *)
+}
+
+type t = {
+  code : I.t array;
+  blocks : block array;
+  rpo : int array;
+  label_block : (string, int) Hashtbl.t;
+}
+
+let num_blocks t = Array.length t.blocks
+
+(* reverse postorder of the blocks reachable from entry, followed by
+   any unreachable blocks in id order (so solvers still visit them;
+   analyses treat them as unconstrained) *)
+let compute_rpo blocks =
+  let nb = Array.length blocks in
+  if nb = 0 then [||]
+  else begin
+    let seen = Array.make nb false in
+    let post = ref [] in
+    let rec visit b =
+      if not seen.(b) then begin
+        seen.(b) <- true;
+        List.iter visit blocks.(b).succs;
+        post := b :: !post
+      end
+    in
+    visit 0;
+    let order = ref (List.rev !post) in
+    for b = nb - 1 downto 0 do
+      if not seen.(b) then order := b :: !order
+    done;
+    Array.of_list (List.rev !order)
+  end
+
+let build (code : I.t array) =
+  let n = Array.length code in
+  if n = 0 then
+    { code; blocks = [||]; rpo = [||]; label_block = Hashtbl.create 1 }
+  else begin
+    let leader = Array.make n false in
+    leader.(0) <- true;
+    Array.iteri
+      (fun i ins ->
+        (match ins with I.Label _ -> leader.(i) <- true | _ -> ());
+        if I.is_branch ins && i + 1 < n then leader.(i + 1) <- true)
+      code;
+    let starts = ref [] in
+    for i = n - 1 downto 0 do
+      if leader.(i) then starts := i :: !starts
+    done;
+    let starts = Array.of_list !starts in
+    let nb = Array.length starts in
+    let last_of k = if k + 1 < nb then starts.(k + 1) - 1 else n - 1 in
+    let label_block = Hashtbl.create 16 in
+    for k = 0 to nb - 1 do
+      for i = starts.(k) to last_of k do
+        match code.(i) with
+        | I.Label l ->
+            if not (Hashtbl.mem label_block l) then Hashtbl.add label_block l k
+        | _ -> ()
+      done
+    done;
+    let succs = Array.make nb [] and preds = Array.make nb [] in
+    for k = 0 to nb - 1 do
+      let terminal = code.(last_of k) in
+      let targets =
+        List.filter_map
+          (fun l -> Hashtbl.find_opt label_block l)
+          (I.branch_targets terminal)
+      in
+      let fallthrough =
+        match terminal with
+        | I.Bra _ | I.Ret -> []
+        | _ -> if k + 1 < nb then [ k + 1 ] else []
+      in
+      let all = List.sort_uniq Int.compare (targets @ fallthrough) in
+      succs.(k) <- all;
+      List.iter (fun s -> preds.(s) <- k :: preds.(s)) all
+    done;
+    let blocks =
+      Array.init nb (fun k ->
+          {
+            bid = k;
+            first = starts.(k);
+            last = last_of k;
+            succs = succs.(k);
+            preds = List.rev preds.(k);
+          })
+    in
+    { code; blocks; rpo = compute_rpo blocks; label_block }
+  end
+
+let reachable t =
+  let r = Array.make (num_blocks t) false in
+  let rec visit b =
+    if not r.(b) then begin
+      r.(b) <- true;
+      List.iter visit t.blocks.(b).succs
+    end
+  in
+  if num_blocks t > 0 then visit 0;
+  r
+
+let iter_instrs t b f =
+  for i = t.blocks.(b).first to t.blocks.(b).last do
+    f i t.code.(i)
+  done
+
+let fold_instrs_rev t b f acc =
+  let acc = ref acc in
+  for i = t.blocks.(b).last downto t.blocks.(b).first do
+    acc := f i t.code.(i) !acc
+  done;
+  !acc
+
+let pp ppf t =
+  Array.iter
+    (fun b ->
+      Format.fprintf ppf "B%d [%d..%d] -> {%s} <- {%s}@," b.bid b.first b.last
+        (String.concat "," (List.map string_of_int b.succs))
+        (String.concat "," (List.map string_of_int b.preds)))
+    t.blocks

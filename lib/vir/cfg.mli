@@ -1,0 +1,42 @@
+(** Basic-block control-flow graph over a kernel's instruction
+    stream — the shared substrate for every dataflow analysis
+    ({!Dataflow}) and for the verifier's def-before-use check.
+
+    Leaders: instruction 0, every [Label], every instruction after a
+    branch ([bra]/[brc]/[ret]). Edges: branch targets plus
+    fall-through; [bra] and [ret] end a block without fall-through.
+    Branches to undefined labels contribute no edge (the verifier's
+    control-flow check reports them separately). *)
+
+type block = {
+  bid : int;
+  first : int;  (** index of the first instruction *)
+  last : int;  (** index of the last instruction (inclusive) *)
+  succs : int list;  (** successor block ids, sorted *)
+  preds : int list;  (** predecessor block ids *)
+}
+
+type t = {
+  code : Instr.t array;
+  blocks : block array;
+  rpo : int array;
+      (** block ids in reverse postorder from entry; unreachable
+          blocks follow in id order so solvers still visit them *)
+  label_block : (string, int) Hashtbl.t;  (** label name → block id *)
+}
+
+val build : Instr.t array -> t
+val num_blocks : t -> int
+
+val reachable : t -> bool array
+(** [reachable t].(b) — is block [b] reachable from entry? *)
+
+val iter_instrs : t -> int -> (int -> Instr.t -> unit) -> unit
+(** [iter_instrs t b f] applies [f i instr] over block [b]'s
+    instructions in order. *)
+
+val fold_instrs_rev : t -> int -> (int -> Instr.t -> 'a -> 'a) -> 'a -> 'a
+(** Fold block [b]'s instructions last-to-first (for backward
+    transfer functions). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+(* Global copy propagation over the available-copies dataflow.
+
+   The peephole's copy window resets at every label and branch; this
+   pass carries the window across the CFG with a must-analysis, so a
+   copy made before a branch is still forwarded in both arms and
+   after the join (when every path agrees). Substitution rules are
+   exactly the peephole's — same-type register forwarding, immediate
+   forwarding into operand positions — so each rewrite is one the
+   block-local pass is already proven to preserve.
+
+   Trivial elimination rides along: a [mov x, x] (often created by
+   the substitution itself) is deleted; everything else dead is left
+   to the [dce] pass that follows in the pipeline. *)
+
+module I = Instr
+module V = Vreg
+module C = Dataflow.Copies
+module IM = Dataflow.IM
+
+let subst_reg m (r : V.t) =
+  match C.find r.V.rid m with
+  | Some (I.Reg s) when s.V.rty = r.V.rty -> s
+  | _ -> r
+
+let rewrite m ins =
+  let subst = subst_reg m in
+  let subst_op op =
+    match op with
+    | I.Reg r -> (
+        match C.find r.V.rid m with
+        | Some (I.Reg s) when s.V.rty = r.V.rty -> I.Reg s
+        | Some ((I.Imm _ | I.FImm _) as c) -> c
+        | _ -> op)
+    | _ -> op
+  in
+  match ins with
+  | I.Ld r -> I.Ld { r with addr = subst r.addr }
+  | I.St r -> I.St { r with src = subst_op r.src; addr = subst r.addr }
+  | I.Mov r -> I.Mov { r with src = subst_op r.src }
+  | I.Bin r -> I.Bin { r with a = subst_op r.a; b = subst_op r.b }
+  | I.Una r -> I.Una { r with a = subst_op r.a }
+  | I.Cvt r -> I.Cvt { r with src = subst r.src }
+  | I.Setp r -> I.Setp { r with a = subst_op r.a; b = subst_op r.b }
+  | I.Brc r -> I.Brc { r with pred = subst r.pred }
+  | I.Atom r -> I.Atom { r with addr = subst r.addr; src = subst_op r.src }
+  | (I.Label _ | I.Ldp _ | I.Bra _ | I.Spec _ | I.Ret) as other -> other
+
+let optimize code =
+  if Array.length code = 0 then code
+  else begin
+    let cfg = Cfg.build code in
+    let at_start, _ = C.analyze cfg in
+    let out = ref [] in
+    for b = 0 to Cfg.num_blocks cfg - 1 do
+      let m =
+        (* top only on unreachable blocks: nothing is known there *)
+        ref (match at_start.(b) with Some m -> m | None -> C.empty)
+      in
+      Cfg.iter_instrs cfg b (fun _ ins ->
+          let ins' = rewrite !m ins in
+          (* the window advances over the rewritten instruction, as in
+             the block-local pass: its operands are the live names *)
+          m := C.step_map !m ins';
+          match ins' with
+          | I.Mov { dst; src = I.Reg s } when V.equal dst s -> ()
+          | _ -> out := ins' :: !out)
+    done;
+    Array.of_list (List.rev !out)
+  end

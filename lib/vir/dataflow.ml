@@ -1,0 +1,561 @@
+(* Generic dataflow over the basic-block CFG: a worklist solver
+   functorized over a join-semilattice, plus the four analyses the
+   optimizer, verifier and checker share — liveness, reaching
+   definitions (with a synthetic "uninitialized" definition per
+   register), available copies, and an affine constant/copy value
+   lattice. Transfer functions are derived from [Instr.defs]/
+   [Instr.uses], so a new instruction kind extends every analysis at
+   once. *)
+
+module I = Instr
+module V = Vreg
+
+type direction = Forward | Backward
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+
+  val join : t -> t -> t
+  (* confluence operator; [init] below must be its identity *)
+end
+
+module Solver (L : LATTICE) = struct
+  type result = { at_start : L.t array; at_end : L.t array }
+
+  (* [init] is the optimistic starting value and the identity of
+     [L.join] (bottom for may-analyses, top for must-analyses encoded
+     with an explicit top element). [boundary] flows into the entry
+     block (Forward) or into every exit block (Backward). [transfer]
+     maps a block's flow input to its flow output: at_start -> at_end
+     for Forward, at_end -> at_start for Backward. *)
+  let solve ~dir ~init ~boundary ~transfer (cfg : Cfg.t) =
+    let nb = Cfg.num_blocks cfg in
+    let at_start = Array.make nb init and at_end = Array.make nb init in
+    if nb > 0 then begin
+      let flow_preds b =
+        match dir with
+        | Forward -> cfg.Cfg.blocks.(b).Cfg.preds
+        | Backward -> cfg.Cfg.blocks.(b).Cfg.succs
+      in
+      let flow_succs b =
+        match dir with
+        | Forward -> cfg.Cfg.blocks.(b).Cfg.succs
+        | Backward -> cfg.Cfg.blocks.(b).Cfg.preds
+      in
+      let is_boundary b =
+        match dir with
+        | Forward -> b = 0
+        | Backward -> cfg.Cfg.blocks.(b).Cfg.succs = []
+      in
+      (* flow input/output views independent of direction *)
+      let flow_in, flow_out =
+        match dir with
+        | Forward -> (at_start, at_end)
+        | Backward -> (at_end, at_start)
+      in
+      let order =
+        match dir with
+        | Forward -> Array.copy cfg.Cfg.rpo
+        | Backward ->
+            let n = Array.length cfg.Cfg.rpo in
+            Array.init n (fun i -> cfg.Cfg.rpo.(n - 1 - i))
+      in
+      let queue = Queue.create () in
+      let queued = Array.make nb false in
+      Array.iter
+        (fun b ->
+          queued.(b) <- true;
+          Queue.add b queue)
+        order;
+      while not (Queue.is_empty queue) do
+        let b = Queue.pop queue in
+        queued.(b) <- false;
+        let inb =
+          List.fold_left
+            (fun acc p -> L.join acc flow_out.(p))
+            (if is_boundary b then boundary else init)
+            (flow_preds b)
+        in
+        flow_in.(b) <- inb;
+        let outb = transfer b inb in
+        if not (L.equal outb flow_out.(b)) then begin
+          flow_out.(b) <- outb;
+          List.iter
+            (fun s ->
+              if not queued.(s) then begin
+                queued.(s) <- true;
+                Queue.add s queue
+              end)
+            (flow_succs b)
+        end
+      done
+    end;
+    { at_start; at_end }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Liveness (backward, may)                                            *)
+(* ------------------------------------------------------------------ *)
+
+module VSetL = struct
+  type t = V.Set.t
+
+  let equal = V.Set.equal
+  let join = V.Set.union
+end
+
+module VSolve = Solver (VSetL)
+
+module Live = struct
+  type info = { live_in : V.Set.t array; live_out : V.Set.t array }
+
+  let transfer_instr ins live =
+    let live = List.fold_left (fun s d -> V.Set.remove d s) live (I.defs ins) in
+    List.fold_left (fun s u -> V.Set.add u s) live (I.uses ins)
+
+  let analyze (cfg : Cfg.t) =
+    (* per-block gen (upward-exposed uses) / kill (defs), precomputed
+       so each solver iteration is O(set ops), not O(block length) *)
+    let nb = Cfg.num_blocks cfg in
+    let gen = Array.make nb V.Set.empty and kill = Array.make nb V.Set.empty in
+    for b = 0 to nb - 1 do
+      let g = ref V.Set.empty and d = ref V.Set.empty in
+      Cfg.iter_instrs cfg b (fun _ ins ->
+          List.iter
+            (fun u -> if not (V.Set.mem u !d) then g := V.Set.add u !g)
+            (I.uses ins);
+          List.iter (fun x -> d := V.Set.add x !d) (I.defs ins));
+      gen.(b) <- !g;
+      kill.(b) <- !d
+    done;
+    let r =
+      VSolve.solve ~dir:Backward ~init:V.Set.empty ~boundary:V.Set.empty
+        ~transfer:(fun b out -> V.Set.union gen.(b) (V.Set.diff out kill.(b)))
+        cfg
+    in
+    { live_in = r.VSolve.at_start; live_out = r.VSolve.at_end }
+
+  (* live set immediately after each instruction *)
+  let per_instr_out (cfg : Cfg.t) info =
+    let n = Array.length cfg.Cfg.code in
+    let out = Array.make n V.Set.empty in
+    for b = 0 to Cfg.num_blocks cfg - 1 do
+      ignore
+        (Cfg.fold_instrs_rev cfg b
+           (fun i ins live ->
+             out.(i) <- live;
+             transfer_instr ins live)
+           info.live_out.(b))
+    done;
+    out
+
+  let units set = V.Set.fold (fun r acc -> acc + V.width r) set 0
+
+  (* peak simultaneous register demand in 32-bit units: at each
+     instruction the values live after it coexist with the values it
+     defines (a dead def still occupies its register at that point) *)
+  let max_units code =
+    let cfg = Cfg.build code in
+    let info = analyze cfg in
+    let out = per_instr_out cfg info in
+    let peak = ref 0 in
+    Array.iteri
+      (fun i ins ->
+        let at =
+          List.fold_left (fun s d -> V.Set.add d s) out.(i) (I.defs ins)
+        in
+        peak := max !peak (units at))
+      code;
+    !peak
+
+  (* --dump-ir --annotate-live: the listing with the precise live-set
+     size (count of live vregs, and their width in 32-bit units) after
+     each instruction *)
+  let pp_annotated ppf (k : Kernel.t) =
+    let cfg = Cfg.build k.Kernel.code in
+    let info = analyze cfg in
+    let out = per_instr_out cfg info in
+    Format.fprintf ppf
+      "@[<v>// %s: live vregs / 32-bit units after each instruction@,"
+      k.Kernel.kname;
+    Array.iteri
+      (fun i ins ->
+        Format.fprintf ppf "%4d %4d | %s@," (V.Set.cardinal out.(i))
+          (units out.(i)) (I.to_string ins))
+      k.Kernel.code;
+    Format.fprintf ppf "// peak demand: %d units@]" (max_units k.Kernel.code)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Reaching definitions (forward, may), with an implicit              *)
+(* "uninitialized" definition of every register at kernel entry        *)
+(* ------------------------------------------------------------------ *)
+
+module IM = Map.Make (Int)
+module IS = Set.Make (Int)
+
+module Reach = struct
+  (* rid -> set of definition sites that may reach this point; a site
+     is an instruction index, or [uninit] for the synthetic entry
+     definition. A register absent from the map is unreached (bottom:
+     only possible in unreachable code). *)
+  let uninit = -1
+
+  type state = IS.t IM.t
+
+  module L = struct
+    type t = state
+
+    let equal = IM.equal IS.equal
+    let join = IM.union (fun _ a b -> Some (IS.union a b))
+  end
+
+  module S = Solver (L)
+
+  let def state i ins =
+    List.fold_left
+      (fun st (d : V.t) -> IM.add d.V.rid (IS.singleton i) st)
+      state (I.defs ins)
+
+  let analyze (cfg : Cfg.t) =
+    (* at entry every register carries only its uninitialized def *)
+    let universe = ref IM.empty in
+    Array.iter
+      (fun ins ->
+        List.iter
+          (fun (r : V.t) ->
+            universe := IM.add r.V.rid (IS.singleton uninit) !universe)
+          (I.defs ins @ I.uses ins))
+      cfg.Cfg.code;
+    let transfer b st =
+      let st = ref st in
+      Cfg.iter_instrs cfg b (fun i ins -> st := def !st i ins);
+      !st
+    in
+    let r =
+      S.solve ~dir:Forward ~init:IM.empty ~boundary:!universe ~transfer cfg
+    in
+    (r.S.at_start, r.S.at_end)
+
+  type fault = {
+    f_at : int;  (* instruction index of the faulting use *)
+    f_reg : V.t;
+    f_partial : int list;
+        (* definition sites that reach on the other paths; [] means
+           the register is never defined at all *)
+  }
+
+  (* every use a synthetic uninitialized definition can reach;
+     subsumes the verifier's old hand-rolled must-reach walk:
+     "uninit may reach" is exactly "not defined on all paths" *)
+  let possibly_uninitialized (cfg : Cfg.t) =
+    let at_start, _ = analyze cfg in
+    let faults = ref [] in
+    for b = 0 to Cfg.num_blocks cfg - 1 do
+      let st = ref at_start.(b) in
+      Cfg.iter_instrs cfg b (fun i ins ->
+          List.iter
+            (fun (u : V.t) ->
+              match IM.find_opt u.V.rid !st with
+              | Some sites when IS.mem uninit sites ->
+                  let partial =
+                    IS.elements (IS.remove uninit sites)
+                  in
+                  faults :=
+                    { f_at = i; f_reg = u; f_partial = partial } :: !faults
+              | _ -> ())
+            (I.uses ins);
+          st := def !st i ins)
+    done;
+    List.rev !faults
+end
+
+(* ------------------------------------------------------------------ *)
+(* Available copies (forward, must)                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Copies = struct
+  (* [facts]: dst-rid -> the operand it provably still equals.
+     [users]: source rid -> the fact keys naming it, so killing a
+     register touches only its dependents instead of filtering the
+     whole window — the filter was quadratic on wide unrolled kernels
+     (one O(|window|) scan per definition). Invariant:
+     [IS.mem x (users u)] iff [facts x = Reg u']  with [u'.rid = u]. *)
+  type env = { facts : I.operand IM.t; users : IS.t IM.t }
+
+  let empty = { facts = IM.empty; users = IM.empty }
+
+  (* [None] is the must-analysis top (no path reached yet) *)
+  type state = env option
+
+  let operand_equal (a : I.operand) (b : I.operand) =
+    match (a, b) with
+    | I.Reg r, I.Reg s -> V.equal r s && r.V.rty = s.V.rty
+    | I.Imm x, I.Imm y -> x = y
+    | I.FImm x, I.FImm y -> Int64.bits_of_float x = Int64.bits_of_float y
+    | _ -> false
+
+  let user_key = function I.Reg s -> Some s.V.rid | I.Imm _ | I.FImm _ -> None
+
+  let unregister x op users =
+    match user_key op with
+    | None -> users
+    | Some u ->
+        IM.update u
+          (fun s ->
+            match s with
+            | None -> None
+            | Some s ->
+                let s = IS.remove x s in
+                if IS.is_empty s then None else Some s)
+          users
+
+  (* drop x's own fact (and its users entry) *)
+  let detach x env =
+    match IM.find_opt x env.facts with
+    | None -> env
+    | Some op ->
+        { facts = IM.remove x env.facts; users = unregister x op env.users }
+
+  let add x op env =
+    let env = detach x env in
+    let users =
+      match user_key op with
+      | None -> env.users
+      | Some u ->
+          IM.update u
+            (fun s -> Some (IS.add x (Option.value ~default:IS.empty s)))
+            env.users
+    in
+    { facts = IM.add x op env.facts; users }
+
+  let find x env = IM.find_opt x env.facts
+
+  let kill (d : V.t) env =
+    let env = detach d.V.rid env in
+    match IM.find_opt d.V.rid env.users with
+    | None -> env
+    | Some deps -> IS.fold detach deps env
+
+  let users_of_facts facts =
+    IM.fold
+      (fun x op users ->
+        match user_key op with
+        | None -> users
+        | Some u ->
+            IM.update u
+              (fun s -> Some (IS.add x (Option.value ~default:IS.empty s)))
+              users)
+      facts IM.empty
+
+  module L = struct
+    type t = state
+
+    let equal a b =
+      match (a, b) with
+      | None, None -> true
+      | Some a, Some b -> IM.equal operand_equal a.facts b.facts
+      | _ -> false
+
+    let join a b =
+      match (a, b) with
+      | None, x | x, None -> x
+      | Some a, Some b ->
+          let facts =
+            IM.merge
+              (fun _ x y ->
+                match (x, y) with
+                | Some x, Some y when operand_equal x y -> Some x
+                | _ -> None)
+              a.facts b.facts
+          in
+          Some { facts; users = users_of_facts facts }
+  end
+
+  module S = Solver (L)
+
+  (* advance the copy window across one (already rewritten) instr *)
+  let step_map env ins =
+    let env = List.fold_left (fun e d -> kill d e) env (I.defs ins) in
+    match ins with
+    | I.Mov { dst; src = I.Reg s } when not (V.equal dst s) ->
+        add dst.V.rid (I.Reg s) env
+    | I.Mov { dst; src = (I.Imm _ | I.FImm _) as c } -> add dst.V.rid c env
+    | _ -> env
+
+  let analyze (cfg : Cfg.t) =
+    let transfer b st =
+      match st with
+      | None -> None
+      | Some m ->
+          let m = ref m in
+          Cfg.iter_instrs cfg b (fun _ ins -> m := step_map !m ins);
+          Some !m
+    in
+    let r =
+      S.solve ~dir:Forward ~init:None ~boundary:(Some empty) ~transfer cfg
+    in
+    (r.S.at_start, r.S.at_end)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Affine values (forward, must): the constant/copy value lattice      *)
+(* ------------------------------------------------------------------ *)
+
+module Affine = struct
+  (* r = base + k; [base = None] means r is the constant k, and
+     [k = 0] with a base makes the fact a plain copy. Integer
+     registers only: OCaml's native-int simulator arithmetic is
+     associative/distributive modulo word size, so rewrites justified
+     by these facts are exact (bit-identical), overflow included. *)
+  type fact = { base : V.t option; k : int }
+
+  (* [users]: base rid -> fact keys built on it, mirroring {!Copies} —
+     killing a register walks its dependents rather than filtering the
+     whole map (which was quadratic on wide unrolled kernels) *)
+  type env = { facts : fact IM.t; users : IS.t IM.t }
+
+  let empty = { facts = IM.empty; users = IM.empty }
+
+  type state = env option  (* None = top (unreached) *)
+
+  let fact_equal a b =
+    a.k = b.k
+    &&
+    match (a.base, b.base) with
+    | None, None -> true
+    | Some r, Some s -> V.equal r s && r.V.rty = s.V.rty
+    | _ -> false
+
+  let user_key f = match f.base with Some s -> Some s.V.rid | None -> None
+
+  let unregister x f users =
+    match user_key f with
+    | None -> users
+    | Some u ->
+        IM.update u
+          (fun s ->
+            match s with
+            | None -> None
+            | Some s ->
+                let s = IS.remove x s in
+                if IS.is_empty s then None else Some s)
+          users
+
+  let detach x env =
+    match IM.find_opt x env.facts with
+    | None -> env
+    | Some f ->
+        { facts = IM.remove x env.facts; users = unregister x f env.users }
+
+  let add x f env =
+    let env = detach x env in
+    let users =
+      match user_key f with
+      | None -> env.users
+      | Some u ->
+          IM.update u
+            (fun s -> Some (IS.add x (Option.value ~default:IS.empty s)))
+            env.users
+    in
+    { facts = IM.add x f env.facts; users }
+
+  let find x env = IM.find_opt x env.facts
+
+  let kill (d : V.t) env =
+    let env = detach d.V.rid env in
+    match IM.find_opt d.V.rid env.users with
+    | None -> env
+    | Some deps -> IS.fold detach deps env
+
+  let users_of_facts facts =
+    IM.fold
+      (fun x f users ->
+        match user_key f with
+        | None -> users
+        | Some u ->
+            IM.update u
+              (fun s -> Some (IS.add x (Option.value ~default:IS.empty s)))
+              users)
+      facts IM.empty
+
+  module L = struct
+    type t = state
+
+    let equal a b =
+      match (a, b) with
+      | None, None -> true
+      | Some a, Some b -> IM.equal fact_equal a.facts b.facts
+      | _ -> false
+
+    let join a b =
+      match (a, b) with
+      | None, x | x, None -> x
+      | Some a, Some b ->
+          let facts =
+            IM.merge
+              (fun _ x y ->
+                match (x, y) with
+                | Some x, Some y when fact_equal x y -> Some x
+                | _ -> None)
+              a.facts b.facts
+          in
+          Some { facts; users = users_of_facts facts }
+  end
+
+  module S = Solver (L)
+
+  let integer (r : V.t) = Safara_ir.Types.is_integer r.V.rty
+
+  (* normalize through the current state so facts always name the
+     deepest available base: b = a + 2, c = b + 3 yields c = a + 5 *)
+  let resolve env (r : V.t) =
+    match IM.find_opt r.V.rid env.facts with
+    | Some f -> f
+    | None -> { base = Some r; k = 0 }
+
+  (* facts are evaluated against the pre-instruction state, so
+     self-updates like [add x, x, 1] read the old value of x *)
+  let fact_of env ins =
+    match ins with
+    | I.Mov { dst; src = I.Imm c } when integer dst ->
+        Some (dst, { base = None; k = c })
+    | I.Mov { dst; src = I.Reg s } when integer dst && dst.V.rty = s.V.rty ->
+        Some (dst, resolve env s)
+    | I.Bin { op = I.Add; dst; a = I.Reg s; b = I.Imm c }
+    | I.Bin { op = I.Add; dst; a = I.Imm c; b = I.Reg s }
+      when integer dst && dst.V.rty = s.V.rty ->
+        let f = resolve env s in
+        Some (dst, { f with k = f.k + c })
+    | I.Bin { op = I.Sub; dst; a = I.Reg s; b = I.Imm c }
+      when integer dst && dst.V.rty = s.V.rty ->
+        let f = resolve env s in
+        Some (dst, { f with k = f.k - c })
+    | _ -> None
+
+  let step_map env ins =
+    let fact = fact_of env ins in
+    let env = List.fold_left (fun e d -> kill d e) env (I.defs ins) in
+    match fact with
+    | Some (dst, f) -> (
+        match f.base with
+        | Some s when V.equal s dst -> env  (* self-referential: drop *)
+        | _ -> add dst.V.rid f env)
+    | None -> env
+
+  let analyze (cfg : Cfg.t) =
+    let transfer b st =
+      match st with
+      | None -> None
+      | Some m ->
+          let m = ref m in
+          Cfg.iter_instrs cfg b (fun _ ins -> m := step_map !m ins);
+          Some !m
+    in
+    let r =
+      S.solve ~dir:Forward ~init:None ~boundary:(Some empty) ~transfer cfg
+    in
+    (r.S.at_start, r.S.at_end)
+end

@@ -1,0 +1,161 @@
+(** Generic dataflow analysis over {!Cfg}: a worklist solver
+    functorized over a join-semilattice, and the four shared
+    instantiations — liveness, reaching definitions, available
+    copies, and an affine constant/copy value lattice. The optimizer
+    passes ({!Dce}, {!Copyprop}, {!Strength}), the verifier's
+    def-before-use check and the checker's pressure report are all
+    clients of this one solver. *)
+
+type direction = Forward | Backward
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+
+  val join : t -> t -> t
+  (** confluence; the solver's [init] must be its identity *)
+end
+
+module Solver (L : LATTICE) : sig
+  type result = { at_start : L.t array; at_end : L.t array }
+  (** Fixpoint values at each block's first/last program point
+      (position in the code, regardless of analysis direction). *)
+
+  val solve :
+    dir:direction ->
+    init:L.t ->
+    boundary:L.t ->
+    transfer:(int -> L.t -> L.t) ->
+    Cfg.t ->
+    result
+  (** [init]: optimistic start, the identity of [join] (bottom for
+      may-analyses; an explicit top element for must-analyses).
+      [boundary]: the value entering block 0 (Forward) or leaving
+      every exit block (Backward). [transfer b v]: block [b]'s flow
+      function — at_start→at_end under [Forward], at_end→at_start
+      under [Backward]. Iterates in reverse postorder (or its
+      reverse) with a FIFO worklist until fixpoint. *)
+end
+
+(** Liveness: backward may-analysis over register sets. *)
+module Live : sig
+  type info = { live_in : Vreg.Set.t array; live_out : Vreg.Set.t array }
+  (** per-block fixpoint *)
+
+  val analyze : Cfg.t -> info
+
+  val transfer_instr : Instr.t -> Vreg.Set.t -> Vreg.Set.t
+  (** one instruction backward: (live − defs) ∪ uses *)
+
+  val per_instr_out : Cfg.t -> info -> Vreg.Set.t array
+  (** the live set immediately after each instruction *)
+
+  val units : Vreg.Set.t -> int
+  (** total width in 32-bit units (predicates count 0) *)
+
+  val max_units : Instr.t array -> int
+  (** peak simultaneous register demand in 32-bit units — the static
+      lower bound the linear-scan allocator's [regs_used] must meet
+      or exceed *)
+
+  val pp_annotated : Format.formatter -> Kernel.t -> unit
+  (** the kernel listing with live vregs / live units after each
+      instruction ([--dump-ir] [--annotate-live]) *)
+end
+
+module IM : Map.S with type key = int
+module IS : Set.S with type elt = int
+
+(** Reaching definitions: forward may-analysis. Every register also
+    carries a synthetic "uninitialized" definition from kernel entry,
+    so "uninit may reach this use" is exactly the complement of the
+    old must-reach def-before-use check. *)
+module Reach : sig
+  val uninit : int
+  (** the synthetic entry-definition site (-1) *)
+
+  type state = IS.t IM.t
+  (** rid → definition sites (instruction indices, or [uninit]) that
+      may reach this point *)
+
+  val analyze : Cfg.t -> state array * state array
+  (** (at block start, at block end) *)
+
+  type fault = {
+    f_at : int;  (** instruction index of the faulting use *)
+    f_reg : Vreg.t;
+    f_partial : int list;
+        (** definition sites reaching on the other paths; [] means
+            the register is never defined before this use on any
+            path *)
+  }
+
+  val possibly_uninitialized : Cfg.t -> fault list
+  (** every use the synthetic uninitialized definition can reach, in
+      instruction order *)
+end
+
+(** Available copies: forward must-analysis backing global copy
+    propagation. *)
+module Copies : sig
+  type env
+  (** dst-rid → operand it provably equals on every path, with a
+      reverse index (source rid → dependent facts) so killing a
+      definition is proportional to its dependents, not the window
+      size *)
+
+  val empty : env
+
+  type state = env option
+  (** [None] is top (unreached) *)
+
+  val operand_equal : Instr.operand -> Instr.operand -> bool
+
+  val find : int -> env -> Instr.operand option
+  (** the operand a dst-rid provably equals here, if any *)
+
+  val step_map : env -> Instr.t -> env
+  (** advance the window across one instruction: kill facts about the
+      defs, record [mov] copies *)
+
+  val analyze : Cfg.t -> state array * state array
+end
+
+(** Affine values — the constant/copy value lattice: [r = base + k]
+    ([base = None] makes r the constant [k]; [k = 0] makes it a plain
+    copy). Integer registers only; OCaml-int simulator arithmetic is
+    distributive modulo word size, so rewrites justified by these
+    facts are bit-exact even under overflow. *)
+module Affine : sig
+  type fact = { base : Vreg.t option; k : int }
+
+  type env
+  (** rid → fact, with a reverse index (base rid → dependent facts)
+      keeping kills proportional to the dependents *)
+
+  val empty : env
+
+  type state = env option
+
+  val fact_equal : fact -> fact -> bool
+
+  val integer : Vreg.t -> bool
+  (** affine facts only track integer registers *)
+
+  val find : int -> env -> fact option
+
+  val kill : Vreg.t -> env -> env
+  (** forget the register's own fact and every fact based on it *)
+
+  val resolve : env -> Vreg.t -> fact
+  (** {!find}, defaulting to [r = r + 0] *)
+
+  val fact_of : env -> Instr.t -> (Vreg.t * fact) option
+  val step_map : env -> Instr.t -> env
+  val analyze : Cfg.t -> state array * state array
+
+  module L : LATTICE with type t = state
+  (** exposed so composite passes (e.g. {!Strength}) can pair this
+      lattice with their own facts in one solver instance *)
+end

@@ -1,0 +1,67 @@
+(* Liveness-driven dead-code elimination.
+
+   Stronger than the peephole's usedness sweep: a pure definition is
+   deleted when its register is not live *after* that instruction, so
+   overwritten values ([mov x, 5; ...; mov x, 7] with no read in
+   between) and values only consumed by other dead code disappear
+   too. Each round recomputes liveness and walks every block
+   backward, threading the live set through the deletions — a whole
+   intra-block dead chain falls in one round, so the number of rounds
+   is bounded by the cross-block dependence depth (small), not by the
+   chain length. *)
+
+module I = Instr
+module V = Vreg
+module L = Dataflow.Live
+
+(* loads count as pure: the functional simulator has no faulting
+   semantics to preserve (same contract as the peephole DCE) *)
+let is_pure = function
+  | I.Mov _ | I.Bin _ | I.Una _ | I.Cvt _ | I.Setp _ | I.Spec _ | I.Ldp _
+  | I.Ld _ ->
+      true
+  | I.Label _ | I.St _ | I.Bra _ | I.Brc _ | I.Atom _ | I.Ret -> false
+
+let sweep_once code =
+  let cfg = Cfg.build code in
+  let info = L.analyze cfg in
+  let keep = Array.make (Array.length code) true in
+  let removed = ref 0 in
+  for b = 0 to Cfg.num_blocks cfg - 1 do
+    ignore
+      (Cfg.fold_instrs_rev cfg b
+         (fun i ins live ->
+           let dead =
+             is_pure ins
+             && List.for_all (fun d -> not (V.Set.mem d live)) (I.defs ins)
+             && I.defs ins <> []
+           in
+           if dead then begin
+             keep.(i) <- false;
+             incr removed;
+             (* the instruction is gone: its uses do not keep anything
+                alive, its defs do not kill anything *)
+             live
+           end
+           else L.transfer_instr ins live)
+         info.L.live_out.(b))
+  done;
+  if !removed = 0 then None
+  else begin
+    let out = Array.make (Array.length code - !removed) code.(0) in
+    let j = ref 0 in
+    Array.iteri
+      (fun i ins ->
+        if keep.(i) then begin
+          out.(!j) <- ins;
+          incr j
+        end)
+      code;
+    Some out
+  end
+
+let optimize code =
+  let rec go code =
+    match sweep_once code with None -> code | Some code' -> go code'
+  in
+  if Array.length code = 0 then code else go code

@@ -109,31 +109,70 @@ let is_pure = function
       true
   | I.Label _ | I.St _ | I.Bra _ | I.Brc _ | I.Atom _ | I.Ret -> false
 
+(* Worklist formulation of usedness DCE: delete a pure single-def
+   instruction when no remaining instruction uses its register, and
+   when a deletion drops a use count to zero re-examine that
+   register's definers. Deletion only ever exposes more deletions, so
+   this reaches the same (unique) fixpoint as the old
+   rescan-until-stable loop — which rebuilt the whole use table per
+   round and went quadratic on long dead chains — in O(n) total
+   work. Output order is the original order, so results are
+   byte-identical. *)
 let dead_code_eliminate code =
-  let code = ref (Array.to_list code) in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    let used = Hashtbl.create 64 in
-    List.iter
-      (fun i -> List.iter (fun (r : V.t) -> Hashtbl.replace used r.V.rid ()) (I.uses i))
-      !code;
-    let kept =
-      List.filter
-        (fun i ->
-          if not (is_pure i) then true
-          else
-            match I.defs i with
-            | [ d ] -> Hashtbl.mem used d.V.rid
-            | _ -> true)
-        !code
-    in
-    if List.length kept <> List.length !code then begin
-      changed := true;
-      code := kept
+  let n = Array.length code in
+  let alive = Array.make n true in
+  let use_count = Hashtbl.create 64 in
+  let count rid = Option.value ~default:0 (Hashtbl.find_opt use_count rid) in
+  (* rid -> every pure single-def instruction defining it *)
+  let def_sites = Hashtbl.create 64 in
+  Array.iteri
+    (fun i ins ->
+      List.iter
+        (fun (r : V.t) -> Hashtbl.replace use_count r.V.rid (count r.V.rid + 1))
+        (I.uses ins);
+      if is_pure ins then
+        match I.defs ins with
+        | [ d ] -> Hashtbl.add def_sites d.V.rid i
+        | _ -> ())
+    code;
+  let removable i =
+    is_pure code.(i)
+    &&
+    match I.defs code.(i) with [ d ] -> count d.V.rid = 0 | _ -> false
+  in
+  let work = Queue.create () in
+  for i = 0 to n - 1 do
+    if removable i then Queue.add i work
+  done;
+  let removed = ref 0 in
+  while not (Queue.is_empty work) do
+    let i = Queue.pop work in
+    if alive.(i) && removable i then begin
+      alive.(i) <- false;
+      incr removed;
+      List.iter
+        (fun (r : V.t) ->
+          Hashtbl.replace use_count r.V.rid (count r.V.rid - 1);
+          if count r.V.rid = 0 then
+            List.iter
+              (fun j -> if alive.(j) then Queue.add j work)
+              (Hashtbl.find_all def_sites r.V.rid))
+        (I.uses code.(i))
     end
   done;
-  Array.of_list !code
+  if !removed = 0 then code
+  else begin
+    let out = Array.make (n - !removed) code.(0) in
+    let j = ref 0 in
+    Array.iteri
+      (fun i ins ->
+        if alive.(i) then begin
+          out.(!j) <- ins;
+          incr j
+        end)
+      code;
+    out
+  end
 
 let optimize code =
   code |> Array.map fold_instr |> copy_propagate |> Array.map fold_instr

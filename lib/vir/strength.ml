@@ -1,0 +1,259 @@
+(* Strength reduction of multiply-by-stride address arithmetic.
+
+   Codegen's addressing layer computes array offsets Horner-style and
+   scales each one by the element size ([mul s, off, 8]); neighbor
+   subscripts make offsets that differ only by a constant
+   ([off2 = off1 ± c], emitted as add/sub). This pass runs a forward
+   must-analysis pairing the affine value lattice ({!Dataflow.Affine})
+   with an available-products map ((base, imm-multiplier) → register
+   holding the product), and rewrites
+
+     mul dst, t, s     where t = u + k and p = u * s is available
+       ==>  add dst, p, k*s        (mov dst, p when k*s = 0)
+
+   turning a 20-cycle multiply into a 9-cycle add — plus the local
+   wins the lattice makes free: multiplies whose operand is provably
+   constant fold, [*0] and [rem 1] become immediate moves, [*2]
+   becomes an add of the register with itself.
+
+   Integer registers only. OCaml-int simulator arithmetic is
+   distributive modulo the word size, so (u+k)*s = u*s + k*s holds
+   bit-exactly even under overflow, and every rewrite preserves
+   functional results. The analysis steps over the original
+   instruction stream (value relations are unchanged by the rewrites,
+   so its facts remain valid for the emitted code). *)
+
+module I = Instr
+module V = Vreg
+module A = Dataflow.Affine
+module IM = Dataflow.IM
+
+module PM = Map.Make (struct
+  type t = int * int  (* base rid, immediate multiplier *)
+
+  let compare = compare
+end)
+
+module KS = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+(* products: (base rid, multiplier) -> (base register, register
+   holding base * multiplier); [pusers] is the reverse index (register
+   rid -> product keys mentioning it, as base or as product) keeping
+   kills proportional to the dependents, as in {!Dataflow.Copies} *)
+type products = { prods : (V.t * V.t) PM.t; pusers : KS.t IM.t }
+
+let no_products = { prods = PM.empty; pusers = IM.empty }
+
+let prod_equal (u1, p1) (u2, p2) =
+  V.equal u1 u2 && u1.V.rty = u2.V.rty && V.equal p1 p2 && p1.V.rty = p2.V.rty
+
+let unregister rid key pusers =
+  IM.update rid
+    (fun s ->
+      match s with
+      | None -> None
+      | Some s ->
+          let s = KS.remove key s in
+          if KS.is_empty s then None else Some s)
+    pusers
+
+let register rid key pusers =
+  IM.update rid
+    (fun s -> Some (KS.add key (Option.value ~default:KS.empty s)))
+    pusers
+
+let pdetach key ps =
+  match PM.find_opt key ps.prods with
+  | None -> ps
+  | Some (u, p) ->
+      {
+        prods = PM.remove key ps.prods;
+        pusers = unregister u.V.rid key (unregister p.V.rid key ps.pusers);
+      }
+
+let padd key ((u, p) as v) ps =
+  let ps = pdetach key ps in
+  {
+    prods = PM.add key v ps.prods;
+    pusers = register u.V.rid key (register p.V.rid key ps.pusers);
+  }
+
+let pkill (d : V.t) ps =
+  match IM.find_opt d.V.rid ps.pusers with
+  | None -> ps
+  | Some keys -> KS.fold pdetach keys ps
+
+let pusers_of prods =
+  PM.fold
+    (fun key (u, p) pusers -> register u.V.rid key (register p.V.rid key pusers))
+    prods IM.empty
+
+type state = (A.env * products) option
+
+module L = struct
+  type t = state
+
+  let equal a b =
+    match (a, b) with
+    | None, None -> true
+    | Some (f1, p1), Some (f2, p2) ->
+        A.L.equal (Some f1) (Some f2) && PM.equal prod_equal p1.prods p2.prods
+    | _ -> false
+
+  let join a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some (f1, p1), Some (f2, p2) ->
+        let fm =
+          match A.L.join (Some f1) (Some f2) with
+          | Some fm -> fm
+          | None -> A.empty
+        in
+        let prods =
+          PM.merge
+            (fun _ x y ->
+              match (x, y) with
+              | Some x, Some y when prod_equal x y -> Some x
+              | _ -> None)
+            p1.prods p2.prods
+        in
+        Some (fm, { prods; pusers = pusers_of prods })
+end
+
+module S = Dataflow.Solver (L)
+
+(* a multiplier operand: a literal immediate, or a register the
+   lattice proves constant *)
+let imm_of fm (op : I.operand) =
+  match op with
+  | I.Imm c -> Some c
+  | I.Reg r -> (
+      match A.find r.V.rid fm with
+      | Some { A.base = None; k } -> Some k
+      | _ -> None)
+  | I.FImm _ -> None
+
+(* the (register, immediate multiplier) factoring of a multiply, via
+   the lattice when the immediate is an already-known constant *)
+let reg_imm_of fm a b =
+  match (a, b) with
+  | I.Reg t, o | o, I.Reg t -> (
+      match imm_of fm o with Some s -> Some (t, s) | None -> None)
+  | _ -> None
+
+let step (fm, pm) ins =
+  let new_products =
+    match ins with
+    | I.Bin { op = I.Mul; dst; a; b } when A.integer dst -> (
+        match reg_imm_of fm a b with
+        | Some (t, s) when not (V.equal t dst) ->
+            let direct = [ ((t.V.rid, s), (t, dst)) ] in
+            (* t = u + 0 makes dst a product of the deeper base too *)
+            let via_base =
+              match A.find t.V.rid fm with
+              | Some { A.base = Some u; k = 0 } when not (V.equal u dst) ->
+                  [ ((u.V.rid, s), (u, dst)) ]
+              | _ -> []
+            in
+            direct @ via_base
+        | _ -> [])
+    | _ -> []
+  in
+  let fm = A.step_map fm ins in
+  let pm = List.fold_left (fun m d -> pkill d m) pm (I.defs ins) in
+  let pm = List.fold_left (fun m (key, v) -> padd key v m) pm new_products in
+  (fm, pm)
+
+(* [None]: leave the instruction alone; [Some None]: drop it;
+   [Some (Some i)]: replace it *)
+let rewrite (fm, pm) ins =
+  match ins with
+  | I.Bin { op = I.Mul; dst; a; b } when A.integer dst -> (
+      match (imm_of fm a, imm_of fm b) with
+      | Some x, Some y -> Some (Some (I.Mov { dst; src = I.Imm (x * y) }))
+      | _ -> (
+          match reg_imm_of fm a b with
+          | None -> None
+          | Some (t, s) -> (
+              if s = 0 then Some (Some (I.Mov { dst; src = I.Imm 0 }))
+              else
+                let f = A.resolve fm t in
+                match f.A.base with
+                | None -> Some (Some (I.Mov { dst; src = I.Imm (f.A.k * s) }))
+                | Some u -> (
+                    let product =
+                      match PM.find_opt (u.V.rid, s) pm.prods with
+                      | Some (u', p)
+                        when V.equal u' u && u'.V.rty = u.V.rty
+                             && p.V.rty = dst.V.rty ->
+                          Some p
+                      | _ -> None
+                    in
+                    match product with
+                    | Some p when f.A.k * s = 0 ->
+                        if V.equal p dst then Some None
+                        else Some (Some (I.Mov { dst; src = I.Reg p }))
+                    | Some p ->
+                        Some
+                          (Some
+                             (I.Bin
+                                {
+                                  op = I.Add;
+                                  dst;
+                                  a = I.Reg p;
+                                  b = I.Imm (f.A.k * s);
+                                }))
+                    | None ->
+                        if s = 2 && t.V.rty = dst.V.rty then
+                          Some
+                            (Some
+                               (I.Bin
+                                  { op = I.Add; dst; a = I.Reg t; b = I.Reg t }))
+                        else if s = 1 && t.V.rty = dst.V.rty then
+                          Some (Some (I.Mov { dst; src = I.Reg t }))
+                        else None))))
+  | I.Bin { op = I.Rem; dst; a = _; b } when A.integer dst -> (
+      match imm_of fm b with
+      | Some 1 -> Some (Some (I.Mov { dst; src = I.Imm 0 }))
+      | _ -> None)
+  | _ -> None
+
+let optimize code =
+  if Array.length code = 0 then code
+  else begin
+    let cfg = Cfg.build code in
+    let transfer b st =
+      match st with
+      | None -> None
+      | Some s ->
+          let s = ref s in
+          Cfg.iter_instrs cfg b (fun _ ins -> s := step !s ins);
+          Some !s
+    in
+    let r =
+      S.solve ~dir:Forward ~init:None
+        ~boundary:(Some (A.empty, no_products))
+        ~transfer cfg
+    in
+    let out = ref [] in
+    for b = 0 to Cfg.num_blocks cfg - 1 do
+      let st =
+        ref
+          (match r.S.at_start.(b) with
+          | Some s -> s
+          | None -> (A.empty, no_products))
+      in
+      Cfg.iter_instrs cfg b (fun _ ins ->
+          (match rewrite !st ins with
+          | None -> out := ins :: !out
+          | Some None -> ()
+          | Some (Some ins') -> out := ins' :: !out);
+          (* the analysis steps over the original stream *)
+          st := step !st ins)
+    done;
+    Array.of_list (List.rev !out)
+  end

@@ -18,66 +18,6 @@ let fault kern ~at fmt =
         (Printf.sprintf "instr %d: %s" at m))
     fmt
 
-(* --- basic blocks ------------------------------------------------- *)
-
-type block = {
-  b_start : int;  (* index of first instruction *)
-  b_len : int;
-  b_succs : int list;  (* indices into the blocks array *)
-}
-
-(* leaders: 0, every Label, every instruction after a branch *)
-let build_blocks (code : Instr.t array) =
-  let n = Array.length code in
-  let leader = Array.make (max n 1) false in
-  if n > 0 then leader.(0) <- true;
-  Array.iteri
-    (fun i ins ->
-      (match ins with Instr.Label _ -> leader.(i) <- true | _ -> ());
-      if Instr.is_branch ins && i + 1 < n then leader.(i + 1) <- true)
-    code;
-  let starts = ref [] in
-  for i = n - 1 downto 0 do
-    if leader.(i) then starts := i :: !starts
-  done;
-  let starts = Array.of_list !starts in
-  let nb = Array.length starts in
-  let block_of_start = Hashtbl.create 16 in
-  Array.iteri (fun bi s -> Hashtbl.add block_of_start s bi) starts;
-  let label_block = Hashtbl.create 16 in
-  Array.iteri
-    (fun i ins ->
-      match ins with
-      | Instr.Label l ->
-          if not (Hashtbl.mem label_block l) then
-            Hashtbl.add label_block l (Hashtbl.find block_of_start i)
-      | _ -> ())
-    code;
-  let blocks =
-    Array.mapi
-      (fun bi s ->
-        let last = if bi + 1 < nb then starts.(bi + 1) - 1 else n - 1 in
-        let succs =
-          match code.(last) with
-          | Instr.Ret -> []
-          | Instr.Bra t -> (
-              match Hashtbl.find_opt label_block t with
-              | Some b -> [ b ]
-              | None -> [])
-          | Instr.Brc { target; _ } ->
-              let taken =
-                match Hashtbl.find_opt label_block target with
-                | Some b -> [ b ]
-                | None -> []
-              in
-              if bi + 1 < nb then (bi + 1) :: taken else taken
-          | _ -> if bi + 1 < nb then [ bi + 1 ] else []
-        in
-        { b_start = s; b_len = last - s + 1; b_succs = succs })
-      starts
-  in
-  (blocks, label_block)
-
 (* --- checks ------------------------------------------------------- *)
 
 let check_control_flow kern =
@@ -114,68 +54,31 @@ let check_control_flow kern =
   then add (fault kern ~at:(n - 1) "kernel has no ret");
   List.rev !faults
 
+(* Def-before-use, via the reaching-definitions solver: a synthetic
+   "uninitialized" definition of every register is placed at entry,
+   and any use it can reach is a fault. "Uninit may reach" is exactly
+   "not defined on all paths", so this reports the same faults as the
+   old hand-rolled must-reach walk — with the definition sites that
+   do reach on the other paths named in the message. *)
 let check_def_before_use kern =
   let code = kern.Kernel.code in
   if Array.length code = 0 then []
-  else begin
-    let faults = ref [] in
-    let add f = faults := f :: !faults in
-    let blocks, _ = build_blocks code in
-    let nb = Array.length blocks in
-    (* universe of registers that are defined somewhere *)
-    let universe =
-      Array.fold_left
-        (fun acc ins -> List.fold_left (fun s r -> Vreg.Set.add r s) acc (Instr.defs ins))
-        Vreg.Set.empty code
-    in
-    (* must-reach analysis: IN[b] = ∩ OUT[preds]; optimistic init *)
-    let out = Array.make nb universe in
-    let preds = Array.make nb [] in
-    Array.iteri
-      (fun bi b -> List.iter (fun s -> preds.(s) <- bi :: preds.(s)) b.b_succs)
-      blocks;
-    let in_of bi =
-      if bi = 0 then Vreg.Set.empty
-      else
-        match preds.(bi) with
-        | [] -> universe (* unreachable: no constraints *)
-        | p :: ps ->
-            List.fold_left
-              (fun acc q -> Vreg.Set.inter acc out.(q))
-              out.(p) ps
-    in
-    let changed = ref true in
-    while !changed do
-      changed := false;
-      Array.iteri
-        (fun bi b ->
-          let live = ref (in_of bi) in
-          for i = b.b_start to b.b_start + b.b_len - 1 do
-            List.iter (fun r -> live := Vreg.Set.add r !live) (Instr.defs code.(i))
-          done;
-          if not (Vreg.Set.equal !live out.(bi)) then begin
-            out.(bi) <- !live;
-            changed := true
-          end)
-        blocks
-    done;
-    (* now re-walk each block reporting uses of never-defined regs *)
-    Array.iteri
-      (fun bi b ->
-        let live = ref (in_of bi) in
-        for i = b.b_start to b.b_start + b.b_len - 1 do
-          List.iter
-            (fun r ->
-              if not (Vreg.Set.mem r !live) then
-                add
-                  (fault kern ~at:i "register %s used before definition"
-                     (Vreg.to_string r)))
-            (Instr.uses code.(i));
-          List.iter (fun r -> live := Vreg.Set.add r !live) (Instr.defs code.(i))
-        done)
-      blocks;
-    List.rev !faults
-  end
+  else
+    let cfg = Cfg.build code in
+    List.map
+      (fun (f : Dataflow.Reach.fault) ->
+        match f.Dataflow.Reach.f_partial with
+        | [] ->
+            fault kern ~at:f.Dataflow.Reach.f_at
+              "register %s used before definition"
+              (Vreg.to_string f.Dataflow.Reach.f_reg)
+        | sites ->
+            fault kern ~at:f.Dataflow.Reach.f_at
+              "register %s used before definition on some paths (defined \
+               only at instr %s)"
+              (Vreg.to_string f.Dataflow.Reach.f_reg)
+              (String.concat ", " (List.map string_of_int sites)))
+      (Dataflow.Reach.possibly_uninitialized cfg)
 
 let op_cls = function
   | Instr.Reg r -> Some (Vreg.cls r)

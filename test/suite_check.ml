@@ -17,7 +17,8 @@ let codes diags = List.map (fun d -> d.Diag.code) diags
 let has code diags = List.mem code (codes diags)
 let errors diags = List.filter (fun d -> d.Diag.severity = Diag.Error) diags
 
-let run_check ?profile src = Check.run ~file:"t.macc" ?profile src
+let run_check ?profile ?pressure src =
+  Check.run ~file:"t.macc" ?profile ?pressure src
 
 let races_of src =
   let prog, map = Safara_lang.Frontend.compile_with_map ~file:"t.macc" src in
@@ -347,6 +348,146 @@ out double a[m][n];
       Alcotest.(check bool) "is a note" true (d.Diag.severity = Diag.Note))
     notes
 
+(* dead-store lint operates on raw VIR: build kernels by hand *)
+let store ?(note = "c") src addr =
+  I.St { src = I.Reg src; addr; mem = gmem; note }
+
+let test_lint_dead_store () =
+  let a = r 0 T.I64 and v1 = r 1 T.F64 and v2 = r 2 T.F64 in
+  let ds =
+    Lint.dead_stores
+      (kernel
+         [
+           I.Mov { dst = a; src = I.Imm 0 };
+           I.Mov { dst = v1; src = I.FImm 1.0 };
+           I.Mov { dst = v2; src = I.FImm 2.0 };
+           store v1 a;
+           store v2 a;
+           I.Ret;
+         ])
+  in
+  Alcotest.(check (list string)) "SAF035" [ "SAF035" ] (codes ds);
+  let d = List.hd ds in
+  Alcotest.(check bool) "warning" true (d.Diag.severity = Diag.Warning);
+  Alcotest.(check bool)
+    "message places both stores" true
+    (Str_helpers.contains d.Diag.message "dead store"
+    && Str_helpers.contains d.Diag.message "instr 3"
+    && Str_helpers.contains d.Diag.message "instr 4");
+  Alcotest.(check bool) "has fix-it" true (d.Diag.hint <> None)
+
+let test_lint_dead_store_negatives () =
+  let a = r 0 T.I64 and v = r 1 T.F64 and t = r 2 T.F64 in
+  let quiet name code =
+    Alcotest.(check (list string)) name [] (codes (Lint.dead_stores (kernel code)))
+  in
+  (* an intervening read of the same array keeps the first store *)
+  quiet "read intervenes"
+    [
+      I.Mov { dst = a; src = I.Imm 0 };
+      I.Mov { dst = v; src = I.FImm 1.0 };
+      store v a;
+      I.Ld { dst = t; addr = a; mem = gmem; note = "c" };
+      store v a;
+      I.Ret;
+    ];
+  (* control flow between the stores: the first may be read elsewhere *)
+  quiet "branch intervenes"
+    [
+      I.Mov { dst = a; src = I.Imm 0 };
+      I.Mov { dst = v; src = I.FImm 1.0 };
+      store v a;
+      I.Label "l";
+      store v a;
+      I.Ret;
+    ];
+  (* distinct arrays never alias *)
+  quiet "different arrays"
+    [
+      I.Mov { dst = a; src = I.Imm 0 };
+      I.Mov { dst = v; src = I.FImm 1.0 };
+      store ~note:"c" v a;
+      store ~note:"d" v a;
+      I.Ret;
+    ];
+  (* the address register is redefined: a different element *)
+  quiet "address redefined"
+    [
+      I.Mov { dst = a; src = I.Imm 0 };
+      I.Mov { dst = v; src = I.FImm 1.0 };
+      store v a;
+      I.Mov { dst = a; src = I.Imm 8 };
+      store v a;
+      I.Ret;
+    ]
+
+let pressure_src =
+  {|
+param int n;
+double a[n];
+out double c[n];
+#pragma acc kernels name(k)
+{
+  #pragma acc loop gang vector(128)
+  for (i = 0; i < n; i++) {
+    c[i] = a[i] * 2.0;
+  }
+}
+|}
+
+let test_lint_static_pressure_on_demand () =
+  let ds = run_check ~pressure:true pressure_src in
+  let notes = List.filter (fun d -> d.Diag.code = "SAF036") ds in
+  Alcotest.(check bool) "SAF036 present" true (notes <> []);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "is a note" true (d.Diag.severity = Diag.Note);
+      Alcotest.(check bool)
+        "reports both numbers" true
+        (Str_helpers.contains d.Diag.message "static register pressure"
+        && Str_helpers.contains d.Diag.message "allocator assigned"))
+    notes;
+  Alcotest.(check bool)
+    "absent without --pressure" false
+    (has "SAF036" (run_check pressure_src))
+
+let test_lint_static_pressure_unsound () =
+  (* a spill-free report claiming fewer registers than the static peak
+     demands is an allocator bug: the lint must escalate to an error *)
+  let a = r 0 T.I64 and v = r 1 T.F64 in
+  let k =
+    kernel
+      [
+        I.Mov { dst = a; src = I.Imm 0 };
+        I.Mov { dst = v; src = I.FImm 1.0 };
+        I.St { src = I.Reg v; addr = a; mem = gmem; note = "c" };
+        I.Ret;
+      ]
+  in
+  let report ~regs =
+    {
+      Safara_ptxas.Assemble.kernel_name = "broken";
+      regs_used = regs;
+      pred_regs = 0;
+      spill_bytes = 0;
+      spill_loads = 0;
+      spill_stores = 0;
+      instructions = 4;
+    }
+  in
+  let arch = Safara_gpu.Arch.kepler_k20xm in
+  let sound = Lint.static_pressure ~arch (k, report ~regs:4) in
+  Alcotest.(check (list string)) "honest report is a note" [ "SAF036" ]
+    (codes sound);
+  Alcotest.(check int) "no errors" 0 (List.length (errors sound));
+  let unsound = Lint.static_pressure ~arch (k, report ~regs:1) in
+  Alcotest.(check bool)
+    "understating registers is an error" true
+    (errors unsound <> []
+    && List.exists
+         (fun d -> Str_helpers.contains d.Diag.message "unsound")
+         (errors unsound))
+
 (* --- diagnostics engine -------------------------------------------- *)
 
 let test_front_end_errors () =
@@ -464,6 +605,13 @@ let suite =
       test_lint_unexploited_clause;
     Alcotest.test_case "lint: uncoalesced note" `Quick
       test_lint_uncoalesced_note;
+    Alcotest.test_case "lint: dead store" `Quick test_lint_dead_store;
+    Alcotest.test_case "lint: dead-store negatives" `Quick
+      test_lint_dead_store_negatives;
+    Alcotest.test_case "lint: pressure on demand" `Quick
+      test_lint_static_pressure_on_demand;
+    Alcotest.test_case "lint: pressure soundness" `Quick
+      test_lint_static_pressure_unsound;
     Alcotest.test_case "diag: front-end errors" `Quick test_front_end_errors;
     Alcotest.test_case "diag: spans and caret" `Quick test_spans_and_render;
     Alcotest.test_case "diag: werror and -W" `Quick

@@ -1,0 +1,634 @@
+(* Dataflow-framework tests: CFG construction, each lattice's solver
+   fixpoint (including loops and back-edges), the three catalog passes
+   built on them (copy-prop, strength-red, dce), a wide-kernel
+   performance regression guarding the linear kill indices, the
+   static-pressure cross-validation against the linear-scan allocator,
+   and the differential sweep proving the passes preserve simulated
+   results bit for bit across workloads, profiles, engines and pool
+   sizes. *)
+
+open Safara_suites
+module I = Safara_vir.Instr
+module V = Safara_vir.Vreg
+module K = Safara_vir.Kernel
+module Cfg = Safara_vir.Cfg
+module D = Safara_vir.Dataflow
+module T = Safara_ir.Types
+module M = Safara_gpu.Memspace
+module C = Safara_core.Compiler
+
+(* --- builders ----------------------------------------------------- *)
+
+let r id ty = { V.rid = id; rty = ty }
+let i32 id = r id T.I32
+let i64 id = r id T.I64
+let prd id = r id T.Bool
+let gmem = { I.m_space = M.Global; m_access = M.Coalesced; m_bytes = 8 }
+let movi d c = I.Mov { dst = d; src = I.Imm c }
+let movr d s = I.Mov { dst = d; src = I.Reg s }
+let add d a b = I.Bin { op = I.Add; dst = d; a; b }
+let mul d a b = I.Bin { op = I.Mul; dst = d; a; b }
+let setp d a b = I.Setp { cmp = I.Lt; dst = d; a; b }
+let brc pr target = I.Brc { pred = pr; if_true = true; target }
+let ldp d param = I.Ldp { dst = d; param }
+let st s addr = I.St { src = I.Reg s; addr; mem = gmem; note = "arr" }
+
+let kernel code =
+  {
+    K.kname = "t";
+    params = [];
+    code = Array.of_list code;
+    block = (128, 1, 1);
+    axes = [];
+    shared_bytes = 0;
+  }
+
+let instr = Alcotest.testable (Fmt.of_to_string I.to_string) ( = )
+let ints = Alcotest.(list int)
+
+(* --- CFG construction --------------------------------------------- *)
+
+let test_cfg_straight () =
+  let cfg =
+    Cfg.build [| movi (i32 0) 1; add (i32 1) (I.Reg (i32 0)) (I.Imm 2); I.Ret |]
+  in
+  Alcotest.(check int) "blocks" 1 (Cfg.num_blocks cfg);
+  let b = cfg.Cfg.blocks.(0) in
+  Alcotest.(check int) "first" 0 b.Cfg.first;
+  Alcotest.(check int) "last" 2 b.Cfg.last;
+  Alcotest.(check ints) "succs" [] b.Cfg.succs;
+  Alcotest.(check ints) "preds" [] b.Cfg.preds;
+  Alcotest.(check ints) "rpo" [ 0 ] (Array.to_list cfg.Cfg.rpo)
+
+let diamond =
+  [|
+    movi (i32 0) 1;
+    setp (prd 1) (I.Reg (i32 0)) (I.Imm 10);
+    brc (prd 1) "then";
+    movi (i32 2) 1;
+    I.Bra "join";
+    I.Label "then";
+    movi (i32 2) 2;
+    I.Label "join";
+    I.Ret;
+  |]
+
+let test_cfg_diamond () =
+  let cfg = Cfg.build diamond in
+  Alcotest.(check int) "blocks" 4 (Cfg.num_blocks cfg);
+  Alcotest.(check ints) "entry succs" [ 1; 2 ] cfg.Cfg.blocks.(0).Cfg.succs;
+  Alcotest.(check ints) "else succs" [ 3 ] cfg.Cfg.blocks.(1).Cfg.succs;
+  Alcotest.(check ints) "then succs" [ 3 ] cfg.Cfg.blocks.(2).Cfg.succs;
+  Alcotest.(check ints) "join succs" [] cfg.Cfg.blocks.(3).Cfg.succs;
+  Alcotest.(check ints) "join preds" [ 1; 2 ]
+    (List.sort compare cfg.Cfg.blocks.(3).Cfg.preds);
+  Alcotest.(check int) "label then" 2 (Hashtbl.find cfg.Cfg.label_block "then");
+  Alcotest.(check int) "label join" 3 (Hashtbl.find cfg.Cfg.label_block "join");
+  Alcotest.(check int) "rpo starts at entry" 0 cfg.Cfg.rpo.(0);
+  Alcotest.(check bool) "all reachable" true
+    (Array.for_all Fun.id (Cfg.reachable cfg))
+
+let test_cfg_loop_backedge () =
+  let cfg =
+    Cfg.build
+      [|
+        movi (i32 0) 0;
+        I.Label "loop";
+        add (i32 0) (I.Reg (i32 0)) (I.Imm 1);
+        setp (prd 1) (I.Reg (i32 0)) (I.Imm 10);
+        brc (prd 1) "loop";
+        I.Ret;
+      |]
+  in
+  Alcotest.(check int) "blocks" 3 (Cfg.num_blocks cfg);
+  (* the loop block branches to itself: a self back-edge *)
+  Alcotest.(check ints) "loop succs" [ 1; 2 ] cfg.Cfg.blocks.(1).Cfg.succs;
+  Alcotest.(check ints) "loop preds" [ 0; 1 ]
+    (List.sort compare cfg.Cfg.blocks.(1).Cfg.preds)
+
+let test_cfg_unreachable () =
+  let cfg =
+    Cfg.build
+      [| movi (i32 0) 1; I.Bra "end"; movi (i32 1) 2; I.Label "end"; I.Ret |]
+  in
+  Alcotest.(check int) "blocks" 3 (Cfg.num_blocks cfg);
+  Alcotest.(check (array bool))
+    "reachable" [| true; false; true |] (Cfg.reachable cfg);
+  (* unreachable blocks trail the rpo in id order *)
+  Alcotest.(check ints) "rpo" [ 0; 2; 1 ] (Array.to_list cfg.Cfg.rpo)
+
+(* --- liveness ----------------------------------------------------- *)
+
+let test_live_units () =
+  Alcotest.(check int) "i64 is 2 units" 2
+    (D.Live.units (V.Set.singleton (i64 0)));
+  Alcotest.(check int) "predicate is 0 units" 0
+    (D.Live.units (V.Set.singleton (prd 1)));
+  Alcotest.(check int) "mixed" 3
+    (D.Live.units (V.Set.of_list [ i64 0; i32 1; prd 2 ]))
+
+let test_live_straightline_peak () =
+  let code =
+    [|
+      ldp (i64 0) "a";
+      movi (i32 1) 2;
+      add (i32 2) (I.Reg (i32 1)) (I.Imm 1);
+      st (i32 2) (i64 0);
+      I.Ret;
+    |]
+  in
+  (* peak: the address register (2 units) plus one 32-bit value *)
+  Alcotest.(check int) "max units" 3 (D.Live.max_units code)
+
+let test_live_loop_carried () =
+  let code =
+    [|
+      movi (i32 0) 0;
+      movi (i32 9) 7;
+      I.Label "loop";
+      add (i32 0) (I.Reg (i32 0)) (I.Imm 1);
+      setp (prd 1) (I.Reg (i32 0)) (I.Imm 10);
+      brc (prd 1) "loop";
+      movr (i32 3) (i32 9);
+      I.Ret;
+    |]
+  in
+  let cfg = Cfg.build code in
+  let info = D.Live.analyze cfg in
+  let loop = Hashtbl.find cfg.Cfg.label_block "loop" in
+  (* the induction register is loop-carried; r9 is live across the
+     whole loop to its post-loop use — both must survive the
+     back-edge join *)
+  Alcotest.(check bool) "induction live" true
+    (V.Set.mem (i32 0) info.D.Live.live_in.(loop));
+  Alcotest.(check bool) "r9 live through loop" true
+    (V.Set.mem (i32 9) info.D.Live.live_in.(loop))
+
+(* --- reaching definitions / possibly-uninitialized ---------------- *)
+
+let test_reach_one_path () =
+  let code =
+    [|
+      movi (i32 0) 5;
+      setp (prd 1) (I.Reg (i32 0)) (I.Imm 3);
+      brc (prd 1) "skip";
+      movi (i32 2) 1;
+      I.Label "skip";
+      add (i32 3) (I.Reg (i32 2)) (I.Imm 0);
+      I.Ret;
+    |]
+  in
+  match D.Reach.possibly_uninitialized (Cfg.build code) with
+  | [ f ] ->
+      Alcotest.(check int) "faulting use" 5 f.D.Reach.f_at;
+      Alcotest.(check int) "register" 2 f.D.Reach.f_reg.V.rid;
+      Alcotest.(check ints) "partial def sites" [ 3 ] f.D.Reach.f_partial
+  | fs -> Alcotest.failf "expected exactly one fault, got %d" (List.length fs)
+
+let test_reach_never_defined () =
+  let code = [| add (i32 1) (I.Reg (i32 9)) (I.Imm 1); I.Ret |] in
+  match D.Reach.possibly_uninitialized (Cfg.build code) with
+  | [ f ] ->
+      Alcotest.(check int) "faulting use" 0 f.D.Reach.f_at;
+      Alcotest.(check ints) "no partial defs" [] f.D.Reach.f_partial
+  | fs -> Alcotest.failf "expected exactly one fault, got %d" (List.length fs)
+
+let test_reach_loop_clean () =
+  let code =
+    [|
+      movi (i32 0) 0;
+      I.Label "loop";
+      add (i32 0) (I.Reg (i32 0)) (I.Imm 1);
+      setp (prd 1) (I.Reg (i32 0)) (I.Imm 10);
+      brc (prd 1) "loop";
+      movr (i32 2) (i32 0);
+      I.Ret;
+    |]
+  in
+  Alcotest.(check int) "no faults" 0
+    (List.length (D.Reach.possibly_uninitialized (Cfg.build code)))
+
+let test_verify_partial_path_message () =
+  let code =
+    [|
+      movi (i32 0) 5;
+      setp (prd 1) (I.Reg (i32 0)) (I.Imm 3);
+      brc (prd 1) "skip";
+      movi (i32 2) 1;
+      I.Label "skip";
+      movr (i32 3) (i32 2);
+      st (i32 3) (i64 4);
+      I.Ret;
+    |]
+  in
+  (* i64 4 is never defined; i32 2 only on one path: the verifier must
+     distinguish the two in its messages *)
+  let ds = Safara_vir.Verify.verify (kernel (Array.to_list code)) in
+  let msgs = List.map (fun d -> d.Safara_diag.Diagnostic.message) ds in
+  Alcotest.(check bool) "some-paths wording" true
+    (List.exists
+       (fun m ->
+         Str_helpers.contains m "on some paths"
+         && Str_helpers.contains m "used before definition")
+       msgs);
+  Alcotest.(check bool) "never-defined stays unqualified" true
+    (List.exists
+       (fun m ->
+         Str_helpers.contains m "used before definition"
+         && not (Str_helpers.contains m "on some paths"))
+       msgs)
+
+(* --- available copies --------------------------------------------- *)
+
+let copies_at_join arm_a arm_b =
+  let code =
+    Array.of_list
+      ([
+         movi (i64 0) 5;
+         setp (prd 1) (I.Reg (i64 0)) (I.Imm 9);
+         brc (prd 1) "then";
+       ]
+      @ arm_a
+      @ [ I.Bra "join"; I.Label "then" ]
+      @ arm_b
+      @ [ I.Label "join"; I.Ret ])
+  in
+  let cfg = Cfg.build code in
+  let at_start, _ = D.Copies.analyze cfg in
+  match at_start.(Hashtbl.find cfg.Cfg.label_block "join") with
+  | None -> Alcotest.fail "join unreachable"
+  | Some env -> D.Copies.find 2 env
+
+let test_copies_join_agree () =
+  match copies_at_join [ movr (i64 2) (i64 0) ] [ movr (i64 2) (i64 0) ] with
+  | Some (I.Reg s) ->
+      Alcotest.(check bool) "copy of r0 survives the join" true
+        (V.equal s (i64 0))
+  | _ -> Alcotest.fail "copy fact lost at the join"
+
+let test_copies_join_disagree () =
+  match copies_at_join [ movr (i64 2) (i64 0) ] [ movi (i64 2) 7 ] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "disagreeing arms must meet to no-fact"
+
+(* --- affine values ------------------------------------------------ *)
+
+let affine_fact =
+  Alcotest.testable
+    (Fmt.of_to_string (fun (f : D.Affine.fact) ->
+         match f.D.Affine.base with
+         | None -> Printf.sprintf "const %d" f.D.Affine.k
+         | Some b -> Printf.sprintf "r%d + %d" b.V.rid f.D.Affine.k))
+    D.Affine.fact_equal
+
+let test_affine_chain () =
+  let u = i64 0 in
+  let code =
+    [|
+      ldp u "n";
+      add (i64 1) (I.Reg u) (I.Imm 2);
+      add (i64 2) (I.Reg (i64 1)) (I.Imm 3);
+      movr (i64 3) (i64 2);
+      add (i64 4) (I.Reg (i64 3)) (I.Imm (-5));
+      I.Ret;
+    |]
+  in
+  let cfg = Cfg.build code in
+  let _, at_end = D.Affine.analyze cfg in
+  match at_end.(0) with
+  | None -> Alcotest.fail "entry block unreachable?"
+  | Some env ->
+      let find rid = D.Affine.find rid env in
+      Alcotest.(check (option affine_fact))
+        "chain normalizes to the deepest base"
+        (Some { D.Affine.base = Some u; k = 5 })
+        (find 2);
+      Alcotest.(check (option affine_fact))
+        "copy preserves the fact"
+        (Some { D.Affine.base = Some u; k = 5 })
+        (find 3);
+      Alcotest.(check (option affine_fact))
+        "offsets cancel back to the base"
+        (Some { D.Affine.base = Some u; k = 0 })
+        (find 4)
+
+let test_affine_self_update_and_kill () =
+  let u = i64 0 and x = i64 1 in
+  let env =
+    List.fold_left D.Affine.step_map D.Affine.empty
+      [
+        ldp u "n";
+        movr x u;
+        add x (I.Reg x) (I.Imm 1);
+        add x (I.Reg x) (I.Imm 1);
+      ]
+  in
+  Alcotest.(check (option affine_fact))
+    "self-update accumulates"
+    (Some { D.Affine.base = Some u; k = 2 })
+    (D.Affine.find 1 env);
+  (* redefining the base must drop every dependent fact (the reverse
+     index is what makes this O(dependents)) *)
+  let env = D.Affine.step_map env (movi u 9) in
+  Alcotest.(check (option affine_fact))
+    "dependent killed with its base" None (D.Affine.find 1 env);
+  Alcotest.(check (option affine_fact))
+    "base now a constant"
+    (Some { D.Affine.base = None; k = 9 })
+    (D.Affine.find 0 env)
+
+(* --- strength reduction ------------------------------------------- *)
+
+let test_strength_neighbor_product () =
+  let u = i64 0 and p1 = i64 1 and t = i64 2 and q = i64 3 in
+  let out =
+    Safara_vir.Strength.optimize
+      [|
+        ldp u "n";
+        mul p1 (I.Reg u) (I.Imm 8);
+        add t (I.Reg u) (I.Imm 1);
+        mul q (I.Reg t) (I.Imm 8);
+        I.Ret;
+      |]
+  in
+  Alcotest.check instr "neighbor multiply becomes an add off the product"
+    (add q (I.Reg p1) (I.Imm 8))
+    out.(3)
+
+let test_strength_local_folds () =
+  let u = i64 0 in
+  let out =
+    Safara_vir.Strength.optimize
+      [|
+        ldp u "n";
+        movi (i64 1) 5;
+        mul (i64 2) (I.Reg (i64 1)) (I.Imm 3);
+        mul (i64 3) (I.Reg u) (I.Imm 0);
+        mul (i64 4) (I.Reg u) (I.Imm 2);
+        mul (i64 5) (I.Reg u) (I.Imm 1);
+        I.Bin { op = I.Rem; dst = i64 6; a = I.Reg u; b = I.Imm 1 };
+        I.Ret;
+      |]
+  in
+  Alcotest.check instr "const*const folds" (movi (i64 2) 15) out.(2);
+  Alcotest.check instr "*0 is zero" (movi (i64 3) 0) out.(3);
+  Alcotest.check instr "*2 is a self-add"
+    (add (i64 4) (I.Reg u) (I.Reg u))
+    out.(4);
+  Alcotest.check instr "*1 is a move" (movr (i64 5) u) out.(5);
+  Alcotest.check instr "rem 1 is zero" (movi (i64 6) 0) out.(6)
+
+let test_strength_loop_invalidation () =
+  let u = i64 0 in
+  let code =
+    [|
+      ldp u "n";
+      mul (i64 1) (I.Reg u) (I.Imm 8);
+      I.Label "loop";
+      mul (i64 2) (I.Reg u) (I.Imm 8);
+      add u (I.Reg u) (I.Imm 1);
+      setp (prd 3) (I.Reg u) (I.Imm 10);
+      brc (prd 3) "loop";
+      I.Ret;
+    |]
+  in
+  let out = Safara_vir.Strength.optimize code in
+  (* the latch redefines the base, so the product is not available on
+     the back edge; the must-join at the loop header has to keep the
+     multiply *)
+  Alcotest.check instr "product killed across the back edge" code.(3) out.(3)
+
+(* --- liveness-driven DCE ------------------------------------------ *)
+
+let test_dce_overwritten_def () =
+  let out =
+    Safara_vir.Dce.optimize
+      [| ldp (i64 0) "a"; movi (i32 1) 5; movi (i32 1) 7; st (i32 1) (i64 0); I.Ret |]
+  in
+  Alcotest.(check int) "first store-to-register removed" 4 (Array.length out);
+  Alcotest.check instr "surviving def" (movi (i32 1) 7) out.(1)
+
+let test_dce_dead_chain () =
+  let out =
+    Safara_vir.Dce.optimize
+      [|
+        movi (i32 0) 5;
+        add (i32 1) (I.Reg (i32 0)) (I.Imm 1);
+        add (i32 2) (I.Reg (i32 1)) (I.Imm 2);
+        I.Ret;
+      |]
+  in
+  Alcotest.(check int) "whole dead chain removed" 1 (Array.length out);
+  Alcotest.check instr "only the return survives" I.Ret out.(0)
+
+let test_dce_keeps_effects () =
+  let code =
+    [| ldp (i64 0) "a"; movi (i32 1) 5; st (i32 1) (i64 0); I.Ret |]
+  in
+  let out = Safara_vir.Dce.optimize code in
+  Alcotest.(check int) "stores and their inputs survive" 4 (Array.length out)
+
+(* --- global copy propagation -------------------------------------- *)
+
+let test_copyprop_across_branch () =
+  let y = i64 0 and x = i64 1 in
+  let out =
+    Safara_vir.Copyprop.optimize
+      [|
+        movi y 5;
+        movr x y;
+        setp (prd 2) (I.Reg y) (I.Imm 9);
+        brc (prd 2) "a";
+        st x y;
+        I.Label "a";
+        st x y;
+        I.Ret;
+      |]
+  in
+  (* the block-local window resets at the branch and the label; the
+     global analysis carries the copy into both, so each store's
+     source is forwarded to y *)
+  let check_store i =
+    match out.(i) with
+    | I.St { src = I.Reg s; _ } ->
+        Alcotest.(check bool)
+          (Printf.sprintf "store %d forwarded" i)
+          true (V.equal s y)
+    | other -> Alcotest.failf "instr %d: expected store, got %s" i (I.to_string other)
+  in
+  check_store 4;
+  check_store 6
+
+(* --- wide-kernel performance regression --------------------------- *)
+
+let test_wide_kernel_linear () =
+  (* a 20k-instruction add chain off an unknown base: every
+     instruction defines a fresh register whose affine fact hangs off
+     the base, every def triggers a kill. With the old
+     full-map-filter kills this battery was quadratic (minutes); the
+     reverse-dependency indices make it well under the ceiling. *)
+  let n = 20_000 in
+  let u = i64 0 in
+  let chain =
+    Array.init (n + 3) (fun i ->
+        if i = 0 then ldp u "n"
+        else if i = 1 then mul (i64 1) (I.Reg u) (I.Imm 8)
+        else if i <= n then
+          add (i64 i) (I.Reg (i64 (i - 1))) (I.Imm 1)
+        else if i = n + 1 then st (i64 n) (i64 1)
+        else I.Ret)
+  in
+  let t0 = Sys.time () in
+  let a = Safara_vir.Peephole.optimize chain in
+  let b = Safara_vir.Copyprop.optimize a in
+  let c = Safara_vir.Strength.optimize b in
+  let d = Safara_vir.Dce.optimize c in
+  let dt = Sys.time () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "20k-instruction battery stayed linear (%.2fs)" dt)
+    true (dt < 5.0);
+  (* the chain feeds a store, so nothing load-bearing may vanish *)
+  Alcotest.(check bool) "store survived" true
+    (Array.exists (function I.St _ -> true | _ -> false) d)
+
+(* --- static pressure bounds the allocator ------------------------- *)
+
+let test_static_pressure_bounds_allocator () =
+  List.iter
+    (fun (w : Workload.t) ->
+      List.iter
+        (fun p ->
+          let c = C.compile_src p w.Workload.source in
+          List.iter
+            (fun ((k : K.t), (r : Safara_ptxas.Assemble.report)) ->
+              if r.Safara_ptxas.Assemble.spill_bytes = 0 then begin
+                let static = D.Live.max_units k.K.code in
+                if static > r.Safara_ptxas.Assemble.regs_used then
+                  Alcotest.failf
+                    "%s/%s under %s: static peak %d exceeds the %d \
+                     registers the allocator assigned without spilling"
+                    w.Workload.id k.K.kname (C.profile_name p) static
+                    r.Safara_ptxas.Assemble.regs_used
+              end)
+            c.C.c_kernels)
+        C.all_profiles)
+    Registry.all
+
+(* --- differential sweep: the passes preserve results -------------- *)
+
+let disabled_options =
+  {
+    Safara_core.Pipeline.default_options with
+    Safara_core.Pipeline.o_disable = [ "copy-prop"; "strength-red"; "dce" ];
+  }
+
+let run_checksums ?pool ~options p (w : Workload.t) =
+  let prog = Safara_lang.Frontend.compile w.Workload.source in
+  let c, _ = C.compile_with ~options p prog in
+  let env = Workload.prepare c w in
+  C.run_functional ?pool c env;
+  List.map
+    (fun a -> (a, Safara_sim.Memory.checksum env.Safara_sim.Interp.mem a))
+    w.Workload.check_arrays
+
+let check_same ctx expected actual =
+  List.iter2
+    (fun (a, e) (_, g) ->
+      if Int64.bits_of_float e <> Int64.bits_of_float g then
+        Alcotest.failf "%s: array %s differs with the passes on (%.12g vs %.12g)"
+          ctx a e g)
+    expected actual
+
+let shrink = Suite_workloads.shrink
+
+let test_passes_bit_identical (w : Workload.t) () =
+  let w = shrink w in
+  List.iter
+    (fun p ->
+      let off = run_checksums ~options:disabled_options p w in
+      let on = run_checksums ~options:Safara_core.Pipeline.default_options p w in
+      check_same
+        (Printf.sprintf "%s under %s" w.Workload.id (C.profile_name p))
+        off on)
+    C.all_profiles
+
+let test_passes_engine_matrix () =
+  (* engines × pool sizes at the Full profile: the optimized streams
+     must stay bit-identical to the pass-disabled pipeline under every
+     execution strategy *)
+  let saved = !Safara_sim.Decode.engine in
+  let pools = [ (1, Safara_engine.Pool.create ~size:1 ());
+                (4, Safara_engine.Pool.create ~size:4 ()) ] in
+  Fun.protect
+    ~finally:(fun () ->
+      Safara_sim.Decode.engine := saved;
+      List.iter (fun (_, p) -> Safara_engine.Pool.shutdown p) pools)
+    (fun () ->
+      List.iter
+        (fun (w : Workload.t) ->
+          let w = shrink w in
+          let off = run_checksums ~options:disabled_options C.Full w in
+          List.iter
+            (fun e ->
+              Safara_sim.Decode.engine := e;
+              List.iter
+                (fun (j, pool) ->
+                  let on =
+                    run_checksums ~pool
+                      ~options:Safara_core.Pipeline.default_options C.Full w
+                  in
+                  check_same
+                    (Printf.sprintf "%s under Full/%s/-j%d" w.Workload.id
+                       (Safara_sim.Decode.engine_name e) j)
+                    off on)
+                pools)
+            Safara_sim.Decode.all_engines)
+        Registry.all)
+
+let suite =
+  [
+    Alcotest.test_case "cfg: straight line" `Quick test_cfg_straight;
+    Alcotest.test_case "cfg: diamond" `Quick test_cfg_diamond;
+    Alcotest.test_case "cfg: loop back-edge" `Quick test_cfg_loop_backedge;
+    Alcotest.test_case "cfg: unreachable block" `Quick test_cfg_unreachable;
+    Alcotest.test_case "live: unit widths" `Quick test_live_units;
+    Alcotest.test_case "live: straight-line peak" `Quick
+      test_live_straightline_peak;
+    Alcotest.test_case "live: loop-carried registers" `Quick
+      test_live_loop_carried;
+    Alcotest.test_case "reach: defined on one path" `Quick test_reach_one_path;
+    Alcotest.test_case "reach: never defined" `Quick test_reach_never_defined;
+    Alcotest.test_case "reach: loop is clean" `Quick test_reach_loop_clean;
+    Alcotest.test_case "verify: partial-path wording" `Quick
+      test_verify_partial_path_message;
+    Alcotest.test_case "copies: join agreement" `Quick test_copies_join_agree;
+    Alcotest.test_case "copies: join disagreement" `Quick
+      test_copies_join_disagree;
+    Alcotest.test_case "affine: chain through copies" `Quick test_affine_chain;
+    Alcotest.test_case "affine: self-update and kill" `Quick
+      test_affine_self_update_and_kill;
+    Alcotest.test_case "strength: neighbor product" `Quick
+      test_strength_neighbor_product;
+    Alcotest.test_case "strength: local folds" `Quick test_strength_local_folds;
+    Alcotest.test_case "strength: back-edge invalidation" `Quick
+      test_strength_loop_invalidation;
+    Alcotest.test_case "dce: overwritten def" `Quick test_dce_overwritten_def;
+    Alcotest.test_case "dce: dead chain" `Quick test_dce_dead_chain;
+    Alcotest.test_case "dce: keeps effects" `Quick test_dce_keeps_effects;
+    Alcotest.test_case "copyprop: across branches" `Quick
+      test_copyprop_across_branch;
+    Alcotest.test_case "wide kernel stays linear" `Quick
+      test_wide_kernel_linear;
+    Alcotest.test_case "static pressure bounds the allocator" `Slow
+      test_static_pressure_bounds_allocator;
+  ]
+  @ List.map
+      (fun (w : Workload.t) ->
+        Alcotest.test_case
+          (w.Workload.id ^ " bit-identical with passes on")
+          `Slow (test_passes_bit_identical w))
+      Registry.all
+  @ [
+      Alcotest.test_case "engine and pool matrix" `Slow
+        test_passes_engine_matrix;
+    ]

@@ -41,11 +41,12 @@ let instrs_of (c : C.compiled) =
     0 c.C.c_kernels
 
 let base_passes =
-  [ "strip-clauses"; "resolve-schedules"; "codegen"; "peephole"; "assemble" ]
+  [ "strip-clauses"; "resolve-schedules"; "codegen"; "peephole"; "copy-prop";
+    "strength-red"; "dce"; "assemble" ]
 
 let safara_passes =
   [ "strip-clauses"; "resolve-schedules"; "safara"; "codegen"; "peephole";
-    "assemble" ]
+    "copy-prop"; "strength-red"; "dce"; "assemble" ]
 
 let test_registration () =
   (* building any pipeline registers its passes in the global name

@@ -18,6 +18,7 @@ let () =
       ("experiments", Suite_experiments.suite);
       ("engine", Suite_engine.suite);
       ("pipeline", Suite_pipeline.suite);
+      ("dataflow", Suite_dataflow.suite);
       ("shapes", Suite_shapes.suite);
       ("check", Suite_check.suite);
     ]
