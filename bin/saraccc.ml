@@ -106,43 +106,82 @@ let wrap f =
       `Error (false, Format.asprintf "syntax error at %a: %s" Safara_lang.Token.pp_pos pos msg)
   | Failure msg | Invalid_argument msg -> `Error (false, msg)
 
+(* --- compile-service plumbing ---------------------------------------- *)
+
+(* The proxyable subcommands (check, compile, run, bench) build a
+   Protocol request and either send it to a daemon (--connect) or
+   execute it in-process through the same Safara_serve.Commands code
+   the daemon runs — so both paths print identical bytes. *)
+
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"SOCKET"
+        ~doc:
+          "proxy this command to a $(b,saraccc serve) daemon listening on \
+           this Unix socket (warm caches, persistent artifact store); falls \
+           back to in-process execution when no daemon is up")
+
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "persistent on-disk artifact store for in-process compiles (a \
+           daemon manages its own store; see $(b,saraccc serve))")
+
+let with_eval ?jobs ?store_dir f =
+  let store = Option.map Safara_engine.Store.open_store store_dir in
+  let eng = Safara_suites.Eval.create ?jobs ?store () in
+  Fun.protect
+    ~finally:(fun () -> Safara_suites.Eval.shutdown eng)
+    (fun () -> f eng)
+
+let finish (o : Safara_serve.Protocol.outcome) =
+  print_string o.Safara_serve.Protocol.out;
+  prerr_string o.Safara_serve.Protocol.err;
+  if o.Safara_serve.Protocol.code <> 0 then exit o.Safara_serve.Protocol.code
+
+(* remote when a daemon answers, local otherwise *)
+let dispatch ~connect ~local req =
+  let remote sock =
+    Safara_serve.Client.with_connection sock (fun conn ->
+        Safara_serve.Client.request conn req)
+  in
+  match Option.map remote connect with
+  | Some (Some (Safara_serve.Protocol.Result (o, _ms))) -> finish o
+  | Some (Some (Safara_serve.Protocol.Error e)) -> failwith e
+  | Some (Some (Safara_serve.Protocol.Data _)) ->
+      failwith "unexpected daemon response"
+  | Some None | None -> finish (local ())
+
 (* --- check ----------------------------------------------------------- *)
 
 let check_cmd =
-  let run file workloads json werror wcodes pressure arch_name profile_name =
+  let run file workloads json werror wcodes pressure arch_name profile_name
+      connect =
     wrap (fun () ->
-        let arch = arch_of arch_name in
-        let profile = profile_of profile_name in
-        let inputs =
-          (match file with
-          | Some f -> [ (Filename.basename f, read_file f) ]
-          | None -> [])
-          @
-          if workloads then
-            List.map
-              (fun (w : Safara_suites.Workload.t) ->
-                (w.Safara_suites.Workload.id, w.Safara_suites.Workload.source))
-              Safara_suites.Registry.all
-          else []
+        let req =
+          Safara_serve.Protocol.Check
+            {
+              ck_name =
+                (match file with Some f -> Filename.basename f | None -> "");
+              ck_src = Option.map read_file file;
+              ck_workloads = workloads;
+              ck_json = json;
+              ck_werror = werror;
+              ck_codes = wcodes;
+              ck_pressure = pressure;
+              ck_arch = arch_name;
+              ck_profile = profile_name;
+            }
         in
-        if inputs = [] then failwith "no input: give a FILE and/or --workloads";
-        let all = ref [] in
-        let any_errors = ref false in
-        List.iter
-          (fun (name, src) ->
-            let diags =
-              Safara_check.Check.finalize ~werror ~codes:wcodes
-                (Safara_check.Check.run ~file:name ~arch ~profile ~pressure src)
-            in
-            if Safara_diag.Diagnostic.has_errors diags then any_errors := true;
-            all := !all @ diags;
-            if not json then
-              if diags = [] then Printf.printf "%s: OK\n" name
-              else print_string (Safara_diag.Diagnostic.render_all ~src diags))
-          inputs;
-        if json then
-          print_endline (Safara_diag.Diagnostic.list_to_json !all);
-        if !any_errors then exit 1)
+        dispatch ~connect req ~local:(fun () ->
+            match req with
+            | Safara_serve.Protocol.Check r -> Safara_serve.Commands.check r
+            | _ -> assert false))
   in
   let opt_file_arg =
     Arg.(
@@ -192,7 +231,7 @@ let check_cmd =
     Term.(
       ret
         (const run $ opt_file_arg $ workloads_arg $ json_arg $ werror_arg
-        $ wcodes_arg $ pressure_arg $ arch_arg $ profile_arg))
+        $ wcodes_arg $ pressure_arg $ arch_arg $ profile_arg $ connect_arg))
 
 (* --- ir -------------------------------------------------------------- *)
 
@@ -256,52 +295,28 @@ let analyze_cmd =
 
 let compile_cmd =
   let run file arch_name profile_name quiet maxrreg pressure time_passes json
-      dumps annotate_live disables =
+      dumps annotate_live disables connect store_dir =
     wrap (fun () ->
-        let arch = arch_of arch_name in
-        let profile = profile_of profile_name in
-        if annotate_live && dumps = [] then
-          failwith "--annotate-live needs --dump-ir (it annotates the dumps)";
-        let options =
-          {
-            Safara_core.Pipeline.default_options with
-            Safara_core.Pipeline.o_disable = disables;
-            o_dump =
-              (match dumps with
-              | [] -> `None
-              | l when List.mem "all" l -> `All
-              | l -> `Passes l);
-            o_annotate_live = annotate_live;
-            o_precise_stats = time_passes;
-          }
+        let req =
+          Safara_serve.Protocol.Compile
+            {
+              cr_name = Filename.basename file;
+              cr_src = read_file file;
+              cr_arch = arch_name;
+              cr_profile = profile_name;
+              cr_quiet = quiet;
+              cr_maxrreg = maxrreg;
+              cr_pressure = pressure;
+              cr_time_passes = time_passes;
+              cr_json = json;
+              cr_dumps = dumps;
+              cr_annotate_live = annotate_live;
+              cr_disable = disables;
+            }
         in
-        let c, trace =
-          Safara_core.Compiler.compile_with ~arch ~options profile (load file)
-        in
-        if time_passes && json then
-          (* machine mode: the timing object is the whole output *)
-          print_endline (Safara_core.Pipeline.trace_to_json trace)
-        else begin
-          List.iter
-            (fun (pass, text) ->
-              Printf.printf "=== after %s ===\n%s\n" pass text)
-            trace.Safara_core.Pipeline.tr_dumps;
-          List.iter
-            (fun (k, report) ->
-              let k, report =
-                match maxrreg with
-                | None -> (k, report)
-                | Some cap ->
-                    Safara_ptxas.Assemble.assemble ~max_regs:cap ~arch k
-              in
-              if pressure then
-                Format.printf "%a@." Safara_ptxas.Pressure.pp_listing k
-              else if not quiet then Format.printf "%a@." Safara_vir.Kernel.pp k;
-              Format.printf "%a@.@." Safara_ptxas.Assemble.pp_report report)
-            c.Safara_core.Compiler.c_kernels;
-          if time_passes then
-            Format.printf "%a" Safara_core.Pipeline.pp_trace trace
-        end)
+        dispatch ~connect req ~local:(fun () ->
+            with_eval ~jobs:1 ?store_dir (fun eng ->
+                Safara_serve.Commands.exec eng req)))
   in
   let quiet_arg =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"only print the ptxas reports")
@@ -366,7 +381,7 @@ let compile_cmd =
     Term.(
       ret (const run $ file_arg $ arch_arg $ profile_arg $ quiet_arg $ maxrreg_arg
            $ pressure_arg $ time_passes_arg $ json_arg $ dump_ir_arg
-           $ annotate_live_arg $ disable_pass_arg))
+           $ annotate_live_arg $ disable_pass_arg $ connect_arg $ store_arg))
 
 (* --- emit ------------------------------------------------------------ *)
 
@@ -459,42 +474,21 @@ let occupancy_cmd =
 (* --- run ------------------------------------------------------------- *)
 
 let run_cmd =
-  let run file profile_name defs jobs engine =
+  let run file profile_name defs jobs engine connect store_dir =
     wrap (fun () ->
-        set_engine engine;
-        let profile = profile_of profile_name in
-        let prog = load file in
-        let c = Safara_core.Compiler.compile profile prog in
-        let scalars = parse_scalars prog defs in
-        let env = Safara_core.Compiler.make_env c ~scalars in
-        let pool =
-          match jobs with
-          | Some n when n > 1 -> Some (Safara_engine.Pool.create ~size:n ())
-          | _ -> None
+        let req =
+          Safara_serve.Protocol.Run
+            {
+              rn_src = read_file file;
+              rn_profile = profile_name;
+              rn_defines = defs;
+              rn_engine = engine;
+            }
         in
-        let modes = Safara_core.Compiler.run_functional_m ?pool c env in
-        Option.iter Safara_engine.Pool.shutdown pool;
-        (* execution-mode report on stderr: stdout (the checksums) is
-           byte-identical at any -j *)
-        if pool <> None then
-          List.iter
-            (fun (kname, mode) ->
-              match mode with
-              | Safara_sim.Interp.Parallel { chunks } ->
-                  Printf.eprintf "%s: block-parallel (%d chunks)\n" kname
-                    chunks
-              | Safara_sim.Interp.Sequential (Some r) ->
-                  Printf.eprintf "%s: sequential — %s\n" kname
-                    (Safara_sim.Blockpar.reason_message r)
-              | Safara_sim.Interp.Sequential None ->
-                  Printf.eprintf "%s: sequential\n" kname)
-            modes;
-        List.iter
-          (fun (a : Safara_ir.Array_info.t) ->
-            Printf.printf "%-16s checksum % .10e\n" a.Safara_ir.Array_info.name
-              (Safara_sim.Memory.checksum env.Safara_sim.Interp.mem
-                 a.Safara_ir.Array_info.name))
-          prog.Safara_ir.Program.arrays)
+        dispatch ~connect req ~local:(fun () ->
+            let jobs = match jobs with Some n when n > 1 -> n | _ -> 1 in
+            with_eval ~jobs ?store_dir (fun eng ->
+                Safara_serve.Commands.exec eng req)))
   in
   let jobs_arg =
     Arg.(
@@ -510,54 +504,26 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Execute the program on the functional simulator and print checksums")
-    Term.(ret (const run $ file_arg $ profile_arg $ scalars_arg $ jobs_arg $ engine_arg))
+    Term.(
+      ret
+        (const run $ file_arg $ profile_arg $ scalars_arg $ jobs_arg
+        $ engine_arg $ connect_arg $ store_arg))
 
 (* --- bench ------------------------------------------------------------ *)
 
 let bench_cmd =
-  let run id jobs show_stats engine =
+  let run id jobs show_stats engine connect store_dir =
     wrap (fun () ->
-        set_engine engine;
-        let w =
-          try Safara_suites.Registry.find id
-          with Not_found ->
-            failwith
-              ("unknown benchmark " ^ id ^ "; known: "
-              ^ String.concat ", "
-                  (List.map
-                     (fun (w : Safara_suites.Workload.t) -> w.Safara_suites.Workload.id)
-                     Safara_suites.Registry.all))
+        let req =
+          Safara_serve.Protocol.Bench
+            { bn_id = id; bn_engine = engine; bn_stats = show_stats }
         in
-        Printf.printf "%s — %s\n%s\n\n" w.Safara_suites.Workload.id
-          w.Safara_suites.Workload.title w.Safara_suites.Workload.description;
-        (* the six profile runs are independent jobs: fan them out over
-           the engine's domain pool, then print serially from the cache
-           so the report is identical at any -j *)
-        let eng = Safara_suites.Eval.create ?jobs () in
-        if Safara_suites.Eval.jobs eng > 1 then
-          Safara_suites.Eval.self_check eng w;
-        Safara_suites.Eval.warm eng
-          (List.map
-             (fun p -> Safara_suites.Eval.job p w)
-             Safara_core.Compiler.all_profiles);
-        let base = ref 0.0 in
-        List.iter
-          (fun p ->
-            let t =
-              Safara_suites.Eval.time_job eng (Safara_suites.Eval.job p w)
-            in
-            let total = t.Safara_sim.Launch.total_ms in
-            if p = Safara_core.Compiler.Base then base := total;
-            Printf.printf "%-24s %9.4f ms  %5.2fx\n"
-              (Safara_core.Compiler.profile_name p)
-              total (!base /. total);
-            List.iter
-              (fun kt ->
-                Format.printf "    %a@." Safara_sim.Launch.pp_kernel_time kt)
-              t.Safara_sim.Launch.ptk)
-          Safara_core.Compiler.all_profiles;
-        if show_stats then prerr_string (Safara_suites.Eval.render_stats eng);
-        Safara_suites.Eval.shutdown eng)
+        (* the six profile runs are independent jobs: the engine fans
+           them out over its domain pool, then prints serially from the
+           cache so the report is identical at any -j *)
+        dispatch ~connect req ~local:(fun () ->
+            with_eval ?jobs ?store_dir (fun eng ->
+                Safara_serve.Commands.exec eng req)))
   in
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK"
@@ -581,7 +547,85 @@ let bench_cmd =
   Cmd.v
     (Cmd.info "bench"
        ~doc:"Run one of the paper's benchmarks under every compiler profile")
-    Term.(ret (const run $ id_arg $ jobs_arg $ stats_arg $ engine_arg))
+    Term.(
+      ret
+        (const run $ id_arg $ jobs_arg $ stats_arg $ engine_arg $ connect_arg
+        $ store_arg))
+
+(* --- serve ------------------------------------------------------------ *)
+
+let serve_cmd =
+  let run socket store no_store max_store_bytes jobs verbose =
+    wrap (fun () ->
+        Safara_serve.Server.serve
+          ~on_ready:(fun sock ->
+            Printf.eprintf "saraccc serve: listening on %s\n%!" sock)
+          {
+            Safara_serve.Server.s_socket = socket;
+            s_store = (if no_store then None else Some store);
+            s_max_store_bytes = max_store_bytes;
+            s_jobs = jobs;
+            s_verbose = verbose;
+          })
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt string (Safara_serve.Server.default_socket ())
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix domain socket to listen on (removed on exit)")
+  in
+  let store_dir_arg =
+    Arg.(
+      value
+      & opt string (Safara_serve.Server.default_store ())
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "persistent artifact store directory (default: \
+             \\$(b,SAFARA_STORE), else a per-user temp path); compiled \
+             artifacts, timing and simulation results survive daemon \
+             restarts")
+  in
+  let no_store_arg =
+    Arg.(
+      value & flag
+      & info [ "no-store" ] ~doc:"in-memory caches only, nothing on disk")
+  in
+  let max_store_arg =
+    Arg.(
+      value
+      & opt int Safara_engine.Store.default_max_bytes
+      & info [ "max-store-bytes" ] ~docv:"N"
+          ~doc:
+            "evict least-recently-used store entries once the store \
+             exceeds this many bytes")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "worker-pool size for request execution (default: \
+             \\$(b,SAFARA_JOBS), else cores - 1)")
+  in
+  let verbose_arg =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ]
+          ~doc:"log each request with its service time, and final engine \
+                statistics, to stderr")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the compile service: a daemon that answers check/compile/run/\
+          bench requests over a Unix socket, with warm in-memory caches and \
+          a persistent on-disk artifact store shared across clients")
+    Term.(
+      ret
+        (const run $ socket_arg $ store_dir_arg $ no_store_arg $ max_store_arg
+        $ jobs_arg $ verbose_arg))
 
 (* --- time ------------------------------------------------------------ *)
 
@@ -611,6 +655,6 @@ let main =
          "SAFARA OpenACC compiler: scalar replacement with static register \
           feedback, dim/small clauses, and a Kepler GPU simulator")
     [ check_cmd; ir_cmd; analyze_cmd; compile_cmd; emit_cmd; safara_cmd;
-      occupancy_cmd; run_cmd; time_cmd; bench_cmd ]
+      occupancy_cmd; run_cmd; time_cmd; bench_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main)

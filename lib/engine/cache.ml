@@ -52,11 +52,11 @@ let find_or_compute t ~key f =
   in
   get ()
 
+(* the mutex must be released even when [f] raises, or the first
+   exception would wedge every later cache operation *)
 let locked t f =
   Mutex.lock t.mutex;
-  let v = f () in
-  Mutex.unlock t.mutex;
-  v
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
 let hits t = locked t (fun () -> t.hits)
 let misses t = locked t (fun () -> t.misses)

@@ -128,6 +128,22 @@ let map (type b) t (f : _ -> b) xs =
 
 let iter t f xs = ignore (map t (fun x -> f x) xs)
 
+(* Fire-and-forget handoff to a worker domain; used by the compile
+   service to move request execution off the (systhread-multiplexed)
+   connection handlers and onto the pool's real parallelism. The task
+   must do its own completion signalling and must not raise. *)
+let submit t task =
+  if t.psize <= 1 || Domain.DLS.get in_worker then begin
+    task ();
+    tick t
+  end
+  else begin
+    Mutex.lock t.mutex;
+    Queue.add task t.queue;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mutex
+  end
+
 (* Chunked index-range fan-out. Unlike [map], this is safe — and still
    parallel — when called from inside a pool job: chunks are claimed
    from a shared atomic counter by the *calling* domain and by helper

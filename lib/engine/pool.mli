@@ -32,6 +32,14 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 
 val iter : t -> ('a -> unit) -> 'a list -> unit
 
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue one task for the worker domains and return immediately
+    (serial pools, and calls from inside a worker, run it in place).
+    The task is responsible for its own completion signalling and for
+    catching its own exceptions — a raising task is silently dropped
+    by the worker loop. Used to hand request execution from the
+    compile service's connection threads to the pool. *)
+
 val parallel_for :
   t -> ?chunks:int -> ?min_chunk:int -> n:int -> (lo:int -> hi:int -> 'a) ->
   'a list

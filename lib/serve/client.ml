@@ -1,0 +1,30 @@
+type conn = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let try_connect path =
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  match Unix.connect fd (ADDR_UNIX path) with
+  | () ->
+      { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+      |> Option.some
+  | exception Unix.Unix_error _ ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      None
+
+let request conn req =
+  Protocol.write_frame conn.oc (Sjson.to_string (Protocol.request_to_json req));
+  let raw = Protocol.read_frame conn.ic in
+  match Sjson.parse raw with
+  | j -> Protocol.response_of_json j
+  | exception Sjson.Parse_error e -> Protocol.Error ("bad response: " ^ e)
+
+let close conn =
+  (* closing either channel closes the shared fd; flush first so a
+     pipelined request isn't lost *)
+  (try flush conn.oc with Sys_error _ -> ());
+  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let with_connection path f =
+  match try_connect path with
+  | None -> None
+  | Some conn ->
+      Some (Fun.protect ~finally:(fun () -> close conn) (fun () -> f conn))

@@ -1,0 +1,19 @@
+(** Client side of the compile service: connect, exchange one or more
+    request/response frames, close. *)
+
+type conn
+
+val try_connect : string -> conn option
+(** [try_connect socket_path] — [None] when nothing is listening
+    (absent socket, stale socket, connection refused): the caller is
+    expected to fall back to in-process execution. *)
+
+val request : conn -> Protocol.request -> Protocol.response
+(** One round trip.
+    @raise End_of_file / [Failure] if the daemon hangs up or breaks
+    framing mid-exchange. *)
+
+val close : conn -> unit
+
+val with_connection : string -> (conn -> 'a) -> 'a option
+(** [try_connect] + always-close; [None] when no daemon is up. *)

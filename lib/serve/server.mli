@@ -1,0 +1,32 @@
+(** The [saraccc serve] daemon: a compile service over a Unix domain
+    socket.
+
+    One process owns an evaluation engine (worker pool, in-memory
+    caches, optional persistent {!Safara_engine.Store}); clients send
+    length-prefixed JSON requests ({!Protocol}) and receive the exact
+    bytes the equivalent local subcommand would have printed.
+    Concurrent identical requests deduplicate onto one computation via
+    the engine's compute-once caches. *)
+
+type config = {
+  s_socket : string;  (** socket path; created on start, removed on exit *)
+  s_store : string option;
+      (** persistent artifact store directory; [None] = memory only *)
+  s_max_store_bytes : int;  (** store size bound (see {!Safara_engine.Store}) *)
+  s_jobs : int option;  (** worker-pool size; [None] = auto *)
+  s_verbose : bool;  (** per-request log lines on stderr *)
+}
+
+val default_socket : unit -> string
+(** [$TMPDIR/saraccc.sock]. *)
+
+val default_store : unit -> string
+(** [$SAFARA_STORE] when set, else [$TMPDIR/saraccc-store]. *)
+
+val serve : ?on_ready:(string -> unit) -> config -> unit
+(** Run the daemon until a [shutdown] request or SIGTERM/SIGINT.
+    [on_ready] fires with the socket path once the socket is
+    listening (before the first accept).  Blocks the calling thread;
+    returns after all in-flight connections have drained, the engine
+    is shut down and the socket is unlinked.
+    @raise Failure if another daemon already listens on the socket. *)

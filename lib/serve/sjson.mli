@@ -1,0 +1,41 @@
+(** A minimal JSON value type with a strict parser and printer.
+
+    The compile-service protocol needs structured requests/responses
+    and the repo deliberately has no JSON dependency (the bench and
+    diagnostic emitters hand-roll output); this is the shared
+    reader/writer for {!Protocol}. Numbers are [float]s — every
+    quantity the protocol carries (lengths, counters, milliseconds)
+    fits exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val parse : string -> t
+(** @raise Parse_error on malformed input or trailing garbage. *)
+
+val to_string : t -> string
+(** Compact (no whitespace), fully escaped; [parse] ∘ [to_string] is
+    the identity up to float formatting. *)
+
+(** {1 Builders} *)
+
+val num : float -> t
+val int : int -> t
+val str : string -> t
+
+(** {1 Accessors} — all total; missing members read as [Null]. *)
+
+val member : string -> t -> t
+val to_str : ?default:string -> t -> string
+val to_int : ?default:int -> t -> int
+val to_float : ?default:float -> t -> float
+val to_bool : ?default:bool -> t -> bool
+val to_list : t -> t list
+(** [Null] and non-arrays read as []. *)

@@ -1,6 +1,7 @@
 module C = Safara_core.Compiler
 module Pool = Safara_engine.Pool
 module Cache = Safara_engine.Cache
+module Store = Safara_engine.Store
 
 let assertions_enabled = Safara_core.Pass.assertions_enabled
 
@@ -21,6 +22,7 @@ type sim_result = {
 
 type t = {
   epool : Pool.t;
+  estore : Store.t option;  (** persistent layer under the caches *)
   cc : C.compiled Cache.t;  (** compile cache *)
   tc : Safara_sim.Launch.program_time Cache.t;  (** timing-sim cache *)
   fc : sim_result Cache.t;  (** functional-sim cache *)
@@ -33,9 +35,10 @@ type t = {
   created_at : float;
 }
 
-let create ?jobs () =
+let create ?jobs ?store () =
   {
     epool = Pool.create ?size:jobs ();
+    estore = store;
     cc = Cache.create ~name:"compile" ();
     tc = Cache.create ~name:"simulate" ();
     fc = Cache.create ~name:"functional" ();
@@ -48,6 +51,53 @@ let create ?jobs () =
 
 let jobs t = Pool.size t.epool
 let pool t = t.epool
+let store t = t.estore
+
+(* Bump when the marshalled shape of any persisted value changes
+   (compiled artifacts, timing records, sim results): the generation
+   is folded into every on-disk key, so old entries simply stop
+   matching instead of unmarshalling into garbage. The OCaml version
+   is folded in too — Marshal is not stable across compiler
+   releases. *)
+let store_generation = 1
+
+let store_schema =
+  Printf.sprintf "g%d/ocaml-%s/store-%d" store_generation Sys.ocaml_version
+    Store.format_version
+
+(* Memory miss → disk probe → compute-and-persist. Runs inside
+   [Cache.find_or_compute], so the compute-once/dedup semantics of the
+   in-memory layer extend over the disk layer: concurrent requesters
+   of one cold key do a single disk probe and at most one compute, and
+   a disk hit is published to every waiter. [check] revalidates
+   payloads that unmarshalled into the wrong generation of value
+   (schema drift the checksum cannot see) by raising — treated as a
+   miss. *)
+let through t cache ~kind ~key ?(check = fun v -> v) f =
+  match t.estore with
+  | None -> Cache.find_or_compute cache ~key f
+  | Some s ->
+      let skey = Printf.sprintf "%s/%s/%s" store_schema kind key in
+      Cache.find_or_compute cache ~key (fun () ->
+          let computed () =
+            let v = f () in
+            (* marshalling failures (a closure smuggled into a cached
+               type) are programming errors; surface them *)
+            Store.add s ~key:skey (Marshal.to_string v []);
+            v
+          in
+          match Store.find s ~key:skey with
+          | None -> computed ()
+          | Some payload -> (
+              match check (Marshal.from_string payload 0) with
+              | v -> v
+              | exception _ ->
+                  Printf.eprintf
+                    "saraccc store: entry for %s key %s failed revalidation, \
+                     recomputing\n\
+                     %!"
+                    kind key;
+                  computed ()))
 
 (* the simulation engine + parallelism mode this engine would use:
    folded into every sim cache key so a key can never alias values
@@ -140,7 +190,7 @@ let compile_and_record t ~arch ?safara_config ~disable profile prog =
   verified c
 
 let compiled t j =
-  Cache.find_or_compute t.cc ~key:(ckey j) (fun () ->
+  through t t.cc ~kind:"compile" ~key:(ckey j) ~check:verified (fun () ->
       timed t `Compile (fun () ->
           let prog = Safara_lang.Frontend.compile j.jw.Workload.source in
           let prog =
@@ -151,19 +201,19 @@ let compiled t j =
           compile_and_record t ~arch:j.jarch ?safara_config:j.jconfig
             ~disable:j.jdisable j.jp prog))
 
-let compile_src t ?(arch = Safara_gpu.Arch.kepler_k20xm) ?safara_config profile
-    src =
+let compile_src t ?(arch = Safara_gpu.Arch.kepler_k20xm) ?safara_config
+    ?(disable = []) profile src =
   let key =
     compile_key ~src ~profile ~arch ~config:safara_config ~unroll:None
-      ~disable:[]
+      ~disable
   in
-  Cache.find_or_compute t.cc ~key (fun () ->
+  through t t.cc ~kind:"compile" ~key ~check:verified (fun () ->
       timed t `Compile (fun () ->
-          compile_and_record t ~arch ?safara_config ~disable:[] profile
+          compile_and_record t ~arch ?safara_config ~disable profile
             (Safara_lang.Frontend.compile src)))
 
 let time_job t j =
-  Cache.find_or_compute t.tc ~key:(tkey t j) (fun () ->
+  through t t.tc ~kind:"timing" ~key:(tkey t j) (fun () ->
       let c = compiled t j in
       timed t `Sim (fun () ->
           (* private simulation instance: fresh memory per miss *)
@@ -179,7 +229,7 @@ let mode_label = function
       "serial fallback: " ^ Safara_sim.Blockpar.reason_message r
 
 let simulate t j =
-  Cache.find_or_compute t.fc ~key:(fkey t j) (fun () ->
+  through t t.fc ~kind:"functional" ~key:(fkey t j) (fun () ->
       let c = compiled t j in
       timed t `Sim (fun () ->
           let env = Workload.prepare c j.jw in
@@ -220,6 +270,7 @@ type stats = {
   st_sim_s : float;
   st_pass_s : (string * int * float) list;
   st_wall_s : float;
+  st_store : Store.stats option;
 }
 
 let stats t =
@@ -241,6 +292,7 @@ let stats t =
     st_sim_s = sim_s;
     st_pass_s = pass_s;
     st_wall_s = Unix.gettimeofday () -. t.created_at;
+    st_store = Option.map Store.stats t.estore;
   }
 
 let render_stats t =
@@ -264,6 +316,23 @@ let render_stats t =
   Buffer.add_string b
     (Printf.sprintf "  sim cache:     %d hits / %d misses\n" s.st_sim_hits
        s.st_sim_misses);
+  (match s.st_store with
+  | None -> ()
+  | Some st ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "  disk store:    %d hits / %d misses, %d KiB read / %d KiB \
+            written\n"
+           st.Store.st_disk_hits st.Store.st_disk_misses
+           (st.Store.st_bytes_read / 1024)
+           (st.Store.st_bytes_written / 1024));
+      Buffer.add_string b
+        (Printf.sprintf
+           "                 %d entries, %d KiB on disk, %d evicted, %d \
+            corrupt dropped\n"
+           st.Store.st_entries
+           (st.Store.st_total_bytes / 1024)
+           st.Store.st_evictions st.Store.st_corrupt));
   Buffer.add_string b
     (Printf.sprintf
        "  phase wall-clock: compile %.2fs, simulate %.2fs, total %.2fs\n"

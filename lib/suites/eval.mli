@@ -18,14 +18,28 @@
 
 type t
 
-val create : ?jobs:int -> unit -> t
+val create : ?jobs:int -> ?store:Safara_engine.Store.t -> unit -> t
 (** [jobs <= 1] is the serial engine. Default: [SAFARA_JOBS] when
-    set, else [Domain.recommended_domain_count () - 1]. *)
+    set, else [Domain.recommended_domain_count () - 1]. With [store],
+    every cache is layered over the persistent on-disk store: a
+    memory miss probes the store before computing, and every computed
+    value is persisted, so artifacts survive the process and are
+    shared across engines (and processes) opened over the same
+    directory. Disk keys fold in a schema generation
+    ({!store_schema}) on top of the full in-memory key, so stale
+    layouts can never unmarshal into live values. *)
 
 val jobs : t -> int
 (** The pool size ([-j] value). *)
 
 val pool : t -> Safara_engine.Pool.t
+
+val store : t -> Safara_engine.Store.t option
+
+val store_schema : string
+(** The schema token folded into every on-disk key: a hand-bumped
+    generation for the marshalled value shapes, the OCaml version
+    (Marshal is not release-stable) and the store format version. *)
 
 val shutdown : t -> unit
 
@@ -89,6 +103,7 @@ val compile_src :
   t ->
   ?arch:Safara_gpu.Arch.t ->
   ?safara_config:Safara_transform.Safara.config ->
+  ?disable:string list ->
   Safara_core.Compiler.profile ->
   string ->
   Safara_core.Compiler.compiled
@@ -121,6 +136,10 @@ type stats = {
       (** per-pipeline-pass (name, runs, cumulative seconds) across
           every compile-cache miss, sorted by name *)
   st_wall_s : float;  (** wall-clock since [create] *)
+  st_store : Safara_engine.Store.stats option;
+      (** persistent-store counters when the engine has one: disk
+          hits/misses, bytes read/written, GC evictions, corrupt
+          entries dropped *)
 }
 
 val stats : t -> stats

@@ -1,0 +1,454 @@
+(* The compile service and its persistent artifact store: store
+   round-trips and key sensitivity, corrupt-entry recovery, the GC
+   size bound, daemon-vs-in-process byte identity for every workload,
+   concurrent-client request deduplication, and (through the installed
+   binary) clean SIGTERM shutdown. The in-process daemon tests run the
+   exact server loop `saraccc serve` runs, on a test thread. *)
+
+module Store = Safara_engine.Store
+module Cache = Safara_engine.Cache
+module Eval = Safara_suites.Eval
+module Serve = Safara_serve
+open Safara_suites
+
+(* --- scratch dirs ---------------------------------------------------- *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error _ -> ()
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "safara-serve-test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* --- cache mutex regression ------------------------------------------ *)
+
+let test_cache_locked_raise () =
+  let c : int Cache.t = Cache.create ~name:"t" () in
+  (try ignore (Cache.find_or_compute c ~key:"k" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  (* before the Fun.protect fix, the raise above left the cache mutex
+     locked and every later operation deadlocked *)
+  Alcotest.(check int)
+    "retry computes" 7
+    (Cache.find_or_compute c ~key:"k" (fun () -> 7));
+  Alcotest.(check int) "stats accessible" 2 (Cache.misses c)
+
+(* --- store basics ----------------------------------------------------- *)
+
+let test_store_roundtrip () =
+  with_tmpdir (fun dir ->
+      let s = Store.open_store dir in
+      Alcotest.(check (option string)) "miss on empty" None
+        (Store.find s ~key:"a");
+      Store.add s ~key:"a" "payload-bytes";
+      Alcotest.(check (option string))
+        "hit after add" (Some "payload-bytes") (Store.find s ~key:"a");
+      (* a second handle over the same directory sees the entry *)
+      let s2 = Store.open_store dir in
+      Alcotest.(check (option string))
+        "persistent across handles" (Some "payload-bytes")
+        (Store.find s2 ~key:"a");
+      let st = Store.stats s2 in
+      Alcotest.(check int) "one entry" 1 st.Store.st_entries;
+      Alcotest.(check int) "one disk hit" 1 st.Store.st_disk_hits)
+
+let seismic = Registry.find "355.seismic"
+
+let test_store_key_sensitivity () =
+  with_tmpdir (fun dir ->
+      let src = seismic.Workload.source in
+      let e1 = Eval.create ~jobs:1 ~store:(Store.open_store dir) () in
+      ignore (Eval.compile_src e1 Safara_core.Compiler.Full src);
+      let st1 = Option.get (Eval.stats e1).Eval.st_store in
+      Alcotest.(check int) "cold compile misses disk" 1
+        st1.Store.st_disk_misses;
+      Alcotest.(check bool) "cold compile persisted" true
+        (st1.Store.st_bytes_written > 0);
+      Eval.shutdown e1;
+      (* fresh engine, same store: same key hits, changed compile
+         configuration (profile, disabled pass) must miss *)
+      let e2 = Eval.create ~jobs:1 ~store:(Store.open_store dir) () in
+      ignore (Eval.compile_src e2 Safara_core.Compiler.Full src);
+      let st2 = Option.get (Eval.stats e2).Eval.st_store in
+      Alcotest.(check int) "same key answered from disk" 1
+        st2.Store.st_disk_hits;
+      ignore
+        (Eval.compile_src e2 ~disable:[ "peephole" ]
+           Safara_core.Compiler.Full src);
+      ignore (Eval.compile_src e2 Safara_core.Compiler.Base src);
+      let st3 = Option.get (Eval.stats e2).Eval.st_store in
+      Alcotest.(check int) "disable/profile changes are new keys" 2
+        st3.Store.st_disk_misses;
+      Eval.shutdown e2)
+
+(* --- corrupt entries -------------------------------------------------- *)
+
+let flip_last_byte path =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  ignore (Unix.lseek fd (size - 1) Unix.SEEK_SET);
+  let b = Bytes.create 1 in
+  ignore (Unix.read fd b 0 1);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x40));
+  ignore (Unix.lseek fd (size - 1) Unix.SEEK_SET);
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd
+
+let test_store_corrupt_entry () =
+  with_tmpdir (fun dir ->
+      let s = Store.open_store dir in
+      Store.add s ~key:"k" "precious bits";
+      flip_last_byte (Store.entry_path s ~key:"k");
+      let s2 = Store.open_store dir in
+      Alcotest.(check (option string))
+        "bit flip reads as a miss" None (Store.find s2 ~key:"k");
+      let st = Store.stats s2 in
+      Alcotest.(check int) "corruption counted" 1 st.Store.st_corrupt;
+      Alcotest.(check int) "dropped from the store" 0 st.Store.st_entries;
+      (* the slot is reusable *)
+      Store.add s2 ~key:"k" "precious bits";
+      Alcotest.(check (option string))
+        "re-added after drop" (Some "precious bits") (Store.find s2 ~key:"k"))
+
+let rec find_sav dir =
+  Array.fold_left
+    (fun acc e ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          let p = Filename.concat dir e in
+          if Sys.is_directory p then find_sav p
+          else if Filename.check_suffix p ".sav" then Some p
+          else None)
+    None (Sys.readdir dir)
+
+let test_eval_recovers_from_corrupt_store () =
+  with_tmpdir (fun dir ->
+      let src = seismic.Workload.source in
+      let e1 = Eval.create ~jobs:1 ~store:(Store.open_store dir) () in
+      let c1 = Eval.compile_src e1 Safara_core.Compiler.Full src in
+      Eval.shutdown e1;
+      (match find_sav dir with
+      | Some p -> flip_last_byte p
+      | None -> Alcotest.fail "no store entry written");
+      let e2 = Eval.create ~jobs:1 ~store:(Store.open_store dir) () in
+      let c2 = Eval.compile_src e2 Safara_core.Compiler.Full src in
+      (* the corrupt entry is silently dropped and recompiled; the
+         result must match the original compile *)
+      Alcotest.(check string)
+        "recompiled result matches"
+        (Format.asprintf "%a" Safara_vir.Kernel.pp
+           (fst (List.hd c1.Safara_core.Compiler.c_kernels)))
+        (Format.asprintf "%a" Safara_vir.Kernel.pp
+           (fst (List.hd c2.Safara_core.Compiler.c_kernels)));
+      let st = Option.get (Eval.stats e2).Eval.st_store in
+      Alcotest.(check int) "corruption counted" 1 st.Store.st_corrupt;
+      Eval.shutdown e2)
+
+(* --- GC size bound ----------------------------------------------------- *)
+
+let test_store_gc_bound () =
+  with_tmpdir (fun dir ->
+      let max_bytes = 8 * 1024 in
+      let s = Store.open_store ~max_bytes dir in
+      let payload = String.make 1024 'x' in
+      for i = 1 to 24 do
+        Store.add s ~key:(Printf.sprintf "key-%d" i) payload
+      done;
+      let st = Store.stats s in
+      Alcotest.(check bool)
+        (Printf.sprintf "on-disk bytes %d within bound %d"
+           st.Store.st_total_bytes max_bytes)
+        true
+        (st.Store.st_total_bytes <= max_bytes);
+      Alcotest.(check bool) "evictions happened" true
+        (st.Store.st_evictions > 0);
+      Alcotest.(check (option string))
+        "most recent entry survives GC" (Some payload)
+        (Store.find s ~key:"key-24");
+      (* a reopened handle rescans to the same picture *)
+      let st2 = Store.stats (Store.open_store ~max_bytes dir) in
+      Alcotest.(check int) "entries match after rescan"
+        st.Store.st_entries st2.Store.st_entries)
+
+(* --- in-process daemon helpers ---------------------------------------- *)
+
+let start_daemon ~socket ~store ~jobs =
+  let m = Mutex.create () in
+  let c = Condition.create () in
+  let up = ref false in
+  let th =
+    Thread.create
+      (fun () ->
+        Serve.Server.serve
+          ~on_ready:(fun _ ->
+            Mutex.lock m;
+            up := true;
+            Condition.signal c;
+            Mutex.unlock m)
+          {
+            Serve.Server.s_socket = socket;
+            s_store = store;
+            s_max_store_bytes = Store.default_max_bytes;
+            s_jobs = Some jobs;
+            s_verbose = false;
+          })
+      ()
+  in
+  Mutex.lock m;
+  while not !up do
+    Condition.wait c m
+  done;
+  Mutex.unlock m;
+  fun () ->
+    (match Serve.Client.try_connect socket with
+    | Some conn ->
+        ignore (Serve.Client.request conn Serve.Protocol.Shutdown);
+        Serve.Client.close conn
+    | None -> ());
+    Thread.join th
+
+let with_daemon ?store ~jobs f =
+  with_tmpdir (fun dir ->
+      let socket = Filename.concat dir "d.sock" in
+      let stop = start_daemon ~socket ~store ~jobs in
+      Fun.protect ~finally:stop (fun () -> f socket))
+
+let daemon_exec socket req =
+  match Serve.Client.try_connect socket with
+  | None -> Alcotest.fail "daemon not reachable"
+  | Some conn ->
+      let r = Serve.Client.request conn req in
+      Serve.Client.close conn;
+      (match r with
+      | Serve.Protocol.Result (o, _ms) -> o
+      | Serve.Protocol.Error e -> Alcotest.failf "daemon error: %s" e
+      | Serve.Protocol.Data _ -> Alcotest.fail "unexpected data response")
+
+let compile_req ?(quiet = false) ~profile (w : Workload.t) =
+  Serve.Protocol.Compile
+    {
+      cr_name = w.Workload.id;
+      cr_src = w.Workload.source;
+      cr_arch = "kepler";
+      cr_profile = profile;
+      cr_quiet = quiet;
+      cr_maxrreg = None;
+      cr_pressure = false;
+      cr_time_passes = false;
+      cr_json = false;
+      cr_dumps = [];
+      cr_annotate_live = false;
+      cr_disable = [];
+    }
+
+let run_req (w : Workload.t) =
+  Serve.Protocol.Run
+    {
+      rn_src = w.Workload.source;
+      rn_profile = "full";
+      rn_defines =
+        List.map
+          (fun (n, v) ->
+            ( n,
+              match v with
+              | Safara_sim.Value.I i -> string_of_int i
+              | Safara_sim.Value.F f -> Printf.sprintf "%.17g" f
+              | Safara_sim.Value.B _ ->
+                  Alcotest.fail "bool scalars have no -D syntax" ))
+          w.Workload.scalars;
+      rn_engine = None;
+    }
+
+(* --- daemon vs in-process byte identity -------------------------------- *)
+
+let test_daemon_byte_identity () =
+  with_daemon ~jobs:2 (fun socket ->
+      let local = Eval.create ~jobs:1 () in
+      Fun.protect
+        ~finally:(fun () -> Eval.shutdown local)
+        (fun () ->
+          List.iter
+            (fun (w : Workload.t) ->
+              List.iter
+                (fun profile ->
+                  let req = compile_req ~profile w in
+                  let here = Serve.Commands.exec local req in
+                  let there = daemon_exec socket req in
+                  Alcotest.(check string)
+                    (Printf.sprintf "compile %s/%s stdout" w.Workload.id
+                       profile)
+                    here.Serve.Protocol.out there.Serve.Protocol.out;
+                  Alcotest.(check string)
+                    (Printf.sprintf "compile %s/%s stderr" w.Workload.id
+                       profile)
+                    here.Serve.Protocol.err there.Serve.Protocol.err)
+                [ "full"; "base" ];
+              let req = run_req w in
+              let here = Serve.Commands.exec local req in
+              let there = daemon_exec socket req in
+              (* stderr carries the -j-dependent execution-mode report;
+                 stdout (the checksums) must match at any pool size *)
+              Alcotest.(check string)
+                (Printf.sprintf "run %s checksums" w.Workload.id)
+                here.Serve.Protocol.out there.Serve.Protocol.out)
+            Registry.all))
+
+let test_daemon_bench_and_check_identity () =
+  with_daemon ~jobs:2 (fun socket ->
+      let local = Eval.create ~jobs:1 () in
+      Fun.protect
+        ~finally:(fun () -> Eval.shutdown local)
+        (fun () ->
+          let w = Registry.find "EP" in
+          let breq =
+            Serve.Protocol.Bench
+              { bn_id = w.Workload.id; bn_engine = None; bn_stats = false }
+          in
+          Alcotest.(check string)
+            "bench report identical"
+            (Serve.Commands.exec local breq).Serve.Protocol.out
+            (daemon_exec socket breq).Serve.Protocol.out;
+          let creq =
+            Serve.Protocol.Check
+              {
+                ck_name = w.Workload.id;
+                ck_src = Some w.Workload.source;
+                ck_workloads = false;
+                ck_json = false;
+                ck_werror = false;
+                ck_codes = [];
+                ck_pressure = true;
+                ck_arch = "kepler";
+                ck_profile = "full";
+              }
+          in
+          Alcotest.(check string)
+            "check report identical"
+            (Serve.Commands.exec local creq).Serve.Protocol.out
+            (daemon_exec socket creq).Serve.Protocol.out))
+
+(* --- concurrent request dedup ------------------------------------------ *)
+
+let test_daemon_concurrent_dedup () =
+  with_tmpdir (fun dir ->
+      let socket = Filename.concat dir "d.sock" in
+      let store = Filename.concat dir "store" in
+      let stop = start_daemon ~socket ~store:(Some store) ~jobs:2 in
+      Fun.protect ~finally:stop (fun () ->
+          let w = Registry.find "355.seismic" in
+          let n = 8 in
+          let errors = Atomic.make 0 in
+          let clients =
+            List.init n (fun _ ->
+                Thread.create
+                  (fun () ->
+                    match Serve.Client.try_connect socket with
+                    | None -> Atomic.incr errors
+                    | Some conn ->
+                        (match
+                           Serve.Client.request conn
+                             (compile_req ~quiet:true ~profile:"full" w)
+                         with
+                        | Serve.Protocol.Result (o, _)
+                          when o.Serve.Protocol.code = 0 ->
+                            ()
+                        | _ -> Atomic.incr errors);
+                        Serve.Client.close conn)
+                  ())
+          in
+          List.iter Thread.join clients;
+          Alcotest.(check int) "all clients served" 0 (Atomic.get errors);
+          match Serve.Client.try_connect socket with
+          | None -> Alcotest.fail "daemon not reachable"
+          | Some conn ->
+              let stats =
+                match Serve.Client.request conn Serve.Protocol.Stats with
+                | Serve.Protocol.Data d -> d
+                | _ -> Alcotest.fail "no stats"
+              in
+              Serve.Client.close conn;
+              let misses =
+                Serve.Sjson.(
+                  to_int (member "misses" (member "compile_cache" stats)))
+              in
+              (* N identical concurrent requests, one cold compute:
+                 everyone else waited on the in-flight cache slot *)
+              Alcotest.(check int) "one compile miss for 8 clients" 1 misses))
+
+(* --- SIGTERM shutdown of the real binary -------------------------------- *)
+
+let test_sigterm_shutdown () =
+  match Sys.getenv_opt "SARACCC_BIN" with
+  | None | Some "" ->
+      (* only meaningful under `dune runtest`, which exports the
+         binary's path *)
+      ()
+  | Some bin ->
+      with_tmpdir (fun dir ->
+          let socket = Filename.concat dir "d.sock" in
+          let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+          let pid =
+            Unix.create_process bin
+              [| bin; "serve"; "--socket"; socket; "--no-store"; "-j"; "1" |]
+              devnull devnull devnull
+          in
+          Unix.close devnull;
+          let deadline = Unix.gettimeofday () +. 30. in
+          let rec wait_sock () =
+            if Sys.file_exists socket then ()
+            else if Unix.gettimeofday () > deadline then
+              Alcotest.fail "daemon socket never appeared"
+            else begin
+              ignore (Unix.select [] [] [] 0.05);
+              wait_sock ()
+            end
+          in
+          wait_sock ();
+          (match Serve.Client.try_connect socket with
+          | Some conn ->
+              (match Serve.Client.request conn Serve.Protocol.Ping with
+              | Serve.Protocol.Data _ -> ()
+              | _ -> Alcotest.fail "ping failed");
+              Serve.Client.close conn
+          | None -> Alcotest.fail "could not connect to daemon");
+          Unix.kill pid Sys.sigterm;
+          (match Unix.waitpid [] pid with
+          | _, Unix.WEXITED 0 -> ()
+          | _, Unix.WEXITED n -> Alcotest.failf "daemon exited with %d" n
+          | _, Unix.WSIGNALED s ->
+              Alcotest.failf "daemon killed by signal %d" s
+          | _, Unix.WSTOPPED _ -> Alcotest.fail "daemon stopped");
+          Alcotest.(check bool)
+            "socket unlinked on shutdown" false (Sys.file_exists socket))
+
+let suite =
+  [
+    Alcotest.test_case "cache: mutex released when compute raises" `Quick
+      test_cache_locked_raise;
+    Alcotest.test_case "store: round trip and persistence" `Quick
+      test_store_roundtrip;
+    Alcotest.test_case "store: profile/disable changes miss" `Quick
+      test_store_key_sensitivity;
+    Alcotest.test_case "store: bit flip reads as miss" `Quick
+      test_store_corrupt_entry;
+    Alcotest.test_case "store: engine recompiles over corrupt entry" `Quick
+      test_eval_recovers_from_corrupt_store;
+    Alcotest.test_case "store: GC keeps disk within bound" `Quick
+      test_store_gc_bound;
+    Alcotest.test_case "daemon: byte-identical to in-process" `Slow
+      test_daemon_byte_identity;
+    Alcotest.test_case "daemon: bench and check identical" `Quick
+      test_daemon_bench_and_check_identity;
+    Alcotest.test_case "daemon: concurrent clients dedup to one compile"
+      `Quick test_daemon_concurrent_dedup;
+    Alcotest.test_case "daemon: SIGTERM shuts down cleanly" `Quick
+      test_sigterm_shutdown;
+  ]

@@ -21,4 +21,5 @@ let () =
       ("dataflow", Suite_dataflow.suite);
       ("shapes", Suite_shapes.suite);
       ("check", Suite_check.suite);
+      ("serve", Suite_serve.suite);
     ]
