@@ -11,71 +11,95 @@
    -j. Engine statistics go to stderr so stdout stays comparable.
 
    Usage: main.exe [fig7|fig9|fig10|fig11|fig12|table1|table2|offsets|
-                    ablations|crossarch|unroll|micro|sim|serve|json|all]
+                    ablations|crossarch|unroll|micro|sim|serve|tune|json|all]
                    [-j N]
-                   [--smoke] [--min-runs N] [--engine NAME]
+                   [--smoke] [--min-runs N] [--engine NAME] [--arch NAME]
    (default: all). --engine selects the simulator execution engine
    (reference|decoded|threaded, default threaded) for the experiment
-   modes; bench sim always measures all three.                        *)
+   modes; bench sim always measures all three. --arch selects the GPU
+   model from the architecture registry (default kepler) for every
+   mode except crossarch (inherently multi-arch) and tune (sweeps the
+   registry unless --arch restricts it).                              *)
 
 open Safara_suites
 
-let run_fig7 ~eng () =
-  print_string
-    (Experiments.render_speedups
-       ~title:"Figure 7: SPEC ACCEL speedup with SAFARA alone (vs OpenUH base)"
-       (Experiments.fig7 ~eng ()))
+(* every experiment title carries the architecture it was measured on
+   when it is not the paper's default, so mixed-arch logs stay
+   readable *)
+let arch_suffix (arch : Safara_gpu.Arch.t) =
+  if arch.Safara_gpu.Arch.key = Safara_gpu.Arch.default.Safara_gpu.Arch.key
+  then ""
+  else Printf.sprintf " [arch %s]" arch.Safara_gpu.Arch.key
 
-let run_fig9 ~eng () =
+let run_fig7 ~eng ~arch () =
   print_string
     (Experiments.render_speedups
        ~title:
-         "Figure 9: SPEC ACCEL speedup, cumulative small / small+dim / small+dim+SAFARA"
-       (Experiments.fig9 ~eng ()))
+         ("Figure 7: SPEC ACCEL speedup with SAFARA alone (vs OpenUH base)"
+         ^ arch_suffix arch)
+       (Experiments.fig7 ~eng ~arch ()))
 
-let run_fig10 ~eng () =
+let run_fig9 ~eng ~arch () =
   print_string
     (Experiments.render_speedups
-       ~title:"Figure 10: NAS speedup, cumulative small / small+dim / small+dim+SAFARA"
-       (Experiments.fig10 ~eng ()))
+       ~title:
+         ("Figure 9: SPEC ACCEL speedup, cumulative small / small+dim / small+dim+SAFARA"
+         ^ arch_suffix arch)
+       (Experiments.fig9 ~eng ~arch ()))
 
-let run_fig11 ~eng () =
+let run_fig10 ~eng ~arch () =
+  print_string
+    (Experiments.render_speedups
+       ~title:
+         ("Figure 10: NAS speedup, cumulative small / small+dim / small+dim+SAFARA"
+         ^ arch_suffix arch)
+       (Experiments.fig10 ~eng ~arch ()))
+
+let run_fig11 ~eng ~arch () =
   print_string
     (Experiments.render_norms
        ~title:
-         "Figure 11: SPEC normalized execution time, OpenUH vs PGI-like (lower is better)"
-       (Experiments.fig11 ~eng ()))
+         ("Figure 11: SPEC normalized execution time, OpenUH vs PGI-like (lower is better)"
+         ^ arch_suffix arch)
+       (Experiments.fig11 ~eng ~arch ()))
 
-let run_fig12 ~eng () =
+let run_fig12 ~eng ~arch () =
   print_string
     (Experiments.render_norms
        ~title:
-         "Figure 12: NAS normalized execution time, OpenUH vs PGI-like (lower is better)"
-       (Experiments.fig12 ~eng ()))
+         ("Figure 12: NAS normalized execution time, OpenUH vs PGI-like (lower is better)"
+         ^ arch_suffix arch)
+       (Experiments.fig12 ~eng ~arch ()))
 
-let run_table1 ~eng () =
+let run_table1 ~eng ~arch () =
   print_string
     (Experiments.render_regs
-       ~title:"Table I: 355.seismic register usage via small and dim clauses"
-       (Experiments.table1 ~eng ()))
+       ~title:
+         ("Table I: 355.seismic register usage via small and dim clauses"
+         ^ arch_suffix arch)
+       (Experiments.table1 ~eng ~arch ()))
 
-let run_table2 ~eng () =
+let run_table2 ~eng ~arch () =
   print_string
     (Experiments.render_regs
-       ~title:"Table II: 356.sp register usage via small and dim clauses"
-       (Experiments.table2 ~eng ()))
+       ~title:
+         ("Table II: 356.sp register usage via small and dim clauses"
+         ^ arch_suffix arch)
+       (Experiments.table2 ~eng ~arch ()))
 
-let run_offsets ~eng () =
-  print_string (Experiments.render_offsets (Experiments.offsets ~eng ()))
+let run_offsets ~eng ~arch () =
+  print_string (Experiments.render_offsets (Experiments.offsets ~eng ~arch ()))
 
-let run_ablations ~eng () =
-  print_string (Experiments.render_ablations (Experiments.ablations ~eng ()))
+let run_ablations ~eng ~arch () =
+  print_string
+    (Experiments.render_ablations (Experiments.ablations ~eng ~arch ()))
 
 let run_crossarch ~eng () =
   print_string (Experiments.render_crossarch (Experiments.crossarch ~eng ()))
 
-let run_unroll ~eng () =
-  print_string (Experiments.render_unroll (Experiments.unroll_study ~eng ()))
+let run_unroll ~eng ~arch () =
+  print_string
+    (Experiments.render_unroll (Experiments.unroll_study ~eng ~arch ()))
 
 (* --- JSON helpers (shared by the json and sim modes) ----------------- *)
 
@@ -377,7 +401,7 @@ type sim_row = {
   r_modes : (string * Safara_sim.Interp.mode) list;
 }
 
-let run_sim ~smoke ~min_runs ~pool () =
+let run_sim ~smoke ~min_runs ~pool ~arch () =
   let workloads =
     if smoke then List.map Registry.find sim_smoke_ids else Registry.all
   in
@@ -391,7 +415,7 @@ let run_sim ~smoke ~min_runs ~pool () =
      closures\n\
      profile Full, %s; simulated warp-instructions per second; -j %d, \
      min-runs %d\n\n"
-    Safara_gpu.Arch.kepler_k20xm.Safara_gpu.Arch.name jobs min_runs;
+    arch.Safara_gpu.Arch.name jobs min_runs;
   Printf.printf "%-16s %11s %11s %11s %6s %11s %6s %11s %11s %11s %6s\n"
     "workload" "interp-ref" "interp-dec" "interp-thr" "thr-x" "interp-par"
     "par-x" "timing-ref" "timing-dec" "timing-thr" "thr-x";
@@ -399,7 +423,7 @@ let run_sim ~smoke ~min_runs ~pool () =
     List.map
       (fun (w : Workload.t) ->
         let c =
-          Safara_core.Compiler.compile_src Safara_core.Compiler.Full
+          Safara_core.Compiler.compile_src ~arch Safara_core.Compiler.Full
             w.Workload.source
         in
         sim_check_identical c w;
@@ -525,7 +549,8 @@ let run_sim ~smoke ~min_runs ~pool () =
   in
   let json =
     j_obj
-      [ ("arch", j_str Safara_gpu.Arch.kepler_k20xm.Safara_gpu.Arch.name);
+      [ ("arch", j_str arch.Safara_gpu.Arch.name);
+        ("arch_key", j_str arch.Safara_gpu.Arch.key);
         ("profile", j_str "full");
         ("mode", j_str (if smoke then "smoke" else "full"));
         ("jobs", j_int jobs);
@@ -875,10 +900,9 @@ let run_serve ~smoke ~jobs () =
 
 (* --- bechamel microbenchmarks of the compiler passes ---------------- *)
 
-let micro_tests () =
+let micro_tests ~arch () =
   let open Bechamel in
-  let arch = Safara_gpu.Arch.kepler_k20xm in
-  let latency = Safara_gpu.Latency.kepler in
+  let latency = Safara_gpu.Latency.for_arch arch in
   let src = (Registry.find "355.seismic").Workload.source in
   let ast = Safara_lang.Parser.parse src in
   let prog = Safara_lang.Frontend.compile src in
@@ -909,7 +933,7 @@ let micro_tests () =
              (Safara_transform.Safara.optimize_region ~arch ~latency resolved region)));
   ]
 
-let run_micro () =
+let run_micro ~arch () =
   let open Bechamel in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -930,37 +954,37 @@ let run_micro () =
           | Some [ t ] -> Printf.printf "%-44s %12.1f ns/run\n%!" name t
           | _ -> Printf.printf "%-44s (no estimate)\n%!" name)
         results)
-    (micro_tests ())
+    (micro_tests ~arch ())
 
-let all ~eng () =
+let all ~eng ~arch () =
   Printf.printf
-    "SAFARA reproduction evaluation — %s, latency table 'kepler'\n\
+    "SAFARA reproduction evaluation — %s, latency table '%s'\n\
      profiles: base / SAFARA / small / small+dim / full(small+dim+SAFARA) / PGI-like\n\
      deterministic: fixed workload seeds, no simulator randomness\n\n"
-    Safara_gpu.Arch.kepler_k20xm.Safara_gpu.Arch.name;
-  run_table1 ~eng ();
+    arch.Safara_gpu.Arch.name arch.Safara_gpu.Arch.key;
+  run_table1 ~eng ~arch ();
   print_newline ();
-  run_table2 ~eng ();
+  run_table2 ~eng ~arch ();
   print_newline ();
-  run_offsets ~eng ();
+  run_offsets ~eng ~arch ();
   print_newline ();
-  run_fig7 ~eng ();
+  run_fig7 ~eng ~arch ();
   print_newline ();
-  run_fig9 ~eng ();
+  run_fig9 ~eng ~arch ();
   print_newline ();
-  run_fig10 ~eng ();
+  run_fig10 ~eng ~arch ();
   print_newline ();
-  run_fig11 ~eng ();
+  run_fig11 ~eng ~arch ();
   print_newline ();
-  run_fig12 ~eng ();
+  run_fig12 ~eng ~arch ();
   print_newline ();
-  run_ablations ~eng ();
+  run_ablations ~eng ~arch ();
   print_newline ();
   run_crossarch ~eng ();
   print_newline ();
-  run_unroll ~eng ();
+  run_unroll ~eng ~arch ();
   print_newline ();
-  run_micro ()
+  run_micro ~arch ()
 
 (* --- json output mode ------------------------------------------------ *)
 
@@ -1037,9 +1061,9 @@ let engine_json eng =
        ("wall_s", j_float s.Eval.st_wall_s) ]
     @ store_fields)
 
-let run_json ~eng () =
-  let table1 = reg_rows_json (Experiments.table1 ~eng ()) in
-  let table2 = reg_rows_json (Experiments.table2 ~eng ()) in
+let run_json ~eng ~arch () =
+  let table1 = reg_rows_json (Experiments.table1 ~eng ~arch ()) in
+  let table2 = reg_rows_json (Experiments.table2 ~eng ~arch ()) in
   let offsets =
     j_list
       (List.map
@@ -1049,13 +1073,13 @@ let run_json ~eng () =
                ("dope_loads", j_int r.Experiments.od_dope_loads);
                ("instructions", j_int r.Experiments.od_offset_instrs);
                ("regs", j_int r.Experiments.od_regs) ])
-         (Experiments.offsets ~eng ()))
+         (Experiments.offsets ~eng ~arch ()))
   in
-  let fig7 = speedup_rows_json (Experiments.fig7 ~eng ()) in
-  let fig9 = speedup_rows_json (Experiments.fig9 ~eng ()) in
-  let fig10 = speedup_rows_json (Experiments.fig10 ~eng ()) in
-  let fig11 = norm_rows_json (Experiments.fig11 ~eng ()) in
-  let fig12 = norm_rows_json (Experiments.fig12 ~eng ()) in
+  let fig7 = speedup_rows_json (Experiments.fig7 ~eng ~arch ()) in
+  let fig9 = speedup_rows_json (Experiments.fig9 ~eng ~arch ()) in
+  let fig10 = speedup_rows_json (Experiments.fig10 ~eng ~arch ()) in
+  let fig11 = norm_rows_json (Experiments.fig11 ~eng ~arch ()) in
+  let fig12 = norm_rows_json (Experiments.fig12 ~eng ~arch ()) in
   let ablations =
     j_list
       (List.map
@@ -1064,16 +1088,17 @@ let run_json ~eng () =
              [ ("name", j_str r.Experiments.ab_name);
                ("description", j_str r.Experiments.ab_description);
                ("slowdowns", j_assoc j_float r.Experiments.ab_speedups) ])
-         (Experiments.ablations ~eng ()))
+         (Experiments.ablations ~eng ~arch ()))
   in
   let crossarch =
+    (* the one figure that is inherently multi-arch: each row carries
+       per-arch speedups keyed by registry name *)
     j_list
       (List.map
          (fun (r : Experiments.crossarch_row) ->
            j_obj
              [ ("id", j_str r.Experiments.ca_id);
-               ("kepler", j_float r.Experiments.ca_kepler);
-               ("fermi", j_float r.Experiments.ca_fermi) ])
+               ("speedups", j_assoc j_float r.Experiments.ca_values) ])
          (Experiments.crossarch ~eng ()))
   in
   let unroll =
@@ -1092,11 +1117,12 @@ let run_json ~eng () =
                   (List.map
                      (fun (f, n) -> j_list [ j_int f; j_int n ])
                      r.Experiments.ur_regs)) ])
-         (Experiments.unroll_study ~eng ()))
+         (Experiments.unroll_study ~eng ~arch ()))
   in
   print_string
     (j_obj
-       [ ("arch", j_str Safara_gpu.Arch.kepler_k20xm.Safara_gpu.Arch.name);
+       [ ("arch", j_str arch.Safara_gpu.Arch.name);
+         ("arch_key", j_str arch.Safara_gpu.Arch.key);
          ("table1", table1);
          ("table2", table2);
          ("offsets", offsets);
@@ -1111,19 +1137,130 @@ let run_json ~eng () =
          ("engine", engine_json eng) ]);
   print_newline ()
 
+(* --- tune: autotuning search over (config x unroll x arch) ----------- *)
+(* Runs Safara_tune's grid search for every (workload, architecture)
+   pair through one shared engine, so coincident points are cache
+   hits, and reports the winner per pair plus the engine's sim-cache
+   hit rate over the whole search. The search revisits every warmed
+   point at least once (argmin + baseline reads), so the hit rate must
+   exceed 50% — a hard gate in --smoke mode, like the serve gate. *)
+
+let tune_smoke_ids = [ "303.ostencil"; "355.seismic" ]
+
+let run_tune ~smoke ~eng ~archs () =
+  let workloads =
+    if smoke then List.map Registry.find tune_smoke_ids else Registry.all
+  in
+  let jobs = Eval.jobs eng in
+  Printf.printf
+    "Autotuning: grid search over (SAFARA config x unroll factor) per \
+     workload and architecture\n\
+     %d workloads x %d archs, %d points each; objective: timing simulator, \
+     profile Full; -j %d\n\n"
+    (List.length workloads) (List.length archs) Safara_tune.Tune.space_size
+    jobs;
+  let s0 = Eval.stats eng in
+  let results =
+    List.concat_map
+      (fun (arch : Safara_gpu.Arch.t) ->
+        List.map
+          (fun w ->
+            let r = Safara_tune.Tune.search eng ~arch w in
+            print_string (Safara_tune.Tune.render r);
+            r)
+          workloads)
+      archs
+  in
+  let s1 = Eval.stats eng in
+  let hits = s1.Eval.st_sim_hits - s0.Eval.st_sim_hits in
+  let misses = s1.Eval.st_sim_misses - s0.Eval.st_sim_misses in
+  let hit_rate = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
+  Printf.printf
+    "\nsearch sim-cache: %d hits / %d misses (%.1f%% hit rate)\n" hits misses
+    (100. *. hit_rate);
+  let json =
+    j_obj
+      [ ("mode", j_str (if smoke then "smoke" else "full"));
+        ("jobs", j_int jobs);
+        ("strategy", j_str "grid");
+        ("space", j_int Safara_tune.Tune.space_size);
+        ("config_labels", j_list (List.map j_str Safara_tune.Tune.config_labels));
+        ("unroll_factors", j_list (List.map j_int Safara_tune.Tune.unroll_factors));
+        ("archs",
+         j_list
+           (List.map
+              (fun (a : Safara_gpu.Arch.t) -> j_str a.Safara_gpu.Arch.key)
+              archs));
+        ("results",
+         j_list
+           (List.map
+              (fun (r : Safara_tune.Tune.result) ->
+                j_obj
+                  [ ("id", j_str r.Safara_tune.Tune.tr_id);
+                    ("arch", j_str r.Safara_tune.Tune.tr_arch);
+                    ("best",
+                     j_obj
+                       [ ("config",
+                          j_str r.Safara_tune.Tune.tr_best
+                            .Safara_tune.Tune.pt_config);
+                         ("unroll",
+                          j_int r.Safara_tune.Tune.tr_best
+                            .Safara_tune.Tune.pt_unroll) ]);
+                    ("best_ms", j_float r.Safara_tune.Tune.tr_best_ms);
+                    ("default_ms", j_float r.Safara_tune.Tune.tr_default_ms);
+                    ("improvement", j_float r.Safara_tune.Tune.tr_improvement);
+                    ("evaluated", j_int r.Safara_tune.Tune.tr_evaluated);
+                    ("space", j_int r.Safara_tune.Tune.tr_space);
+                    ("kernels",
+                     j_assoc j_float r.Safara_tune.Tune.tr_kernels) ])
+              results));
+        ("sim_cache",
+         j_obj
+           [ ("hits", j_int hits);
+             ("misses", j_int misses);
+             ("hit_rate", j_float hit_rate) ]);
+        ("engine", engine_json eng) ]
+  in
+  let oc = open_out "BENCH_tune.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote BENCH_tune.json\n";
+  if smoke then begin
+    if hit_rate <= 0.5 then begin
+      Printf.eprintf
+        "bench tune: sim-cache hit rate %.1f%% is below the 50%% gate\n"
+        (100. *. hit_rate);
+      exit 1
+    end;
+    List.iter
+      (fun (r : Safara_tune.Tune.result) ->
+        if r.Safara_tune.Tune.tr_improvement < 1.0 then begin
+          Printf.eprintf
+            "bench tune: %s on %s: grid best (%.4f ms) worse than default \
+             (%.4f ms)\n"
+            r.Safara_tune.Tune.tr_id r.Safara_tune.Tune.tr_arch
+            r.Safara_tune.Tune.tr_best_ms r.Safara_tune.Tune.tr_default_ms;
+          exit 1
+        end)
+      results
+  end
+
 (* --- entry point ----------------------------------------------------- *)
 
 let usage () =
   Printf.eprintf
     "usage: main.exe \
-     [fig7|fig9|fig10|fig11|fig12|table1|table2|offsets|ablations|crossarch|unroll|micro|sim|serve|json|all] \
-     [-j N] [--smoke] [--min-runs N] [--engine reference|decoded|threaded]\n";
+     [fig7|fig9|fig10|fig11|fig12|table1|table2|offsets|ablations|crossarch|unroll|micro|sim|serve|tune|json|all] \
+     [-j N] [--smoke] [--min-runs N] [--engine reference|decoded|threaded] \
+     [--arch NAME]\n";
   exit 2
 
 let () =
   let jobs = ref None in
   let smoke = ref false in
   let min_runs = ref None in
+  let arch_override = ref None in
   let cmds = ref [] in
   let rec parse i =
     if i < Array.length Sys.argv then begin
@@ -1143,6 +1280,16 @@ let () =
           | Some n when n >= 1 -> min_runs := Some n
           | _ -> usage ());
           parse (i + 2)
+      | "--arch" ->
+          if i + 1 >= Array.length Sys.argv then usage ();
+          (* registry-checked like --engine: unknown names are
+             rejected with the list of valid ones *)
+          (match Safara_gpu.Arch.of_name Sys.argv.(i + 1) with
+          | a -> arch_override := Some a
+          | exception Failure msg ->
+              Printf.eprintf "main.exe: %s\n" msg;
+              exit 2);
+          parse (i + 2)
       | "--engine" ->
           if i + 1 >= Array.length Sys.argv then usage ();
           (* registry-checked: an unknown engine name is rejected with
@@ -1161,31 +1308,42 @@ let () =
   in
   parse 1;
   let cmd = match !cmds with [] -> "all" | [ c ] -> c | _ -> usage () in
+  let arch = Option.value !arch_override ~default:Safara_gpu.Arch.default in
   let eng = Eval.create ?jobs:!jobs () in
   (* determinism guard: parallel evaluation must reproduce the serial
      results exactly (debug builds only) *)
   if Eval.jobs eng > 1 then Eval.self_check eng (Registry.find "303.ostencil");
   (match cmd with
-  | "fig7" -> run_fig7 ~eng ()
-  | "fig9" -> run_fig9 ~eng ()
-  | "fig10" -> run_fig10 ~eng ()
-  | "fig11" -> run_fig11 ~eng ()
-  | "fig12" -> run_fig12 ~eng ()
-  | "table1" -> run_table1 ~eng ()
-  | "table2" -> run_table2 ~eng ()
-  | "offsets" -> run_offsets ~eng ()
-  | "ablations" -> run_ablations ~eng ()
+  | "fig7" -> run_fig7 ~eng ~arch ()
+  | "fig9" -> run_fig9 ~eng ~arch ()
+  | "fig10" -> run_fig10 ~eng ~arch ()
+  | "fig11" -> run_fig11 ~eng ~arch ()
+  | "fig12" -> run_fig12 ~eng ~arch ()
+  | "table1" -> run_table1 ~eng ~arch ()
+  | "table2" -> run_table2 ~eng ~arch ()
+  | "offsets" -> run_offsets ~eng ~arch ()
+  | "ablations" -> run_ablations ~eng ~arch ()
   | "crossarch" -> run_crossarch ~eng ()
-  | "unroll" -> run_unroll ~eng ()
-  | "micro" -> run_micro ()
-  | "sim" -> run_sim ~smoke:!smoke ~min_runs:!min_runs ~pool:(Eval.pool eng) ()
+  | "unroll" -> run_unroll ~eng ~arch ()
+  | "micro" -> run_micro ~arch ()
+  | "sim" ->
+      run_sim ~smoke:!smoke ~min_runs:!min_runs ~pool:(Eval.pool eng) ~arch ()
   | "serve" -> run_serve ~smoke:!smoke ~jobs:!jobs ()
-  | "json" -> run_json ~eng ()
-  | "all" -> all ~eng ()
+  | "tune" ->
+      let archs =
+        match !arch_override with
+        | Some a -> [ a ]
+        | None ->
+            if !smoke then [ Safara_gpu.Arch.kepler_k20xm; Safara_gpu.Arch.fermi_like ]
+            else Safara_gpu.Arch.registry
+      in
+      run_tune ~smoke:!smoke ~eng ~archs ()
+  | "json" -> run_json ~eng ~arch ()
+  | "all" -> all ~eng ~arch ()
   | other ->
       Printf.eprintf
         "unknown experiment %S; expected \
-         fig7|fig9|fig10|fig11|fig12|table1|table2|offsets|ablations|crossarch|unroll|micro|sim|serve|json|all\n"
+         fig7|fig9|fig10|fig11|fig12|table1|table2|offsets|ablations|crossarch|unroll|micro|sim|serve|tune|json|all\n"
         other;
       exit 2);
   if cmd <> "micro" && cmd <> "sim" && cmd <> "serve" then

@@ -18,10 +18,7 @@ let setup_logs verbose =
   Logs.set_reporter (Logs_fmt_lite.reporter ());
   Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
 
-let arch_of = function
-  | "kepler" -> Safara_gpu.Arch.kepler_k20xm
-  | "fermi" -> Safara_gpu.Arch.fermi_like
-  | other -> failwith ("unknown architecture " ^ other ^ " (kepler|fermi)")
+let arch_of = Safara_gpu.Arch.of_name
 
 let profile_of = function
   | "base" -> Safara_core.Compiler.Base
@@ -49,7 +46,14 @@ let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniACC source file")
 
 let arch_arg =
-  Arg.(value & opt string "kepler" & info [ "arch" ] ~docv:"ARCH" ~doc:"GPU model: kepler or fermi")
+  Arg.(
+    value
+    & opt string "kepler"
+    & info [ "arch" ] ~docv:"ARCH"
+        ~doc:
+          ("GPU model from the architecture registry: "
+          ^ String.concat ", " Safara_gpu.Arch.names
+          ^ " (see $(b,saraccc archs))"))
 
 let profile_arg =
   Arg.(
@@ -256,7 +260,7 @@ let analyze_cmd =
   let run file arch_name =
     wrap (fun () ->
         let arch = arch_of arch_name in
-        let latency = Safara_gpu.Latency.kepler in
+        let latency = Safara_gpu.Latency.for_arch arch in
         let prog = Safara_analysis.Schedule.resolve_program (load file) in
         List.iter
           (fun (r : Safara_ir.Region.t) ->
@@ -406,7 +410,7 @@ let safara_cmd =
     wrap (fun () ->
         setup_logs verbose;
         let arch = arch_of arch_name in
-        let latency = Safara_gpu.Latency.kepler in
+        let latency = Safara_gpu.Latency.for_arch arch in
         let config =
           let d = Safara_transform.Safara.default_config ~arch in
           match cap with
@@ -474,13 +478,14 @@ let occupancy_cmd =
 (* --- run ------------------------------------------------------------- *)
 
 let run_cmd =
-  let run file profile_name defs jobs engine connect store_dir =
+  let run file arch_name profile_name defs jobs engine connect store_dir =
     wrap (fun () ->
         let req =
           Safara_serve.Protocol.Run
             {
               rn_src = read_file file;
               rn_profile = profile_name;
+              rn_arch = arch_name;
               rn_defines = defs;
               rn_engine = engine;
             }
@@ -506,17 +511,18 @@ let run_cmd =
        ~doc:"Execute the program on the functional simulator and print checksums")
     Term.(
       ret
-        (const run $ file_arg $ profile_arg $ scalars_arg $ jobs_arg
+        (const run $ file_arg $ arch_arg $ profile_arg $ scalars_arg $ jobs_arg
         $ engine_arg $ connect_arg $ store_arg))
 
 (* --- bench ------------------------------------------------------------ *)
 
 let bench_cmd =
-  let run id jobs show_stats engine connect store_dir =
+  let run id arch_name jobs show_stats engine connect store_dir =
     wrap (fun () ->
         let req =
           Safara_serve.Protocol.Bench
-            { bn_id = id; bn_engine = engine; bn_stats = show_stats }
+            { bn_id = id; bn_arch = arch_name; bn_engine = engine;
+              bn_stats = show_stats }
         in
         (* the six profile runs are independent jobs: the engine fans
            them out over its domain pool, then prints serially from the
@@ -549,8 +555,8 @@ let bench_cmd =
        ~doc:"Run one of the paper's benchmarks under every compiler profile")
     Term.(
       ret
-        (const run $ id_arg $ jobs_arg $ stats_arg $ engine_arg $ connect_arg
-        $ store_arg))
+        (const run $ id_arg $ arch_arg $ jobs_arg $ stats_arg $ engine_arg
+        $ connect_arg $ store_arg))
 
 (* --- serve ------------------------------------------------------------ *)
 
@@ -648,6 +654,112 @@ let time_cmd =
   Cmd.v (Cmd.info "time" ~doc:"Cycle-level timing estimate per kernel")
     Term.(ret (const run $ file_arg $ arch_arg $ profile_arg $ scalars_arg $ engine_arg))
 
+(* --- archs ------------------------------------------------------------ *)
+
+let archs_cmd =
+  let run () =
+    wrap (fun () -> Format.printf "%a@." Safara_gpu.Arch.pp_registry ())
+  in
+  Cmd.v
+    (Cmd.info "archs"
+       ~doc:"List the GPU architecture registry (valid $(b,--arch) values)")
+    Term.(ret (const run $ const ()))
+
+(* --- tune ------------------------------------------------------------- *)
+
+let tune_cmd =
+  let run id arch_name strategy_name jobs json show_stats store_dir =
+    wrap (fun () ->
+        let arch = arch_of arch_name in
+        let strategy = Safara_tune.Tune.strategy_of_name strategy_name in
+        let w =
+          try Safara_suites.Registry.find id
+          with Not_found ->
+            failwith
+              ("unknown benchmark " ^ id ^ "; known: "
+              ^ String.concat ", "
+                  (List.map
+                     (fun (w : Safara_suites.Workload.t) ->
+                       w.Safara_suites.Workload.id)
+                     Safara_suites.Registry.all))
+        in
+        with_eval ?jobs ?store_dir (fun eng ->
+            let s0 = Safara_suites.Eval.stats eng in
+            let r = Safara_tune.Tune.search ~strategy eng ~arch w in
+            let s1 = Safara_suites.Eval.stats eng in
+            let hits =
+              s1.Safara_suites.Eval.st_sim_hits
+              - s0.Safara_suites.Eval.st_sim_hits
+            in
+            let misses =
+              s1.Safara_suites.Eval.st_sim_misses
+              - s0.Safara_suites.Eval.st_sim_misses
+            in
+            if json then
+              Printf.printf
+                "{\"id\":%S,\"arch\":%S,\"strategy\":%S,\"best\":{\"config\":%S,\"unroll\":%d},\"best_ms\":%.12g,\"default_ms\":%.12g,\"improvement\":%.12g,\"evaluated\":%d,\"space\":%d,\"sim_hits\":%d,\"sim_misses\":%d}\n"
+                r.Safara_tune.Tune.tr_id r.Safara_tune.Tune.tr_arch
+                r.Safara_tune.Tune.tr_strategy
+                r.Safara_tune.Tune.tr_best.Safara_tune.Tune.pt_config
+                r.Safara_tune.Tune.tr_best.Safara_tune.Tune.pt_unroll
+                r.Safara_tune.Tune.tr_best_ms
+                r.Safara_tune.Tune.tr_default_ms
+                r.Safara_tune.Tune.tr_improvement
+                r.Safara_tune.Tune.tr_evaluated r.Safara_tune.Tune.tr_space
+                hits misses
+            else begin
+              print_string (Safara_tune.Tune.render r);
+              Printf.printf "search sim-cache: %d hits / %d misses\n" hits
+                misses
+            end;
+            if show_stats then
+              prerr_string (Safara_suites.Eval.render_stats eng)))
+  in
+  let id_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCHMARK" ~doc:"benchmark id, e.g. 355.seismic or SP")
+  in
+  let strategy_arg =
+    Arg.(
+      value
+      & opt string "grid"
+      & info [ "strategy" ] ~docv:"STRATEGY"
+          ~doc:
+            "search strategy: $(b,grid) (exhaustive, through the engine \
+             pool) or $(b,greedy) (coordinate descent from the default \
+             point)")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"evaluation-engine domain-pool size (1 = serial)")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"emit the result as one JSON object")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "engine-stats" ]
+          ~doc:"print cache and pool statistics to stderr at the end")
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "Search the (SAFARA config x unroll factor) space for the fastest \
+          configuration of a benchmark on an architecture, using the timing \
+          simulator as the objective; repeated points are engine cache hits")
+    Term.(
+      ret
+        (const run $ id_arg $ arch_arg $ strategy_arg $ jobs_arg $ json_arg
+        $ stats_arg $ store_arg))
+
 let main =
   Cmd.group
     (Cmd.info "saraccc" ~version:"1.0.0"
@@ -655,6 +767,7 @@ let main =
          "SAFARA OpenACC compiler: scalar replacement with static register \
           feedback, dim/small clauses, and a Kepler GPU simulator")
     [ check_cmd; ir_cmd; analyze_cmd; compile_cmd; emit_cmd; safara_cmd;
-      occupancy_cmd; run_cmd; time_cmd; bench_cmd; serve_cmd ]
+      occupancy_cmd; run_cmd; time_cmd; bench_cmd; tune_cmd; archs_cmd;
+      serve_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,9 +1,10 @@
-(* Cross-architecture study: the same kernel compiled for Kepler
-   (read-only data cache present) and a Fermi-class GPU (no read-only
-   cache). The memory-space classification changes, so SAFARA's cost
-   model prices the same references differently — read-only arrays pay
-   global-latency prices on Fermi, making their replacement more
-   attractive there.
+(* Cross-architecture study: the same kernel compiled for every model
+   point in the architecture registry. The memory-space classification
+   changes with the read-only data cache (present on Kepler and later,
+   absent on Fermi), and each generation prices references with its own
+   latency table — so SAFARA's cost model ranks the same references
+   differently across the family: read-only arrays pay global-latency
+   prices on Fermi, making their replacement more attractive there.
 
    Run with: dune exec examples/cross_arch.exe *)
 
@@ -30,12 +31,12 @@ double a[n][n];
 |}
 
 let () =
-  print_endline "cross-architecture: Kepler (read-only cache) vs Fermi (none)";
+  print_endline "cross-architecture: one kernel, every registry model point";
   print_endline "--------------------------------------------------------------";
   List.iter
     (fun arch ->
       Printf.printf "\n--- %s ---\n" arch.Safara_gpu.Arch.name;
-      let latency = Safara_gpu.Latency.kepler in
+      let latency = Safara_gpu.Latency.for_arch arch in
       let prog = Safara_lang.Frontend.compile source in
       let prog = Safara_analysis.Schedule.resolve_program prog in
       let region = List.hd prog.Safara_ir.Program.regions in
@@ -53,4 +54,4 @@ let () =
       Printf.printf "full profile: %d registers (cap %d on this part)\n"
         report.Safara_ptxas.Assemble.regs_used
         arch.Safara_gpu.Arch.max_registers_per_thread)
-    [ Safara_gpu.Arch.kepler_k20xm; Safara_gpu.Arch.fermi_like ]
+    Safara_gpu.Arch.registry

@@ -132,6 +132,27 @@ let candidates ?(policy = default_policy) ~arch ~latency
   let spaces = Spaces.region_spaces ~arch prog r in
   let refs = Dependence.collect_refs r.Safara_ir.Region.body in
   let written_arrays = Safara_ir.Stmt.stored_arrays r.Safara_ir.Region.body in
+  (* Scalars declared or assigned inside the region body vary with the
+     enclosing iteration (a loop-local declaration re-initializes on
+     every trip), but the affine machinery would treat them as
+     symbolic constants — making a[t] with t = b[i][k] look invariant
+     in k after a round of scalar replacement names the b load. Such
+     a subscript is as opaque as the nested load it came from, so the
+     reference must stay out of affine clustering entirely. *)
+  let region_scalars =
+    let rec stmt acc (s : S.t) =
+      match s with
+      | S.Local (v, _) -> v.E.vname :: acc
+      | S.Assign (S.Lvar v, _) -> v.E.vname :: acc
+      | S.Assign (S.Larray _, _) -> acc
+      | S.For l -> List.fold_left stmt acc l.S.body
+      | S.If (_, a, b) -> List.fold_left stmt (List.fold_left stmt acc a) b
+    in
+    List.fold_left stmt [] r.Safara_ir.Region.body
+  in
+  let mentions_region_scalar e =
+    E.fold_vars (fun v acc -> acc || List.mem v region_scalars) e false
+  in
   (* a same-iteration aliasing write with a different subscript tuple
      makes caching a cell in a scalar unsound: check that no write to
      the array may touch the candidate's cell at distance zero *)
@@ -212,7 +233,12 @@ let candidates ?(policy = default_policy) ~arch ~latency
           let forms =
             List.map
               (fun (a : Dependence.aref) ->
-                (a, List.map (Affine.analyze ~indices) a.Dependence.subs))
+                ( a,
+                  List.map
+                    (fun s ->
+                      if mentions_region_scalar s then None
+                      else Affine.analyze ~indices s)
+                    a.Dependence.subs ))
               ctx_refs
           in
           (* drop refs with a non-affine subscript *)

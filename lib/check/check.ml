@@ -69,7 +69,7 @@ let backend_checks ?(pressure = false) ~map ~arch ~profile prog =
               [ locate map (Safara_sim.Blockpar.diagnostic k r) ])
         c.Safara_core.Compiler.c_kernels
 
-let run ?(file = "<input>") ?(arch = Safara_gpu.Arch.kepler_k20xm)
+let run ?(file = "<input>") ?(arch = Safara_gpu.Arch.default)
     ?(profile = Safara_core.Compiler.Full) ?pressure src =
   match front_end ~file src with
   | Error diags -> Diag.sort diags

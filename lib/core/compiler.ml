@@ -49,9 +49,13 @@ let desc_of_profile : profile -> Pipeline.desc = function
 let pipeline_signature ?safara_config ?disable profile =
   Pipeline.signature ?safara_config ?disable (desc_of_profile profile)
 
-let compile_with ?(arch = Safara_gpu.Arch.kepler_k20xm)
-    ?(latency = Safara_gpu.Latency.kepler) ?safara_config
+let compile_with ?(arch = Safara_gpu.Arch.default) ?latency ?safara_config
     ?(options = Pipeline.default_options) profile prog =
+  let latency =
+    match latency with
+    | Some l -> l
+    | None -> Safara_gpu.Latency.for_arch arch
+  in
   let desc = desc_of_profile profile in
   let arch = Pipeline.effective_arch arch desc in
   let ctx = Pass.make_ctx ~arch ~latency in

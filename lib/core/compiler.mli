@@ -66,7 +66,11 @@ val compile_with :
 (** [compile] plus pipeline instrumentation: per-pass wall time and
     before/after statistics (always), IR snapshots and disabled
     passes per [options]. [compile] is [fst] of this with
-    {!Pipeline.default_options}. *)
+    {!Pipeline.default_options}. [?arch] defaults to
+    {!Safara_gpu.Arch.default}; [?latency] defaults to that
+    architecture's table ({!Safara_gpu.Latency.for_arch}), so
+    choosing an arch selects its generation's cost model
+    everywhere. *)
 
 val compile_for_env :
   ?arch:Safara_gpu.Arch.t ->

@@ -1,4 +1,5 @@
 type t = {
+  key : string;
   name : string;
   num_sms : int;
   warp_size : int;
@@ -22,6 +23,7 @@ type t = {
 
 let kepler_k20xm =
   {
+    key = "kepler";
     name = "Tesla K20Xm (Kepler GK110)";
     num_sms = 14;
     warp_size = 32;
@@ -45,6 +47,7 @@ let kepler_k20xm =
 
 let fermi_like =
   {
+    key = "fermi";
     name = "Fermi-class (GF110)";
     num_sms = 16;
     warp_size = 32;
@@ -66,6 +69,68 @@ let fermi_like =
     mem_cycles_per_transaction = 4.0;
   }
 
+let maxwell_like =
+  {
+    key = "maxwell";
+    name = "Maxwell-class (GM200)";
+    num_sms = 24;
+    warp_size = 32;
+    max_threads_per_sm = 2048;
+    max_threads_per_block = 1024;
+    max_blocks_per_sm = 32;
+    max_warps_per_sm = 64;
+    registers_per_sm = 65536;
+    max_registers_per_thread = 255;
+    register_alloc_unit = 256;
+    shared_mem_per_sm = 98304;
+    shared_alloc_unit = 256;
+    has_read_only_cache = true;
+    read_only_cache_bytes = 24576;
+    l2_bytes = 3145728;
+    clock_mhz = 1114;
+    issue_width = 2;
+    mem_segment_bytes = 128;
+    mem_cycles_per_transaction = 2.0;
+  }
+
+let pascal_like =
+  {
+    key = "pascal";
+    name = "Pascal-class (GP100)";
+    num_sms = 56;
+    warp_size = 32;
+    max_threads_per_sm = 2048;
+    max_threads_per_block = 1024;
+    max_blocks_per_sm = 32;
+    max_warps_per_sm = 64;
+    registers_per_sm = 65536;
+    max_registers_per_thread = 255;
+    register_alloc_unit = 256;
+    shared_mem_per_sm = 65536;
+    shared_alloc_unit = 256;
+    has_read_only_cache = true;
+    read_only_cache_bytes = 24576;
+    l2_bytes = 4194304;
+    clock_mhz = 1328;
+    issue_width = 2;
+    mem_segment_bytes = 32;
+    mem_cycles_per_transaction = 2.0;
+  }
+
+let registry = [ fermi_like; kepler_k20xm; maxwell_like; pascal_like ]
+let all = registry
+let names = List.map (fun a -> a.key) registry
+let default = kepler_k20xm
+
+let of_name s =
+  let s = String.lowercase_ascii (String.trim s) in
+  match List.find_opt (fun a -> a.key = s) registry with
+  | Some a -> a
+  | None ->
+      failwith
+        (Printf.sprintf "unknown architecture %S (known: %s)" s
+           (String.concat ", " names))
+
 let round_up_to ~unit n = if unit <= 0 then n else (n + unit - 1) / unit * unit
 
 let registers_per_warp t ~regs_per_thread =
@@ -79,3 +144,19 @@ let pp ppf t =
     t.max_threads_per_sm t.max_blocks_per_sm
     (t.shared_mem_per_sm / 1024)
     t.has_read_only_cache
+
+let pp_registry ppf () =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i a ->
+      if i > 0 then Format.fprintf ppf "@ ";
+      Format.fprintf ppf
+        "%-8s %s: %d SMs, %d regs/SM, %d max regs/thread, alloc unit %d, %d \
+         KB shared/SM, RO cache %s, %d MHz"
+        a.key a.name a.num_sms a.registers_per_sm a.max_registers_per_thread
+        a.register_alloc_unit
+        (a.shared_mem_per_sm / 1024)
+        (if a.has_read_only_cache then "yes" else "no")
+        a.clock_mhz)
+    registry;
+  Format.fprintf ppf "@]"

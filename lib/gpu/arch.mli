@@ -1,14 +1,19 @@
-(** GPU architecture description.
+(** GPU architecture description and registry.
 
     All quantities are per-SM (streaming multiprocessor) unless noted.
     The default configuration, {!kepler_k20xm}, models the NVIDIA Tesla
     K20Xm used in the paper's evaluation (GK110, compute capability
-    3.5). A second configuration, {!fermi_like}, is provided to test
-    that analyses and the occupancy model are properly parameterized
-    over the architecture (Fermi has no read-only data cache, which
-    changes SAFARA's memory-space classification). *)
+    3.5). The registry holds one model point per supported
+    architecture generation; every layer that consumes an [Arch.t]
+    (occupancy, latency, coalescing, SAFARA's memory-space
+    classification) is parameterized over it, so a single run can
+    sweep the family the way it sweeps profiles. Architectures affect
+    timing, occupancy, and allocation — never functional results. *)
 
 type t = {
+  key : string;
+      (** short registry name ("kepler", "fermi", …) used by
+          [--arch], the wire protocol, and latency-table selection *)
   name : string;
   num_sms : int;  (** number of streaming multiprocessors *)
   warp_size : int;  (** threads per warp (32 on all NVIDIA parts) *)
@@ -41,10 +46,38 @@ val kepler_k20xm : t
 
 val fermi_like : t
 (** A Fermi-generation configuration: 32768 registers per SM, 63
-    registers per thread, no read-only data cache. *)
+    registers per thread, allocation granularity 64, no read-only
+    data cache. *)
+
+val maxwell_like : t
+(** A Maxwell-generation configuration (GM200-like): 24 SMs, 32
+    resident blocks/SM, 96 KB shared/SM, weak FP64. *)
+
+val pascal_like : t
+(** A Pascal-generation configuration (GP100-like): 56 SMs, 32 B
+    memory transaction segments, strong FP64, 4 MB L2. *)
+
+val registry : t list
+(** Every supported model point, in generation order. *)
+
+val all : t list
+(** Alias of {!registry}. *)
+
+val names : string list
+(** Registry keys, in registry order. *)
+
+val default : t
+(** {!kepler_k20xm} — the paper's GPU. *)
+
+val of_name : string -> t
+(** Case-insensitive lookup by registry {!field-key}.
+    @raise Failure on unknown names, listing the valid ones. *)
 
 val registers_per_warp : t -> regs_per_thread:int -> int
 (** Registers reserved for one warp after applying the allocation
     granularity ([register_alloc_unit]). *)
 
 val pp : Format.formatter -> t -> unit
+
+val pp_registry : Format.formatter -> unit -> unit
+(** One line per registry entry: key, name, and headline limits. *)

@@ -33,6 +33,67 @@ let kepler =
     special_latency = 36;
   }
 
+let fermi =
+  {
+    global_latency = 600;
+    l2_hit_latency = 290;
+    read_only_latency = 600;
+    shared_latency = 50;
+    constant_latency = 48;
+    constant_serialized_latency = 160;
+    local_latency = 120;
+    param_latency = 30;
+    extra_cycles_per_transaction = 10;
+    alu_latency = 18;
+    f64_latency = 24;
+    mul_div_latency = 24;
+    fdiv_latency = 90;
+    special_latency = 48;
+  }
+
+let maxwell =
+  {
+    global_latency = 380;
+    l2_hit_latency = 200;
+    read_only_latency = 110;
+    shared_latency = 24;
+    constant_latency = 20;
+    constant_serialized_latency = 100;
+    local_latency = 80;
+    param_latency = 18;
+    extra_cycles_per_transaction = 5;
+    alu_latency = 6;
+    f64_latency = 32;
+    mul_div_latency = 14;
+    fdiv_latency = 52;
+    special_latency = 28;
+  }
+
+let pascal =
+  {
+    global_latency = 300;
+    l2_hit_latency = 190;
+    read_only_latency = 100;
+    shared_latency = 24;
+    constant_latency = 20;
+    constant_serialized_latency = 90;
+    local_latency = 70;
+    param_latency = 18;
+    extra_cycles_per_transaction = 4;
+    alu_latency = 6;
+    f64_latency = 8;
+    mul_div_latency = 14;
+    fdiv_latency = 50;
+    special_latency = 24;
+  }
+
+let for_arch (arch : Arch.t) =
+  match arch.key with
+  | "fermi" -> fermi
+  | "maxwell" -> maxwell
+  | "pascal" -> pascal
+  | _ -> kepler
+
 let zero_memory_cost =
   {
     kepler with

@@ -28,7 +28,28 @@ type table = {
 }
 
 val kepler : table
-(** Default table used throughout the reproduction. *)
+(** Default table used throughout the reproduction; the paper's
+    cost-model figures. *)
+
+val fermi : table
+(** Fermi-generation figures: no read-only cache path (LDG falls back
+    to global latency), slower dependent-issue ALU, heavier
+    uncoalesced-transaction penalty. *)
+
+val maxwell : table
+(** Maxwell-generation figures: fast ALU, weak FP64 (1/32 rate parts),
+    tighter memory latencies than Kepler. *)
+
+val pascal : table
+(** Pascal-generation figures: fast ALU, strong FP64 (GP100), lowest
+    memory latencies in the family. *)
+
+val for_arch : Arch.t -> table
+(** The table for an architecture, selected by its registry
+    {!Arch.field-key}; unknown keys fall back to {!kepler}. Arch
+    values derived with [{ arch with … }] keep their key, so profile
+    deltas (e.g. disabling the read-only cache) keep their
+    generation's latencies. *)
 
 val zero_memory_cost : table
 (** Every memory access costs one cycle — used by ablations to isolate

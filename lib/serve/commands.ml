@@ -1,10 +1,7 @@
 module Eval = Safara_suites.Eval
 module C = Safara_core.Compiler
 
-let arch_of = function
-  | "kepler" -> Safara_gpu.Arch.kepler_k20xm
-  | "fermi" -> Safara_gpu.Arch.fermi_like
-  | other -> failwith ("unknown architecture " ^ other ^ " (kepler|fermi)")
+let arch_of = Safara_gpu.Arch.of_name
 
 let profile_of = function
   | "base" -> C.Base
@@ -168,7 +165,8 @@ let parse_scalars (prog : Safara_ir.Program.t) defs =
 let run eng (r : Protocol.run_req) : Protocol.outcome =
   with_engine_opt r.rn_engine (fun () ->
       let profile = profile_of r.rn_profile in
-      let c = Eval.compile_src eng profile r.rn_src in
+      let arch = arch_of r.rn_arch in
+      let c = Eval.compile_src eng ~arch profile r.rn_src in
       let scalars = parse_scalars c.C.c_prog r.rn_defines in
       let env = C.make_env c ~scalars in
       let pool =
@@ -222,16 +220,17 @@ let bench eng (r : Protocol.bench_req) : Protocol.outcome =
                      w.Safara_suites.Workload.id)
                    Safara_suites.Registry.all))
       in
+      let arch = arch_of r.bn_arch in
       let b = Buffer.create 1024 in
       let fmt = Format.formatter_of_buffer b in
       Printf.bprintf b "%s — %s\n%s\n\n" w.Safara_suites.Workload.id
         w.Safara_suites.Workload.title w.Safara_suites.Workload.description;
       if Eval.jobs eng > 1 then Eval.self_check eng w;
-      Eval.warm eng (List.map (fun p -> Eval.job p w) C.all_profiles);
+      Eval.warm eng (List.map (fun p -> Eval.job ~arch p w) C.all_profiles);
       let base = ref 0.0 in
       List.iter
         (fun p ->
-          let t = Eval.time_job eng (Eval.job p w) in
+          let t = Eval.time_job eng (Eval.job ~arch p w) in
           let total = t.Safara_sim.Launch.total_ms in
           if p = C.Base then base := total;
           Printf.bprintf b "%-24s %9.4f ms  %5.2fx\n" (C.profile_name p)

@@ -54,12 +54,14 @@ type check_req = {
 type run_req = {
   rn_src : string;
   rn_profile : string;
+  rn_arch : string;
   rn_defines : (string * string) list;
   rn_engine : string option;
 }
 
 type bench_req = {
   bn_id : string;
+  bn_arch : string;
   bn_engine : string option;
   bn_stats : bool;
 }
@@ -122,6 +124,7 @@ let request_to_json = function
         [ ("cmd", Str "run");
           ("src", Str r.rn_src);
           ("profile", Str r.rn_profile);
+          ("arch", Str r.rn_arch);
           ("defines",
            Arr (List.map (fun (k, v) -> Arr [ Str k; Str v ]) r.rn_defines));
           ("engine", opt_str r.rn_engine) ]
@@ -129,6 +132,7 @@ let request_to_json = function
       Obj
         [ ("cmd", Str "bench");
           ("id", Str b.bn_id);
+          ("arch", Str b.bn_arch);
           ("engine", opt_str b.bn_engine);
           ("stats", Bool b.bn_stats) ]
 
@@ -179,6 +183,7 @@ let request_of_json j =
            {
              rn_src = to_str (member "src" j);
              rn_profile = to_str ~default:"full" (member "profile" j);
+             rn_arch = to_str ~default:"kepler" (member "arch" j);
              rn_defines =
                List.map
                  (fun p ->
@@ -193,6 +198,7 @@ let request_of_json j =
         (Bench
            {
              bn_id = to_str (member "id" j);
+             bn_arch = to_str ~default:"kepler" (member "arch" j);
              bn_engine = get_opt_str (member "engine" j);
              bn_stats = to_bool (member "stats" j);
            })

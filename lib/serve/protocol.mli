@@ -64,12 +64,14 @@ type check_req = {
 type run_req = {
   rn_src : string;
   rn_profile : string;
+  rn_arch : string;  (** registry key; defaults to ["kepler"] on the wire *)
   rn_defines : (string * string) list;
   rn_engine : string option;
 }
 
 type bench_req = {
   bn_id : string;
+  bn_arch : string;  (** registry key; defaults to ["kepler"] on the wire *)
   bn_engine : string option;
   bn_stats : bool;  (** include engine stats in [err] *)
 }

@@ -59,7 +59,7 @@ let store t = t.estore
    matching instead of unmarshalling into garbage. The OCaml version
    is folded in too — Marshal is not stable across compiler
    releases. *)
-let store_generation = 1
+let store_generation = 2
 
 let store_schema =
   Printf.sprintf "g%d/ocaml-%s/store-%d" store_generation Sys.ocaml_version
@@ -149,7 +149,7 @@ type job = {
   jdisable : string list;
 }
 
-let job ?(arch = Safara_gpu.Arch.kepler_k20xm) ?safara_config ?unroll
+let job ?(arch = Safara_gpu.Arch.default) ?safara_config ?unroll
     ?(disable = []) profile w =
   { jw = w; jp = profile; jarch = arch; jconfig = safara_config;
     junroll = unroll; jdisable = disable }
@@ -201,7 +201,7 @@ let compiled t j =
           compile_and_record t ~arch:j.jarch ?safara_config:j.jconfig
             ~disable:j.jdisable j.jp prog))
 
-let compile_src t ?(arch = Safara_gpu.Arch.kepler_k20xm) ?safara_config
+let compile_src t ?(arch = Safara_gpu.Arch.default) ?safara_config
     ?(disable = []) profile src =
   let key =
     compile_key ~src ~profile ~arch ~config:safara_config ~unroll:None

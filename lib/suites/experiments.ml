@@ -21,38 +21,44 @@ type reg_row = {
 let default_engine = lazy (Eval.create ())
 let engine = function Some e -> e | None -> Lazy.force default_engine
 
-let time ?eng profile (w : Workload.t) =
-  Eval.total_ms (engine eng) (Eval.job profile w)
+let time ?eng ?arch profile (w : Workload.t) =
+  Eval.total_ms (engine eng) (Eval.job ?arch profile w)
 
-let warm_profiles eng profiles ws =
+let warm_profiles ?arch eng profiles ws =
   Eval.warm eng
-    (List.concat_map (fun w -> List.map (fun p -> Eval.job p w) profiles) ws)
+    (List.concat_map
+       (fun w -> List.map (fun p -> Eval.job ?arch p w) profiles)
+       ws)
 
 (* ------------------------------------------------------------------ *)
 (* Speedup figures                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let speedups ?eng configs (w : Workload.t) =
-  let base = time ?eng C.Base w in
+let speedups ?eng ?arch configs (w : Workload.t) =
+  let base = time ?eng ?arch C.Base w in
   {
     sr_id = w.Workload.id;
     sr_values =
-      List.map (fun (label, p) -> (label, base /. time ?eng p w)) configs;
+      List.map (fun (label, p) -> (label, base /. time ?eng ?arch p w)) configs;
   }
 
-let speedup_figure ?eng configs ws =
+let speedup_figure ?eng ?arch configs ws =
   let eng = engine eng in
-  warm_profiles eng (C.Base :: List.map snd configs) ws;
-  List.map (speedups ~eng configs) ws
+  warm_profiles ?arch eng (C.Base :: List.map snd configs) ws;
+  List.map (speedups ~eng ?arch configs) ws
 
-let fig7 ?eng () = speedup_figure ?eng [ ("SAFARA", C.Safara_only) ] Registry.spec
+let fig7 ?eng ?arch () =
+  speedup_figure ?eng ?arch [ ("SAFARA", C.Safara_only) ] Registry.spec
 
 let cumulative_configs =
   [ ("small", C.Small_only); ("small+dim", C.Clauses_only);
     ("small+dim+SAFARA", C.Full) ]
 
-let fig9 ?eng () = speedup_figure ?eng cumulative_configs Registry.spec
-let fig10 ?eng () = speedup_figure ?eng cumulative_configs Registry.npb
+let fig9 ?eng ?arch () =
+  speedup_figure ?eng ?arch cumulative_configs Registry.spec
+
+let fig10 ?eng ?arch () =
+  speedup_figure ?eng ?arch cumulative_configs Registry.npb
 
 (* ------------------------------------------------------------------ *)
 (* Normalized-time figures (paper §V.C)                                *)
@@ -60,11 +66,11 @@ let fig10 ?eng () = speedup_figure ?eng cumulative_configs Registry.npb
 
 let norm_profiles = [ C.Base; C.Safara_only; C.Full; C.Pgi_like ]
 
-let norm_row ?eng (w : Workload.t) =
-  let openuh_base = time ?eng C.Base w in
-  let openuh_safara = time ?eng C.Safara_only w in
-  let openuh_full = time ?eng C.Full w in
-  let pgi = time ?eng C.Pgi_like w in
+let norm_row ?eng ?arch (w : Workload.t) =
+  let openuh_base = time ?eng ?arch C.Base w in
+  let openuh_safara = time ?eng ?arch C.Safara_only w in
+  let openuh_full = time ?eng ?arch C.Full w in
+  let pgi = time ?eng ?arch C.Pgi_like w in
   (* Norm(c) = ExeTime(c) / max(ExeTime(best OpenUH), ExeTime(PGI)) *)
   let denom = Float.max openuh_base pgi in
   {
@@ -78,23 +84,23 @@ let norm_row ?eng (w : Workload.t) =
       ];
   }
 
-let norm_figure ?eng ws =
+let norm_figure ?eng ?arch ws =
   let eng = engine eng in
-  warm_profiles eng norm_profiles ws;
-  List.map (norm_row ~eng) ws
+  warm_profiles ?arch eng norm_profiles ws;
+  List.map (norm_row ~eng ?arch) ws
 
-let fig11 ?eng () = norm_figure ?eng Registry.spec
-let fig12 ?eng () = norm_figure ?eng Registry.npb
+let fig11 ?eng ?arch () = norm_figure ?eng ?arch Registry.spec
+let fig12 ?eng ?arch () = norm_figure ?eng ?arch Registry.npb
 
 (* ------------------------------------------------------------------ *)
 (* Register tables                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let reg_table ?eng (w : Workload.t) kernels ~dim_na =
+let reg_table ?eng ?arch (w : Workload.t) kernels ~dim_na =
   let eng = engine eng in
   let profiles = [ C.Base; C.Small_only; C.Clauses_only ] in
-  Eval.warm_compiled eng (List.map (fun p -> Eval.job p w) profiles);
-  let compiled p = Eval.compiled eng (Eval.job p w) in
+  Eval.warm_compiled eng (List.map (fun p -> Eval.job ?arch p w) profiles);
+  let compiled p = Eval.compiled eng (Eval.job ?arch p w) in
   let cb = compiled C.Base and cs = compiled C.Small_only and cd = compiled C.Clauses_only in
   let regs c k = (C.report_of c k).Safara_ptxas.Assemble.regs_used in
   List.mapi
@@ -110,11 +116,13 @@ let reg_table ?eng (w : Workload.t) kernels ~dim_na =
       })
     kernels
 
-let table1 ?eng () =
-  reg_table ?eng Spec_seismic.workload Spec_seismic.hot_kernels ~dim_na:[]
+let table1 ?eng ?arch () =
+  reg_table ?eng ?arch Spec_seismic.workload Spec_seismic.hot_kernels
+    ~dim_na:[]
 
-let table2 ?eng () =
-  reg_table ?eng Spec_sp.workload Spec_sp.hot_kernels ~dim_na:Spec_sp.dim_na
+let table2 ?eng ?arch () =
+  reg_table ?eng ?arch Spec_sp.workload Spec_sp.hot_kernels
+    ~dim_na:Spec_sp.dim_na
 
 (* ------------------------------------------------------------------ *)
 (* §IV.A offset example                                                *)
@@ -165,16 +173,19 @@ let offset_variants =
     ("+small +dim", true, true);
   ]
 
-let offsets ?eng () =
+let offsets ?eng ?arch () =
   let eng = engine eng in
   Eval.map eng
     (fun (_, small, dim) ->
-      ignore (Eval.compile_src eng C.Clauses_only (fig8_kernel ~small ~dim)))
+      ignore
+        (Eval.compile_src eng ?arch C.Clauses_only (fig8_kernel ~small ~dim)))
     offset_variants
   |> ignore;
   List.map
     (fun (label, small, dim) ->
-      let c = Eval.compile_src eng C.Clauses_only (fig8_kernel ~small ~dim) in
+      let c =
+        Eval.compile_src eng ?arch C.Clauses_only (fig8_kernel ~small ~dim)
+      in
       let k, report = List.hd c.C.c_kernels in
       let dope_loads =
         Safara_vir.Kernel.count_instr k ~f:(function
@@ -203,15 +214,14 @@ let offsets ?eng () =
 (* Cross-architecture extension                                        *)
 (* ------------------------------------------------------------------ *)
 
-type crossarch_row = { ca_id : string; ca_kepler : float; ca_fermi : float }
+type crossarch_row = { ca_id : string; ca_values : (string * float) list }
 
 let crossarch_benchmarks =
   [ "303.ostencil"; "314.omriq"; "355.seismic"; "370.bt"; "SP"; "LU" ]
 
-let crossarch ?eng () =
+let crossarch ?eng ?(archs = Safara_gpu.Arch.registry) () =
   let eng = engine eng in
   let ws = List.map Registry.find crossarch_benchmarks in
-  let archs = [ Safara_gpu.Arch.kepler_k20xm; Safara_gpu.Arch.fermi_like ] in
   Eval.warm eng
     (List.concat_map
        (fun w ->
@@ -228,25 +238,39 @@ let crossarch ?eng () =
     (fun (w : Workload.t) ->
       {
         ca_id = w.Workload.id;
-        ca_kepler = speedup_on Safara_gpu.Arch.kepler_k20xm w;
-        ca_fermi = speedup_on Safara_gpu.Arch.fermi_like w;
+        ca_values =
+          List.map
+            (fun (arch : Safara_gpu.Arch.t) ->
+              (arch.Safara_gpu.Arch.key, speedup_on arch w))
+            archs;
       })
     ws
 
 let render_crossarch rows =
   let b = Buffer.create 512 in
   Buffer.add_string b
-    "Extension: Full-stack speedup on Kepler vs a Fermi-class GPU\n";
+    "Extension: Full-stack speedup across the architecture registry\n";
   Buffer.add_string b
-    "(no read-only cache, 63-register cap; the cost model re-prices)\n";
+    "(each column re-prices the cost model and register limits)\n";
   Buffer.add_string b
     "--------------------------------------------------------------\n";
-  Buffer.add_string b (Printf.sprintf "%-16s %10s %10s\n" "benchmark" "Kepler" "Fermi");
-  List.iter
-    (fun r ->
+  (match rows with
+  | [] -> ()
+  | first :: _ ->
       Buffer.add_string b
-        (Printf.sprintf "%-16s %9.2fx %9.2fx\n" r.ca_id r.ca_kepler r.ca_fermi))
-    rows;
+        (Printf.sprintf "%-16s %s\n" "benchmark"
+           (String.concat " "
+              (List.map (fun (k, _) -> Printf.sprintf "%10s" k)
+                 first.ca_values)));
+      List.iter
+        (fun r ->
+          Buffer.add_string b
+            (Printf.sprintf "%-16s %s\n" r.ca_id
+               (String.concat " "
+                  (List.map
+                     (fun (_, v) -> Printf.sprintf "%9.2fx" v)
+                     r.ca_values))))
+        rows);
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
@@ -261,18 +285,18 @@ type unroll_row = {
 
 let unroll_benchmarks = [ "303.ostencil"; "355.seismic"; "SP"; "370.bt" ]
 
-let unroll_study ?eng () =
+let unroll_study ?eng ?arch () =
   let eng = engine eng in
   let factors = [ 1; 2; 4 ] in
   let ws = List.map Registry.find unroll_benchmarks in
   Eval.warm eng
     (List.concat_map
-       (fun w -> List.map (fun f -> Eval.job ~unroll:f C.Full w) factors)
+       (fun w -> List.map (fun f -> Eval.job ?arch ~unroll:f C.Full w) factors)
        ws);
   List.map
     (fun (w : Workload.t) ->
       let measure factor =
-        let j = Eval.job ~unroll:factor C.Full w in
+        let j = Eval.job ?arch ~unroll:factor C.Full w in
         let c = Eval.compiled eng j in
         let ms = Eval.total_ms eng j in
         let regs =
@@ -338,50 +362,55 @@ type ablation_row = {
 let ablation_benchmarks =
   [ "355.seismic"; "356.sp"; "314.omriq"; "SP"; "370.bt" ]
 
-let arch = Safara_gpu.Arch.kepler_k20xm
+let time_with_config ?eng ?arch config (w : Workload.t) =
+  Eval.total_ms (engine eng) (Eval.job ?arch ~safara_config:config C.Full w)
 
-let time_with_config ?eng config (w : Workload.t) =
-  Eval.total_ms (engine eng) (Eval.job ~safara_config:config C.Full w)
+let ablation_configs arch =
+  let default_config = Safara_transform.Safara.default_config ~arch in
+  let tight_config =
+    { default_config with Safara_transform.Safara.reg_cap = 48 }
+  in
+  let variants =
+    [
+      { default_config with Safara_transform.Safara.cost_model = `Count_only };
+      { tight_config with Safara_transform.Safara.cost_model = `Count_only };
+      { default_config with Safara_transform.Safara.use_feedback = false;
+        assumed_free_regs = 16 };
+      { default_config with
+        Safara_transform.Safara.policy =
+          { Safara_analysis.Reuse.default_policy with
+            Safara_analysis.Reuse.skip_coalesced_read_only = true } };
+      { default_config with
+        Safara_transform.Safara.policy =
+          { Safara_analysis.Reuse.default_policy with
+            Safara_analysis.Reuse.allow_inter = false } };
+      { default_config with
+        Safara_transform.Safara.policy =
+          { Safara_analysis.Reuse.default_policy with
+            Safara_analysis.Reuse.allow_promote = false } };
+    ]
+  in
+  (default_config, tight_config, variants)
 
-let default_config = Safara_transform.Safara.default_config ~arch
-
-let tight_config = { default_config with Safara_transform.Safara.reg_cap = 48 }
-
-let ablation_variant_configs =
-  [
-    { default_config with Safara_transform.Safara.cost_model = `Count_only };
-    { tight_config with Safara_transform.Safara.cost_model = `Count_only };
-    { default_config with Safara_transform.Safara.use_feedback = false;
-      assumed_free_regs = 16 };
-    { default_config with
-      Safara_transform.Safara.policy =
-        { Safara_analysis.Reuse.default_policy with
-          Safara_analysis.Reuse.skip_coalesced_read_only = true } };
-    { default_config with
-      Safara_transform.Safara.policy =
-        { Safara_analysis.Reuse.default_policy with
-          Safara_analysis.Reuse.allow_inter = false } };
-    { default_config with
-      Safara_transform.Safara.policy =
-        { Safara_analysis.Reuse.default_policy with
-          Safara_analysis.Reuse.allow_promote = false } };
-  ]
-
-let ablations ?eng () =
+let ablations ?eng ?(arch = Safara_gpu.Arch.default) () =
   let eng = engine eng in
+  let default_config, tight_config, ablation_variant_configs =
+    ablation_configs arch
+  in
   Eval.warm eng
     (List.concat_map
        (fun config ->
          List.map
-           (fun id -> Eval.job ~safara_config:config C.Full (Registry.find id))
+           (fun id ->
+             Eval.job ~arch ~safara_config:config C.Full (Registry.find id))
            ablation_benchmarks)
        (default_config :: tight_config :: ablation_variant_configs));
   let bench_rows variant_config =
     List.map
       (fun id ->
         let w = Registry.find id in
-        let def = time_with_config ~eng default_config w in
-        let abl = time_with_config ~eng variant_config w in
+        let def = time_with_config ~eng ~arch default_config w in
+        let abl = time_with_config ~eng ~arch variant_config w in
         (id, abl /. def))
       ablation_benchmarks
   in
@@ -404,9 +433,9 @@ let ablations ?eng () =
         (List.map
            (fun id ->
              let w = Registry.find id in
-             let def = time_with_config ~eng tight_config w in
+             let def = time_with_config ~eng ~arch tight_config w in
              let abl =
-               time_with_config ~eng
+               time_with_config ~eng ~arch
                  { tight_config with
                    Safara_transform.Safara.cost_model = `Count_only }
                  w

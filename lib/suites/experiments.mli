@@ -9,7 +9,12 @@
     [SAFARA_JOBS] says otherwise). Passing an explicit parallel
     {!Eval.t} fans the experiment's (workload × profile) jobs out over
     its domain pool while the row assembly and rendering stay serial,
-    so output is byte-identical at any [-j]. *)
+    so output is byte-identical at any [-j].
+
+    Every generator also takes an optional architecture ([?arch], a
+    {!Safara_gpu.Arch.registry} point, default the paper's K20Xm):
+    the jobs carry it into the compile/sim cache keys, so one engine
+    can hold a whole architecture sweep without aliasing. *)
 
 type speedup_row = {
   sr_id : string;
@@ -29,26 +34,26 @@ type reg_row = {
   rr_saved : int;
 }
 
-val fig7 : ?eng:Eval.t -> unit -> speedup_row list
+val fig7 : ?eng:Eval.t -> ?arch:Safara_gpu.Arch.t -> unit -> speedup_row list
 (** SPEC speedups with SAFARA alone. *)
 
-val fig9 : ?eng:Eval.t -> unit -> speedup_row list
+val fig9 : ?eng:Eval.t -> ?arch:Safara_gpu.Arch.t -> unit -> speedup_row list
 (** SPEC speedups: small / small+dim / small+dim+SAFARA (cumulative). *)
 
-val fig10 : ?eng:Eval.t -> unit -> speedup_row list
+val fig10 : ?eng:Eval.t -> ?arch:Safara_gpu.Arch.t -> unit -> speedup_row list
 (** NAS speedups, same three configurations. *)
 
-val fig11 : ?eng:Eval.t -> unit -> norm_row list
+val fig11 : ?eng:Eval.t -> ?arch:Safara_gpu.Arch.t -> unit -> norm_row list
 (** SPEC normalized execution time: OpenUH base / SAFARA /
     SAFARA+clauses vs PGI-like. *)
 
-val fig12 : ?eng:Eval.t -> unit -> norm_row list
+val fig12 : ?eng:Eval.t -> ?arch:Safara_gpu.Arch.t -> unit -> norm_row list
 (** NAS normalized execution time, same four compilers. *)
 
-val table1 : ?eng:Eval.t -> unit -> reg_row list
+val table1 : ?eng:Eval.t -> ?arch:Safara_gpu.Arch.t -> unit -> reg_row list
 (** 355.seismic per-kernel register usage. *)
 
-val table2 : ?eng:Eval.t -> unit -> reg_row list
+val table2 : ?eng:Eval.t -> ?arch:Safara_gpu.Arch.t -> unit -> reg_row list
 (** 356.sp per-kernel register usage (with NA rows). *)
 
 type offsets_demo = {
@@ -58,22 +63,24 @@ type offsets_demo = {
   od_regs : int;
 }
 
-val offsets : ?eng:Eval.t -> unit -> offsets_demo list
+val offsets : ?eng:Eval.t -> ?arch:Safara_gpu.Arch.t -> unit -> offsets_demo list
 (** The §IV.A worked example: offset-computation temporaries on the
     Fig-8 kernel without clauses, with [small], with [dim], and with
     both. *)
 
 type crossarch_row = {
   ca_id : string;
-  ca_kepler : float;  (** Full-vs-base speedup on the K20Xm model *)
-  ca_fermi : float;  (** same on the Fermi-class model (no read-only cache, 63-register cap) *)
+  ca_values : (string * float) list;
+      (** arch registry key → Full-vs-base speedup on that model *)
 }
 
-val crossarch : ?eng:Eval.t -> unit -> crossarch_row list
+val crossarch :
+  ?eng:Eval.t -> ?archs:Safara_gpu.Arch.t list -> unit -> crossarch_row list
 (** Extension experiment (not in the paper): the same optimization
-    stack retargeted to a Fermi-class GPU. The cost model re-prices
-    read-only references at global latency and the 63-register cap
-    tightens SAFARA's budget — the speedups shift accordingly. *)
+    stack retargeted to every registry architecture (default
+    {!Safara_gpu.Arch.registry}). Each model point re-prices the cost
+    model — e.g. Fermi serves read-only references at global latency
+    under a 63-register cap — and the speedups shift accordingly. *)
 
 val render_crossarch : crossarch_row list -> string
 
@@ -84,7 +91,7 @@ type unroll_row = {
   ur_regs : (int * int) list;  (** unroll factor → hottest kernel registers *)
 }
 
-val unroll_study : ?eng:Eval.t -> unit -> unroll_row list
+val unroll_study : ?eng:Eval.t -> ?arch:Safara_gpu.Arch.t -> unit -> unroll_row list
 (** The paper's stated future work (§VII): combining classical loop
     unrolling with SAFARA and the clauses. Unrolling multiplies both
     the reuse SAFARA can harvest and the register pressure — the same
@@ -98,8 +105,10 @@ type ablation_row = {
   ab_speedups : (string * float) list;  (** benchmark id → speedup vs the ablated variant *)
 }
 
-val ablations : ?eng:Eval.t -> unit -> ablation_row list
-(** The design-choice ablations listed in DESIGN.md §4. *)
+val ablations :
+  ?eng:Eval.t -> ?arch:Safara_gpu.Arch.t -> unit -> ablation_row list
+(** The design-choice ablations listed in DESIGN.md §4, with budgets
+    and policies derived from the given architecture's limits. *)
 
 val average : speedup_row list -> speedup_row
 (** Geometric-mean row labelled "Average". *)

@@ -254,6 +254,7 @@ let run_req (w : Workload.t) =
     {
       rn_src = w.Workload.source;
       rn_profile = "full";
+      rn_arch = "kepler";
       rn_defines =
         List.map
           (fun (n, v) ->
@@ -310,7 +311,8 @@ let test_daemon_bench_and_check_identity () =
           let w = Registry.find "EP" in
           let breq =
             Serve.Protocol.Bench
-              { bn_id = w.Workload.id; bn_engine = None; bn_stats = false }
+              { bn_id = w.Workload.id; bn_arch = "kepler"; bn_engine = None;
+                bn_stats = false }
           in
           Alcotest.(check string)
             "bench report identical"

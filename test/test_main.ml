@@ -22,4 +22,5 @@ let () =
       ("shapes", Suite_shapes.suite);
       ("check", Suite_check.suite);
       ("serve", Suite_serve.suite);
+      ("arch", Suite_arch.suite);
     ]
