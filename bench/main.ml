@@ -11,9 +11,11 @@
    -j. Engine statistics go to stderr so stdout stays comparable.
 
    Usage: main.exe [fig7|fig9|fig10|fig11|fig12|table1|table2|offsets|
-                    ablations|crossarch|unroll|micro|sim|serve|tune|json|all]
-                   [-j N]
-                   [--smoke] [--min-runs N] [--engine NAME] [--arch NAME]
+                    ablations|crossarch|unroll|micro|sim|serve|tune|
+                    loopopt|json|all]
+                   [-j N] [--smoke] [--min-runs N] [--engine NAME]
+                   [--arch NAME] [--store DIR] [--par-threshold N]
+                   [--par-min-chunk N]
    (default: all). --engine selects the simulator execution engine
    (reference|decoded|threaded, default threaded) for the experiment
    modes; bench sim always measures all three. --arch selects the GPU
@@ -1246,14 +1248,172 @@ let run_tune ~smoke ~eng ~archs () =
       results
   end
 
+(* --- loopopt: before/after evidence for the loop-aware passes --------- *)
+
+(* The CI artifact for the indvar/memmerge pipeline extension and the
+   per-architecture address-cost tables: for each workload ×
+   architecture it compiles Base twice — once as-is, once with the
+   loop passes disabled — and records per-kernel hot-loop static op
+   counts plus the simulated end-to-end time of both variants.
+   suite_loopopt pins two of the op counts as goldens; this mode
+   publishes the whole matrix (BENCH_loopopt.json) and, under --smoke,
+   gates on the stencil/umesh hot loops shrinking and on the timing
+   improving on at least four workload × arch pairs. *)
+
+let loopopt_ids = [ "303.ostencil"; "360.ilbdc"; "350.md"; "364.umesh" ]
+let loopopt_passes = [ "indvar"; "memmerge" ]
+
+(* the hottest natural-loop body, the same measurement suite_loopopt
+   pins: indvar's preheader clones make whole-kernel static counts
+   grow, so the win only shows inside the loop *)
+let hot_loop_ops (k : Safara_vir.Kernel.t) =
+  let cfg = Safara_vir.Cfg.build k.Safara_vir.Kernel.code in
+  List.fold_left
+    (fun acc (l : Safara_vir.Cfg.loop) ->
+      let ops = ref 0 in
+      Array.iteri
+        (fun b in_body ->
+          if in_body then begin
+            let blk = cfg.Safara_vir.Cfg.blocks.(b) in
+            ops := !ops + blk.Safara_vir.Cfg.last - blk.Safara_vir.Cfg.first + 1
+          end)
+        l.Safara_vir.Cfg.body;
+      max acc !ops)
+    0
+    (Safara_vir.Cfg.loops cfg)
+
+let run_loopopt ~smoke ~eng ~archs () =
+  let profile = Safara_core.Compiler.Base in
+  let ws = List.map Registry.find loopopt_ids in
+  let job_on arch w = Eval.job ~arch profile w in
+  let job_off arch w = Eval.job ~arch ~disable:loopopt_passes profile w in
+  Eval.warm eng
+    (List.concat_map
+       (fun w -> List.concat_map (fun a -> [ job_on a w; job_off a w ]) archs)
+       ws);
+  let rows =
+    List.concat_map
+      (fun (w : Workload.t) ->
+        List.map
+          (fun (arch : Safara_gpu.Arch.t) ->
+            let con = Eval.compiled eng (job_on arch w)
+            and coff = Eval.compiled eng (job_off arch w) in
+            let kernels =
+              List.map2
+                (fun ((kon : Safara_vir.Kernel.t), _)
+                     ((koff : Safara_vir.Kernel.t), _) ->
+                  ( kon.Safara_vir.Kernel.kname,
+                    hot_loop_ops kon,
+                    hot_loop_ops koff ))
+                con.Safara_core.Compiler.c_kernels
+                coff.Safara_core.Compiler.c_kernels
+            in
+            let ms_on = Eval.total_ms eng (job_on arch w)
+            and ms_off = Eval.total_ms eng (job_off arch w) in
+            (w.Workload.id, arch, kernels, ms_on, ms_off))
+          archs)
+      ws
+  in
+  Printf.printf
+    "Loop-aware passes (indvar+memmerge): Base profile before/after\n";
+  Printf.printf
+    "--------------------------------------------------------------\n";
+  List.iter
+    (fun (id, (arch : Safara_gpu.Arch.t), kernels, ms_on, ms_off) ->
+      Printf.printf "%-14s %-8s %9.3f ms -> %9.3f ms (%5.2fx)\n" id
+        arch.Safara_gpu.Arch.key ms_off ms_on (ms_off /. ms_on);
+      List.iter
+        (fun (kn, on_ops, off_ops) ->
+          if off_ops <> on_ops then
+            Printf.printf "    %-20s hot-loop ops %3d -> %3d\n" kn off_ops
+              on_ops)
+        kernels)
+    rows;
+  let json =
+    j_obj
+      [ ("schema", j_str "loopopt-v1");
+        ("passes", j_list (List.map j_str loopopt_passes));
+        ("arch_addr_cost",
+         j_obj
+           (List.map
+              (fun (arch : Safara_gpu.Arch.t) ->
+                let t = Safara_gpu.Addrcost.for_arch arch in
+                ( arch.Safara_gpu.Arch.key,
+                  j_obj
+                    [ ("mul_add", j_int t.Safara_gpu.Addrcost.mul_add);
+                      ("scale_and_base",
+                       j_int t.Safara_gpu.Addrcost.scale_and_base);
+                      ("dope_load", j_int t.Safara_gpu.Addrcost.dope_load);
+                      ("ro_issue", j_int t.Safara_gpu.Addrcost.ro_issue) ] ))
+              archs));
+        ("rows",
+         j_list
+           (List.map
+              (fun (id, (arch : Safara_gpu.Arch.t), kernels, ms_on, ms_off) ->
+                j_obj
+                  [ ("id", j_str id);
+                    ("arch", j_str arch.Safara_gpu.Arch.key);
+                    ("ms_with_passes", j_float ms_on);
+                    ("ms_without", j_float ms_off);
+                    ("speedup", j_float (ms_off /. ms_on));
+                    ("kernels",
+                     j_list
+                       (List.map
+                          (fun (kn, on_ops, off_ops) ->
+                            j_obj
+                              [ ("kernel", j_str kn);
+                                ("hot_loop_ops_with", j_int on_ops);
+                                ("hot_loop_ops_without", j_int off_ops) ])
+                          kernels)) ])
+              rows)) ]
+  in
+  let oc = open_out "BENCH_loopopt.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote BENCH_loopopt.json\n";
+  if smoke then begin
+    List.iter
+      (fun (want_id, want_kernel) ->
+        List.iter
+          (fun (id, (arch : Safara_gpu.Arch.t), kernels, _, _) ->
+            if String.equal id want_id then
+              List.iter
+                (fun (kn, on_ops, off_ops) ->
+                  if String.equal kn want_kernel && on_ops >= off_ops then begin
+                    Printf.eprintf
+                      "bench loopopt: %s/%s on %s: hot-loop ops did not \
+                       shrink (%d with passes vs %d without)\n"
+                      id kn arch.Safara_gpu.Arch.key on_ops off_ops;
+                    exit 1
+                  end)
+                kernels)
+          rows)
+      [ ("303.ostencil", "stencil"); ("364.umesh", "edge_flux") ];
+    let improved =
+      List.length
+        (List.filter (fun (_, _, _, ms_on, ms_off) -> ms_on < ms_off) rows)
+    in
+    if improved < 4 then begin
+      Printf.eprintf
+        "bench loopopt: timing improved on only %d workload×arch pairs \
+         (need >= 4)\n"
+        improved;
+      exit 1
+    end;
+    Printf.printf "smoke gates: hot loops shrink, timing improves on %d/%d \
+                   pairs\n"
+      improved (List.length rows)
+  end
+
 (* --- entry point ----------------------------------------------------- *)
 
 let usage () =
   Printf.eprintf
     "usage: main.exe \
-     [fig7|fig9|fig10|fig11|fig12|table1|table2|offsets|ablations|crossarch|unroll|micro|sim|serve|tune|json|all] \
+     [fig7|fig9|fig10|fig11|fig12|table1|table2|offsets|ablations|crossarch|unroll|micro|sim|serve|tune|loopopt|json|all] \
      [-j N] [--smoke] [--min-runs N] [--engine reference|decoded|threaded] \
-     [--arch NAME]\n";
+     [--arch NAME] [--store DIR] [--par-threshold N] [--par-min-chunk N]\n";
   exit 2
 
 let () =
@@ -1261,6 +1421,7 @@ let () =
   let smoke = ref false in
   let min_runs = ref None in
   let arch_override = ref None in
+  let store_dir = ref None in
   let cmds = ref [] in
   let rec parse i =
     if i < Array.length Sys.argv then begin
@@ -1290,6 +1451,22 @@ let () =
               Printf.eprintf "main.exe: %s\n" msg;
               exit 2);
           parse (i + 2)
+      | "--store" ->
+          if i + 1 >= Array.length Sys.argv then usage ();
+          store_dir := Some Sys.argv.(i + 1);
+          parse (i + 2)
+      | "--par-threshold" ->
+          if i + 1 >= Array.length Sys.argv then usage ();
+          (match int_of_string_opt Sys.argv.(i + 1) with
+          | Some n when n >= 1 -> Safara_sim.Interp.parallel_threshold := n
+          | _ -> usage ());
+          parse (i + 2)
+      | "--par-min-chunk" ->
+          if i + 1 >= Array.length Sys.argv then usage ();
+          (match int_of_string_opt Sys.argv.(i + 1) with
+          | Some n when n >= 1 -> Safara_sim.Interp.parallel_min_chunk_ops := n
+          | _ -> usage ());
+          parse (i + 2)
       | "--engine" ->
           if i + 1 >= Array.length Sys.argv then usage ();
           (* registry-checked: an unknown engine name is rejected with
@@ -1309,7 +1486,10 @@ let () =
   parse 1;
   let cmd = match !cmds with [] -> "all" | [ c ] -> c | _ -> usage () in
   let arch = Option.value !arch_override ~default:Safara_gpu.Arch.default in
-  let eng = Eval.create ?jobs:!jobs () in
+  (* --store memoizes compile+simulate results across bench runs via
+     the persistent on-disk artifact store (same format as serve) *)
+  let store = Option.map Safara_engine.Store.open_store !store_dir in
+  let eng = Eval.create ?jobs:!jobs ?store () in
   (* determinism guard: parallel evaluation must reproduce the serial
      results exactly (debug builds only) *)
   if Eval.jobs eng > 1 then Eval.self_check eng (Registry.find "303.ostencil");
@@ -1338,12 +1518,19 @@ let () =
             else Safara_gpu.Arch.registry
       in
       run_tune ~smoke:!smoke ~eng ~archs ()
+  | "loopopt" ->
+      let archs =
+        match !arch_override with
+        | Some a -> [ a ]
+        | None -> Safara_gpu.Arch.registry
+      in
+      run_loopopt ~smoke:!smoke ~eng ~archs ()
   | "json" -> run_json ~eng ~arch ()
   | "all" -> all ~eng ~arch ()
   | other ->
       Printf.eprintf
         "unknown experiment %S; expected \
-         fig7|fig9|fig10|fig11|fig12|table1|table2|offsets|ablations|crossarch|unroll|micro|sim|serve|tune|json|all\n"
+         fig7|fig9|fig10|fig11|fig12|table1|table2|offsets|ablations|crossarch|unroll|micro|sim|serve|tune|loopopt|json|all\n"
         other;
       exit 2);
   if cmd <> "micro" && cmd <> "sim" && cmd <> "serve" then

@@ -19,6 +19,8 @@ type candidate = {
   c_space : M.space;
   c_access : M.access;
   c_latency : int;
+  c_addr_latency : int;
+      (* per-arch address-recomputation cost the caching also removes *)
   c_cost : int;
   c_loads_saved : int;
 }
@@ -98,6 +100,15 @@ let finish ~arch ~latency ~mapping ~space ~elem refs kind =
       rep.Dependence.subs
   in
   let l = Safara_gpu.Latency.memory_latency latency space access in
+  (* each cached reference also stops recomputing its address chain;
+     the per-arch table is what makes fermi/kepler/maxwell/pascal rank
+     (and therefore allocate) differently *)
+  let addr =
+    Safara_gpu.Addrcost.per_access
+      (Safara_gpu.Addrcost.for_arch arch)
+      ~dims:(List.length rep.Dependence.subs)
+      ~space
+  in
   let count = reads + writes in
   let scalars =
     match kind with
@@ -120,7 +131,8 @@ let finish ~arch ~latency ~mapping ~space ~elem refs kind =
     c_space = space;
     c_access = access;
     c_latency = l;
-    c_cost = count * l;
+    c_addr_latency = addr;
+    c_cost = count * (l + addr);
     c_loads_saved = loads_saved;
   }
 
@@ -415,8 +427,8 @@ let kind_to_string = function
 
 let pp_candidate ppf c =
   Format.fprintf ppf
-    "%s %s: %d refs (%dr/%dw) %s %s L=%d cost=%d regs=%d"
+    "%s %s: %d refs (%dr/%dw) %s %s L=%d A=%d cost=%d regs=%d"
     c.c_array (kind_to_string c.c_kind)
     (List.length c.c_refs) c.c_reads c.c_writes
     (M.space_to_string c.c_space) (M.access_to_string c.c_access)
-    c.c_latency c.c_cost c.c_regs_needed
+    c.c_latency c.c_addr_latency c.c_cost c.c_regs_needed

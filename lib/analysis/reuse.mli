@@ -37,7 +37,10 @@ type candidate = {
   c_space : Safara_gpu.Memspace.space;
   c_access : Safara_gpu.Memspace.access;
   c_latency : int;  (** L *)
-  c_cost : int;  (** C × L, the SAFARA priority *)
+  c_addr_latency : int;
+      (** per-arch address-recomputation cost ({!Safara_gpu.Addrcost})
+          the caching also removes — added to [L] in the priority *)
+  c_cost : int;  (** C × (L + addr), the SAFARA priority *)
   c_loads_saved : int;  (** memory loads removed per iteration *)
 }
 

@@ -73,8 +73,8 @@ let compile_with ?(arch = Safara_gpu.Arch.default) ?latency ?safara_config
     },
     trace )
 
-let compile ?arch ?latency ?safara_config profile prog =
-  fst (compile_with ?arch ?latency ?safara_config profile prog)
+let compile ?arch ?latency ?safara_config ?options profile prog =
+  fst (compile_with ?arch ?latency ?safara_config ?options profile prog)
 
 let compile_for_env ?arch ?latency profile ~scalars prog =
   let env =
@@ -92,8 +92,8 @@ let compile_for_env ?arch ?latency profile ~scalars prog =
   in
   (compile ?arch ?latency profile { prog with P.regions }, List.concat violations)
 
-let compile_src ?arch ?latency ?safara_config profile src =
-  compile ?arch ?latency ?safara_config profile
+let compile_src ?arch ?latency ?safara_config ?options profile src =
+  compile ?arch ?latency ?safara_config ?options profile
     (Safara_lang.Frontend.compile src)
 
 let report_of c name =

@@ -51,6 +51,7 @@ val compile :
   ?arch:Safara_gpu.Arch.t ->
   ?latency:Safara_gpu.Latency.table ->
   ?safara_config:Safara_transform.Safara.config ->
+  ?options:Pipeline.options ->
   profile ->
   Safara_ir.Program.t ->
   compiled
@@ -89,6 +90,7 @@ val compile_src :
   ?arch:Safara_gpu.Arch.t ->
   ?latency:Safara_gpu.Latency.table ->
   ?safara_config:Safara_transform.Safara.config ->
+  ?options:Pipeline.options ->
   profile ->
   string ->
   compiled

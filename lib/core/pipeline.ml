@@ -101,6 +101,14 @@ let peephole = vir_pass "peephole" Safara_vir.Peephole.optimize
    sweeps up after both. *)
 let copy_prop = vir_pass "copy-prop" Safara_vir.Copyprop.optimize
 let strength_red = vir_pass "strength-red" Safara_vir.Strength.optimize
+
+(* the loop-aware pair: indvar turns per-iteration address
+   recomputation into back-edge increments (feeding on strength-red's
+   simplifications), memmerge then dedupes reloads whose affine
+   addresses provably match; both leave their orphaned feeders to
+   dce *)
+let indvar = vir_pass "indvar" Safara_vir.Indvar.optimize
+let memmerge = vir_pass "memmerge" Safara_vir.Memmerge.optimize
 let dce = vir_pass "dce" Safara_vir.Dce.optimize
 
 let assemble =
@@ -128,8 +136,13 @@ let build ?safara_config d =
         Step
           ( peephole,
             Step
-              (copy_prop, Step (strength_red, Step (dce, Step (assemble, Done))))
-          ) )
+              ( copy_prop,
+                Step
+                  ( strength_red,
+                    Step
+                      ( indvar,
+                        Step (memmerge, Step (dce, Step (assemble, Done))) ) )
+              ) ) )
   in
   let tail =
     match d.d_safara with

@@ -1,0 +1,64 @@
+(* Per-architecture address-computation cost model.
+
+   SAFARA's L × C ranking prices only the memory access itself; the
+   address feeding it is not free.  Every reference to an
+   [n]-dimensional dope-vector array recomputes a Horner chain —
+   [n - 1] multiply-add pairs over the extents, a byte scale, a width
+   conversion and the base add — and on dynamically-shaped arrays each
+   consulted extent is itself a parameter-space dope load.  Caching a
+   reference in a register removes that arithmetic together with the
+   access, so the candidate cost each generation sees must include it:
+   address arithmetic is ALU/IMUL work, and those latencies move a lot
+   across the registry (Fermi's 18/24-cycle dependent issue vs
+   Maxwell/Pascal's 6/14), which is what makes allocation decisions
+   genuinely diverge per arch.
+
+   The figures are derived from the corresponding {!Latency} tables
+   (Wong et al.-style dependent-issue latencies), not measured
+   separately: a mul-add pair costs one integer multiply plus one ALU
+   op, the scale-and-base tail costs a shift/convert/add triple, a
+   dope load is a parameter-cache hit, and the read-only path adds the
+   texture-unit issue overhead on the generations that have one. *)
+
+type table = {
+  mul_add : int;  (** one multiply-add pair of the Horner subscript chain *)
+  scale_and_base : int;
+      (** byte-scale, width conversion and base-pointer add at the chain end *)
+  dope_load : int;  (** one dope-vector extent consulted (param space) *)
+  ro_issue : int;
+      (** extra issue cost of routing a load down the read-only/texture
+          path; zero where that path does not exist *)
+}
+
+let kepler = { mul_add = 29; scale_and_base = 20; dope_load = 20; ro_issue = 4 }
+
+(* no RO cache and the heaviest dependent-issue core in the registry:
+   address recomputation is most expensive here *)
+let fermi = { mul_add = 42; scale_and_base = 38; dope_load = 30; ro_issue = 0 }
+
+let maxwell = { mul_add = 20; scale_and_base = 13; dope_load = 18; ro_issue = 2 }
+
+let pascal = { mul_add = 20; scale_and_base = 13; dope_load = 16; ro_issue = 1 }
+
+let for_arch (arch : Arch.t) =
+  match arch.Arch.key with
+  | "fermi" -> fermi
+  | "maxwell" -> maxwell
+  | "pascal" -> pascal
+  | _ -> kepler
+
+let zero = { mul_add = 0; scale_and_base = 0; dope_load = 0; ro_issue = 0 }
+
+let per_access t ~dims ~space =
+  let chain = (max 0 (dims - 1) * (t.mul_add + t.dope_load)) + t.scale_and_base in
+  match (space : Memspace.space) with
+  | Memspace.Read_only -> chain + t.ro_issue
+  | Memspace.Param | Memspace.Constant ->
+      (* scalar-shaped accesses: no Horner chain to speak of *)
+      t.scale_and_base
+  | Memspace.Global | Memspace.Shared | Memspace.Local -> chain
+
+let pp ppf t =
+  Format.fprintf ppf
+    "mul_add=%d scale_and_base=%d dope_load=%d ro_issue=%d" t.mul_add
+    t.scale_and_base t.dope_load t.ro_issue

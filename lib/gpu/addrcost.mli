@@ -1,0 +1,43 @@
+(** Per-architecture address-computation cost model.
+
+    Prices the work that feeds a memory access rather than the access
+    itself: the Horner multiply-add chain over an array's dope-vector
+    extents, the byte-scale/convert/base tail, the parameter-space
+    dope loads, and the extra issue cost of the read-only/texture
+    path. SAFARA adds {!per_access} to the memory latency in its
+    L × C candidate cost, so register-caching decisions genuinely
+    differ across the generations in the {!Arch} registry (Fermi's
+    slow dependent issue makes recomputation far more expensive there
+    than on Maxwell/Pascal). *)
+
+type table = {
+  mul_add : int;  (** one multiply-add pair of the Horner subscript chain *)
+  scale_and_base : int;
+      (** byte-scale, width conversion and base-pointer add at the chain end *)
+  dope_load : int;  (** one dope-vector extent consulted (param space) *)
+  ro_issue : int;
+      (** extra issue cost of the read-only/texture load path; zero
+          where the generation has no such path *)
+}
+
+val kepler : table
+val fermi : table
+val maxwell : table
+val pascal : table
+
+val for_arch : Arch.t -> table
+(** Selected by the registry {!Arch.field-key}, exactly like
+    {!Latency.for_arch}; unknown keys fall back to {!kepler}. *)
+
+val zero : table
+(** Addressing is free — the pre-existing cost model, used by
+    ablations to isolate the address-cost contribution. *)
+
+val per_access : table -> dims:int -> space:Memspace.space -> int
+(** Cycles of address work one reference performs per execution:
+    [dims - 1] multiply-add-plus-dope-load pairs and the
+    scale-and-base tail, plus the read-only issue overhead when
+    routed through that path. Param/constant accesses are
+    scalar-shaped and only pay the tail. *)
+
+val pp : Format.formatter -> table -> unit

@@ -233,8 +233,22 @@ type mode = Sequential of Blockpar.reason option | Parallel of { chunks : int }
    are sized to at least [parallel_min_chunk_ops] estimated ops each,
    so huge pools can't shred a moderate launch into overhead. Both
    are calibrated on `bench sim` (see docs/BENCHMARKS.md). *)
-let parallel_threshold = ref 500_000
-let parallel_min_chunk_ops = ref 250_000
+(* Both can be overridden per-process without recompiling: the
+   SAFARA_PAR_THRESHOLD / SAFARA_PAR_MIN_CHUNK environment variables
+   seed the refs at startup, and `saraccc`/`bench` expose
+   --par-threshold / --par-min-chunk flags that assign them directly.
+   Non-numeric or non-positive values are ignored, keeping the
+   calibrated defaults. *)
+let env_knob name default =
+  match Sys.getenv_opt name with
+  | Some s ->
+      (match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> default)
+  | None -> default
+
+let parallel_threshold = ref (env_knob "SAFARA_PAR_THRESHOLD" 500_000)
+let parallel_min_chunk_ops = ref (env_knob "SAFARA_PAR_MIN_CHUNK" 250_000)
 
 let estimated_ops ~grid (k : K.t) =
   let gx, gy, gz = grid in

@@ -207,4 +207,74 @@ double pnew[ny][nx];
 }
 |}
 
-let workloads = [ md; clvrleaf; ilbdc; swim ]
+(* --- 364.umesh: unstructured-mesh gather/scatter ---------------------- *)
+
+(* Every subscript that matters goes through a connectivity array, so
+   this is the adversary for the loop-aware passes and the coalescing
+   model: the gather kernels are provably block-parallel (their writes
+   are pinned to the parallel index even though every read is
+   indirect), while the scatter kernel writes through the connectivity
+   list itself — not provably pinned to one block, so the blockpar
+   prover must refuse it (Serial, SAF034) and the simulator falls back
+   to the deterministic sequential walk.  The inner accumulation loop
+   of [edge_flux] walks a 2D weight array under a seq index: exactly
+   the per-iteration address recomputation indvar rewrites into
+   back-edge increments, with the invariant indirect loads left for
+   memmerge/SAFARA. *)
+
+let umesh =
+  Workload.make ~id:"364.umesh" ~title:"unstructured mesh gather/scatter"
+    ~suite:Workload.Spec
+    ~description:
+      "CFD-flavoured edge/node kernels over an unstructured mesh held \
+       as connectivity lists: a multi-round edge-flux gather (indirect \
+       uncoalesced reads, 2D weight walk in a sequential loop), a node \
+       update gathering through the same lists, and an edge-to-node \
+       scatter whose indirect writes are not provably block-disjoint — \
+       the block-parallel prover must refuse it and serialize."
+    ~scalars:[ ("n", v 4096); ("deg", v 4); ("dt", f 0.05) ]
+    ~check_arrays:[ "flux"; "rhs"; "xnew" ]
+    {|
+param int n;
+param int deg;
+param double dt;
+in double x[n];
+in double ew[deg][n];
+in int eleft[n];
+in int eright[n];
+double flux[n];
+double rhs[n];
+double xnew[n];
+
+#pragma acc kernels name(edge_flux) small(x, ew, eleft, eright, flux)
+{
+  #pragma acc loop gang vector(128)
+  for (e = 0; e <= n - 1; e++) {
+    double acc;
+    acc = 0.0;
+    #pragma acc loop seq
+    for (k = 0; k <= deg - 1; k++) {
+      acc = acc + ew[k][e] * (x[eright[e]] - x[eleft[e]]);
+    }
+    flux[e] = acc;
+  }
+}
+
+#pragma acc kernels name(node_update) small(x, flux, eleft, eright, rhs)
+{
+  #pragma acc loop gang vector(128)
+  for (i = 0; i <= n - 1; i++) {
+    rhs[i] = x[i] + dt * (flux[eleft[i]] - flux[eright[i]]);
+  }
+}
+
+#pragma acc kernels name(scatter)
+{
+  #pragma acc loop gang vector(128)
+  for (e = 0; e <= n - 1; e++) {
+    xnew[eleft[e]] = x[eleft[e]] - dt * flux[e];
+  }
+}
+|}
+
+let workloads = [ md; clvrleaf; ilbdc; swim; umesh ]

@@ -74,13 +74,13 @@ let prepare (c : Safara_core.Compiler.compiled) t =
   fill_inputs t env.Safara_sim.Interp.mem c.Safara_core.Compiler.c_prog;
   env
 
-let time_under profile t =
-  let c = Safara_core.Compiler.compile_src profile t.source in
+let time_under ?options profile t =
+  let c = Safara_core.Compiler.compile_src ?options profile t.source in
   let env = prepare c t in
   (Safara_core.Compiler.time c env, c)
 
-let run_under profile t =
-  let c = Safara_core.Compiler.compile_src profile t.source in
+let run_under ?options profile t =
+  let c = Safara_core.Compiler.compile_src ?options profile t.source in
   let env = prepare c t in
   Safara_core.Compiler.run_functional c env;
   List.map

@@ -43,9 +43,15 @@ val prepare :
   Safara_core.Compiler.compiled -> t -> Safara_sim.Interp.env
 (** Allocate memory, fill inputs. *)
 
-val time_under : Safara_core.Compiler.profile -> t ->
+val time_under :
+  ?options:Safara_core.Pipeline.options ->
+  Safara_core.Compiler.profile -> t ->
   Safara_sim.Launch.program_time * Safara_core.Compiler.compiled
-(** Compile under the profile and run the timing simulation. *)
+(** Compile under the profile and run the timing simulation.
+    [?options] selects pipeline options (e.g. a pass-disable set for
+    historical-configuration comparisons). *)
 
-val run_under : Safara_core.Compiler.profile -> t -> (string * float) list
+val run_under :
+  ?options:Safara_core.Pipeline.options ->
+  Safara_core.Compiler.profile -> t -> (string * float) list
 (** Functional run; returns checksums of [check_arrays]. *)

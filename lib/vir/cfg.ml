@@ -121,6 +121,103 @@ let reachable t =
   if num_blocks t > 0 then visit 0;
   r
 
+(* Cooper–Harvey–Kennedy iterative dominators over the rpo.  Entry is
+   its own idom; unreachable blocks keep -1 (they dominate nothing and
+   are dominated by nothing, which makes [dominates] refuse them and
+   the loop detector skip any "back edge" involving them). *)
+let idoms t =
+  let nb = num_blocks t in
+  let idom = Array.make nb (-1) in
+  if nb = 0 then idom
+  else begin
+    let reach = reachable t in
+    (* position of each block in rpo, for the two-finger intersect *)
+    let rpo_num = Array.make nb max_int in
+    Array.iteri (fun pos b -> if rpo_num.(b) = max_int then rpo_num.(b) <- pos) t.rpo;
+    idom.(0) <- 0;
+    let intersect a b =
+      let a = ref a and b = ref b in
+      while !a <> !b do
+        while rpo_num.(!a) > rpo_num.(!b) do a := idom.(!a) done;
+        while rpo_num.(!b) > rpo_num.(!a) do b := idom.(!b) done
+      done;
+      !a
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun b ->
+          if b <> 0 && reach.(b) then begin
+            let new_idom =
+              List.fold_left
+                (fun acc p ->
+                  if not reach.(p) || idom.(p) = -1 then acc
+                  else match acc with
+                    | None -> Some p
+                    | Some a -> Some (intersect p a))
+                None t.blocks.(b).preds
+            in
+            match new_idom with
+            | Some d when idom.(b) <> d ->
+                idom.(b) <- d;
+                changed := true
+            | _ -> ()
+          end)
+        t.rpo
+    done;
+    idom
+  end
+
+let dominates ~idom a b =
+  if a < 0 || b < 0 || a >= Array.length idom || b >= Array.length idom then
+    false
+  else if idom.(a) = -1 || idom.(b) = -1 then false
+  else begin
+    let rec walk b = if b = a then true else if b = 0 then a = 0 else walk idom.(b) in
+    walk b
+  end
+
+type loop = { header : int; latches : int list; body : bool array }
+
+let loops t =
+  let nb = num_blocks t in
+  if nb = 0 then []
+  else begin
+    let idom = idoms t in
+    (* back edges: l -> h where h dominates l *)
+    let by_header = Hashtbl.create 4 in
+    Array.iter
+      (fun b ->
+        List.iter
+          (fun s ->
+            if dominates ~idom s b.bid then
+              Hashtbl.replace by_header s
+                (b.bid :: (Option.value ~default:[] (Hashtbl.find_opt by_header s))))
+          b.succs)
+      t.blocks;
+    (* loops sharing a header are merged: union of the natural loops of
+       each back edge (backward walk from every latch up to the header) *)
+    let headers =
+      List.sort Int.compare
+        (Hashtbl.fold (fun h _ acc -> h :: acc) by_header [])
+    in
+    List.map
+      (fun header ->
+        let latches = List.sort Int.compare (Hashtbl.find by_header header) in
+        let body = Array.make nb false in
+        body.(header) <- true;
+        let rec pull b =
+          if not body.(b) then begin
+            body.(b) <- true;
+            List.iter pull t.blocks.(b).preds
+          end
+        in
+        List.iter pull latches;
+        { header; latches; body })
+      headers
+  end
+
 let iter_instrs t b f =
   for i = t.blocks.(b).first to t.blocks.(b).last do
     f i t.code.(i)

@@ -31,6 +31,29 @@ val num_blocks : t -> int
 val reachable : t -> bool array
 (** [reachable t].(b) — is block [b] reachable from entry? *)
 
+val idoms : t -> int array
+(** Immediate dominator of each block (Cooper–Harvey–Kennedy iteration
+    over the rpo). Entry is its own idom; unreachable blocks hold
+    [-1]. *)
+
+val dominates : idom:int array -> int -> int -> bool
+(** [dominates ~idom a b] — does block [a] dominate block [b]? False
+    whenever either block is unreachable. *)
+
+type loop = {
+  header : int;  (** the block every back edge targets *)
+  latches : int list;  (** back-edge sources, sorted *)
+  body : bool array;  (** membership per block id (header included) *)
+}
+
+val loops : t -> loop list
+(** Natural loops: one per header, back edges [l → h] where [h]
+    dominates [l]; loops sharing a header are merged (the body is the
+    union of the backward walks from every latch). Sorted by header
+    block id — inner loops of a shared-header nest are not separated,
+    but distinct-header nests appear as distinct entries whose [body]
+    sets overlap. *)
+
 val iter_instrs : t -> int -> (int -> Instr.t -> unit) -> unit
 (** [iter_instrs t b f] applies [f i instr] over block [b]'s
     instructions in order. *)

@@ -1,0 +1,262 @@
+(* Redundant-load elimination and store-to-load forwarding over affine
+   addresses (the "memmerge" pipeline pass).
+
+   A forward must-analysis pairs the affine value lattice
+   ({!Dataflow.Affine}) with an available-memory-values map: after
+   [ld dst, [a]] where the lattice proves [a = u + k], the bytes at
+   [u + k] are known to be in [dst]; after [st [a], src] they are
+   known to equal [src]. A later load whose address provably resolves
+   to the same [(u, k)] becomes a register move (or disappears
+   entirely when it would reload into the register already holding the
+   value), which [Dce] then propagates backwards through the orphaned
+   address chain.
+
+   Aliasing model, matching the simulator's memory exactly: [Local] is
+   a genuinely separate per-thread spill store; every other space
+   (global / read-only / shared / constant / param) addresses one flat
+   allocation table, so they form a single alias class. A store kills
+   every available value in its class except those at a provably
+   disjoint address — same affine base with non-overlapping byte
+   intervals [ [k1, k1+b1) ∩ [k2, k2+b2) = ∅ ] — which is what lets a
+   neighbor-element store ([|Δk| ≥ elem bytes]) keep the just-loaded
+   center element available. Atomics kill their whole class.
+
+   Per-thread sequential consistency is all that is required: every
+   engine runs each thread's instruction stream without interleaving
+   stores from other threads into it (the block-parallel prover only
+   admits race-free kernels), so a value observed by this thread stays
+   valid until this thread overwrites it or a register involved is
+   redefined. *)
+
+module I = Instr
+module V = Vreg
+module T = Safara_ir.Types
+module A = Dataflow.Affine
+module IM = Dataflow.IM
+
+module FM = Map.Make (struct
+  type t = bool * int * int  (* local class, base rid, byte offset *)
+
+  let compare = compare
+end)
+
+module KS = Set.Make (struct
+  type t = bool * int * int
+
+  let compare = compare
+end)
+
+type fact = { f_base : V.t; f_val : I.operand; f_bytes : int }
+
+(* [fusers]: register rid -> fact keys mentioning it (as affine base or
+   as forwarded value), keeping register kills proportional to the
+   dependents, as in {!Dataflow.Copies} *)
+type avail = { facts : fact FM.t; fusers : KS.t IM.t }
+
+let no_avail = { facts = FM.empty; fusers = IM.empty }
+
+let fact_equal f1 f2 =
+  V.equal f1.f_base f2.f_base
+  && f1.f_base.V.rty = f2.f_base.V.rty
+  && f1.f_bytes = f2.f_bytes
+  &&
+  match (f1.f_val, f2.f_val) with
+  | I.Reg a, I.Reg b -> V.equal a b && a.V.rty = b.V.rty
+  | a, b -> a = b
+
+let fact_regs f = f.f_base :: (match f.f_val with I.Reg r -> [ r ] | _ -> [])
+
+let unregister rid key fusers =
+  IM.update rid
+    (fun s ->
+      match s with
+      | None -> None
+      | Some s ->
+          let s = KS.remove key s in
+          if KS.is_empty s then None else Some s)
+    fusers
+
+let register rid key fusers =
+  IM.update rid
+    (fun s -> Some (KS.add key (Option.value ~default:KS.empty s)))
+    fusers
+
+let fdetach key av =
+  match FM.find_opt key av.facts with
+  | None -> av
+  | Some f ->
+      {
+        facts = FM.remove key av.facts;
+        fusers =
+          List.fold_left
+            (fun fu (r : V.t) -> unregister r.V.rid key fu)
+            av.fusers (fact_regs f);
+      }
+
+let fadd key f av =
+  let av = fdetach key av in
+  {
+    facts = FM.add key f av.facts;
+    fusers =
+      List.fold_left
+        (fun fu (r : V.t) -> register r.V.rid key fu)
+        av.fusers (fact_regs f);
+  }
+
+let fkill (d : V.t) av =
+  match IM.find_opt d.V.rid av.fusers with
+  | None -> av
+  | Some keys -> KS.fold fdetach keys av
+
+let fusers_of facts =
+  FM.fold
+    (fun key f fu ->
+      List.fold_left (fun fu (r : V.t) -> register r.V.rid key fu) fu
+        (fact_regs f))
+    facts IM.empty
+
+let is_local (m : I.mem) = m.I.m_space = Safara_gpu.Memspace.Local
+
+(* kill everything the store/atomic could overwrite: same alias class,
+   not provably disjoint from [u + k .. u + k + bytes) *)
+let clobber ~local ~base_rid ~k ~bytes av =
+  let keep (kl, kb, kk) f =
+    kl <> local
+    || (kb = base_rid && (kk + f.f_bytes <= k || k + bytes <= kk))
+  in
+  let facts = FM.filter keep av.facts in
+  { facts; fusers = fusers_of facts }
+
+let clobber_class ~local av =
+  let facts = FM.filter (fun (kl, _, _) _ -> kl <> local) av.facts in
+  { facts; fusers = fusers_of facts }
+
+type state = (A.env * avail) option
+
+module L = struct
+  type t = state
+
+  let equal a b =
+    match (a, b) with
+    | None, None -> true
+    | Some (f1, a1), Some (f2, a2) ->
+        A.L.equal (Some f1) (Some f2) && FM.equal fact_equal a1.facts a2.facts
+    | _ -> false
+
+  let join a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some (f1, a1), Some (f2, a2) ->
+        let fm =
+          match A.L.join (Some f1) (Some f2) with
+          | Some fm -> fm
+          | None -> A.empty
+        in
+        let facts =
+          FM.merge
+            (fun _ x y ->
+              match (x, y) with
+              | Some x, Some y when fact_equal x y -> Some x
+              | _ -> None)
+            a1.facts a2.facts
+        in
+        Some (fm, { facts; fusers = fusers_of facts })
+end
+
+module S = Dataflow.Solver (L)
+
+let addr_key fm (addr : V.t) (mem : I.mem) =
+  let f = A.resolve fm addr in
+  match f.A.base with
+  | Some u -> Some (u, f.A.k, (is_local mem, u.V.rid, f.A.k))
+  | None ->
+      (* a provably-constant absolute address: keep the offset, use a
+         base rid no register carries *)
+      Some ({ V.rid = -1; rty = T.I64 }, f.A.k, (is_local mem, -1, f.A.k))
+
+let value_fits (dst : V.t) = function
+  | I.Reg r -> V.equal r dst = false && r.V.rty = dst.V.rty
+  | I.Imm _ -> T.is_integer dst.V.rty
+  | I.FImm _ -> T.is_float dst.V.rty
+
+let step (fm, av) ins =
+  let av =
+    match ins with
+    | I.Ld { dst; addr; mem; _ } -> (
+        match addr_key fm addr mem with
+        | None -> List.fold_left (fun m d -> fkill d m) av (I.defs ins)
+        | Some (u, _, key) ->
+            let av = fkill dst av in
+            if u.V.rid = dst.V.rid then av
+            else
+              fadd key
+                { f_base = u; f_val = I.Reg dst; f_bytes = mem.I.m_bytes }
+                av)
+    | I.St { src; addr; mem; _ } -> (
+        match addr_key fm addr mem with
+        | None -> clobber_class ~local:(is_local mem) av
+        | Some (u, k, key) ->
+            let av =
+              clobber ~local:(is_local mem) ~base_rid:u.V.rid ~k
+                ~bytes:mem.I.m_bytes av
+            in
+            fadd key { f_base = u; f_val = src; f_bytes = mem.I.m_bytes } av)
+    | I.Atom { mem; _ } -> clobber_class ~local:(is_local mem) av
+    | _ -> List.fold_left (fun m d -> fkill d m) av (I.defs ins)
+  in
+  (A.step_map fm ins, av)
+
+(* [None]: keep; [Some None]: drop; [Some (Some i)]: replace *)
+let rewrite (fm, av) ins =
+  match ins with
+  | I.Ld { dst; addr; mem; _ } -> (
+      match addr_key fm addr mem with
+      | None -> None
+      | Some (u, _, key) -> (
+          match FM.find_opt key av.facts with
+          | Some f
+            when V.equal f.f_base u
+                 && f.f_base.V.rty = u.V.rty
+                 && f.f_bytes = mem.I.m_bytes -> (
+              match f.f_val with
+              | I.Reg r when V.equal r dst -> Some None
+              | v when value_fits dst v -> Some (Some (I.Mov { dst; src = v }))
+              | _ -> None)
+          | _ -> None))
+  | _ -> None
+
+let optimize code =
+  if Array.length code = 0 then code
+  else begin
+    let cfg = Cfg.build code in
+    let transfer b st =
+      match st with
+      | None -> None
+      | Some s ->
+          let s = ref s in
+          Cfg.iter_instrs cfg b (fun _ ins -> s := step !s ins);
+          Some !s
+    in
+    let r =
+      S.solve ~dir:Forward ~init:None
+        ~boundary:(Some (A.empty, no_avail))
+        ~transfer cfg
+    in
+    let out = ref [] in
+    for b = 0 to Cfg.num_blocks cfg - 1 do
+      let st =
+        ref
+          (match r.S.at_start.(b) with
+          | Some s -> s
+          | None -> (A.empty, no_avail))
+      in
+      Cfg.iter_instrs cfg b (fun _ ins ->
+          (match rewrite !st ins with
+          | None -> out := ins :: !out
+          | Some None -> ()
+          | Some (Some ins') -> out := ins' :: !out);
+          (* the analysis steps over the original stream *)
+          st := step !st ins)
+    done;
+    Array.of_list (List.rev !out)
+  end

@@ -519,7 +519,8 @@ let test_static_pressure_bounds_allocator () =
 let disabled_options =
   {
     Safara_core.Pipeline.default_options with
-    Safara_core.Pipeline.o_disable = [ "copy-prop"; "strength-red"; "dce" ];
+    Safara_core.Pipeline.o_disable =
+      [ "copy-prop"; "strength-red"; "indvar"; "memmerge"; "dce" ];
   }
 
 let run_checksums ?pool ~options p (w : Workload.t) =

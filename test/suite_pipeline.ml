@@ -42,11 +42,11 @@ let instrs_of (c : C.compiled) =
 
 let base_passes =
   [ "strip-clauses"; "resolve-schedules"; "codegen"; "peephole"; "copy-prop";
-    "strength-red"; "dce"; "assemble" ]
+    "strength-red"; "indvar"; "memmerge"; "dce"; "assemble" ]
 
 let safara_passes =
   [ "strip-clauses"; "resolve-schedules"; "safara"; "codegen"; "peephole";
-    "copy-prop"; "strength-red"; "dce"; "assemble" ]
+    "copy-prop"; "strength-red"; "indvar"; "memmerge"; "dce"; "assemble" ]
 
 let test_registration () =
   (* building any pipeline registers its passes in the global name

@@ -5,9 +5,23 @@
 
 open Safara_suites
 
+(* The claims below are about the paper's 2016 OpenUH compiler, which
+   had no loop-aware VIR optimizer: the modern indvar/memmerge passes
+   free enough registers on their own that e.g. SAFARA-only no longer
+   crosses seismic's occupancy cliff.  Pin the historical configuration
+   so these remain tests of the paper's story, not of our pipeline. *)
+let paper_options =
+  {
+    Safara_core.Pipeline.default_options with
+    Safara_core.Pipeline.o_disable = [ "indvar"; "memmerge" ];
+  }
+
 let times id =
   let w = Registry.find id in
-  let t p = (fst (Workload.time_under p w)).Safara_sim.Launch.total_ms in
+  let t p =
+    (fst (Workload.time_under ~options:paper_options p w))
+      .Safara_sim.Launch.total_ms
+  in
   ( t Safara_core.Compiler.Base,
     t Safara_core.Compiler.Safara_only,
     t Safara_core.Compiler.Small_only,
@@ -63,7 +77,10 @@ let test_spec_max_near_paper () =
   let best =
     List.fold_left
       (fun acc (w : Workload.t) ->
-        let t p = (fst (Workload.time_under p w)).Safara_sim.Launch.total_ms in
+        let t p =
+          (fst (Workload.time_under ~options:paper_options p w))
+            .Safara_sim.Launch.total_ms
+        in
         Float.max acc (t Safara_core.Compiler.Base /. t Safara_core.Compiler.Full))
       1.0
       [ Registry.find "370.bt"; Registry.find "314.omriq"; Registry.find "304.olbm" ]

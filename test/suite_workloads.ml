@@ -206,7 +206,7 @@ let test_pipeline_matches_reference () =
             {
               Safara_core.Pipeline.default_options with
               Safara_core.Pipeline.o_disable =
-                [ "copy-prop"; "strength-red"; "dce" ];
+                [ "copy-prop"; "strength-red"; "indvar"; "memmerge"; "dce" ];
             }
           in
           let c, _ = Safara_core.Compiler.compile_with ~options p prog in

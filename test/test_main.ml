@@ -19,6 +19,7 @@ let () =
       ("engine", Suite_engine.suite);
       ("pipeline", Suite_pipeline.suite);
       ("dataflow", Suite_dataflow.suite);
+      ("loopopt", Suite_loopopt.suite);
       ("shapes", Suite_shapes.suite);
       ("check", Suite_check.suite);
       ("serve", Suite_serve.suite);
